@@ -1,0 +1,65 @@
+//! Microbenchmarks of the analytical layer: C-AMAT evaluation, counter
+//! derivation, threshold computation, and analyzer sampling throughput.
+//! These bound the overhead of the online measurement machinery the LPM
+//! algorithm relies on ("a set of lightweight counters").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lpm_cache::{AccessId, Cache, CacheConfig};
+use lpm_model::{example, CamatParams, CoreParams, Grain, Thresholds};
+use lpm_sim::CacheAnalyzer;
+
+fn bench_model_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model");
+    let params = example::fig1_params();
+    g.bench_function("camat_eq2", |b| b.iter(|| black_box(params).camat()));
+    let counters = example::fig1_counters();
+    g.bench_function("counters_derive_all", |b| {
+        b.iter(|| {
+            let c = black_box(&counters);
+            (
+                c.camat(),
+                c.ch(),
+                c.cm_pure(),
+                c.pamp(),
+                c.pmr(),
+                c.eta_extended(),
+            )
+        })
+    });
+    let core = CoreParams::new(0.4, 0.5, 0.2).unwrap();
+    let l1 = CamatParams::new(2.0, 4.0, 0.02, 10.0, 2.0).unwrap();
+    g.bench_function("thresholds_eq14_15", |b| {
+        b.iter(|| Thresholds::compute(Grain::Fine, black_box(&core), black_box(&l1), 0.3))
+    });
+    g.bench_function("counters_merge", |b| {
+        b.iter(|| {
+            let mut acc = counters;
+            acc.merge(black_box(&counters));
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_analyzer_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analyzer");
+    // A cache with realistic in-flight population: the sample cost is what
+    // the "hardware" HCD/MCD does every cycle.
+    let mut cache = Cache::new(CacheConfig::l1_default(), 0);
+    for i in 0..4u64 {
+        cache.access(0, AccessId(i), i * 4096, false);
+    }
+    cache.step(0); // resolve nothing yet (H = 3)
+    let mut analyzer = CacheAnalyzer::new(3);
+    g.bench_function("sample_one_cycle", |b| {
+        let mut now = 1u64;
+        b.iter(|| {
+            analyzer.sample(now, &mut cache);
+            now += 1;
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_model_eval, bench_analyzer_sampling);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! One Criterion target per paper experiment: times the regeneration of
+//! each table/figure at reduced scale, so `cargo bench` exercises every
+//! experiment path end to end. (Full-scale, human-readable regeneration
+//! lives in the `repro_*` binaries.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lpm_bench::{fig8_results, interval_results, table1_rows};
+use lpm_core::profile::{profile_workload, FIG5_L1_SIZES};
+use lpm_sim::SystemConfig;
+use lpm_trace::SpecWorkload;
+
+/// Instruction window used by the timed experiment benches.
+const N: usize = 4_000;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("table1_all_configs", |b| {
+        b.iter(|| black_box(table1_rows(N, 1).len()))
+    });
+    g.finish();
+}
+
+fn bench_fig6_profile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("fig6_profile_one_workload", |b| {
+        b.iter(|| {
+            let p = profile_workload(
+                SpecWorkload::GccLike,
+                &FIG5_L1_SIZES,
+                &SystemConfig::default(),
+                N,
+                5,
+            );
+            black_box(p.best_apc1())
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    // Profile once outside the timed loop; the bench times the four CMP
+    // schedule evaluations.
+    let profiles = lpm_bench::fig67_profiles(N, 7);
+    g.bench_function("fig8_four_policies_16_cores", |b| {
+        b.iter(|| black_box(fig8_results(&profiles, N, 7).len()))
+    });
+    g.finish();
+}
+
+fn bench_intervals(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("interval_study_three_points", |b| {
+        b.iter(|| black_box(interval_results(7)[0].detected))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_fig6_profile,
+    bench_fig8,
+    bench_intervals
+);
+criterion_main!(benches);

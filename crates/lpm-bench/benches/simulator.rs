@@ -1,0 +1,95 @@
+//! Simulator throughput benchmarks: how fast the substrate executes, per
+//! component and end-to-end. Useful for sizing experiment windows and for
+//! catching performance regressions in the hot per-cycle paths.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use lpm_cache::{AccessId, Cache, CacheConfig};
+use lpm_dram::{Dram, DramConfig, DramRequest};
+use lpm_sim::{System, SystemConfig};
+use lpm_trace::{Generator, SpecWorkload};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("hit_roundtrip", |b| {
+        let mut cache = Cache::new(CacheConfig::l1_default(), 0);
+        cache.fill(0);
+        cache.step(0);
+        let mut now = 1u64;
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            cache.access(now, AccessId(id), 0, false);
+            let out = cache.step(now + 2);
+            now += 3;
+            black_box(out.completions.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram");
+    g.bench_function("enqueue_step", |b| {
+        let mut dram = Dram::new(DramConfig::ddr3_default());
+        let mut now = 0u64;
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            dram.enqueue(
+                now,
+                DramRequest {
+                    id,
+                    addr: id * 64,
+                    is_write: false,
+                },
+            );
+            let done = dram.step(now);
+            now += 1;
+            black_box(done.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system");
+    g.sample_size(10);
+    for w in [
+        SpecWorkload::Bzip2Like,
+        SpecWorkload::BwavesLike,
+        SpecWorkload::McfLike,
+    ] {
+        g.bench_function(format!("run_5k_instr/{}", w.name()), |b| {
+            let trace = w.generator().generate(5_000, 1);
+            b.iter_batched(
+                || System::new(SystemConfig::default(), trace.clone(), 1),
+                |mut sys| {
+                    assert!(sys.run(100_000_000));
+                    black_box(sys.report().core.ipc())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_gen");
+    for w in [SpecWorkload::BwavesLike, SpecWorkload::GccLike] {
+        g.bench_function(format!("generate_10k/{}", w.name()), |b| {
+            let gen = w.generator();
+            b.iter(|| black_box(gen.generate(10_000, 3).len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_dram,
+    bench_system,
+    bench_trace_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerate Fig. 1: the worked C-AMAT example, replayed through the real
+//! cache and analyzer, with the paper's exact expected values checked.
+
+use lpm_model::example;
+
+fn main() {
+    let c = example::fig1_counters();
+    println!("== Fig. 1: the five-access C-AMAT demonstration ==\n");
+    println!("quantity          measured   paper");
+    println!("CH                {:>8.3}   {:>5}", c.ch(), "5/2");
+    println!("CM                {:>8.3}   {:>5}", c.cm_pure(), "1");
+    println!("pMR               {:>8.3}   {:>5}", c.pmr(), "1/5");
+    println!("pAMP              {:>8.3}   {:>5}", c.pamp(), "2");
+    println!("C-AMAT (Eq. 2)    {:>8.3}   {:>5}", c.camat(), "1.6");
+    println!(
+        "1/APC  (Eq. 3)    {:>8.3}   {:>5}",
+        c.camat_via_apc(),
+        "1.6"
+    );
+    println!("AMAT   (Eq. 1)    {:>8.3}   {:>5}", c.amat(), "3.8");
+    println!(
+        "\nconcurrency gain: {:.2}x (the paper: \"concurrency has doubled \
+         memory performance\")",
+        c.amat() / c.camat()
+    );
+    assert!((c.camat() - example::FIG1_CAMAT).abs() < 1e-12);
+    assert!((c.amat() - example::FIG1_AMAT).abs() < 1e-12);
+    c.check_identity(0.0).expect("Eq. 2 == Eq. 3");
+    println!("\nall values match the paper exactly.");
+    println!("(see `cargo run -p lpm --example camat_anatomy` for the live\n cache replay that produces these counters.)");
+}

@@ -1,0 +1,290 @@
+//! The tag array: sets × ways of line tags with dirty bits.
+
+use crate::config::CacheConfig;
+use crate::replacement::ReplacementState;
+
+/// One way of one set.
+#[derive(Debug, Clone, Copy, Default)]
+struct WayEntry {
+    valid: bool,
+    dirty: bool,
+    /// Installed by a prefetch and not yet touched by demand.
+    prefetched: bool,
+    tag: u64,
+}
+
+/// Outcome of installing a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillOutcome {
+    /// The way the line landed in.
+    pub way: usize,
+    /// A dirty victim line address that must be written back, if any.
+    pub writeback: Option<u64>,
+    /// A clean victim line address that was silently dropped, if any.
+    pub evicted_clean: Option<u64>,
+}
+
+/// The tag array plus replacement metadata.
+#[derive(Debug)]
+pub struct TagArray {
+    sets: usize,
+    assoc: usize,
+    line_bytes: u64,
+    entries: Vec<WayEntry>,
+    repl: ReplacementState,
+}
+
+impl TagArray {
+    /// Build an empty array for `cfg`, seeding the (Random-policy) PRNG.
+    pub fn new(cfg: &CacheConfig, seed: u64) -> Self {
+        let sets = cfg.sets() as usize;
+        let assoc = cfg.assoc as usize;
+        TagArray {
+            sets,
+            assoc,
+            line_bytes: cfg.line_bytes,
+            entries: vec![WayEntry::default(); sets * assoc],
+            repl: ReplacementState::new(cfg.policy, sets, assoc, seed),
+        }
+    }
+
+    fn decompose(&self, line_addr: u64) -> (usize, u64) {
+        let line_idx = line_addr / self.line_bytes;
+        let set = (line_idx as usize) & (self.sets - 1);
+        let tag = line_idx / self.sets as u64;
+        (set, tag)
+    }
+
+    fn line_addr(&self, set: usize, tag: u64) -> u64 {
+        (tag * self.sets as u64 + set as u64) * self.line_bytes
+    }
+
+    /// Look up a line; on hit updates replacement state and, for stores,
+    /// the dirty bit. Returns `Some(first_prefetch_use)` on a hit — true
+    /// exactly once per line that a prefetch installed and demand is now
+    /// touching for the first time — and `None` on a miss.
+    pub fn access(&mut self, line_addr: u64, is_store: bool) -> Option<bool> {
+        let (set, tag) = self.decompose(line_addr);
+        for way in 0..self.assoc {
+            let e = &mut self.entries[set * self.assoc + way];
+            if e.valid && e.tag == tag {
+                e.dirty |= is_store;
+                let first_use = e.prefetched;
+                e.prefetched = false;
+                self.repl.on_hit(set, way);
+                return Some(first_use);
+            }
+        }
+        None
+    }
+
+    /// Whether a line is present, without touching replacement state.
+    pub fn probe(&self, line_addr: u64) -> bool {
+        let (set, tag) = self.decompose(line_addr);
+        (0..self.assoc).any(|w| {
+            self.entries[set * self.assoc + w].valid
+                && self.entries[set * self.assoc + w].tag == tag
+        })
+    }
+
+    /// Install a line (after a fill), evicting a victim if the set is full.
+    /// `dirty` marks the incoming line (write-allocate store miss);
+    /// `prefetched` marks a line installed by a prefetch with no demand
+    /// consumer yet.
+    pub fn fill(&mut self, line_addr: u64, dirty: bool, prefetched: bool) -> FillOutcome {
+        let (set, tag) = self.decompose(line_addr);
+        // Idempotence: a fill for a line already present updates it in
+        // place (merging the dirty bit) instead of installing a duplicate.
+        // The MSHR file normally prevents duplicate fills, but the array
+        // must stay correct if one slips through.
+        for way in 0..self.assoc {
+            let e = &mut self.entries[set * self.assoc + way];
+            if e.valid && e.tag == tag {
+                e.dirty |= dirty;
+                e.prefetched &= prefetched;
+                self.repl.on_fill(set, way);
+                return FillOutcome {
+                    way,
+                    writeback: None,
+                    evicted_clean: None,
+                };
+            }
+        }
+        // Prefer an invalid way.
+        let way = (0..self.assoc)
+            .find(|&w| !self.entries[set * self.assoc + w].valid)
+            .or_else(|| self.repl.victim(set, |_| true))
+            .expect("victim selection cannot fail with evictable ways");
+        let prior = self.entries[set * self.assoc + way];
+        let mut writeback = None;
+        let mut evicted_clean = None;
+        if prior.valid {
+            let victim_addr = self.line_addr(set, prior.tag);
+            if prior.dirty {
+                writeback = Some(victim_addr);
+            } else {
+                evicted_clean = Some(victim_addr);
+            }
+        }
+        self.entries[set * self.assoc + way] = WayEntry {
+            valid: true,
+            dirty,
+            prefetched,
+            tag,
+        };
+        self.repl.on_fill(set, way);
+        FillOutcome {
+            way,
+            writeback,
+            evicted_clean,
+        }
+    }
+
+    /// Mark a present line dirty (store completing on a filled line).
+    /// No-op if the line is absent.
+    pub fn mark_dirty(&mut self, line_addr: u64) {
+        let (set, tag) = self.decompose(line_addr);
+        for way in 0..self.assoc {
+            let e = &mut self.entries[set * self.assoc + way];
+            if e.valid && e.tag == tag {
+                e.dirty = true;
+                return;
+            }
+        }
+    }
+
+    /// Invalidate a line if present; returns its address if it was dirty
+    /// (caller must write it back).
+    pub fn invalidate(&mut self, line_addr: u64) -> Option<u64> {
+        let (set, tag) = self.decompose(line_addr);
+        for way in 0..self.assoc {
+            let e = &mut self.entries[set * self.assoc + way];
+            if e.valid && e.tag == tag {
+                let was_dirty = e.dirty;
+                e.valid = false;
+                e.dirty = false;
+                return was_dirty.then_some(line_addr);
+            }
+        }
+        None
+    }
+
+    /// Number of valid lines (for tests and occupancy reports).
+    pub fn valid_lines(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bypass::BypassPolicy;
+    use crate::prefetch::PrefetchKind;
+    use crate::replacement::Policy;
+
+    fn small_cfg() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 1024, // 4 sets × 4 ways × 64 B
+            assoc: 4,
+            line_bytes: 64,
+            hit_latency: 1,
+            ports: 1,
+            banks: 1,
+            mshrs: 4,
+            targets_per_mshr: 4,
+            pipelined: true,
+            policy: Policy::Lru,
+            prefetch: PrefetchKind::None,
+            bypass: BypassPolicy::None,
+        }
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let cfg = small_cfg();
+        let mut a = TagArray::new(&cfg, 0);
+        assert!(a.access(0, false).is_none());
+        let f = a.fill(0, false, false);
+        assert_eq!(f.writeback, None);
+        assert!(a.access(0, false).is_some());
+        assert_eq!(a.valid_lines(), 1);
+    }
+
+    #[test]
+    fn eviction_after_set_fills_up() {
+        let cfg = small_cfg();
+        let mut a = TagArray::new(&cfg, 0);
+        // 4 sets → lines 0, 4, 8, 12, 16 (×64) all map to set 0.
+        let set_stride = 4 * 64;
+        for i in 0..4u64 {
+            a.fill(i * set_stride, false, false);
+        }
+        assert_eq!(a.valid_lines(), 4);
+        // Fifth fill evicts LRU (line 0).
+        let f = a.fill(4 * set_stride, false, false);
+        assert_eq!(f.evicted_clean, Some(0));
+        assert!(!a.probe(0));
+        assert!(a.probe(4 * set_stride));
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let cfg = small_cfg();
+        let mut a = TagArray::new(&cfg, 0);
+        let set_stride = 4 * 64;
+        a.fill(0, false, false);
+        assert!(a.access(0, true).is_some()); // store makes it dirty
+        for i in 1..4u64 {
+            a.fill(i * set_stride, false, false);
+        }
+        let f = a.fill(4 * set_stride, false, false);
+        assert_eq!(f.writeback, Some(0));
+        assert_eq!(f.evicted_clean, None);
+    }
+
+    #[test]
+    fn fill_dirty_marks_line() {
+        let cfg = small_cfg();
+        let mut a = TagArray::new(&cfg, 0);
+        a.fill(64, true, false);
+        let wb = a.invalidate(64);
+        assert_eq!(wb, Some(64));
+    }
+
+    #[test]
+    fn mark_dirty_and_invalidate() {
+        let cfg = small_cfg();
+        let mut a = TagArray::new(&cfg, 0);
+        a.fill(128, false, false);
+        a.mark_dirty(128);
+        assert_eq!(a.invalidate(128), Some(128));
+        assert_eq!(a.invalidate(128), None); // already gone
+        a.mark_dirty(4096); // absent line: no-op
+    }
+
+    #[test]
+    fn hits_refresh_lru_order() {
+        let cfg = small_cfg();
+        let mut a = TagArray::new(&cfg, 0);
+        let set_stride = 4 * 64;
+        for i in 0..4u64 {
+            a.fill(i * set_stride, false, false);
+        }
+        // Touch line 0 → line at 1×stride becomes LRU.
+        assert!(a.access(0, false).is_some());
+        let f = a.fill(4 * set_stride, false, false);
+        assert_eq!(f.evicted_clean, Some(set_stride));
+        assert!(a.probe(0));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let cfg = small_cfg();
+        let mut a = TagArray::new(&cfg, 0);
+        a.fill(0, false, false); // set 0
+        a.fill(64, false, false); // set 1
+        assert!(a.probe(0));
+        assert!(a.probe(64));
+        assert_eq!(a.valid_lines(), 2);
+    }
+}

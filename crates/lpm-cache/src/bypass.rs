@@ -1,0 +1,197 @@
+//! Selective cache bypass — the paper's "selective cache replacement"
+//! future-work direction.
+//!
+//! A small direct-mapped table tracks, per 4 KiB region, how many lines
+//! were filled and how many were ever reused after their fill. Regions
+//! that keep filling without reuse are *streaming*: installing their lines
+//! only evicts useful data. Once a region is classified as streaming, its
+//! fills are served to the waiting accesses but **not installed** in the
+//! array, protecting the reusable working set from pollution.
+
+/// Bypass policy selection for a cache configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BypassPolicy {
+    /// Always install (the baseline).
+    None,
+    /// Region-reuse streaming detection with the given table size and
+    /// minimum fills before a region may be classified.
+    RegionReuse {
+        /// Tracking table entries (direct mapped by region).
+        entries: u32,
+        /// Fills observed in a region before classification may trigger.
+        min_fills: u32,
+    },
+}
+
+impl BypassPolicy {
+    /// A reasonable default detector: 64 regions, classify after 16 fills.
+    pub fn region_reuse_default() -> Self {
+        BypassPolicy::RegionReuse {
+            entries: 64,
+            min_fills: 16,
+        }
+    }
+}
+
+/// Region granularity of the detector, bytes.
+const REGION_BYTES: u64 = 4096;
+/// Sentinel for an unused slot.
+const EMPTY: u64 = u64::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct RegionEntry {
+    region: u64,
+    fills: u32,
+    reuses: u32,
+}
+
+impl Default for RegionEntry {
+    fn default() -> Self {
+        RegionEntry {
+            region: EMPTY,
+            fills: 0,
+            reuses: 0,
+        }
+    }
+}
+
+/// The streaming detector.
+#[derive(Debug, Clone)]
+pub struct BypassDetector {
+    state: DetectorState,
+}
+
+#[derive(Debug, Clone)]
+enum DetectorState {
+    Off,
+    On {
+        table: Vec<RegionEntry>,
+        min_fills: u32,
+    },
+}
+
+impl BypassDetector {
+    /// Build a detector from the policy.
+    pub fn new(policy: BypassPolicy) -> Self {
+        let state = match policy {
+            BypassPolicy::None => DetectorState::Off,
+            BypassPolicy::RegionReuse { entries, min_fills } => {
+                assert!(entries >= 1 && min_fills >= 1);
+                DetectorState::On {
+                    table: vec![RegionEntry::default(); entries as usize],
+                    min_fills,
+                }
+            }
+        };
+        BypassDetector { state }
+    }
+
+    fn slot(table: &mut [RegionEntry], line_addr: u64) -> &mut RegionEntry {
+        let region = line_addr / REGION_BYTES;
+        let n = table.len();
+        let e = &mut table[(region as usize) % n];
+        if e.region != region {
+            // Reset on conflict — the detector is heuristic hardware.
+            *e = RegionEntry {
+                region,
+                fills: 0,
+                reuses: 0,
+            };
+        }
+        e
+    }
+
+    /// Record a demand hit on a line (reuse evidence for its region).
+    pub fn on_hit(&mut self, line_addr: u64) {
+        if let DetectorState::On { table, .. } = &mut self.state {
+            let e = Self::slot(table, line_addr);
+            e.reuses = e.reuses.saturating_add(1);
+        }
+    }
+
+    /// Record a fill and decide whether to bypass installation.
+    ///
+    /// Returns `true` when the line's region is classified as streaming
+    /// (many fills, essentially no reuse) and the fill should not be
+    /// installed.
+    pub fn on_fill_should_bypass(&mut self, line_addr: u64) -> bool {
+        match &mut self.state {
+            DetectorState::Off => false,
+            DetectorState::On { table, min_fills } => {
+                let min_fills = *min_fills;
+                let e = Self::slot(table, line_addr);
+                e.fills = e.fills.saturating_add(1);
+                // Streaming: at least min_fills fills and reuse on fewer
+                // than 1 in 8 of them.
+                e.fills >= min_fills && e.reuses * 8 < e.fills
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_never_bypasses() {
+        let mut d = BypassDetector::new(BypassPolicy::None);
+        for i in 0..100 {
+            assert!(!d.on_fill_should_bypass(i * 64));
+        }
+    }
+
+    #[test]
+    fn streaming_region_gets_bypassed_after_warmup() {
+        let mut d = BypassDetector::new(BypassPolicy::region_reuse_default());
+        let mut bypassed = 0;
+        // 64 sequential fills in one region, never reused.
+        for i in 0..64u64 {
+            if d.on_fill_should_bypass(i * 64 % 4096) {
+                bypassed += 1;
+            }
+        }
+        assert!(bypassed >= 40, "only {bypassed} bypassed");
+    }
+
+    #[test]
+    fn reused_region_is_never_bypassed() {
+        let mut d = BypassDetector::new(BypassPolicy::region_reuse_default());
+        for i in 0..64u64 {
+            let addr = (i % 16) * 64; // region 0
+            d.on_hit(addr);
+            d.on_hit(addr);
+            assert!(!d.on_fill_should_bypass(addr), "fill {i} bypassed");
+        }
+    }
+
+    #[test]
+    fn conflict_resets_classification() {
+        let mut d = BypassDetector::new(BypassPolicy::RegionReuse {
+            entries: 1,
+            min_fills: 4,
+        });
+        // Region 0 becomes streaming.
+        for i in 0..8u64 {
+            d.on_fill_should_bypass(i * 64);
+        }
+        assert!(d.on_fill_should_bypass(8 * 64));
+        // Region 1 maps to the same slot: classification restarts.
+        assert!(!d.on_fill_should_bypass(REGION_BYTES));
+    }
+
+    #[test]
+    fn distinct_regions_tracked_independently() {
+        let mut d = BypassDetector::new(BypassPolicy::RegionReuse {
+            entries: 8,
+            min_fills: 4,
+        });
+        // Region 0 streams; region 1 is reused.
+        for i in 0..16u64 {
+            d.on_fill_should_bypass(i * 64); // region 0
+            d.on_hit(REGION_BYTES + (i % 4) * 64);
+        }
+        assert!(d.on_fill_should_bypass(17 * 64 % REGION_BYTES));
+        assert!(!d.on_fill_should_bypass(REGION_BYTES + 64));
+    }
+}

@@ -1,0 +1,72 @@
+//! Per-cache event counters (functional statistics, distinct from the
+//! cycle-level analyzer counters in `lpm-model`).
+
+/// Counts of cache events since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses accepted (port granted).
+    pub accesses: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses (primary + secondary).
+    pub misses: u64,
+    /// Primary misses (allocated an MSHR entry → downstream request).
+    pub primary_misses: u64,
+    /// Secondary misses (merged into an existing entry).
+    pub secondary_misses: u64,
+    /// Accesses rejected for lack of a port or bank this cycle.
+    pub port_rejects: u64,
+    /// Miss resolutions deferred because the MSHR file was full.
+    pub mshr_rejects: u64,
+    /// Lines filled.
+    pub fills: u64,
+    /// Clean evictions.
+    pub evictions_clean: u64,
+    /// Dirty evictions (writebacks generated).
+    pub writebacks: u64,
+    /// Prefetch requests issued downstream.
+    pub prefetches: u64,
+    /// Prefetched fills that later served a demand access (usefulness).
+    pub useful_prefetches: u64,
+    /// Fills not installed because the bypass detector classified their
+    /// region as streaming.
+    pub bypassed_fills: u64,
+}
+
+impl CacheStats {
+    /// Demand miss rate `MR` (misses / accesses).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hit rate (1 − MR).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let s = CacheStats {
+            accesses: 10,
+            hits: 7,
+            misses: 3,
+            ..Default::default()
+        };
+        assert!((s.miss_rate() - 0.3).abs() < 1e-12);
+        assert!((s.hit_rate() - 0.7).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+}

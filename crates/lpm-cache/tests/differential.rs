@@ -1,0 +1,170 @@
+//! Differential testing: the production tag array against a naive
+//! reference model, and the timed cache against basic liveness/uniqueness
+//! laws, under randomized operation sequences.
+
+use lpm_cache::array::TagArray;
+use lpm_cache::{AccessId, BypassPolicy, Cache, CacheConfig, Policy, PrefetchKind};
+use proptest::prelude::*;
+
+/// A deliberately naive fully-explicit LRU set-associative cache.
+#[derive(Debug)]
+struct ReferenceLru {
+    sets: usize,
+    assoc: usize,
+    /// Per set: (tag, dirty), most recently used LAST.
+    ways: Vec<Vec<(u64, bool)>>,
+}
+
+impl ReferenceLru {
+    fn new(sets: usize, assoc: usize) -> Self {
+        ReferenceLru {
+            sets,
+            assoc,
+            ways: vec![Vec::new(); sets],
+        }
+    }
+
+    fn decompose(&self, line_addr: u64) -> (usize, u64) {
+        let idx = line_addr / 64;
+        ((idx as usize) % self.sets, idx / self.sets as u64)
+    }
+
+    fn access(&mut self, line_addr: u64, is_store: bool) -> bool {
+        let (s, tag) = self.decompose(line_addr);
+        let set = &mut self.ways[s];
+        if let Some(pos) = set.iter().position(|&(t, _)| t == tag) {
+            let (t, d) = set.remove(pos);
+            set.push((t, d || is_store));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Install; returns the dirty victim line, if any. A fill for a
+    /// present line refreshes it in place (dirty-merging), like the
+    /// production array.
+    fn fill(&mut self, line_addr: u64, dirty: bool) -> Option<u64> {
+        let (s, tag) = self.decompose(line_addr);
+        let assoc = self.assoc;
+        let sets = self.sets;
+        let set = &mut self.ways[s];
+        if let Some(pos) = set.iter().position(|&(t, _)| t == tag) {
+            let (t, d) = set.remove(pos);
+            set.push((t, d || dirty));
+            return None;
+        }
+        let mut wb = None;
+        if set.len() == assoc {
+            let (vt, vd) = set.remove(0);
+            if vd {
+                wb = Some((vt * sets as u64 + s as u64) * 64);
+            }
+        }
+        set.push((tag, dirty));
+        wb
+    }
+}
+
+fn small_cfg() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 2048, // 8 sets × 4 ways
+        assoc: 4,
+        line_bytes: 64,
+        hit_latency: 1,
+        ports: 8,
+        banks: 1,
+        mshrs: 8,
+        targets_per_mshr: 8,
+        pipelined: true,
+        policy: Policy::Lru,
+        prefetch: PrefetchKind::None,
+        bypass: BypassPolicy::None,
+    }
+}
+
+proptest! {
+    /// The production LRU tag array and the reference model agree on every
+    /// hit/miss outcome and every dirty writeback, for any interleaving of
+    /// accesses and fills.
+    #[test]
+    fn tag_array_matches_reference_lru(
+        ops in proptest::collection::vec((0u64..64, any::<bool>(), any::<bool>()), 1..300),
+    ) {
+        let cfg = small_cfg();
+        let mut real = TagArray::new(&cfg, 0);
+        let mut reference = ReferenceLru::new(8, 4);
+        for (line_idx, is_store, do_fill) in ops {
+            let addr = line_idx * 64;
+            if do_fill {
+                let out = real.fill(addr, is_store, false);
+                let ref_wb = reference.fill(addr, is_store);
+                prop_assert_eq!(out.writeback, ref_wb,
+                    "writeback divergence at fill {:#x}", addr);
+            } else {
+                let real_hit = real.access(addr, is_store).is_some();
+                let ref_hit = reference.access(addr, is_store);
+                prop_assert_eq!(real_hit, ref_hit,
+                    "hit/miss divergence at access {:#x}", addr);
+            }
+        }
+    }
+
+    /// Liveness and uniqueness of the timed cache: every accepted demand
+    /// access completes exactly once, provided fills are eventually
+    /// delivered.
+    #[test]
+    fn every_access_completes_exactly_once(
+        schedule in proptest::collection::vec((0u64..32, 1u64..40, any::<bool>()), 1..120),
+    ) {
+        let mut cache = Cache::new(small_cfg(), 1);
+        let mut pending_fills: Vec<(u64, u64)> = Vec::new();
+        let mut completions: std::collections::HashMap<u64, u32> =
+            std::collections::HashMap::new();
+        let mut accepted = 0u64;
+        let mut next = schedule.iter();
+        let mut upcoming = next.next();
+        let mut id = 0u64;
+        let mut now = 0u64;
+        loop {
+            if let Some(&(line, _, is_store)) = upcoming {
+                id += 1;
+                // Plenty of ports: acceptance is guaranteed.
+                assert_eq!(
+                    cache.access(now, AccessId(id), line * 64, is_store),
+                    lpm_cache::AccessResponse::Accepted
+                );
+                accepted += 1;
+                upcoming = next.next();
+            }
+            let mut i = 0;
+            while i < pending_fills.len() {
+                if pending_fills[i].0 <= now {
+                    let (_, l) = pending_fills.swap_remove(i);
+                    cache.fill(l);
+                } else {
+                    i += 1;
+                }
+            }
+            let out = cache.step(now);
+            for c in out.completions {
+                *completions.entry(c.id.0).or_insert(0) += 1;
+            }
+            for line in out.outgoing_misses {
+                // Use the schedule's latency stream for variety.
+                let lat = schedule[(line as usize / 64) % schedule.len()].1;
+                pending_fills.push((now + lat, line));
+            }
+            now += 1;
+            let drained = upcoming.is_none()
+                && pending_fills.is_empty()
+                && cache.miss_phase_count() == 0
+                && cache.hit_phase_count(now) == 0;
+            if drained || now > 20_000 {
+                break;
+            }
+        }
+        prop_assert_eq!(completions.len() as u64, accepted, "missing completions");
+        prop_assert!(completions.values().all(|&n| n == 1), "duplicate completion");
+    }
+}

@@ -1,0 +1,163 @@
+//! Hand-rolled argument parsing (no external dependencies): sizes accept
+//! `4K`/`32K`/`2M`-style suffixes, flags are `--key value`.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// `--key value` pairs, keys without the leading dashes.
+    pub options: HashMap<String, String>,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+}
+
+/// Parse a raw argument list (excluding the program name).
+pub fn parse(raw: &[String]) -> Result<Args, String> {
+    let mut it = raw.iter().peekable();
+    let command = it
+        .next()
+        .cloned()
+        .ok_or_else(|| "missing subcommand; try `lpm help`".to_string())?;
+    let mut options = HashMap::new();
+    let mut positional = Vec::new();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} expects a value"))?;
+            if options.insert(key.to_string(), value.clone()).is_some() {
+                return Err(format!("flag --{key} given twice"));
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(Args {
+        command,
+        options,
+        positional,
+    })
+}
+
+impl Args {
+    /// Look up an option, falling back to `default`.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Parse an integer option.
+    pub fn int_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got {v:?}")),
+        }
+    }
+
+    /// Parse a float option.
+    pub fn float_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        }
+    }
+
+    /// Parse a byte-size option (`4096`, `4K`, `32K`, `2M`, `1G`).
+    pub fn size_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => parse_size(v)
+                .ok_or_else(|| format!("--{key} expects a size like 32K or 2M, got {v:?}")),
+        }
+    }
+}
+
+/// Parse `4096` / `4K` / `4k` / `2M` / `1G` into bytes.
+pub fn parse_size(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let (digits, mult) = match s.chars().last().unwrap() {
+        'k' | 'K' => (&s[..s.len() - 1], 1u64 << 10),
+        'm' | 'M' => (&s[..s.len() - 1], 1u64 << 20),
+        'g' | 'G' => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (s, 1),
+    };
+    digits.parse::<u64>().ok().map(|n| n * mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_flags_and_positionals() {
+        let a = parse(&sv(&[
+            "run",
+            "--workload",
+            "gcc-like",
+            "extra",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.get_or("workload", ""), "gcc-like");
+        assert_eq!(a.int_or("seed", 1).unwrap(), 9);
+        assert_eq!(a.positional, vec!["extra"]);
+    }
+
+    #[test]
+    fn missing_subcommand_is_an_error() {
+        assert!(parse(&sv(&[])).is_err());
+    }
+
+    #[test]
+    fn flag_without_value_is_an_error() {
+        assert!(parse(&sv(&["run", "--workload"])).is_err());
+    }
+
+    #[test]
+    fn duplicate_flag_is_an_error() {
+        assert!(parse(&sv(&["run", "--seed", "1", "--seed", "2"])).is_err());
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(parse_size("4096"), Some(4096));
+        assert_eq!(parse_size("4K"), Some(4 << 10));
+        assert_eq!(parse_size("4k"), Some(4 << 10));
+        assert_eq!(parse_size("2M"), Some(2 << 20));
+        assert_eq!(parse_size("1G"), Some(1 << 30));
+        assert_eq!(parse_size("x"), None);
+        assert_eq!(parse_size(""), None);
+    }
+
+    #[test]
+    fn typed_option_errors_are_descriptive() {
+        let a = parse(&sv(&["run", "--seed", "abc"])).unwrap();
+        let e = a.int_or("seed", 1).unwrap_err();
+        assert!(e.contains("--seed"));
+        let a = parse(&sv(&["run", "--l1-size", "huge"])).unwrap();
+        assert!(a.size_or("l1-size", 1).is_err());
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse(&sv(&["run"])).unwrap();
+        assert_eq!(a.int_or("instructions", 42).unwrap(), 42);
+        assert_eq!(a.size_or("l1-size", 32 << 10).unwrap(), 32 << 10);
+        assert_eq!(a.float_or("grain", 0.1).unwrap(), 0.1);
+    }
+}

@@ -1,0 +1,440 @@
+//! `lpm` — command-line driver for the LPM reproduction.
+//!
+//! ```text
+//! lpm workloads                             list the SPEC-like suite
+//! lpm run --workload gcc-like [...]         simulate + full LPM report
+//! lpm table1 [--instructions N]             the Table I experiment
+//! lpm explore --workload X [--grain 0.3]    LPM-guided design-space search
+//! lpm online --workload X [--interval N]    online interval-driven adaptation
+//! lpm help                                  this text
+//! ```
+
+mod args;
+
+use args::Args;
+use lpm_core::design_space::{measure_config, DesignSpaceExplorer, HwConfig};
+use lpm_core::online::OnlineLpmController;
+use lpm_core::optimizer::{run_lpm_loop, LpmOptimizer};
+use lpm_model::Grain;
+use lpm_sim::{System, SystemConfig};
+use lpm_trace::{Generator, SpecWorkload, Trace};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&raw) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("try `lpm help`");
+            1
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(raw: &[String]) -> Result<(), String> {
+    if raw.is_empty() {
+        print_help();
+        return Ok(());
+    }
+    let a = args::parse(raw)?;
+    match a.command.as_str() {
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        "workloads" => {
+            println!("{:<24} {:>6} {:>12}", "workload", "fmem", "footprint");
+            for w in SpecWorkload::ALL {
+                println!(
+                    "{:<24} {:>6.2} {:>10} B",
+                    w.name(),
+                    w.nominal_fmem(),
+                    w.approx_footprint()
+                );
+            }
+            Ok(())
+        }
+        "run" => cmd_run(&a),
+        "trace-dump" => cmd_trace_dump(&a),
+        "table1" => cmd_table1(&a),
+        "explore" => cmd_explore(&a),
+        "online" => cmd_online(&a),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "lpm — Layered Performance Matching simulator (reproduction of Liu & Sun, ICPP'15)\n\
+         \n\
+         subcommands:\n\
+         \x20 workloads                        list the SPEC CPU2006-like workload suite\n\
+         \x20 run     --workload NAME          simulate and print the full LPM report\n\
+         \x20 run     --trace FILE             simulate a trace file instead of a generator\n\
+         \x20 trace-dump --workload NAME --out FILE   dump a generated trace to a file\n\
+         \x20 table1                           regenerate Table I (configs A–E on bwaves-like)\n\
+         \x20 explore --workload NAME          LPM-guided design-space exploration from config A\n\
+         \x20 online  --workload NAME          online interval-driven adaptation\n\
+         \n\
+         common flags:\n\
+         \x20 --instructions N    measurement window (default 60000)\n\
+         \x20 --seed S            generator seed (default 7)\n\
+         \x20 --l1-size 32K       L1 capacity      --l1-ports N   L1 ports\n\
+         \x20 --mshrs N           L1 MSHRs         --l2-size 2M   L2 capacity\n\
+         \x20 --l3-size 8M        add an L3 of this capacity\n\
+         \x20 --grain X           stall budget as a fraction of CPIexe (0.01/0.10/custom)\n\
+         \x20 --mode guided       explore: raise only the sensitivity-ranked knob per step\n\
+         \x20 --interval N        online measurement interval in cycles (default 20000)"
+    );
+}
+
+fn workload_from(a: &Args) -> Result<SpecWorkload, String> {
+    let name = a
+        .options
+        .get("workload")
+        .ok_or("missing --workload; see `lpm workloads`")?;
+    SpecWorkload::ALL
+        .into_iter()
+        .find(|w| {
+            w.name() == name
+                || w.name().split_once('.').is_some_and(|(_, n)| n == name)
+                || w.name().trim_end_matches("-like").ends_with(name.as_str())
+        })
+        .ok_or_else(|| format!("unknown workload {name:?}; see `lpm workloads`"))
+}
+
+fn system_config_from(a: &Args) -> Result<SystemConfig, String> {
+    let mut cfg = SystemConfig::default();
+    cfg.l1.size_bytes = a.size_or("l1-size", cfg.l1.size_bytes)?;
+    while cfg.l1.size_bytes < cfg.l1.line_bytes * cfg.l1.assoc as u64 {
+        cfg.l1.assoc /= 2;
+    }
+    cfg.l1.ports = a.int_or("l1-ports", cfg.l1.ports as u64)? as u32;
+    cfg.l1.mshrs = a.int_or("mshrs", cfg.l1.mshrs as u64)? as u32;
+    cfg.l2.size_bytes = a.size_or("l2-size", cfg.l2.size_bytes)?;
+    if let Some(sz) = a.options.get("l3-size") {
+        let bytes = args::parse_size(sz).ok_or_else(|| format!("bad --l3-size {sz:?}"))?;
+        let mut l3 = cfg.l2.clone();
+        l3.size_bytes = bytes;
+        l3.hit_latency = 30;
+        cfg.l3 = Some(l3);
+    }
+    Ok(cfg)
+}
+
+fn trace_from(a: &Args, w: SpecWorkload) -> Result<(Trace, usize, u64), String> {
+    let n = a.int_or("instructions", 60_000)? as usize;
+    let seed = a.int_or("seed", 7)?;
+    Ok((w.generator().generate(n, seed), n, seed))
+}
+
+fn cmd_trace_dump(a: &Args) -> Result<(), String> {
+    let w = workload_from(a)?;
+    let (trace, n, _) = trace_from(a, w)?;
+    let path = a
+        .options
+        .get("out")
+        .ok_or("missing --out FILE for trace-dump")?;
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut writer = std::io::BufWriter::new(file);
+    trace
+        .write_to(&mut writer)
+        .map_err(|e| format!("write failed: {e}"))?;
+    eprintln!("wrote {n} instructions of {w} to {path}");
+    Ok(())
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    Trace::read_from(std::io::BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+fn grain_from(a: &Args, default: f64) -> Result<Grain, String> {
+    let g = a.float_or("grain", default)?;
+    Grain::Custom(g)
+        .validated()
+        .map_err(|e| format!("bad --grain: {e}"))
+}
+
+fn cmd_run(a: &Args) -> Result<(), String> {
+    let cfg = system_config_from(a)?;
+    let (label, trace, n, seed) = if let Some(path) = a.options.get("trace") {
+        let t = load_trace(path)?;
+        let n = t.len();
+        (path.clone(), t, n, a.int_or("seed", 7)?)
+    } else {
+        let w = workload_from(a)?;
+        let (t, n, seed) = trace_from(a, w)?;
+        (w.name().to_string(), t, n, seed)
+    };
+    eprintln!("simulating {label} for {n} instructions (half warmup) ...");
+    let mut sys = System::new(cfg, trace, seed);
+    if !sys.run_with_warmup(n as u64 / 2, n as u64 * 2000 + 10_000_000) {
+        return Err("trace did not drain within the cycle budget".into());
+    }
+    let r = sys.report();
+    let l1 = r.l1;
+    println!("== {label} ==");
+    println!(
+        "IPC        {:>8.3}    CPIexe {:>8.3}    fmem {:>6.3}",
+        r.core.ipc(),
+        r.cpi_exe,
+        r.core.fmem()
+    );
+    println!(
+        "C-AMAT1    {:>8.3}    C-AMAT2 {:>7.3}    C-AMAT3 {:>6.3}",
+        r.camat1(),
+        r.camat2(),
+        r.camat3()
+    );
+    if let Some(c3) = r.camat_l3() {
+        println!("C-AMAT(L3) {c3:>8.3}");
+    }
+    println!(
+        "CH1 {:>6.2}  CM1 {:>6.2}  pMR1 {:>7.4}  pAMP1 {:>7.2}  MR1 {:>7.4}",
+        l1.ch(),
+        l1.cm_pure(),
+        l1.pmr(),
+        l1.pamp(),
+        l1.mr()
+    );
+    let lp = r.lpmrs().map_err(|e| e.to_string())?;
+    print!(
+        "LPMR1 {:>6.2}  LPMR2 {:>6.2}  LPMR3 {:>6.2}",
+        lp.l1.value(),
+        lp.l2.value(),
+        lp.l3.value()
+    );
+    if let Some(l4) = lp.l4 {
+        print!("  LPMR4 {:>6.2}", l4.value());
+    }
+    println!();
+    println!(
+        "stall/instr {:>6.3} measured vs {:>6.3} predicted (Eq. 12); overlap {:>5.3}",
+        r.measured_stall(),
+        r.predicted_stall_eq12().map_err(|e| e.to_string())?,
+        r.core.overlap_ratio()
+    );
+    r.check(1.5)
+        .map_err(|e| format!("counter consistency: {e}"))?;
+    println!("analyzer identity (Eq. 2 ≡ Eq. 3): OK");
+    Ok(())
+}
+
+fn cmd_table1(a: &Args) -> Result<(), String> {
+    let n = a.int_or("instructions", 60_000)? as usize;
+    let seed = a.int_or("seed", 7)?;
+    let trace = SpecWorkload::BwavesLike.generator().generate(n, 11);
+    let base = SystemConfig::default();
+    println!(
+        "{:<6} {:>6} {:>6} {:>6} {:>10} {:>6}",
+        "config", "LPMR1", "LPMR2", "LPMR3", "stall/exe", "IPC"
+    );
+    for (label, hw) in HwConfig::TABLE_I {
+        let row = measure_config(label, hw, &base, &trace, seed);
+        println!(
+            "{:<6} {:>6.2} {:>6.2} {:>6.2} {:>9.1}% {:>6.2}",
+            row.label,
+            row.lpmr1,
+            row.lpmr2,
+            row.lpmr3,
+            row.stall_over_cpi_exe * 100.0,
+            row.ipc
+        );
+    }
+    Ok(())
+}
+
+fn cmd_explore(a: &Args) -> Result<(), String> {
+    let w = workload_from(a)?;
+    let (trace, _, seed) = trace_from(a, w)?;
+    let grain = grain_from(a, 0.30)?;
+    let guided = a.get_or("mode", "blanket") == "guided";
+    let mut ex = if guided {
+        DesignSpaceExplorer::new_guided(HwConfig::A, SystemConfig::default(), trace, grain, seed)
+    } else {
+        DesignSpaceExplorer::new(HwConfig::A, SystemConfig::default(), trace, grain, seed)
+    };
+    let out = run_lpm_loop(&mut ex, &LpmOptimizer::default(), 16);
+    for (i, s) in out.steps.iter().enumerate() {
+        println!(
+            "step {i}: LPMR1={:.2} (T1={:.2}) LPMR2={:.2} (T2={:.2}) → {:?}",
+            s.measurement.lpmr1, s.measurement.t1, s.measurement.lpmr2, s.measurement.t2, s.action
+        );
+    }
+    println!(
+        "converged={} simulations={} final={:?} cost={}",
+        out.converged,
+        ex.evaluations,
+        ex.hw,
+        ex.hw.cost()
+    );
+    Ok(())
+}
+
+fn cmd_online(a: &Args) -> Result<(), String> {
+    let w = workload_from(a)?;
+    let n = a.int_or("instructions", 600_000)? as usize;
+    let seed = a.int_or("seed", 7)?;
+    let interval = a.int_or("interval", 20_000)?;
+    let grain = grain_from(a, 0.50)?;
+    let trace = w.generator().generate(n, seed);
+    let base = HwConfig::A.apply(&SystemConfig::default());
+    let mut sys = System::new_looping(base, trace, 100, seed);
+    sys.cmp_mut().warm_up(30_000);
+    let mut ctl = OnlineLpmController::new(HwConfig::A, interval, grain);
+    let log = ctl.run(&mut sys, 12);
+    println!(
+        "{:>9} {:>7} {:>7} {:>6}  {:<20} {:>5} {:>4} {:>5}",
+        "cycle", "LPMR1", "T1", "IPC", "action", "width", "IW", "MSHR"
+    );
+    for r in &log {
+        println!(
+            "{:>9} {:>7.2} {:>7.2} {:>6.2}  {:<20} {:>5} {:>4} {:>5}",
+            r.cycle,
+            r.measurement.lpmr1,
+            r.measurement.t1,
+            r.ipc,
+            format!("{:?}", r.action),
+            r.hw.issue_width,
+            r.hw.iw_size,
+            r.hw.mshrs
+        );
+    }
+    if let (Some(first), Some(last)) = (log.first(), log.last()) {
+        println!(
+            "adaptation: LPMR1 {:.2} → {:.2}, IPC {:.2} → {:.2}",
+            first.measurement.lpmr1, last.measurement.lpmr1, first.ipc, last.ipc
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn workload_lookup_accepts_aliases() {
+        for name in ["403.gcc-like", "gcc-like", "gcc"] {
+            let a = args::parse(&sv(&["run", "--workload", name])).unwrap();
+            assert_eq!(workload_from(&a).unwrap(), SpecWorkload::GccLike);
+        }
+        let a = args::parse(&sv(&["run", "--workload", "nope"])).unwrap();
+        assert!(workload_from(&a).is_err());
+    }
+
+    #[test]
+    fn system_config_honours_flags() {
+        let a = args::parse(&sv(&[
+            "run",
+            "--l1-size",
+            "4K",
+            "--l1-ports",
+            "2",
+            "--mshrs",
+            "8",
+            "--l3-size",
+            "8M",
+        ]))
+        .unwrap();
+        let cfg = system_config_from(&a).unwrap();
+        assert_eq!(cfg.l1.size_bytes, 4 << 10);
+        assert!(cfg.l1.size_bytes >= cfg.l1.line_bytes * cfg.l1.assoc as u64);
+        assert_eq!(cfg.l1.ports, 2);
+        assert_eq!(cfg.l1.mshrs, 8);
+        assert_eq!(cfg.l3.as_ref().unwrap().size_bytes, 8 << 20);
+        cfg.validate();
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&sv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn help_and_workloads_succeed() {
+        run(&sv(&["help"])).unwrap();
+        run(&sv(&["workloads"])).unwrap();
+    }
+
+    #[test]
+    fn run_command_end_to_end_small() {
+        run(&sv(&[
+            "run",
+            "--workload",
+            "bzip2",
+            "--instructions",
+            "6000",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn run_with_l3_end_to_end_small() {
+        run(&sv(&[
+            "run",
+            "--workload",
+            "milc",
+            "--instructions",
+            "6000",
+            "--l3-size",
+            "8M",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn bad_grain_is_rejected() {
+        let a = args::parse(&sv(&["explore", "--grain", "7.0"])).unwrap();
+        assert!(grain_from(&a, 0.3).is_err());
+    }
+}
+
+#[cfg(test)]
+mod trace_io_tests {
+    use super::*;
+
+    fn sv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn dump_then_run_roundtrip() {
+        let dir = std::env::temp_dir().join("lpm-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bzip2.trace");
+        let path_s = path.to_str().unwrap();
+        run(&sv(&[
+            "trace-dump",
+            "--workload",
+            "bzip2",
+            "--instructions",
+            "4000",
+            "--out",
+            path_s,
+        ]))
+        .unwrap();
+        run(&sv(&["run", "--trace", path_s])).unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn run_missing_trace_file_errors() {
+        let e = run(&sv(&["run", "--trace", "/nonexistent/xyz.trace"])).unwrap_err();
+        assert!(e.contains("cannot open"));
+    }
+
+    #[test]
+    fn dump_without_out_errors() {
+        let e = run(&sv(&["trace-dump", "--workload", "bzip2"])).unwrap_err();
+        assert!(e.contains("--out"));
+    }
+}

@@ -1,0 +1,51 @@
+use lpm_core::design_space::HwConfig;
+use lpm_core::profile::{profile_workload, FIG5_L1_SIZES};
+use lpm_sim::{System, SystemConfig};
+use lpm_trace::{Generator, SpecWorkload};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000);
+    let trace = SpecWorkload::BwavesLike.generator().generate(n, 11);
+    for (label, hw) in HwConfig::TABLE_I {
+        let cfg = hw.apply(&SystemConfig::default());
+        let mut sys = System::new(cfg, trace.clone(), 1);
+        assert!(sys.run_with_warmup(n as u64 / 2, 400_000_000));
+        let r = sys.report();
+        let l1 = r.l1;
+        let lp = r.lpmrs().unwrap();
+        println!(
+            "{label}: LPMR1={:.2} LPMR2={:.2} LPMR3={:.2} CPI={:.3} CPIexe={:.3} C-AMAT1={:.2} MR1={:.3} CM1={:.2} pAMP1={:.1} stall%CPIexe={:.2} l2.camat={:.1} dram={}",
+            lp.l1.value(), lp.l2.value(), lp.l3.value(),
+            r.core.cpi(), r.cpi_exe, r.camat1(), l1.mr(),
+            l1.cm_pure(), l1.pamp(),
+            r.measured_stall()/r.cpi_exe, r.camat2(), r.dram_accesses,
+        );
+    }
+    for w in [
+        SpecWorkload::GccLike,
+        SpecWorkload::Bzip2Like,
+        SpecWorkload::McfLike,
+        SpecWorkload::MilcLike,
+        SpecWorkload::GamessLike,
+    ] {
+        let p = profile_workload(w, &FIG5_L1_SIZES, &SystemConfig::default(), 30_000, 5);
+        println!(
+            "{w}: apc1={:?} ipc={:?} l2dem={:?}",
+            p.apc1
+                .iter()
+                .map(|x| (x * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>(),
+            p.ipc
+                .iter()
+                .map(|x| (x * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>(),
+            p.l2_demand
+                .iter()
+                .map(|x| (x * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
+        );
+    }
+}

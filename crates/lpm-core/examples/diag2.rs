@@ -1,0 +1,22 @@
+use lpm_core::design_space::HwConfig;
+use lpm_sim::{System, SystemConfig};
+use lpm_trace::{Generator, SpecWorkload};
+
+fn main() {
+    let n = 60_000usize;
+    let trace = SpecWorkload::BwavesLike.generator().generate(n, 11);
+    for (label, hw) in [("A", HwConfig::A), ("D", HwConfig::D)] {
+        let cfg = hw.apply(&SystemConfig::default());
+        let mut sys = System::new(cfg, trace.clone(), 1);
+        assert!(sys.run_with_warmup(n as u64 / 2, 400_000_000));
+        let r = sys.report();
+        let d = sys.cmp().dram_stats();
+        let l2 = sys.cmp().l2_stats();
+        let l1 = sys.cmp().l1_stats(0);
+        println!("{label}: dram reads={} writes={} rowhit={} rowconf={} rowempty={} | l2 acc={} miss={} wb={} | l1 acc={} miss={} prim={} sec={} wb={} mshr_rej={} port_rej={} | stall/instr={:.3}",
+            d.reads, d.writes, d.row_hits, d.row_conflicts, d.row_empty,
+            l2.accesses, l2.misses, l2.writebacks,
+            l1.accesses, l1.misses, l1.primary_misses, l1.secondary_misses, l1.writebacks, l1.mshr_rejects, l1.port_rejects,
+            r.measured_stall());
+    }
+}

@@ -1,0 +1,156 @@
+//! Harmonic Weighted Speedup (Luo, Gummaraju & Franklin, ISPASS 2001) —
+//! the throughput/fairness metric of case study II.
+
+/// `Hsp = N / Σ_i (IPC_alone_i / IPC_shared_i)`.
+///
+/// Equals 1 when sharing costs nothing, and degrades toward 0 as
+/// contention slows programs relative to running alone. Balances
+/// throughput and fairness: one badly starved program drags the harmonic
+/// mean much harder than an arithmetic mean.
+///
+/// # Panics
+///
+/// Panics on empty input, mismatched lengths, or non-positive IPCs.
+pub fn harmonic_weighted_speedup(ipc_alone: &[f64], ipc_shared: &[f64]) -> f64 {
+    assert_eq!(
+        ipc_alone.len(),
+        ipc_shared.len(),
+        "one shared IPC per alone IPC"
+    );
+    assert!(!ipc_alone.is_empty(), "need at least one program");
+    let sum: f64 = ipc_alone
+        .iter()
+        .zip(ipc_shared)
+        .map(|(&a, &s)| {
+            assert!(
+                a > 0.0 && s > 0.0,
+                "IPCs must be positive (alone {a}, shared {s})"
+            );
+            a / s
+        })
+        .sum();
+    ipc_alone.len() as f64 / sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_interference_gives_one() {
+        let ipc = [1.0, 2.0, 0.5];
+        assert!((harmonic_weighted_speedup(&ipc, &ipc) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_halving_gives_half() {
+        let alone = [1.0, 2.0, 4.0];
+        let shared = [0.5, 1.0, 2.0];
+        assert!((harmonic_weighted_speedup(&alone, &shared) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_starved_program_dominates() {
+        // Three unaffected programs plus one slowed 10×.
+        let alone = [1.0, 1.0, 1.0, 1.0];
+        let shared = [1.0, 1.0, 1.0, 0.1];
+        let hsp = harmonic_weighted_speedup(&alone, &shared);
+        // Arithmetic mean of speedups would be 0.775; harmonic is 4/13.
+        assert!((hsp - 4.0 / 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn superlinear_sharing_can_exceed_one() {
+        // (Possible with cache warming effects.)
+        let alone = [1.0];
+        let shared = [1.25];
+        assert!(harmonic_weighted_speedup(&alone, &shared) > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_ipc_rejected() {
+        harmonic_weighted_speedup(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one shared IPC")]
+    fn length_mismatch_rejected() {
+        harmonic_weighted_speedup(&[1.0, 2.0], &[1.0]);
+    }
+}
+
+/// Arithmetic weighted speedup: `Σ_i (IPC_shared_i / IPC_alone_i)`.
+///
+/// The throughput-oriented companion of [`harmonic_weighted_speedup`]:
+/// it rewards total progress and is insensitive to one starved program.
+/// Reported alongside Hsp in multiprogramming studies.
+pub fn weighted_speedup(ipc_alone: &[f64], ipc_shared: &[f64]) -> f64 {
+    assert_eq!(ipc_alone.len(), ipc_shared.len());
+    assert!(!ipc_alone.is_empty());
+    ipc_alone
+        .iter()
+        .zip(ipc_shared)
+        .map(|(&a, &s)| {
+            assert!(a > 0.0 && s > 0.0);
+            s / a
+        })
+        .sum()
+}
+
+/// Fairness index over per-program slowdowns: `min_i S_i / max_i S_i`
+/// where `S_i = IPC_shared_i / IPC_alone_i`. 1 = perfectly fair; → 0 as
+/// one program is starved relative to another.
+pub fn fairness(ipc_alone: &[f64], ipc_shared: &[f64]) -> f64 {
+    assert_eq!(ipc_alone.len(), ipc_shared.len());
+    assert!(!ipc_alone.is_empty());
+    let speedups: Vec<f64> = ipc_alone
+        .iter()
+        .zip(ipc_shared)
+        .map(|(&a, &s)| {
+            assert!(a > 0.0 && s > 0.0);
+            s / a
+        })
+        .collect();
+    let min = speedups.iter().cloned().fold(f64::MAX, f64::min);
+    let max = speedups.iter().cloned().fold(0.0f64, f64::max);
+    min / max
+}
+
+#[cfg(test)]
+mod companion_metric_tests {
+    use super::*;
+
+    #[test]
+    fn weighted_speedup_counts_total_progress() {
+        let alone = [1.0, 2.0];
+        let shared = [0.5, 1.0];
+        assert!((weighted_speedup(&alone, &shared) - 1.0).abs() < 1e-12);
+        // One starved program barely moves the arithmetic sum...
+        let shared_unfair = [0.9, 0.02];
+        let ws = weighted_speedup(&alone, &shared_unfair);
+        assert!((ws - 0.91).abs() < 1e-12);
+        // ...but crushes the harmonic mean.
+        let hsp = harmonic_weighted_speedup(&alone, &shared_unfair);
+        assert!(hsp < 0.05, "Hsp {hsp}");
+    }
+
+    #[test]
+    fn fairness_bounds() {
+        let alone = [1.0, 1.0, 1.0];
+        assert!((fairness(&alone, &[0.5, 0.5, 0.5]) - 1.0).abs() < 1e-12);
+        assert!((fairness(&alone, &[1.0, 0.25, 0.5]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hsp_lies_between_min_speedup_and_mean() {
+        // Harmonic mean of speedups is bounded by min and arithmetic mean.
+        let alone = [1.0, 2.0, 4.0, 1.0];
+        let shared = [0.8, 1.0, 3.0, 0.4];
+        let sp: Vec<f64> = alone.iter().zip(&shared).map(|(a, s)| s / a).collect();
+        let min = sp.iter().cloned().fold(f64::MAX, f64::min);
+        let mean = sp.iter().sum::<f64>() / sp.len() as f64;
+        let hsp = harmonic_weighted_speedup(&alone, &shared);
+        assert!(hsp >= min - 1e-12 && hsp <= mean + 1e-12);
+    }
+}

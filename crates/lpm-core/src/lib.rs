@@ -1,0 +1,45 @@
+//! The paper's primary contribution: concurrency-driven **Layered
+//! Performance Matching**.
+//!
+//! * [`measurement`] — [`LpmMeasurement`]: LPMR1/LPMR2 plus the thresholds
+//!   T1/T2 (Eq. 14/15), bundled from one measurement interval.
+//! * [`optimizer`] — the Fig. 3 LPMR-reduction algorithm (Cases I–IV) and
+//!   a generic driver loop over any [`optimizer::Tunable`] target.
+//! * [`design_space`] — Case Study I: the six-knob hardware design space
+//!   (pipeline width, IW, ROB, L1 ports, MSHRs, L2 interleaving), the
+//!   Table I configurations A–E, and LPM-guided exploration on a
+//!   reconfigurable architecture.
+//! * [`sched`] — Case Study II: heterogeneous-L1 NUCA scheduling —
+//!   Random and Round-Robin baselines and the LPM-guided NUCA-SA
+//!   algorithm (fine- and coarse-grained), evaluated by harmonic weighted
+//!   speedup ([`hsp`]).
+//! * [`profile`] — per-workload profiling across L1 sizes (the Fig. 6 and
+//!   Fig. 7 APC1/APC2 data).
+//! * [`online`] — the interval-driven online controller: measures a
+//!   *running* reconfigurable system each interval and retunes it on the
+//!   fly (the paper's deployment model).
+//! * [`burst`] — the §IV measurement-interval study (how many bursty
+//!   access phases are perceived and processed timely at 10/20/40-cycle
+//!   intervals).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod burst;
+pub mod design_space;
+pub mod hsp;
+pub mod measurement;
+pub mod online;
+pub mod optimizer;
+pub mod profile;
+pub mod sched;
+pub mod validation;
+
+pub use design_space::{HwConfig, TableIRow};
+pub use hsp::{fairness, harmonic_weighted_speedup, weighted_speedup};
+pub use measurement::LpmMeasurement;
+pub use online::OnlineLpmController;
+pub use optimizer::{LpmAction, LpmOptimizer, LpmOutcome, Tunable};
+pub use profile::{profile_suite, WorkloadProfile};
+pub use sched::{NucaLayout, Scheduler, SchedulerKind};
+pub use validation::{summarize, validate_stall_model, ValidationRow};

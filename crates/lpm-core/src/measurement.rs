@@ -1,0 +1,137 @@
+//! One interval's worth of LPM measurements: the ratios and their
+//! thresholds, as consumed by the Fig. 3 algorithm.
+
+use lpm_model::{CoreParams, Grain, ModelError, Thresholds};
+use lpm_sim::SystemReport;
+
+/// The matching state of a two-cache hierarchy at one instant.
+#[derive(Debug, Clone, Copy)]
+pub struct LpmMeasurement {
+    /// Measured `LPMR1` (Eq. 9).
+    pub lpmr1: f64,
+    /// Measured `LPMR2` (Eq. 10).
+    pub lpmr2: f64,
+    /// Measured `LPMR3` (Eq. 11) — reported, not thresholded (L2 is the
+    /// LLC in this study, as in the paper).
+    pub lpmr3: f64,
+    /// Threshold `T1` (Eq. 14).
+    pub t1: f64,
+    /// Threshold `T2` (Eq. 15), collapsed to 0 when unattainable.
+    pub t2: f64,
+    /// Measured data stall per instruction (ground truth).
+    pub stall_per_instr: f64,
+    /// `CPIexe` of the interval's workload.
+    pub cpi_exe: f64,
+    /// The stall budget used (fraction of `CPIexe`).
+    pub delta: f64,
+}
+
+impl LpmMeasurement {
+    /// Derive a measurement from a [`SystemReport`] under a given grain.
+    pub fn from_report(report: &SystemReport, grain: Grain) -> Result<Self, ModelError> {
+        let lpmrs = report.lpmrs()?;
+        let core = CoreParams::new(
+            report.core.fmem(),
+            report.cpi_exe,
+            report.core.overlap_ratio(),
+        )?;
+        let l1 = report.l1.to_params()?;
+        let eta = report.eta_extended().unwrap_or(0.0);
+        let th = Thresholds::compute(grain, &core, &l1, eta)?;
+        Ok(LpmMeasurement {
+            lpmr1: lpmrs.l1.value(),
+            lpmr2: lpmrs.l2.value(),
+            lpmr3: lpmrs.l3.value(),
+            t1: th.t1,
+            t2: th.t2_or_zero(),
+            stall_per_instr: report.measured_stall(),
+            cpi_exe: report.cpi_exe,
+            delta: grain.delta(),
+        })
+    }
+
+    /// Whether the L1 boundary is matched.
+    pub fn l1_matched(&self) -> bool {
+        self.lpmr1 <= self.t1
+    }
+
+    /// Whether the L2 boundary is matched.
+    pub fn l2_matched(&self) -> bool {
+        self.lpmr2 <= self.t2
+    }
+
+    /// Whether the *measured* stall meets the Δ budget — the algorithm's
+    /// actual goal, used to validate that threshold-matching worked.
+    pub fn stall_budget_met(&self) -> bool {
+        self.stall_per_instr <= self.delta * self.cpi_exe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpm_cpu::CoreStats;
+    use lpm_model::{example, LayerCounters};
+
+    fn report() -> SystemReport {
+        let core = CoreStats {
+            cycles: 1000,
+            retired: 500,
+            mem_retired: 250,
+            data_stall_cycles: 100,
+            mem_busy_cycles: 400,
+            overlap_cycles: 200,
+            ..Default::default()
+        };
+        let mut l2 = LayerCounters::new(12);
+        l2.accesses = 2;
+        l2.misses = 1;
+        l2.hit_cycles = 24;
+        l2.hit_access_cycles = 24;
+        l2.miss_cycles = 50;
+        l2.miss_access_cycles = 50;
+        l2.pure_miss_cycles = 50;
+        l2.pure_miss_access_cycles = 50;
+        l2.pure_misses = 1;
+        l2.active_cycles = 74;
+        SystemReport {
+            core,
+            l1: example::fig1_counters(),
+            l2,
+            l3: None,
+            dram_accesses: 1,
+            dram_active_cycles: 60,
+            cpi_exe: 0.5,
+        }
+    }
+
+    #[test]
+    fn measurement_fields_are_consistent() {
+        let m = LpmMeasurement::from_report(&report(), Grain::Coarse).unwrap();
+        // LPMR1 = 1.6 × 0.5 / 0.5 = 1.6.
+        assert!((m.lpmr1 - 1.6).abs() < 1e-12);
+        // T1 = 0.1 / (1 − 0.5) = 0.2.
+        assert!((m.t1 - 0.2).abs() < 1e-12);
+        assert!(!m.l1_matched());
+        assert!(m.lpmr2 > 0.0);
+        assert!(m.lpmr3 > 0.0);
+        assert_eq!(m.delta, 0.10);
+    }
+
+    #[test]
+    fn stall_budget_check() {
+        let mut m = LpmMeasurement::from_report(&report(), Grain::Coarse).unwrap();
+        // stall = 100/500 = 0.2 per instr; budget = 0.1 × 0.5 = 0.05.
+        assert!(!m.stall_budget_met());
+        m.stall_per_instr = 0.01;
+        assert!(m.stall_budget_met());
+    }
+
+    #[test]
+    fn fine_grain_is_stricter() {
+        let fine = LpmMeasurement::from_report(&report(), Grain::Fine).unwrap();
+        let coarse = LpmMeasurement::from_report(&report(), Grain::Coarse).unwrap();
+        assert!(fine.t1 < coarse.t1);
+        assert!(fine.t2 <= coarse.t2);
+    }
+}

@@ -1,0 +1,165 @@
+//! Model validation: how well do the paper's closed-form equations predict
+//! the simulator's ground truth?
+//!
+//! For each workload we measure the actual data stall time (cycles the ROB
+//! head spent blocked on memory per instruction) and compare it against
+//! the Eq. (12) prediction computed *only* from the analyzer counters —
+//! the same counters the LPM algorithm uses online. Small errors mean the
+//! algorithm steers by a trustworthy signal.
+
+use lpm_sim::{System, SystemConfig};
+use lpm_trace::{Generator, SpecWorkload};
+
+/// One workload's validation row.
+#[derive(Debug, Clone)]
+pub struct ValidationRow {
+    /// The workload.
+    pub workload: SpecWorkload,
+    /// Measured stall, cycles per instruction.
+    pub measured: f64,
+    /// Eq. (12) prediction, cycles per instruction.
+    pub predicted: f64,
+    /// Measured LPMR1 (the predictor's main input).
+    pub lpmr1: f64,
+    /// Measured overlap ratio (Eq. 8).
+    pub overlap: f64,
+}
+
+impl ValidationRow {
+    /// Relative error of the prediction, `|pred − meas| / max(meas, ε)`.
+    pub fn relative_error(&self) -> f64 {
+        (self.predicted - self.measured).abs() / self.measured.max(1e-9)
+    }
+}
+
+/// Validate Eq. (12) across a set of workloads at steady state.
+pub fn validate_stall_model(
+    workloads: &[SpecWorkload],
+    instructions: usize,
+    seed: u64,
+) -> Vec<ValidationRow> {
+    let base = SystemConfig::default();
+    let mut rows = Vec::with_capacity(workloads.len());
+    for &w in workloads {
+        let trace = w.generator().generate(instructions, seed);
+        let mut sys = System::new_looping(base.clone(), trace, 10_000, seed);
+        let budget = instructions as u64 * 1200 + 2_000_000;
+        assert!(
+            sys.measure_steady(instructions as u64, instructions as u64, budget),
+            "{w} did not complete its measurement window"
+        );
+        let r = sys.report();
+        rows.push(ValidationRow {
+            workload: w,
+            measured: r.measured_stall(),
+            predicted: r.predicted_stall_eq12().expect("measurable"),
+            lpmr1: r.lpmrs().expect("measurable").l1.value(),
+            overlap: r.core.overlap_ratio(),
+        });
+    }
+    rows
+}
+
+/// Aggregate accuracy over a validation set: mean and max relative error,
+/// and the Pearson correlation between prediction and measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ValidationSummary {
+    /// Mean relative error across workloads. Note that relative error is
+    /// uninformative for near-zero stalls (a compute-bound workload with
+    /// 0.01 cy/instr of stall can show 200% relative error on an absolute
+    /// error of 0.02); read it together with the absolute error.
+    pub mean_relative_error: f64,
+    /// Worst-case relative error.
+    pub max_relative_error: f64,
+    /// Mean |predicted − measured| in cycles per instruction.
+    pub mean_absolute_error: f64,
+    /// Worst-case absolute error, cycles per instruction.
+    pub max_absolute_error: f64,
+    /// Pearson correlation of predicted vs measured stall.
+    pub correlation: f64,
+}
+
+/// Summarize validation rows.
+pub fn summarize(rows: &[ValidationRow]) -> ValidationSummary {
+    assert!(!rows.is_empty());
+    let n = rows.len() as f64;
+    let mean_err = rows.iter().map(|r| r.relative_error()).sum::<f64>() / n;
+    let max_err = rows.iter().map(|r| r.relative_error()).fold(0.0, f64::max);
+    let abs = |r: &ValidationRow| (r.predicted - r.measured).abs();
+    let mean_abs = rows.iter().map(abs).sum::<f64>() / n;
+    let max_abs = rows.iter().map(abs).fold(0.0, f64::max);
+    let mx = rows.iter().map(|r| r.measured).sum::<f64>() / n;
+    let my = rows.iter().map(|r| r.predicted).sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for r in rows {
+        let dx = r.measured - mx;
+        let dy = r.predicted - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    let correlation = if sxx > 0.0 && syy > 0.0 {
+        sxy / (sxx.sqrt() * syy.sqrt())
+    } else {
+        1.0
+    };
+    ValidationSummary {
+        mean_relative_error: mean_err,
+        max_relative_error: max_err,
+        mean_absolute_error: mean_abs,
+        max_absolute_error: max_abs,
+        correlation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq12_tracks_ground_truth_across_diverse_workloads() {
+        let rows = validate_stall_model(
+            &[
+                SpecWorkload::Bzip2Like,
+                SpecWorkload::GccLike,
+                SpecWorkload::McfLike,
+                SpecWorkload::MilcLike,
+                SpecWorkload::BwavesLike,
+            ],
+            15_000,
+            5,
+        );
+        let s = summarize(&rows);
+        // The prediction must be highly faithful: the Eq. 12 identity is
+        // near-exact when its inputs come from the same window.
+        assert!(
+            s.mean_relative_error < 0.15,
+            "mean error {:.3}: {:?}",
+            s.mean_relative_error,
+            rows.iter()
+                .map(|r| (r.workload.name(), r.measured, r.predicted))
+                .collect::<Vec<_>>()
+        );
+        assert!(s.correlation > 0.99, "correlation {:.4}", s.correlation);
+    }
+
+    #[test]
+    fn relative_error_definition() {
+        let r = ValidationRow {
+            workload: SpecWorkload::Bzip2Like,
+            measured: 2.0,
+            predicted: 2.2,
+            lpmr1: 1.0,
+            overlap: 0.1,
+        };
+        assert!((r.relative_error() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn summary_rejects_empty() {
+        summarize(&[]);
+    }
+}

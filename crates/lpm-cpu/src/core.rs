@@ -1,0 +1,672 @@
+//! The out-of-order engine: dispatch → issue → execute → retire.
+
+use std::collections::VecDeque;
+
+use lpm_trace::{Op, Trace};
+
+use crate::port::MemoryPort;
+
+/// Sizing of the out-of-order structures (the Table I core-side knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Instructions dispatched / issued / retired per cycle.
+    pub issue_width: u32,
+    /// Issue-window entries: un-issued instructions eligible for
+    /// wakeup/select each cycle.
+    pub iw_size: u32,
+    /// Reorder-buffer entries.
+    pub rob_size: u32,
+    /// Execution latency of compute instructions, cycles.
+    pub compute_latency: u64,
+    /// Store-buffer entries: posted stores in flight to memory. A store
+    /// retires as soon as it issues, but it occupies a buffer slot until
+    /// its write completes — bounding how far stores can run ahead.
+    pub store_buffer: u32,
+}
+
+impl CoreConfig {
+    /// The paper's configuration A core side: 4-wide, IW 32, ROB 32.
+    pub fn small() -> Self {
+        CoreConfig {
+            issue_width: 4,
+            iw_size: 32,
+            rob_size: 32,
+            compute_latency: 1,
+            store_buffer: 32,
+        }
+    }
+
+    /// A big core: 8-wide, IW 128, ROB 128 (configuration D).
+    pub fn big() -> Self {
+        CoreConfig {
+            issue_width: 8,
+            iw_size: 128,
+            rob_size: 128,
+            compute_latency: 1,
+            store_buffer: 64,
+        }
+    }
+
+    /// Validate structural constraints.
+    pub fn validate(&self) {
+        assert!(self.issue_width >= 1, "issue width must be >= 1");
+        assert!(self.iw_size >= 1, "issue window must hold an instruction");
+        assert!(self.rob_size >= 1, "ROB must hold an instruction");
+        assert!(self.compute_latency >= 1);
+        assert!(self.store_buffer >= 1, "store buffer must hold an entry");
+    }
+}
+
+/// Execution state of a ROB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Not yet issued (waiting for dependences or an issue slot).
+    Waiting,
+    /// Compute op executing; done at the stored cycle.
+    Executing(u64),
+    /// Memory op in flight; completion arrives via `complete_mem`.
+    WaitingMem,
+    /// Finished; may retire when it reaches the ROB head.
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RobEntry {
+    seq: u64,
+    op: Op,
+    dep_seq: Option<u64>,
+    state: State,
+}
+
+/// Measured core-side quantities.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Memory instructions retired.
+    pub mem_retired: u64,
+    /// Cycles with zero retirement while the ROB head waited on memory.
+    pub data_stall_cycles: u64,
+    /// Cycles with at least one memory access outstanding.
+    pub mem_busy_cycles: u64,
+    /// Memory-busy cycles during which computation still made progress
+    /// (≥ 1 non-memory instruction completed execution) — the numerator
+    /// of Eq. (8).
+    pub overlap_cycles: u64,
+    /// Memory accesses issued to the port.
+    pub mem_issued: u64,
+    /// Issue attempts rejected by the memory port.
+    pub mem_rejects: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.retired as f64
+        }
+    }
+
+    /// Measured memory-instruction fraction.
+    pub fn fmem(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.mem_retired as f64 / self.retired as f64
+        }
+    }
+
+    /// Eq. (8): computing/memory overlap ratio.
+    pub fn overlap_ratio(&self) -> f64 {
+        if self.mem_busy_cycles == 0 {
+            0.0
+        } else {
+            self.overlap_cycles as f64 / self.mem_busy_cycles as f64
+        }
+    }
+
+    /// Data stall cycles per retired instruction.
+    pub fn stall_per_instruction(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.data_stall_cycles as f64 / self.retired as f64
+        }
+    }
+}
+
+/// The out-of-order core.
+#[derive(Debug)]
+pub struct Core {
+    cfg: CoreConfig,
+    trace: Trace,
+    next_dispatch: usize,
+    /// Total instructions to execute: `trace.len() × repeats`.
+    total_instructions: usize,
+    rob: VecDeque<RobEntry>,
+    /// Outstanding memory accesses (issued, not yet completed).
+    outstanding_mem: u64,
+    /// Ids of posted stores whose writes are still in flight (bounded by
+    /// `cfg.store_buffer`).
+    posted_stores: std::collections::HashSet<u64>,
+    stats: CoreStats,
+    /// Non-memory instructions that finished execution this cycle
+    /// (overlap bookkeeping).
+    compute_done_this_cycle: bool,
+}
+
+impl Core {
+    /// Build a core that will execute `trace` once.
+    pub fn new(cfg: CoreConfig, trace: Trace) -> Self {
+        Self::new_looping(cfg, trace, 1)
+    }
+
+    /// Build a core that executes `trace` `repeats` times back to back
+    /// (rate-mode steady state: the address stream and dependence
+    /// structure repeat, the cache state persists across laps). Used by
+    /// the scheduling study, where cores progress at wildly different
+    /// speeds and none may run dry during another's measurement window.
+    pub fn new_looping(cfg: CoreConfig, trace: Trace, repeats: u32) -> Self {
+        cfg.validate();
+        assert!(repeats >= 1, "need at least one pass over the trace");
+        let total_instructions = trace.len() * repeats as usize;
+        Core {
+            cfg,
+            trace,
+            next_dispatch: 0,
+            total_instructions,
+            rob: VecDeque::with_capacity(cfg.rob_size as usize),
+            outstanding_mem: 0,
+            posted_stores: std::collections::HashSet::new(),
+            stats: CoreStats::default(),
+            compute_done_this_cycle: false,
+        }
+    }
+
+    /// The core configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Measured statistics so far.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Zero the measured statistics (warmup exclusion). Architectural
+    /// state — ROB contents, trace position, outstanding accesses — is
+    /// untouched, so measurement resumes mid-execution, exactly like
+    /// resetting hardware performance counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = CoreStats::default();
+    }
+
+    /// Reconfigure the out-of-order structures at runtime (the
+    /// reconfigurable-architecture support of case study I). Growing takes
+    /// effect immediately. Shrinking is graceful: in-flight instructions
+    /// stay in the ROB and dispatch simply pauses until occupancy drops
+    /// below the new size — modelling the short drain a real
+    /// reconfiguration would require.
+    pub fn reconfigure(&mut self, cfg: CoreConfig) {
+        cfg.validate();
+        self.cfg = cfg;
+    }
+
+    /// Whether the whole trace (all repeats) has been dispatched and
+    /// retired.
+    pub fn finished(&self) -> bool {
+        self.next_dispatch == self.total_instructions && self.rob.is_empty()
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.stats.retired
+    }
+
+    /// Debug summary of the ROB head: (seq, state description, outstanding
+    /// memory accesses). For deadlock diagnostics.
+    pub fn head_debug(&self) -> String {
+        match self.rob.front() {
+            None => format!("rob empty, next_dispatch={}", self.next_dispatch),
+            Some(e) => format!(
+                "head seq={} op={:?} state={:?} outstanding_mem={}",
+                e.seq, e.op, e.state, self.outstanding_mem
+            ),
+        }
+    }
+
+    /// Deliver a memory completion for instruction `id` (the sequence
+    /// number passed to the port). Unknown ids (e.g. posted stores already
+    /// retired) are ignored.
+    pub fn complete_mem(&mut self, id: u64) {
+        if self.outstanding_mem > 0 {
+            self.outstanding_mem -= 1;
+        }
+        if self.posted_stores.remove(&id) {
+            return; // a posted store's write landed; nothing waits on it
+        }
+        if let Some(head_seq) = self.rob.front().map(|e| e.seq) {
+            if id >= head_seq {
+                let idx = (id - head_seq) as usize;
+                if let Some(e) = self.rob.get_mut(idx) {
+                    if e.seq == id && e.state == State::WaitingMem {
+                        e.state = State::Done;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether a dependence on `seq` is satisfied.
+    fn dep_ready(&self, dep_seq: u64) -> bool {
+        let Some(head_seq) = self.rob.front().map(|e| e.seq) else {
+            return true; // empty ROB: producer long retired
+        };
+        if dep_seq < head_seq {
+            return true; // retired
+        }
+        let idx = (dep_seq - head_seq) as usize;
+        match self.rob.get(idx) {
+            Some(e) => e.state == State::Done,
+            None => true,
+        }
+    }
+
+    /// Run one cycle: retire, complete, issue, dispatch.
+    ///
+    /// `mem` is the memory the core issues loads/stores into; completions
+    /// must be delivered through [`Core::complete_mem`] by the caller
+    /// (before or after `cycle`, consistently).
+    pub fn cycle(&mut self, now: u64, mem: &mut dyn MemoryPort) {
+        self.stats.cycles += 1;
+        self.compute_done_this_cycle = false;
+
+        // 1. Complete executing compute ops.
+        for e in self.rob.iter_mut() {
+            if let State::Executing(done_at) = e.state {
+                if done_at <= now {
+                    e.state = State::Done;
+                    self.compute_done_this_cycle = true;
+                }
+            }
+        }
+
+        // 2. Retire in order.
+        let mut retired_this_cycle = 0u32;
+        while retired_this_cycle < self.cfg.issue_width {
+            match self.rob.front() {
+                Some(e) if e.state == State::Done => {
+                    let e = self.rob.pop_front().expect("front checked");
+                    self.stats.retired += 1;
+                    if e.op.is_mem() {
+                        self.stats.mem_retired += 1;
+                    }
+                    retired_this_cycle += 1;
+                }
+                _ => break,
+            }
+        }
+
+        // 3. Issue: scan the first `iw_size` un-issued entries in ROB
+        // order; issue up to `issue_width` whose dependences are ready.
+        let mut issued = 0u32;
+        let mut considered = 0u32;
+        let mut idx = 0usize;
+        while idx < self.rob.len() && issued < self.cfg.issue_width && considered < self.cfg.iw_size
+        {
+            let (seq, op, dep_seq, state) = {
+                let e = &self.rob[idx];
+                (e.seq, e.op, e.dep_seq, e.state)
+            };
+            if state == State::Waiting {
+                considered += 1;
+                let ready = dep_seq.is_none_or(|d| self.dep_ready(d));
+                if ready {
+                    match op {
+                        Op::Compute => {
+                            self.rob[idx].state = State::Executing(now + self.cfg.compute_latency);
+                            issued += 1;
+                        }
+                        Op::Load(addr) | Op::Store(addr) => {
+                            let is_store = matches!(op, Op::Store(_));
+                            if is_store
+                                && self.posted_stores.len() >= self.cfg.store_buffer as usize
+                            {
+                                // Store buffer full: structural stall, the
+                                // store waits without consuming the slot.
+                                idx += 1;
+                                continue;
+                            }
+                            if mem.try_access(now, seq, addr, is_store) {
+                                // Stores are posted: they drain through a
+                                // write buffer and never block retirement.
+                                // Loads wait for their data.
+                                self.rob[idx].state = if is_store {
+                                    self.posted_stores.insert(seq);
+                                    State::Done
+                                } else {
+                                    State::WaitingMem
+                                };
+                                self.outstanding_mem += 1;
+                                self.stats.mem_issued += 1;
+                            } else {
+                                self.stats.mem_rejects += 1;
+                            }
+                            // Accepted or not, the attempt used a slot.
+                            issued += 1;
+                        }
+                    }
+                }
+            }
+            idx += 1;
+        }
+
+        // 4. Dispatch from the trace.
+        let mut dispatched = 0u32;
+        let unissued = self
+            .rob
+            .iter()
+            .filter(|e| e.state == State::Waiting)
+            .count() as u32;
+        let mut iw_free = self.cfg.iw_size.saturating_sub(unissued);
+        while dispatched < self.cfg.issue_width
+            && self.rob.len() < self.cfg.rob_size as usize
+            && iw_free > 0
+            && self.next_dispatch < self.total_instructions
+        {
+            let i = self.trace.instrs()[self.next_dispatch % self.trace.len()];
+            let seq = self.next_dispatch as u64;
+            let dep_seq = if i.dep > 0 && (i.dep as u64) <= seq {
+                Some(seq - i.dep as u64)
+            } else {
+                None
+            };
+            self.rob.push_back(RobEntry {
+                seq,
+                op: i.op,
+                dep_seq,
+                state: State::Waiting,
+            });
+            self.next_dispatch += 1;
+            dispatched += 1;
+            iw_free -= 1;
+        }
+
+        // 5. Stall and overlap bookkeeping.
+        let head_waiting_mem = self
+            .rob
+            .front()
+            .is_some_and(|e| e.state == State::WaitingMem);
+        if retired_this_cycle == 0 && head_waiting_mem {
+            self.stats.data_stall_cycles += 1;
+        }
+        if self.outstanding_mem > 0 {
+            self.stats.mem_busy_cycles += 1;
+            if self.compute_done_this_cycle {
+                self.stats.overlap_cycles += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::PerfectMemory;
+    use lpm_trace::Instr;
+
+    /// Run a trace on a perfect memory; returns stats.
+    fn run_perfect(cfg: CoreConfig, trace: Trace, latency: u64, limit: u64) -> CoreStats {
+        let mut core = Core::new(cfg, trace);
+        let mut mem = PerfectMemory::new(latency);
+        for now in 0..limit {
+            for id in mem.take_completions(now) {
+                core.complete_mem(id);
+            }
+            core.cycle(now, &mut mem);
+            if core.finished() {
+                break;
+            }
+        }
+        assert!(core.finished(), "core did not finish within {limit} cycles");
+        *core.stats()
+    }
+
+    #[test]
+    fn independent_computes_reach_full_width() {
+        // 4-wide core, 400 independent computes: IPC approaches 4.
+        let trace: Trace = (0..400).map(|_| Instr::compute()).collect();
+        let s = run_perfect(CoreConfig::small(), trace, 1, 10_000);
+        assert_eq!(s.retired, 400);
+        assert!(s.ipc() > 3.0, "ipc {}", s.ipc());
+    }
+
+    #[test]
+    fn dependence_chain_serializes() {
+        // Every compute depends on the previous one: IPC near
+        // 1/compute_latency regardless of width.
+        let trace: Trace = (0..300)
+            .map(|i| {
+                let instr = Instr::compute();
+                if i > 0 {
+                    instr.depending_on(1)
+                } else {
+                    instr
+                }
+            })
+            .collect();
+        let s = run_perfect(CoreConfig::big(), trace, 1, 10_000);
+        assert!(s.ipc() < 1.2, "ipc {}", s.ipc());
+    }
+
+    #[test]
+    fn rob_size_one_is_effectively_in_order() {
+        let cfg = CoreConfig {
+            issue_width: 4,
+            iw_size: 1,
+            rob_size: 1,
+            compute_latency: 1,
+            store_buffer: 32,
+        };
+        let trace: Trace = (0..100).map(|_| Instr::compute()).collect();
+        let s = run_perfect(cfg, trace, 1, 10_000);
+        // One instruction per dispatch-issue-retire round.
+        assert!(s.ipc() <= 0.5, "ipc {}", s.ipc());
+    }
+
+    #[test]
+    fn fmem_measured() {
+        let trace: Trace = (0..200)
+            .map(|i| {
+                if i % 4 == 0 {
+                    Instr::load((i as u64) * 64)
+                } else {
+                    Instr::compute()
+                }
+            })
+            .collect();
+        let s = run_perfect(CoreConfig::small(), trace, 2, 20_000);
+        assert!((s.fmem() - 0.25).abs() < 1e-9);
+        assert_eq!(s.mem_issued, 50);
+    }
+
+    #[test]
+    fn independent_loads_overlap_in_memory() {
+        // Loads with a long latency but no dependences: the core keeps
+        // many in flight, so total cycles << serial latency sum.
+        let n = 64u64;
+        let lat = 50u64;
+        let trace: Trace = (0..n).map(|i| Instr::load(i * 64)).collect();
+        let s = run_perfect(CoreConfig::big(), trace, lat, 100_000);
+        assert!(s.cycles < n * lat / 4, "cycles {} suggest no MLP", s.cycles);
+    }
+
+    #[test]
+    fn dependent_loads_serialize_in_memory() {
+        let n = 32u64;
+        let lat = 50u64;
+        let trace: Trace = (0..n)
+            .map(|i| {
+                let l = Instr::load(i * 64);
+                if i > 0 {
+                    l.depending_on(1)
+                } else {
+                    l
+                }
+            })
+            .collect();
+        let s = run_perfect(CoreConfig::big(), trace, lat, 100_000);
+        assert!(
+            s.cycles > n * lat,
+            "cycles {} suggest impossible overlap",
+            s.cycles
+        );
+    }
+
+    #[test]
+    fn small_rob_limits_mlp() {
+        let n = 64u64;
+        let lat = 50u64;
+        let trace: Trace = (0..n).map(|i| Instr::load(i * 64)).collect();
+        let small = run_perfect(
+            CoreConfig {
+                issue_width: 4,
+                iw_size: 4,
+                rob_size: 4,
+                compute_latency: 1,
+                store_buffer: 32,
+            },
+            trace.clone(),
+            lat,
+            100_000,
+        );
+        let big = run_perfect(CoreConfig::big(), trace, lat, 100_000);
+        assert!(
+            small.cycles > big.cycles * 2,
+            "small {} vs big {}",
+            small.cycles,
+            big.cycles
+        );
+    }
+
+    #[test]
+    fn data_stall_counted_when_head_waits() {
+        // A single long-latency load followed by nothing else: most
+        // cycles are data stalls.
+        let trace: Trace = std::iter::once(Instr::load(0)).collect();
+        let s = run_perfect(CoreConfig::small(), trace, 100, 10_000);
+        assert!(s.data_stall_cycles >= 99, "stalls {}", s.data_stall_cycles);
+    }
+
+    #[test]
+    fn overlap_ratio_high_for_mixed_independent_work() {
+        // Loads interleaved with independent computes: computation
+        // proceeds while memory is busy → high overlap ratio.
+        let trace: Trace = (0..400)
+            .map(|i| {
+                if i % 8 == 0 {
+                    Instr::load((i as u64) * 64)
+                } else {
+                    Instr::compute()
+                }
+            })
+            .collect();
+        let s = run_perfect(CoreConfig::big(), trace, 20, 100_000);
+        assert!(s.overlap_ratio() > 0.5, "overlap {}", s.overlap_ratio());
+    }
+
+    #[test]
+    fn overlap_ratio_low_for_pure_pointer_chase() {
+        let trace: Trace = (0..100)
+            .map(|i| {
+                let l = Instr::load((i as u64) * 64);
+                if i > 0 {
+                    l.depending_on(1)
+                } else {
+                    l
+                }
+            })
+            .collect();
+        let s = run_perfect(CoreConfig::big(), trace, 30, 100_000);
+        assert!(s.overlap_ratio() < 0.2, "overlap {}", s.overlap_ratio());
+    }
+
+    #[test]
+    fn cpi_exe_reflects_issue_width() {
+        let trace: Trace = (0..1000).map(|_| Instr::compute()).collect();
+        let narrow = run_perfect(
+            CoreConfig {
+                issue_width: 1,
+                iw_size: 32,
+                rob_size: 32,
+                compute_latency: 1,
+                store_buffer: 32,
+            },
+            trace.clone(),
+            1,
+            100_000,
+        );
+        let wide = run_perfect(CoreConfig::big(), trace, 1, 100_000);
+        assert!(narrow.cpi() > 0.9);
+        assert!(wide.cpi() < narrow.cpi() / 2.0);
+    }
+
+    #[test]
+    fn port_rejection_is_retried() {
+        /// A port that rejects the first `n` attempts.
+        struct Flaky {
+            rejects_left: u32,
+            inner: PerfectMemory,
+        }
+        impl MemoryPort for Flaky {
+            fn try_access(&mut self, now: u64, id: u64, addr: u64, is_store: bool) -> bool {
+                if self.rejects_left > 0 {
+                    self.rejects_left -= 1;
+                    return false;
+                }
+                self.inner.try_access(now, id, addr, is_store)
+            }
+        }
+        let trace: Trace = std::iter::once(Instr::load(0)).collect();
+        let mut core = Core::new(CoreConfig::small(), trace);
+        let mut mem = Flaky {
+            rejects_left: 3,
+            inner: PerfectMemory::new(2),
+        };
+        for now in 0..100 {
+            for id in mem.inner.take_completions(now) {
+                core.complete_mem(id);
+            }
+            core.cycle(now, &mut mem);
+            if core.finished() {
+                break;
+            }
+        }
+        assert!(core.finished());
+        assert_eq!(core.stats().mem_rejects, 3);
+        assert_eq!(core.stats().mem_issued, 1);
+    }
+
+    #[test]
+    fn stats_ratios_on_empty_run() {
+        let s = CoreStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.cpi(), 0.0);
+        assert_eq!(s.fmem(), 0.0);
+        assert_eq!(s.overlap_ratio(), 0.0);
+        assert_eq!(s.stall_per_instruction(), 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Trace-driven out-of-order core model.
+//!
+//! The paper's evaluation uses GEM5's detailed O3 CPU; this crate is the
+//! substitute. It models exactly the structures the LPM design space
+//! sweeps (Table I):
+//!
+//! * **ROB size** — bounds how far execution can run ahead of retirement,
+//! * **issue-window (IW) size** — bounds how many un-issued instructions
+//!   are candidates each cycle,
+//! * **pipeline issue width** — bounds instructions issued/retired/
+//!   dispatched per cycle,
+//!
+//! while true register dependences come from the trace. Memory operations
+//! are handed to a [`MemoryPort`] (implemented by the hierarchy in
+//! `lpm-sim`); their latency feeds back into the core as completions.
+//!
+//! The core measures the quantities the LPM equations consume: data stall
+//! cycles (no retirement while the ROB head waits on memory), the
+//! computation/memory overlap ratio of Eq. (8), `fmem`, and IPC. `CPIexe`
+//! comes from running the same trace against a perfect-cache port.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod core;
+pub mod port;
+
+pub use crate::core::{Core, CoreConfig, CoreStats};
+pub use port::{MemoryPort, PerfectMemory};

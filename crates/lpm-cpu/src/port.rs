@@ -1,0 +1,71 @@
+//! The memory interface the core issues through.
+
+/// Downstream memory seen by a core.
+///
+/// The hierarchy implements this; the core calls [`MemoryPort::try_access`]
+/// at issue time and later receives the matching completion through
+/// [`crate::Core::complete_mem`].
+pub trait MemoryPort {
+    /// Try to start a memory access at cycle `now`. `id` is the core's
+    /// instruction sequence number, echoed back on completion. Returns
+    /// `false` if the access could not start this cycle (port/bank busy) —
+    /// the core will retry.
+    fn try_access(&mut self, now: u64, id: u64, addr: u64, is_store: bool) -> bool;
+}
+
+/// A perfect cache: every access is accepted and completes after a fixed
+/// hit latency. Used to measure `CPIexe` ("processor computation cycles
+/// per instruction under perfect cache") and in core unit tests.
+#[derive(Debug)]
+pub struct PerfectMemory {
+    /// Fixed access latency in cycles.
+    pub latency: u64,
+    pending: Vec<(u64, u64)>, // (done_at, id)
+}
+
+impl PerfectMemory {
+    /// A perfect memory with the given hit latency.
+    pub fn new(latency: u64) -> Self {
+        assert!(latency >= 1);
+        PerfectMemory {
+            latency,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Drain completions due at cycle `now`.
+    pub fn take_completions(&mut self, now: u64) -> Vec<u64> {
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].0 <= now {
+                done.push(self.pending.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        done
+    }
+}
+
+impl MemoryPort for PerfectMemory {
+    fn try_access(&mut self, now: u64, id: u64, _addr: u64, _is_store: bool) -> bool {
+        self.pending.push((now + self.latency, id));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_memory_completes_after_latency() {
+        let mut m = PerfectMemory::new(3);
+        assert!(m.try_access(10, 7, 0, false));
+        assert!(m.take_completions(11).is_empty());
+        assert!(m.take_completions(12).is_empty());
+        assert_eq!(m.take_completions(13), vec![7]);
+        assert!(m.take_completions(14).is_empty());
+    }
+}

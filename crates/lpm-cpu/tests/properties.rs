@@ -1,0 +1,175 @@
+//! Property tests for the out-of-order core: retirement completeness,
+//! width bounds, dependence-respecting timing, and stat accounting laws.
+
+use lpm_cpu::{Core, CoreConfig, CoreStats, MemoryPort, PerfectMemory};
+use lpm_trace::{Instr, Op, Trace};
+use proptest::prelude::*;
+
+/// Run a trace to completion on a perfect memory; panic on timeout.
+fn run(cfg: CoreConfig, trace: Trace, latency: u64) -> CoreStats {
+    let limit = 200 + trace.len() as u64 * (latency + 8);
+    let mut core = Core::new(cfg, trace);
+    let mut mem = PerfectMemory::new(latency);
+    for now in 0..limit {
+        for id in mem.take_completions(now) {
+            core.complete_mem(id);
+        }
+        core.cycle(now, &mut mem);
+        if core.finished() {
+            return *core.stats();
+        }
+    }
+    panic!("core did not finish within {limit} cycles");
+}
+
+/// Arbitrary but valid instruction streams.
+fn arb_trace(max_len: usize) -> impl Strategy<Value = Trace> {
+    proptest::collection::vec((0u8..4, 0u64..256, 0u32..8), 1..max_len).prop_map(|spec| {
+        spec.into_iter()
+            .enumerate()
+            .map(|(i, (kind, addr, dep))| {
+                let op = match kind {
+                    0 | 1 => Op::Compute,
+                    2 => Op::Load(addr * 8),
+                    _ => Op::Store(addr * 8),
+                };
+                let dep = if dep as usize <= i { dep } else { 0 };
+                Instr { op, dep }
+            })
+            .collect()
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = CoreConfig> {
+    (1u32..8, 1u32..64, 1u32..64).prop_map(|(w, iw, rob)| CoreConfig {
+        issue_width: w,
+        iw_size: iw,
+        rob_size: rob.max(iw),
+        compute_latency: 1,
+        store_buffer: 32,
+    })
+}
+
+proptest! {
+    /// Every instruction retires exactly once, whatever the structure
+    /// sizes, widths or dependence pattern.
+    #[test]
+    fn all_instructions_retire(cfg in arb_config(), trace in arb_trace(200), lat in 1u64..20) {
+        let n = trace.len() as u64;
+        let s = run(cfg, trace, lat);
+        prop_assert_eq!(s.retired, n);
+    }
+
+    /// IPC never exceeds the issue width, and CPI is bounded below by the
+    /// dependence-free machine limit.
+    #[test]
+    fn ipc_bounded_by_width(cfg in arb_config(), trace in arb_trace(200)) {
+        let s = run(cfg, trace, 2);
+        prop_assert!(s.ipc() <= cfg.issue_width as f64 + 1e-9);
+    }
+
+    /// Accounting laws: memory issue count equals memory instructions (a
+    /// perfect port never rejects), overlap cycles never exceed memory-busy
+    /// cycles, stall cycles never exceed total cycles.
+    #[test]
+    fn stat_accounting_laws(cfg in arb_config(), trace in arb_trace(200), lat in 1u64..30) {
+        let mem_ops = trace.mem_ops() as u64;
+        let s = run(cfg, trace, lat);
+        prop_assert_eq!(s.mem_issued, mem_ops);
+        prop_assert_eq!(s.mem_rejects, 0);
+        prop_assert_eq!(s.mem_retired, mem_ops);
+        prop_assert!(s.overlap_cycles <= s.mem_busy_cycles);
+        prop_assert!(s.data_stall_cycles <= s.cycles);
+        prop_assert!((0.0..=1.0).contains(&s.overlap_ratio()));
+    }
+
+    /// Monotonicity in memory latency: the same trace on the same core
+    /// never finishes faster when every access gets slower.
+    #[test]
+    fn slower_memory_never_helps(cfg in arb_config(), trace in arb_trace(150)) {
+        let fast = run(cfg, trace.clone(), 2);
+        let slow = run(cfg, trace, 25);
+        prop_assert!(slow.cycles >= fast.cycles,
+            "slow {} < fast {}", slow.cycles, fast.cycles);
+    }
+
+    /// Bigger structures never hurt: doubling IW/ROB on the same trace
+    /// cannot increase cycle count (with identical widths and latency).
+    #[test]
+    fn bigger_windows_never_hurt(trace in arb_trace(150), lat in 1u64..20) {
+        let small = CoreConfig { issue_width: 4, iw_size: 8, rob_size: 8, compute_latency: 1, store_buffer: 32 };
+        let big = CoreConfig { issue_width: 4, iw_size: 32, rob_size: 32, compute_latency: 1, store_buffer: 32 };
+        let s = run(small, trace.clone(), lat);
+        let b = run(big, trace, lat);
+        prop_assert!(b.cycles <= s.cycles, "big {} > small {}", b.cycles, s.cycles);
+    }
+
+    /// Trace looping multiplies retirement exactly.
+    #[test]
+    fn looping_multiplies_work(trace in arb_trace(60), repeats in 1u32..5) {
+        let cfg = CoreConfig::small();
+        let n = trace.len() as u64;
+        let mut core = Core::new_looping(cfg, trace, repeats);
+        let mut mem = PerfectMemory::new(2);
+        let limit = 200 + n * repeats as u64 * 12;
+        for now in 0..limit {
+            for id in mem.take_completions(now) {
+                core.complete_mem(id);
+            }
+            core.cycle(now, &mut mem);
+            if core.finished() {
+                break;
+            }
+        }
+        prop_assert!(core.finished());
+        prop_assert_eq!(core.stats().retired, n * repeats as u64);
+    }
+}
+
+/// A port that rejects with a deterministic pattern: the core must retry
+/// and still finish with exact accounting.
+#[test]
+fn flaky_port_preserves_completeness() {
+    struct Flaky {
+        count: u64,
+        inner: PerfectMemory,
+    }
+    impl MemoryPort for Flaky {
+        fn try_access(&mut self, now: u64, id: u64, addr: u64, is_store: bool) -> bool {
+            self.count += 1;
+            if self.count.is_multiple_of(3) {
+                return false;
+            }
+            self.inner.try_access(now, id, addr, is_store)
+        }
+    }
+    let trace: Trace = (0..300u64)
+        .map(|i| {
+            if i % 2 == 0 {
+                Instr::load(i * 64)
+            } else {
+                Instr::compute()
+            }
+        })
+        .collect();
+    let n = trace.len() as u64;
+    let mem_ops = trace.mem_ops() as u64;
+    let mut core = Core::new(CoreConfig::small(), trace);
+    let mut mem = Flaky {
+        count: 0,
+        inner: PerfectMemory::new(3),
+    };
+    for now in 0..100_000 {
+        for id in mem.inner.take_completions(now) {
+            core.complete_mem(id);
+        }
+        core.cycle(now, &mut mem);
+        if core.finished() {
+            break;
+        }
+    }
+    assert!(core.finished());
+    assert_eq!(core.stats().retired, n);
+    assert_eq!(core.stats().mem_issued, mem_ops);
+    assert!(core.stats().mem_rejects > 0);
+}

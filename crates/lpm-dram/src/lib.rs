@@ -1,0 +1,27 @@
+//! A cycle-level DRAM timing model — the reproduction's substitute for the
+//! DRAMSim2 module the paper plugs into GEM5.
+//!
+//! The model captures the features that matter to C-AMAT/LPM experiments:
+//!
+//! * **row-buffer locality** — per-bank open rows make streaming misses
+//!   cheap and scattered misses expensive, so `pAMP` varies with the
+//!   workload's spatial behaviour rather than being a constant;
+//! * **bank/channel parallelism** — multiple in-flight misses complete
+//!   concurrently when they map to different banks, which is what gives
+//!   pure-miss concurrency `CM > 1` at the LLC;
+//! * **contention** — finite per-channel queues and a shared data bus make
+//!   miss penalty grow under load (the paper's "contention impact during
+//!   the data access").
+//!
+//! Timing uses three classic parameters (in CPU cycles): `tCAS` for a row
+//! hit, `tRCD + tCAS` for an empty bank, and `tRP + tRCD + tCAS` for a row
+//! conflict, plus a per-request data-bus occupancy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dram;
+
+pub use config::DramConfig;
+pub use dram::{Dram, DramRequest, DramStats};

@@ -1,0 +1,142 @@
+//! The classic AMAT model (Eq. 1) and the AMAT-based stall time (Eq. 6).
+//!
+//! AMAT is the concurrency-blind baseline that C-AMAT generalizes. We keep it
+//! as a first-class citizen because every C-AMAT/LPM result in the paper is
+//! contrasted against it, and because `C-AMAT == AMAT` whenever all
+//! concurrency parameters equal one — an identity the test-suite exercises.
+
+use crate::error::{self, ModelError};
+
+/// Parameters of the conventional AMAT model, Eq. (1):
+///
+/// ```text
+/// AMAT = H + MR × AMP
+/// ```
+///
+/// * `H` — hit time in cycles,
+/// * `MR` — miss rate (misses / accesses),
+/// * `AMP` — average miss penalty in cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmatParams {
+    h: f64,
+    mr: f64,
+    amp: f64,
+}
+
+impl AmatParams {
+    /// Build a validated parameter set.
+    ///
+    /// `h` must be positive, `mr` must be a ratio in `[0, 1]`, and `amp`
+    /// must be non-negative (a layer that never misses has `amp = 0`).
+    pub fn new(h: f64, mr: f64, amp: f64) -> Result<Self, ModelError> {
+        Ok(Self {
+            h: error::positive("H", h)?,
+            mr: error::ratio("MR", mr)?,
+            amp: error::non_negative("AMP", amp)?,
+        })
+    }
+
+    /// Hit time `H` in cycles.
+    pub fn hit_time(&self) -> f64 {
+        self.h
+    }
+
+    /// Miss rate `MR`.
+    pub fn miss_rate(&self) -> f64 {
+        self.mr
+    }
+
+    /// Average miss penalty `AMP` in cycles.
+    pub fn miss_penalty(&self) -> f64 {
+        self.amp
+    }
+
+    /// Eq. (1): `AMAT = H + MR × AMP`, in cycles per access.
+    pub fn amat(&self) -> f64 {
+        self.h + self.mr * self.amp
+    }
+
+    /// Recursive two-layer AMAT: the miss penalty of this layer is the
+    /// AMAT of the next layer, i.e. `AMAT1 = H1 + MR1 × AMAT2`.
+    ///
+    /// This is the classical counterpart of the C-AMAT recursion in Eq. (4).
+    pub fn recurse(&self, next_layer: &AmatParams) -> f64 {
+        self.h + self.mr * next_layer.amat()
+    }
+
+    /// Eq. (6): `Data-stall-time = fmem × AMAT`, in cycles per instruction,
+    /// where `fmem` is the fraction of instructions that access memory.
+    ///
+    /// Valid only for in-order processors with blocking caches; the
+    /// concurrency-aware replacement is [`crate::stall::StallModel`].
+    pub fn stall_time(&self, fmem: f64) -> Result<f64, ModelError> {
+        let fmem = error::ratio("fmem", fmem)?;
+        Ok(fmem * self.amat())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fig1_amat_is_3_8() {
+        // Fig. 1: H = 3 cycles, 2 misses out of 5 accesses (MR = 0.4),
+        // each miss has a 2-cycle penalty (AMP = 2). AMAT = 3 + 0.4×2 = 3.8.
+        let p = AmatParams::new(3.0, 0.4, 2.0).unwrap();
+        assert!((p.amat() - 3.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_miss_rate_means_amat_is_hit_time() {
+        let p = AmatParams::new(2.0, 0.0, 100.0).unwrap();
+        assert_eq!(p.amat(), 2.0);
+    }
+
+    #[test]
+    fn recursion_expands_penalty() {
+        // L1: H=1, MR=0.1; L2: H=10, MR=0.2, AMP=100 → AMAT2 = 30.
+        let l2 = AmatParams::new(10.0, 0.2, 100.0).unwrap();
+        let l1 = AmatParams::new(1.0, 0.1, 0.0).unwrap();
+        assert!((l1.recurse(&l2) - (1.0 + 0.1 * 30.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_time_scales_with_fmem() {
+        let p = AmatParams::new(3.0, 0.4, 2.0).unwrap();
+        assert!((p.stall_time(0.5).unwrap() - 1.9).abs() < 1e-12);
+        assert_eq!(p.stall_time(0.0).unwrap(), 0.0);
+        assert!(p.stall_time(1.5).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(AmatParams::new(0.0, 0.1, 1.0).is_err());
+        assert!(AmatParams::new(1.0, 1.1, 1.0).is_err());
+        assert!(AmatParams::new(1.0, 0.1, -1.0).is_err());
+        assert!(AmatParams::new(f64::NAN, 0.1, 1.0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn amat_at_least_hit_time(h in 0.1f64..100.0, mr in 0.0f64..1.0, amp in 0.0f64..1000.0) {
+            let p = AmatParams::new(h, mr, amp).unwrap();
+            prop_assert!(p.amat() >= h - 1e-12);
+        }
+
+        #[test]
+        fn amat_monotone_in_miss_rate(h in 0.1f64..100.0, mr in 0.0f64..0.5, amp in 0.1f64..1000.0) {
+            let lo = AmatParams::new(h, mr, amp).unwrap();
+            let hi = AmatParams::new(h, mr + 0.5, amp).unwrap();
+            prop_assert!(hi.amat() >= lo.amat());
+        }
+
+        #[test]
+        fn stall_time_bounded_by_amat(h in 0.1f64..100.0, mr in 0.0f64..1.0,
+                                      amp in 0.0f64..1000.0, fmem in 0.0f64..1.0) {
+            let p = AmatParams::new(h, mr, amp).unwrap();
+            prop_assert!(p.stall_time(fmem).unwrap() <= p.amat() + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! The C-AMAT model: Eq. (2), the APC equivalence (Eq. 3), the layer
+//! recursion (Eq. 4), and the concurrency transfer factor `eta`.
+//!
+//! C-AMAT extends AMAT with two concurrency parameters (`CH`, `CM`) and
+//! replaces the miss-oriented terms with their *pure miss* counterparts:
+//!
+//! ```text
+//! C-AMAT = H / CH + pMR × pAMP / CM                       (Eq. 2)
+//! C-AMAT = 1 / APC                                        (Eq. 3)
+//! C-AMAT1 = H1/CH1 + pMR1 × η1 × C-AMAT2                  (Eq. 4)
+//! η1 = (pAMP1 / AMP1) × (Cm1 / CM1)
+//! ```
+//!
+//! A *pure miss* is a miss that contains at least one cycle during which no
+//! hit activity is in flight at the same layer; only pure misses can stall
+//! the processor. The distinction between (general) miss and pure miss is
+//! what makes LPM optimization practical.
+
+use crate::error::{self, ModelError};
+
+/// The five C-AMAT parameters of one memory layer (Eq. 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CamatParams {
+    h: f64,
+    ch: f64,
+    pmr: f64,
+    pamp: f64,
+    cm: f64,
+}
+
+impl CamatParams {
+    /// Build a validated parameter set.
+    ///
+    /// * `h` — hit time in cycles (> 0),
+    /// * `ch` — hit concurrency `CH` (> 0; 1 means no hit overlap),
+    /// * `pmr` — pure miss rate in `[0, 1]`,
+    /// * `pamp` — average pure miss penalty in cycles (>= 0),
+    /// * `cm` — pure miss concurrency `CM` (> 0).
+    pub fn new(h: f64, ch: f64, pmr: f64, pamp: f64, cm: f64) -> Result<Self, ModelError> {
+        Ok(Self {
+            h: error::positive("H", h)?,
+            ch: error::positive("CH", ch)?,
+            pmr: error::ratio("pMR", pmr)?,
+            pamp: error::non_negative("pAMP", pamp)?,
+            cm: error::positive("CM", cm)?,
+        })
+    }
+
+    /// A parameter set with no concurrency (`CH = CM = 1`) — C-AMAT then
+    /// degenerates to AMAT computed over pure-miss statistics.
+    pub fn sequential(h: f64, pmr: f64, pamp: f64) -> Result<Self, ModelError> {
+        Self::new(h, 1.0, pmr, pamp, 1.0)
+    }
+
+    /// Hit time `H` in cycles.
+    pub fn hit_time(&self) -> f64 {
+        self.h
+    }
+
+    /// Hit concurrency `CH`.
+    pub fn hit_concurrency(&self) -> f64 {
+        self.ch
+    }
+
+    /// Pure miss rate `pMR`.
+    pub fn pure_miss_rate(&self) -> f64 {
+        self.pmr
+    }
+
+    /// Average pure miss penalty `pAMP` in cycles.
+    pub fn pure_miss_penalty(&self) -> f64 {
+        self.pamp
+    }
+
+    /// Pure miss concurrency `CM`.
+    pub fn pure_miss_concurrency(&self) -> f64 {
+        self.cm
+    }
+
+    /// Eq. (2): `C-AMAT = H/CH + pMR × pAMP/CM`, cycles per access.
+    pub fn camat(&self) -> f64 {
+        self.h / self.ch + self.pmr * self.pamp / self.cm
+    }
+
+    /// The hit component `H / CH` of Eq. (2).
+    pub fn hit_component(&self) -> f64 {
+        self.h / self.ch
+    }
+
+    /// The pure-miss component `pMR × pAMP / CM` of Eq. (2).
+    pub fn miss_component(&self) -> f64 {
+        self.pmr * self.pamp / self.cm
+    }
+
+    /// Eq. (3): APC (Accesses Per memory-active Cycle) is the reciprocal of
+    /// C-AMAT. The analyzer measures APC directly; C-AMAT's value lies in
+    /// decomposing it into the five optimization dimensions.
+    pub fn apc(&self) -> f64 {
+        1.0 / self.camat()
+    }
+
+    /// Construct a C-AMAT value directly from a measured APC (Eq. 3).
+    ///
+    /// Returns cycles per access; fails if `apc` is not positive.
+    pub fn camat_from_apc(apc: f64) -> Result<f64, ModelError> {
+        Ok(1.0 / error::positive("APC", apc)?)
+    }
+}
+
+/// The concurrency/locality transfer factor `η` of Eq. (4):
+///
+/// ```text
+/// η1 = (pAMP1 / AMP1) × (Cm1 / CM1)
+/// ```
+///
+/// `η` captures how much of the next layer's delay is masked by hit/miss
+/// overlapping at this layer. `η → 0` means concurrency hides the lower
+/// layer almost entirely, so even a large `LPMR2` mismatch barely affects
+/// stall time (Eq. 13).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Eta {
+    pamp: f64,
+    amp: f64,
+    cm_conventional: f64,
+    cm_pure: f64,
+}
+
+impl Eta {
+    /// Build `η` from the four underlying quantities.
+    ///
+    /// * `pamp` — average pure miss penalty (>= 0),
+    /// * `amp` — average (conventional) miss penalty (> 0),
+    /// * `cm_conventional` — conventional miss concurrency `Cm` (> 0),
+    /// * `cm_pure` — pure miss concurrency `CM` (> 0).
+    pub fn new(
+        pamp: f64,
+        amp: f64,
+        cm_conventional: f64,
+        cm_pure: f64,
+    ) -> Result<Self, ModelError> {
+        Ok(Self {
+            pamp: error::non_negative("pAMP", pamp)?,
+            amp: error::positive("AMP", amp)?,
+            cm_conventional: error::positive("Cm", cm_conventional)?,
+            cm_pure: error::positive("CM", cm_pure)?,
+        })
+    }
+
+    /// The value `η1 = pAMP1/AMP1 × Cm1/CM1`.
+    pub fn value(&self) -> f64 {
+        (self.pamp / self.amp) * (self.cm_conventional / self.cm_pure)
+    }
+
+    /// The extended factor `η = η1 × pMR1/MR1` used in Eq. (13).
+    ///
+    /// `pmr_over_mr` is the ratio of pure misses to conventional misses,
+    /// which lies in `[0, 1]` because every pure miss is a miss.
+    pub fn extended(&self, pmr_over_mr: f64) -> Result<f64, ModelError> {
+        Ok(self.value() * error::ratio("pMR/MR", pmr_over_mr)?)
+    }
+}
+
+/// The two-layer recursion of Eq. (4):
+///
+/// ```text
+/// C-AMAT1 = H1/CH1 + pMR1 × η1 × C-AMAT2
+/// ```
+///
+/// The impact of the lower layer (`C-AMAT2`) on the upper layer is trimmed
+/// by both locality (`pMR1`) and concurrency (`η1`) — the theoretical
+/// foundation of layered performance matching.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerRecursion {
+    /// Upper-layer parameters (`C-AMAT1` side).
+    pub upper: CamatParams,
+    /// The transfer factor `η1` between the layers.
+    pub eta: Eta,
+}
+
+impl LayerRecursion {
+    /// Evaluate Eq. (4) given the measured `C-AMAT2` of the lower layer.
+    pub fn camat1(&self, camat2: f64) -> Result<f64, ModelError> {
+        let camat2 = error::non_negative("C-AMAT2", camat2)?;
+        Ok(self.upper.hit_component() + self.upper.pure_miss_rate() * self.eta.value() * camat2)
+    }
+
+    /// The implied `C-AMAT2` that makes Eq. (4) agree exactly with the
+    /// upper layer's directly measured Eq. (2) value. Useful for checking
+    /// measurement consistency: in a perfectly instrumented hierarchy this
+    /// equals the lower layer's own C-AMAT.
+    pub fn implied_camat2(&self) -> Option<f64> {
+        let denom = self.upper.pure_miss_rate() * self.eta.value();
+        if denom <= 0.0 {
+            return None;
+        }
+        Some(self.upper.miss_component() / denom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amat::AmatParams;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fig1_camat_is_1_6() {
+        // Fig. 1 worked example: H = 3, CH = 5/2, pMR = 1/5, pAMP = 2, CM = 1.
+        let p = CamatParams::new(3.0, 2.5, 0.2, 2.0, 1.0).unwrap();
+        assert!((p.camat() - 1.6).abs() < 1e-12);
+        assert!((p.apc() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn camat_reduces_to_amat_without_concurrency() {
+        // With CH = CM = 1 and pure-miss stats equal to miss stats,
+        // C-AMAT equals AMAT exactly.
+        let c = CamatParams::sequential(3.0, 0.4, 2.0).unwrap();
+        let a = AmatParams::new(3.0, 0.4, 2.0).unwrap();
+        assert!((c.camat() - a.amat()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apc_roundtrip() {
+        let p = CamatParams::new(2.0, 1.5, 0.1, 20.0, 2.0).unwrap();
+        let apc = p.apc();
+        assert!((CamatParams::camat_from_apc(apc).unwrap() - p.camat()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eta_is_one_when_pure_equals_conventional() {
+        // If every miss is pure and concurrencies agree, η = 1 and Eq. (4)
+        // degenerates to the AMAT-style recursion on pure misses.
+        let eta = Eta::new(10.0, 10.0, 2.0, 2.0).unwrap();
+        assert!((eta.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eta_shrinks_with_hit_miss_overlap() {
+        // More overlap → pAMP << AMP → η → 0.
+        let weak = Eta::new(9.0, 10.0, 2.0, 2.0).unwrap();
+        let strong = Eta::new(1.0, 10.0, 2.0, 2.0).unwrap();
+        assert!(strong.value() < weak.value());
+        assert!(strong.value() > 0.0);
+    }
+
+    #[test]
+    fn extended_eta_requires_ratio() {
+        let eta = Eta::new(5.0, 10.0, 2.0, 2.0).unwrap();
+        assert!(eta.extended(0.5).is_ok());
+        assert!(eta.extended(1.5).is_err());
+    }
+
+    #[test]
+    fn recursion_matches_direct_form() {
+        // Choose parameters so that Eq. (4) and Eq. (2) agree exactly:
+        // pMR×η×C-AMAT2 must equal pMR×pAMP/CM, i.e. C-AMAT2 = AMP/Cm.
+        let upper = CamatParams::new(3.0, 2.5, 0.2, 2.0, 1.0).unwrap();
+        let eta = Eta::new(2.0, 4.0, 2.0, 1.0).unwrap(); // η = (2/4)×(2/1) = 1
+        let rec = LayerRecursion { upper, eta };
+        let camat2 = 4.0 / 2.0; // AMP / Cm
+        assert!((rec.camat1(camat2).unwrap() - upper.camat()).abs() < 1e-12);
+        assert!((rec.implied_camat2().unwrap() - camat2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn implied_camat2_none_when_no_pure_misses() {
+        let upper = CamatParams::new(3.0, 2.5, 0.0, 0.0, 1.0).unwrap();
+        let eta = Eta::new(2.0, 4.0, 2.0, 1.0).unwrap();
+        let rec = LayerRecursion { upper, eta };
+        assert!(rec.implied_camat2().is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn camat_never_below_hit_component(
+            h in 0.5f64..20.0, ch in 0.5f64..16.0, pmr in 0.0f64..1.0,
+            pamp in 0.0f64..500.0, cm in 0.5f64..16.0,
+        ) {
+            let p = CamatParams::new(h, ch, pmr, pamp, cm).unwrap();
+            prop_assert!(p.camat() >= p.hit_component() - 1e-12);
+        }
+
+        #[test]
+        fn concurrency_only_helps(
+            h in 0.5f64..20.0, pmr in 0.0f64..1.0, pamp in 0.0f64..500.0,
+            ch in 1.0f64..16.0, cm in 1.0f64..16.0,
+        ) {
+            // C-AMAT with concurrency >= 1 is never worse than the
+            // sequential value with the same locality statistics.
+            let seq = CamatParams::sequential(h, pmr, pamp).unwrap();
+            let conc = CamatParams::new(h, ch, pmr, pamp, cm).unwrap();
+            prop_assert!(conc.camat() <= seq.camat() + 1e-12);
+        }
+
+        #[test]
+        fn apc_is_reciprocal(
+            h in 0.5f64..20.0, ch in 0.5f64..16.0, pmr in 0.0f64..1.0,
+            pamp in 0.0f64..500.0, cm in 0.5f64..16.0,
+        ) {
+            let p = CamatParams::new(h, ch, pmr, pamp, cm).unwrap();
+            prop_assert!((p.apc() * p.camat() - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn recursion_monotone_in_lower_layer(
+            h in 0.5f64..20.0, ch in 0.5f64..16.0, pmr in 0.01f64..1.0,
+            pamp in 0.0f64..500.0, cm in 0.5f64..16.0,
+            c2a in 1.0f64..100.0, c2b in 100.0f64..1000.0,
+        ) {
+            let upper = CamatParams::new(h, ch, pmr, pamp, cm).unwrap();
+            let eta = Eta::new(5.0, 10.0, 2.0, 2.0).unwrap();
+            let rec = LayerRecursion { upper, eta };
+            prop_assert!(rec.camat1(c2a).unwrap() <= rec.camat1(c2b).unwrap());
+        }
+    }
+}

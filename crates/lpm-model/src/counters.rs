@@ -1,0 +1,500 @@
+//! Raw per-layer cycle counters — the quantities the C-AMAT analyzer
+//! (Fig. 4) accumulates in hardware — and the derivation of every model
+//! parameter from them.
+//!
+//! The analyzer walks the timeline of a layer cycle by cycle. In each cycle
+//! it observes `h`, the number of in-flight accesses currently in their
+//! *hit phase* (the first `H` lookup cycles — misses have a hit phase too),
+//! and `m`, the number currently in their *miss phase* (waiting for a fill
+//! from below). The classification rules, directly from the paper's Fig. 1
+//! semantics:
+//!
+//! * `h > 0` — a **hit cycle**; contributes `h` hit access-cycles.
+//! * `m > 0` — a **miss cycle**; contributes `m` miss access-cycles.
+//! * `m > 0 && h == 0` — a **pure miss cycle**; contributes `m` pure-miss
+//!   access-cycles, and each of those `m` accesses becomes a *pure miss*.
+//! * `h > 0 || m > 0` — a **memory-active cycle** (the APC denominator).
+//!
+//! Because every active cycle is either a hit cycle or a pure miss cycle
+//! (they are mutually exclusive by definition), the identity
+//! `C-AMAT = 1/APC` (Eq. 3) holds *by construction* from these counters —
+//! which [`LayerCounters::check_identity`] and the property tests verify.
+
+use crate::camat::{CamatParams, Eta};
+use crate::error::ModelError;
+
+/// Accumulated analyzer counters for one layer of the memory hierarchy.
+///
+/// All fields are plain totals so that counters from different intervals
+/// (or different simulator shards) can be merged by addition; see
+/// [`LayerCounters::merge`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayerCounters {
+    /// Configured hit time `H` of the layer, in cycles.
+    pub hit_time: u64,
+    /// Total accesses observed at this layer.
+    pub accesses: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Misses that contained at least one pure miss cycle.
+    pub pure_misses: u64,
+    /// Cycles with at least one access in its hit phase.
+    pub hit_cycles: u64,
+    /// Σ over hit cycles of the number of concurrent hit-phase accesses.
+    pub hit_access_cycles: u64,
+    /// Cycles with at least one outstanding miss.
+    pub miss_cycles: u64,
+    /// Σ over miss cycles of the number of concurrent outstanding misses.
+    pub miss_access_cycles: u64,
+    /// Miss cycles with no simultaneous hit activity.
+    pub pure_miss_cycles: u64,
+    /// Σ over pure miss cycles of the number of concurrent outstanding misses.
+    pub pure_miss_access_cycles: u64,
+    /// Cycles with any activity at this layer (hit or miss phase).
+    pub active_cycles: u64,
+}
+
+impl LayerCounters {
+    /// Create an empty counter set for a layer with the given hit time.
+    pub fn new(hit_time: u64) -> Self {
+        Self {
+            hit_time,
+            ..Self::default()
+        }
+    }
+
+    /// Validate internal consistency of the raw counters.
+    ///
+    /// These are the invariants the analyzer hardware guarantees; a
+    /// violation indicates a simulator bug, not a modelling choice.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        self.validate_windowed(0)
+    }
+
+    /// Like [`LayerCounters::validate`], but for counters captured over a
+    /// *measurement window* (e.g. after a warmup reset): accesses that
+    /// started before the window can have their miss classification land
+    /// inside it, so the event counts may skew by up to the number of
+    /// accesses in flight at the window boundary. `max_inflight` bounds
+    /// that skew (MSHR capacity × targets plus outstanding lookups is a
+    /// safe value).
+    pub fn validate_windowed(&self, max_inflight: u64) -> Result<(), ModelError> {
+        if self.misses > self.accesses + max_inflight {
+            return Err(ModelError::InconsistentCounters {
+                what: "misses exceed accesses",
+            });
+        }
+        if self.pure_misses > self.misses + max_inflight {
+            return Err(ModelError::InconsistentCounters {
+                what: "pure misses exceed misses",
+            });
+        }
+        if self.pure_miss_cycles > self.miss_cycles {
+            return Err(ModelError::InconsistentCounters {
+                what: "pure miss cycles exceed miss cycles",
+            });
+        }
+        if self.pure_miss_access_cycles > self.miss_access_cycles {
+            return Err(ModelError::InconsistentCounters {
+                what: "pure miss access-cycles exceed miss access-cycles",
+            });
+        }
+        if self.active_cycles != self.hit_cycles + self.pure_miss_cycles {
+            return Err(ModelError::InconsistentCounters {
+                what: "active cycles != hit cycles + pure miss cycles",
+            });
+        }
+        if self.hit_access_cycles < self.hit_cycles
+            || (self.hit_cycles == 0 && self.hit_access_cycles != 0)
+        {
+            return Err(ModelError::InconsistentCounters {
+                what: "hit access-cycles inconsistent with hit cycles",
+            });
+        }
+        Ok(())
+    }
+
+    /// Merge another interval's counters into this one (field-wise sum).
+    ///
+    /// The hit time must agree: merging counters from differently
+    /// configured layers is meaningless.
+    pub fn merge(&mut self, other: &LayerCounters) {
+        debug_assert_eq!(self.hit_time, other.hit_time, "merging different layers");
+        self.accesses += other.accesses;
+        self.misses += other.misses;
+        self.pure_misses += other.pure_misses;
+        self.hit_cycles += other.hit_cycles;
+        self.hit_access_cycles += other.hit_access_cycles;
+        self.miss_cycles += other.miss_cycles;
+        self.miss_access_cycles += other.miss_access_cycles;
+        self.pure_miss_cycles += other.pure_miss_cycles;
+        self.pure_miss_access_cycles += other.pure_miss_access_cycles;
+        self.active_cycles += other.active_cycles;
+    }
+
+    /// The difference `self - baseline`, for deriving per-interval counters
+    /// from two snapshots of a free-running analyzer.
+    ///
+    /// Panics in debug builds if `baseline` is not an earlier snapshot.
+    pub fn delta_since(&self, baseline: &LayerCounters) -> LayerCounters {
+        debug_assert_eq!(self.hit_time, baseline.hit_time);
+        LayerCounters {
+            hit_time: self.hit_time,
+            accesses: self.accesses - baseline.accesses,
+            misses: self.misses - baseline.misses,
+            pure_misses: self.pure_misses - baseline.pure_misses,
+            hit_cycles: self.hit_cycles - baseline.hit_cycles,
+            hit_access_cycles: self.hit_access_cycles - baseline.hit_access_cycles,
+            miss_cycles: self.miss_cycles - baseline.miss_cycles,
+            miss_access_cycles: self.miss_access_cycles - baseline.miss_access_cycles,
+            pure_miss_cycles: self.pure_miss_cycles - baseline.pure_miss_cycles,
+            pure_miss_access_cycles: self.pure_miss_access_cycles
+                - baseline.pure_miss_access_cycles,
+            active_cycles: self.active_cycles - baseline.active_cycles,
+        }
+    }
+
+    /// Conventional miss rate `MR`.
+    pub fn mr(&self) -> f64 {
+        ratio_or_zero(self.misses, self.accesses)
+    }
+
+    /// Pure miss rate `pMR`.
+    pub fn pmr(&self) -> f64 {
+        ratio_or_zero(self.pure_misses, self.accesses)
+    }
+
+    /// Hit concurrency `CH` = hit access-cycles / hit cycles.
+    ///
+    /// Returns 1.0 for an idle layer so downstream formulas stay finite.
+    pub fn ch(&self) -> f64 {
+        ratio_or_one(self.hit_access_cycles, self.hit_cycles)
+    }
+
+    /// Conventional miss concurrency `Cm` = miss access-cycles / miss cycles.
+    pub fn cm_conventional(&self) -> f64 {
+        ratio_or_one(self.miss_access_cycles, self.miss_cycles)
+    }
+
+    /// Pure miss concurrency `CM` = pure-miss access-cycles / pure miss cycles.
+    pub fn cm_pure(&self) -> f64 {
+        ratio_or_one(self.pure_miss_access_cycles, self.pure_miss_cycles)
+    }
+
+    /// Average (conventional) miss penalty `AMP` in cycles.
+    pub fn amp(&self) -> f64 {
+        ratio_or_zero(self.miss_access_cycles, self.misses)
+    }
+
+    /// Average pure miss penalty `pAMP`: pure-miss cycles per pure miss.
+    pub fn pamp(&self) -> f64 {
+        ratio_or_zero(self.pure_miss_access_cycles, self.pure_misses)
+    }
+
+    /// APC: accesses per memory-active cycle (Eq. 3).
+    pub fn apc(&self) -> f64 {
+        ratio_or_zero(self.accesses, self.active_cycles)
+    }
+
+    /// C-AMAT from the five derived parameters (Eq. 2).
+    pub fn camat(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.hit_time as f64 / self.ch() + self.pmr() * self.pamp() / self.cm_pure()
+    }
+
+    /// C-AMAT measured directly through APC (Eq. 3): `active/accesses`.
+    pub fn camat_via_apc(&self) -> f64 {
+        ratio_or_zero(self.active_cycles, self.accesses)
+    }
+
+    /// Conventional AMAT over the same interval: `H + MR × AMP`.
+    pub fn amat(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.hit_time as f64 + self.mr() * self.amp()
+    }
+
+    /// The transfer factor `η` between this layer and the next (Eq. 4).
+    ///
+    /// Returns `None` when the layer has no misses (η is then undefined
+    /// and also irrelevant: the lower layer is never visited).
+    pub fn eta(&self) -> Option<Eta> {
+        if self.misses == 0 || self.miss_access_cycles == 0 {
+            return None;
+        }
+        Eta::new(
+            self.pamp(),
+            self.amp(),
+            self.cm_conventional(),
+            self.cm_pure(),
+        )
+        .ok()
+    }
+
+    /// The extended factor `η × pMR/MR` used by Eq. (13).
+    pub fn eta_extended(&self) -> Option<f64> {
+        let eta = self.eta()?;
+        if self.misses == 0 {
+            return None;
+        }
+        let pmr_over_mr = self.pure_misses as f64 / self.misses as f64;
+        eta.extended(pmr_over_mr).ok()
+    }
+
+    /// Package the derived parameters as validated [`CamatParams`].
+    ///
+    /// Fails for degenerate intervals (no accesses).
+    pub fn to_params(&self) -> Result<CamatParams, ModelError> {
+        if self.accesses == 0 {
+            return Err(ModelError::InconsistentCounters {
+                what: "cannot derive parameters from zero accesses",
+            });
+        }
+        // Clamp pMR at 1: window-boundary skew can push the ratio a hair
+        // over for tiny windows (see `validate_windowed`).
+        CamatParams::new(
+            self.hit_time as f64,
+            self.ch(),
+            self.pmr().min(1.0),
+            self.pamp(),
+            self.cm_pure(),
+        )
+    }
+
+    /// Check the Eq. (2) ≡ Eq. (3) identity on these counters.
+    ///
+    /// Under the analyzer's cycle-classification rules the two C-AMAT
+    /// expressions agree exactly *provided* every access spends exactly
+    /// `H` cycles in its hit phase (so `hit_access_cycles = H × accesses`).
+    /// Port or bank contention can stretch an access's lookup occupancy
+    /// beyond `H`, in which case Eq. (2) evaluated with the *configured* H
+    /// undershoots; `tolerance` absorbs that (use 0.0 for contention-free
+    /// runs).
+    pub fn check_identity(&self, tolerance: f64) -> Result<(), ModelError> {
+        if tolerance == 0.0 {
+            self.validate()?;
+        } else {
+            // A nonzero tolerance signals windowed counters; allow the
+            // boundary skew (see `validate_windowed`).
+            self.validate_windowed(128)?;
+        }
+        if self.accesses == 0 {
+            return Ok(());
+        }
+        let direct = self.camat();
+        let via_apc = self.camat_via_apc();
+        if (direct - via_apc).abs() > tolerance + 1e-9 {
+            return Err(ModelError::InconsistentCounters {
+                what: "C-AMAT (Eq. 2) disagrees with 1/APC (Eq. 3)",
+            });
+        }
+        Ok(())
+    }
+}
+
+fn ratio_or_zero(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn ratio_or_one(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fig1_counters_reproduce_the_paper() {
+        let c = example::fig1_counters();
+        c.validate().unwrap();
+        assert_eq!(c.accesses, 5);
+        assert!((c.ch() - 2.5).abs() < 1e-12, "CH = 5/2, got {}", c.ch());
+        assert!((c.cm_pure() - 1.0).abs() < 1e-12);
+        assert!((c.pamp() - 2.0).abs() < 1e-12);
+        assert!((c.pmr() - 0.2).abs() < 1e-12);
+        assert!((c.camat() - 1.6).abs() < 1e-12);
+        assert!((c.camat_via_apc() - 1.6).abs() < 1e-12);
+        assert!((c.amat() - 3.8).abs() < 1e-12);
+        c.check_identity(0.0).unwrap();
+    }
+
+    #[test]
+    fn empty_counters_are_consistent() {
+        let c = LayerCounters::new(3);
+        c.validate().unwrap();
+        assert_eq!(c.camat(), 0.0);
+        assert_eq!(c.apc(), 0.0);
+        c.check_identity(0.0).unwrap();
+        assert!(c.eta().is_none());
+        assert!(c.to_params().is_err());
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let a = example::fig1_counters();
+        let mut doubled = a;
+        doubled.merge(&a);
+        assert_eq!(doubled.accesses, 10);
+        // All derived ratios are invariant under uniform scaling.
+        assert!((doubled.camat() - a.camat()).abs() < 1e-12);
+        assert!((doubled.ch() - a.ch()).abs() < 1e-12);
+        doubled.check_identity(0.0).unwrap();
+    }
+
+    #[test]
+    fn delta_since_recovers_interval() {
+        let a = example::fig1_counters();
+        let mut total = a;
+        total.merge(&a);
+        let d = total.delta_since(&a);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let mut c = example::fig1_counters();
+        c.misses = c.accesses + 1;
+        assert!(c.validate().is_err());
+
+        let mut c = example::fig1_counters();
+        c.pure_misses = c.misses + 1;
+        assert!(c.validate().is_err());
+
+        let mut c = example::fig1_counters();
+        c.active_cycles += 1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn eta_for_fig1() {
+        // Fig. 1: 4 miss access-cycles over 2 misses → AMP = 2; miss
+        // cycles = 3 → Cm = 4/3. η = (pAMP/AMP)×(Cm/CM) = (2/2)×(4/3) = 4/3;
+        // extended by pMR/MR = 0.5 gives 2/3.
+        let c = example::fig1_counters();
+        let eta = c.eta().unwrap();
+        assert!((c.amp() - 2.0).abs() < 1e-12);
+        assert!((c.cm_conventional() - 4.0 / 3.0).abs() < 1e-12);
+        assert!((eta.value() - 4.0 / 3.0).abs() < 1e-12);
+        assert!((c.eta_extended().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_params_roundtrip() {
+        let c = example::fig1_counters();
+        let p = c.to_params().unwrap();
+        assert!((p.camat() - c.camat()).abs() < 1e-12);
+    }
+
+    /// Generate a random but *internally consistent* counter set by
+    /// simulating a timeline of overlapping accesses, mirroring exactly
+    /// what the real analyzer does. This is the reference implementation
+    /// the simulator's analyzer is tested against.
+    fn synth_counters(
+        hit_time: u64,
+        specs: &[(u64, u64)], // (start_cycle, miss_penalty; 0 = hit)
+    ) -> LayerCounters {
+        let mut c = LayerCounters::new(hit_time);
+        c.accesses = specs.len() as u64;
+        let horizon = specs
+            .iter()
+            .map(|&(s, p)| s + hit_time + p)
+            .max()
+            .unwrap_or(0);
+        let mut pure = vec![false; specs.len()];
+        for cycle in 0..horizon {
+            let mut h = 0u64;
+            let mut m = 0u64;
+            let mut miss_idx = Vec::new();
+            for (i, &(s, p)) in specs.iter().enumerate() {
+                if cycle >= s && cycle < s + hit_time {
+                    h += 1;
+                } else if p > 0 && cycle >= s + hit_time && cycle < s + hit_time + p {
+                    m += 1;
+                    miss_idx.push(i);
+                }
+            }
+            if h > 0 {
+                c.hit_cycles += 1;
+                c.hit_access_cycles += h;
+            }
+            if m > 0 {
+                c.miss_cycles += 1;
+                c.miss_access_cycles += m;
+                if h == 0 {
+                    c.pure_miss_cycles += 1;
+                    c.pure_miss_access_cycles += m;
+                    for &i in &miss_idx {
+                        pure[i] = true;
+                    }
+                }
+            }
+            if h > 0 || m > 0 {
+                c.active_cycles += 1;
+            }
+        }
+        c.misses = specs.iter().filter(|&&(_, p)| p > 0).count() as u64;
+        c.pure_misses = pure.iter().filter(|&&b| b).count() as u64;
+        c
+    }
+
+    #[test]
+    fn synth_matches_fig1() {
+        // Fig. 1 timeline: A1/A2 start at cycle 0 (hits), A3/A4 start at
+        // cycle 2 (A3 misses with penalty 3, A4 with penalty 1), A5 starts
+        // at cycle 3 (hit). A4's single miss cycle overlaps A5's hit phase
+        // so only A3 is a pure miss, with two pure miss cycles.
+        let c = synth_counters(3, &[(0, 0), (0, 0), (2, 3), (2, 1), (3, 0)]);
+        let want = example::fig1_counters();
+        assert_eq!(c, want);
+    }
+
+    proptest! {
+        /// The crown-jewel property: for ANY access timeline, the analyzer's
+        /// counters satisfy Eq. (2) ≡ Eq. (3) exactly, plus all raw
+        /// invariants.
+        #[test]
+        fn identity_holds_for_any_timeline(
+            hit_time in 1u64..6,
+            specs in proptest::collection::vec((0u64..60, 0u64..20), 1..40),
+        ) {
+            let c = synth_counters(hit_time, &specs);
+            c.validate().unwrap();
+            c.check_identity(0.0).unwrap();
+            // pMR <= MR always.
+            prop_assert!(c.pmr() <= c.mr() + 1e-12);
+            // C-AMAT <= AMAT: concurrency can only help.
+            if c.accesses > 0 {
+                prop_assert!(c.camat() <= c.amat() + 1e-9);
+            }
+            // pAMP <= AMP is NOT generally true per-miss, but total pure
+            // miss cycles never exceed total miss cycles:
+            prop_assert!(c.pure_miss_cycles <= c.miss_cycles);
+        }
+
+        #[test]
+        fn merge_preserves_identity(
+            specs_a in proptest::collection::vec((0u64..40, 0u64..10), 1..20),
+            specs_b in proptest::collection::vec((0u64..40, 0u64..10), 1..20),
+        ) {
+            let mut a = synth_counters(3, &specs_a);
+            let b = synth_counters(3, &specs_b);
+            a.merge(&b);
+            a.validate().unwrap();
+            a.check_identity(0.0).unwrap();
+        }
+    }
+}

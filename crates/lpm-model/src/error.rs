@@ -1,0 +1,143 @@
+//! Validation errors for model-parameter construction.
+
+use std::fmt;
+
+/// Error returned when model parameters are outside their physical domain.
+///
+/// All analytical types in this crate validate their inputs at construction
+/// time so that downstream formulas never divide by zero or produce NaNs
+/// silently. The variants carry the offending value to make failed sweeps
+/// easy to diagnose.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A value that must be strictly positive was zero or negative.
+    NonPositive {
+        /// Parameter name as written in the paper (e.g. `"CH"`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A value that must be non-negative was negative.
+    Negative {
+        /// Parameter name.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A ratio that must lie in `[0, 1]` fell outside it.
+    NotARatio {
+        /// Parameter name.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A value was NaN or infinite.
+    NotFinite {
+        /// Parameter name.
+        name: &'static str,
+    },
+    /// Raw counters are internally inconsistent (e.g. more pure misses
+    /// than misses, or more misses than accesses).
+    InconsistentCounters {
+        /// Human-readable description of the violated invariant.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NonPositive { name, value } => {
+                write!(f, "parameter {name} must be > 0, got {value}")
+            }
+            ModelError::Negative { name, value } => {
+                write!(f, "parameter {name} must be >= 0, got {value}")
+            }
+            ModelError::NotARatio { name, value } => {
+                write!(f, "parameter {name} must be in [0, 1], got {value}")
+            }
+            ModelError::NotFinite { name } => {
+                write!(f, "parameter {name} must be finite")
+            }
+            ModelError::InconsistentCounters { what } => {
+                write!(f, "inconsistent counters: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Validate that `value` is finite and strictly positive.
+pub(crate) fn positive(name: &'static str, value: f64) -> Result<f64, ModelError> {
+    if !value.is_finite() {
+        return Err(ModelError::NotFinite { name });
+    }
+    if value <= 0.0 {
+        return Err(ModelError::NonPositive { name, value });
+    }
+    Ok(value)
+}
+
+/// Validate that `value` is finite and non-negative.
+pub(crate) fn non_negative(name: &'static str, value: f64) -> Result<f64, ModelError> {
+    if !value.is_finite() {
+        return Err(ModelError::NotFinite { name });
+    }
+    if value < 0.0 {
+        return Err(ModelError::Negative { name, value });
+    }
+    Ok(value)
+}
+
+/// Validate that `value` is a finite ratio in `[0, 1]`.
+pub(crate) fn ratio(name: &'static str, value: f64) -> Result<f64, ModelError> {
+    if !value.is_finite() {
+        return Err(ModelError::NotFinite { name });
+    }
+    if !(0.0..=1.0).contains(&value) {
+        return Err(ModelError::NotARatio { name, value });
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_rejects_zero_and_nan() {
+        assert!(positive("x", 0.0).is_err());
+        assert!(positive("x", -1.0).is_err());
+        assert!(positive("x", f64::NAN).is_err());
+        assert!(positive("x", f64::INFINITY).is_err());
+        assert_eq!(positive("x", 2.5).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn non_negative_accepts_zero() {
+        assert_eq!(non_negative("x", 0.0).unwrap(), 0.0);
+        assert!(non_negative("x", -0.1).is_err());
+    }
+
+    #[test]
+    fn ratio_bounds() {
+        assert_eq!(ratio("x", 0.0).unwrap(), 0.0);
+        assert_eq!(ratio("x", 1.0).unwrap(), 1.0);
+        assert!(ratio("x", 1.0001).is_err());
+        assert!(ratio("x", -0.0001).is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::NonPositive {
+            name: "CH",
+            value: 0.0,
+        };
+        assert!(e.to_string().contains("CH"));
+        let e = ModelError::InconsistentCounters {
+            what: "misses > accesses",
+        };
+        assert!(e.to_string().contains("misses > accesses"));
+    }
+}

@@ -1,0 +1,101 @@
+//! The worked example of Fig. 1 in the paper, as reusable golden data.
+//!
+//! Five memory accesses, each with a 3-cycle hit (lookup) phase:
+//!
+//! ```text
+//! cycle:      0   1   2   3   4   5   6   7
+//! Access 1:   H   H   H
+//! Access 2:   H   H   H
+//! Access 3:           H   H   H   M   M*  M*
+//! Access 4:           H   H   H   M
+//! Access 5:               H   H   H
+//! ```
+//!
+//! `H` = hit-phase cycle, `M` = miss (penalty) cycle, `M*` = **pure** miss
+//! cycle (no simultaneous hit activity anywhere in the layer). Access 3 and
+//! Access 4 miss; only Access 3 is a *pure* miss because Access 4's single
+//! miss cycle overlaps Access 5's hit phase.
+//!
+//! Resulting parameters, exactly as derived in the paper:
+//!
+//! | quantity | value |
+//! |---|---|
+//! | hit phases | 2 accesses × 2 cy, 4 × 1 cy, 3 × 2 cy, 1 × 1 cy |
+//! | `CH` | 15 hit access-cycles / 6 hit cycles = **5/2** |
+//! | `CM` | 2 pure-miss access-cycles / 2 pure miss cycles = **1** |
+//! | `pAMP` | 2 pure miss cycles / 1 pure miss = **2** |
+//! | `pMR` | 1 pure miss / 5 accesses = **1/5** |
+//! | `C-AMAT` | 3/(5/2) + (1/5)×2/1 = **1.6** cycles/access |
+//! | `AMAT` | 3 + 0.4 × 2 = **3.8** cycles/access |
+
+use crate::camat::CamatParams;
+use crate::counters::LayerCounters;
+
+/// Start cycle and miss penalty (0 = hit) for each of the five accesses in
+/// the Fig. 1 timeline. The hit phase of access `i` spans
+/// `[start, start + 3)`; a nonzero penalty `p` adds miss cycles
+/// `[start + 3, start + 3 + p)`.
+pub const FIG1_TIMELINE: [(u64, u64); 5] = [(0, 0), (0, 0), (2, 3), (2, 1), (3, 0)];
+
+/// Hit time of the Fig. 1 example layer, in cycles.
+pub const FIG1_HIT_TIME: u64 = 3;
+
+/// The exact analyzer counters for the Fig. 1 timeline.
+pub fn fig1_counters() -> LayerCounters {
+    LayerCounters {
+        hit_time: FIG1_HIT_TIME,
+        accesses: 5,
+        misses: 2,
+        pure_misses: 1,
+        hit_cycles: 6,
+        hit_access_cycles: 15,
+        miss_cycles: 3,
+        miss_access_cycles: 4,
+        pure_miss_cycles: 2,
+        pure_miss_access_cycles: 2,
+        active_cycles: 8,
+    }
+}
+
+/// The five C-AMAT parameters of the Fig. 1 example.
+pub fn fig1_params() -> CamatParams {
+    CamatParams::new(3.0, 2.5, 0.2, 2.0, 1.0).expect("fig1 parameters are valid")
+}
+
+/// The paper's C-AMAT result for Fig. 1: 1.6 cycles per access.
+pub const FIG1_CAMAT: f64 = 1.6;
+
+/// The paper's AMAT result for Fig. 1: 3.8 cycles per access.
+pub const FIG1_AMAT: f64 = 3.8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_params_agree() {
+        let c = fig1_counters();
+        let p = fig1_params();
+        assert!((c.camat() - p.camat()).abs() < 1e-12);
+        assert!((c.camat() - FIG1_CAMAT).abs() < 1e-12);
+        assert!((c.amat() - FIG1_AMAT).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrency_doubles_memory_performance() {
+        // The paper's headline observation for Fig. 1: concurrency more
+        // than halves the apparent access time (3.8 → 1.6). Recomputed
+        // from the counters so the assertion checks live values.
+        let c = fig1_counters();
+        assert!(c.amat() / c.camat() > 2.0);
+    }
+
+    #[test]
+    fn timeline_constants_are_consistent() {
+        // Total penalty cycles over misses = AMP = 2.
+        let total_penalty: u64 = FIG1_TIMELINE.iter().map(|&(_, p)| p).sum();
+        let misses = FIG1_TIMELINE.iter().filter(|&&(_, p)| p > 0).count() as u64;
+        assert_eq!(total_penalty, 4);
+        assert_eq!(misses, 2);
+    }
+}

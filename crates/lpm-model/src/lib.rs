@@ -1,0 +1,57 @@
+//! Analytical performance models from *LPM: Concurrency-driven Layered
+//! Performance Matching* (Liu & Sun, ICPP 2015).
+//!
+//! This crate is the pure-mathematics layer of the reproduction. It contains
+//! no simulation machinery — only the closed-form models the paper builds on
+//! and the new quantities it introduces:
+//!
+//! * [`amat`] — the classic Average Memory Access Time model (Eq. 1) and the
+//!   AMAT-based data stall time (Eq. 6).
+//! * [`camat`] — the Concurrent AMAT model (Eq. 2), its equivalence with APC
+//!   (Eq. 3), and the layer recursion (Eq. 4) together with the concurrency
+//!   transfer factor `eta`.
+//! * [`counters`] — the raw per-layer cycle counters measured by the C-AMAT
+//!   analyzer (Fig. 4) and the derivation of every model parameter from them.
+//! * [`lpmr`] — the Layered Performance Matching Ratios (Eq. 9–11) and the
+//!   request/supply rate bookkeeping of Fig. 2.
+//! * [`stall`] — CPU time decomposition (Eq. 5), the concurrency-aware data
+//!   stall time (Eq. 7/8) and its two LPM forms (Eq. 12 and Eq. 13).
+//! * [`threshold`] — the matching thresholds `T1`/`T2` (Eq. 14/15) and the
+//!   fine/coarse optimization grains used by the LPM algorithm.
+//! * [`sensitivity`] — gradients and elasticities over the five C-AMAT
+//!   optimization dimensions ("which parameter should be optimized on
+//!   demand").
+//! * [`example`] — the worked five-access example of Fig. 1, used across the
+//!   workspace as a golden reference.
+//!
+//! # Quick start
+//!
+//! ```
+//! use lpm_model::camat::CamatParams;
+//!
+//! // The Fig. 1 example: H = 3, CH = 5/2, pMR = 1/5, pAMP = 2, CM = 1.
+//! let p = CamatParams::new(3.0, 2.5, 0.2, 2.0, 1.0).unwrap();
+//! assert!((p.camat() - 1.6).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amat;
+pub mod camat;
+pub mod counters;
+pub mod error;
+pub mod example;
+pub mod lpmr;
+pub mod sensitivity;
+pub mod stall;
+pub mod threshold;
+
+pub use amat::AmatParams;
+pub use camat::{CamatParams, Eta, LayerRecursion};
+pub use counters::LayerCounters;
+pub use error::ModelError;
+pub use lpmr::{Lpmr, LpmrSet, RequestSupply};
+pub use sensitivity::{CamatGradient, Dimension};
+pub use stall::{CoreParams, StallModel};
+pub use threshold::{Grain, Thresholds};

@@ -1,0 +1,253 @@
+//! Layered Performance Matching Ratios — Eq. (9), (10), (11) and the
+//! request/supply view of Fig. 2.
+//!
+//! Each layer of a memory hierarchy sees *requests* arriving from the layer
+//! above and *supplies* them at a rate determined by its own performance
+//! (measured as APC). The matching ratio of a layer is
+//!
+//! ```text
+//! LPMR(layer) = request rate from above / supply rate of this layer
+//! ```
+//!
+//! Because supplies are activated by requests the ratio is at least 1, and
+//! LPMR = 1 is the perfectly matched optimum. In terms of C-AMAT:
+//!
+//! ```text
+//! LPMR1 = C-AMAT1 × fmem / CPIexe                          (Eq. 9)
+//! LPMR2 = C-AMAT2 × fmem × MR1 / CPIexe                    (Eq. 10)
+//! LPMR3 = C-AMAT3 × fmem × MR1 × MR2 / CPIexe              (Eq. 11)
+//! ```
+
+use crate::error::{self, ModelError};
+
+/// The request/supply rate pair at one boundary of the hierarchy (Fig. 2).
+///
+/// Rates are in accesses per cycle. The request rate of the top boundary is
+/// `IPCexe × fmem` (compute intensity times memory access frequency); each
+/// deeper boundary's request rate is filtered by the miss rates above it.
+/// The supply rate of a layer is its measured APC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestSupply {
+    /// Demand arriving from the layer above, accesses per cycle.
+    pub request_rate: f64,
+    /// Service delivered by this layer, accesses per cycle (its APC).
+    pub supply_rate: f64,
+}
+
+impl RequestSupply {
+    /// Build a validated pair. Both rates must be positive and finite.
+    pub fn new(request_rate: f64, supply_rate: f64) -> Result<Self, ModelError> {
+        Ok(Self {
+            request_rate: error::positive("request rate", request_rate)?,
+            supply_rate: error::positive("supply rate", supply_rate)?,
+        })
+    }
+
+    /// The matching ratio `request / supply` at this boundary.
+    pub fn lpmr(&self) -> Lpmr {
+        Lpmr(self.request_rate / self.supply_rate)
+    }
+}
+
+/// A layered performance matching ratio.
+///
+/// A thin newtype so that sweep code cannot accidentally mix LPMRs with
+/// other dimensionless quantities (miss rates, thresholds, speedups).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Lpmr(pub f64);
+
+impl Lpmr {
+    /// Eq. (9): `LPMR1 = C-AMAT1 × fmem / CPIexe`.
+    pub fn layer1(camat1: f64, fmem: f64, cpi_exe: f64) -> Result<Self, ModelError> {
+        let camat1 = error::positive("C-AMAT1", camat1)?;
+        let fmem = error::ratio("fmem", fmem)?;
+        let cpi_exe = error::positive("CPIexe", cpi_exe)?;
+        Ok(Lpmr(camat1 * fmem / cpi_exe))
+    }
+
+    /// Eq. (10): `LPMR2 = C-AMAT2 × fmem × MR1 / CPIexe`.
+    pub fn layer2(camat2: f64, fmem: f64, mr1: f64, cpi_exe: f64) -> Result<Self, ModelError> {
+        let camat2 = error::positive("C-AMAT2", camat2)?;
+        let fmem = error::ratio("fmem", fmem)?;
+        let mr1 = error::ratio("MR1", mr1)?;
+        let cpi_exe = error::positive("CPIexe", cpi_exe)?;
+        Ok(Lpmr(camat2 * fmem * mr1 / cpi_exe))
+    }
+
+    /// Eq. (11): `LPMR3 = C-AMAT3 × fmem × MR1 × MR2 / CPIexe`.
+    pub fn layer3(
+        camat3: f64,
+        fmem: f64,
+        mr1: f64,
+        mr2: f64,
+        cpi_exe: f64,
+    ) -> Result<Self, ModelError> {
+        let camat3 = error::positive("C-AMAT3", camat3)?;
+        let fmem = error::ratio("fmem", fmem)?;
+        let mr1 = error::ratio("MR1", mr1)?;
+        let mr2 = error::ratio("MR2", mr2)?;
+        let cpi_exe = error::positive("CPIexe", cpi_exe)?;
+        Ok(Lpmr(camat3 * fmem * mr1 * mr2 / cpi_exe))
+    }
+
+    /// Raw ratio value.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// Whether this boundary is matched under threshold `t`
+    /// (i.e. `LPMR <= t`).
+    pub fn matched(&self, t: f64) -> bool {
+        self.0 <= t
+    }
+
+    /// Whether hardware is over-provisioned at this boundary: the ratio
+    /// undershoots the threshold by more than the slack `delta`
+    /// (Fig. 3, Case III).
+    pub fn over_provisioned(&self, t: f64, delta: f64) -> bool {
+        self.0 + delta < t
+    }
+}
+
+/// The three matching ratios of a three-boundary hierarchy
+/// (ALU&FPU↔L1, L1↔LLC, LLC↔MM), bundled for reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LpmrSet {
+    /// `LPMR1`: compute demand vs L1 supply.
+    pub l1: Lpmr,
+    /// `LPMR2`: L1 miss demand vs L2 supply.
+    pub l2: Lpmr,
+    /// `LPMR3`: demand vs supply at the third boundary (main memory in a
+    /// two-cache hierarchy, the L3 when one is configured).
+    pub l3: Lpmr,
+    /// The fourth boundary (main memory below an L3), when it exists.
+    pub l4: Option<Lpmr>,
+}
+
+impl LpmrSet {
+    /// Build a set from per-layer C-AMATs, miss rates and core parameters
+    /// (the online measurement path of the paper's §III.B).
+    pub fn from_measurements(
+        camat: [f64; 3],
+        mr: [f64; 2],
+        fmem: f64,
+        cpi_exe: f64,
+    ) -> Result<Self, ModelError> {
+        Ok(LpmrSet {
+            l1: Lpmr::layer1(camat[0], fmem, cpi_exe)?,
+            l2: Lpmr::layer2(camat[1], fmem, mr[0], cpi_exe)?,
+            l3: Lpmr::layer3(camat[2], fmem, mr[0], mr[1], cpi_exe)?,
+            l4: None,
+        })
+    }
+}
+
+/// Request rates down the hierarchy for a core with compute intensity
+/// `IPCexe`, memory instruction fraction `fmem` and the given per-layer
+/// miss rates (the Fig. 2 cascade):
+///
+/// ```text
+/// to L1:  IPCexe × fmem
+/// to LLC: IPCexe × fmem × MR1
+/// to MM:  IPCexe × fmem × MR1 × MR2
+/// ```
+pub fn request_rates(ipc_exe: f64, fmem: f64, mrs: &[f64]) -> Result<Vec<f64>, ModelError> {
+    let ipc_exe = error::positive("IPCexe", ipc_exe)?;
+    let fmem = error::ratio("fmem", fmem)?;
+    let mut rates = Vec::with_capacity(mrs.len() + 1);
+    let mut r = ipc_exe * fmem;
+    rates.push(r);
+    for (i, &mr) in mrs.iter().enumerate() {
+        let name: &'static str = match i {
+            0 => "MR1",
+            1 => "MR2",
+            _ => "MRn",
+        };
+        r *= error::ratio(name, mr)?;
+        rates.push(r);
+    }
+    Ok(rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lpmr1_matches_eq9() {
+        // C-AMAT1 = 1.6, fmem = 0.5, CPIexe = 0.4 → LPMR1 = 2.0.
+        let r = Lpmr::layer1(1.6, 0.5, 0.4).unwrap();
+        assert!((r.value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lpmr_from_request_supply_agrees_with_eq9() {
+        // Request rate = IPCexe×fmem; supply = APC1 = 1/C-AMAT1.
+        // LPMR1 = request/supply = C-AMAT1 × fmem × IPCexe
+        //        = C-AMAT1 × fmem / CPIexe.
+        let camat1 = 1.6;
+        let fmem = 0.5;
+        let cpi_exe = 0.4;
+        let rs = RequestSupply::new((1.0 / cpi_exe) * fmem, 1.0 / camat1).unwrap();
+        let direct = Lpmr::layer1(camat1, fmem, cpi_exe).unwrap();
+        assert!((rs.lpmr().value() - direct.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deeper_layers_are_filtered_by_miss_rates() {
+        let set = LpmrSet::from_measurements([2.0, 20.0, 200.0], [0.1, 0.2], 0.4, 0.5).unwrap();
+        // LPMR2/LPMR1 = (C-AMAT2/C-AMAT1)×MR1 = 10×0.1 = 1.
+        assert!((set.l2.value() / set.l1.value() - 1.0).abs() < 1e-12);
+        // LPMR3/LPMR2 = (C-AMAT3/C-AMAT2)×MR2 = 10×0.2 = 2.
+        assert!((set.l3.value() / set.l2.value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn request_rates_cascade() {
+        let rates = request_rates(2.0, 0.5, &[0.1, 0.2]).unwrap();
+        assert_eq!(rates.len(), 3);
+        assert!((rates[0] - 1.0).abs() < 1e-12);
+        assert!((rates[1] - 0.1).abs() < 1e-12);
+        assert!((rates[2] - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matched_and_over_provisioned() {
+        let r = Lpmr(1.2);
+        assert!(r.matched(1.5));
+        assert!(!r.matched(1.0));
+        // Over-provision: LPMR + δ < T.
+        assert!(r.over_provisioned(2.0, 0.5));
+        assert!(!r.over_provisioned(1.5, 0.5));
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(Lpmr::layer1(0.0, 0.5, 0.4).is_err());
+        assert!(Lpmr::layer1(1.6, 1.5, 0.4).is_err());
+        assert!(Lpmr::layer1(1.6, 0.5, 0.0).is_err());
+        assert!(RequestSupply::new(1.0, 0.0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn lpmr_scales_linearly_with_camat(
+            c in 0.1f64..100.0, fmem in 0.01f64..1.0, cpi in 0.1f64..4.0, k in 1.0f64..10.0,
+        ) {
+            let a = Lpmr::layer1(c, fmem, cpi).unwrap().value();
+            let b = Lpmr::layer1(c * k, fmem, cpi).unwrap().value();
+            prop_assert!((b / a - k).abs() < 1e-9);
+        }
+
+        #[test]
+        fn request_rates_monotone_decreasing(
+            ipc in 0.1f64..8.0, fmem in 0.01f64..1.0,
+            mr1 in 0.0f64..1.0, mr2 in 0.0f64..1.0,
+        ) {
+            let rates = request_rates(ipc, fmem, &[mr1, mr2]).unwrap();
+            prop_assert!(rates[0] >= rates[1]);
+            prop_assert!(rates[1] >= rates[2]);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Data stall time: the classic decomposition (Eq. 5/6), the
+//! concurrency-aware form (Eq. 7/8), and the two LPM expressions that tie
+//! stall time to layered mismatch (Eq. 12 and Eq. 13).
+//!
+//! ```text
+//! CPU-time = IC × (CPIexe + Data-stall-time) × Cycle-time        (Eq. 5)
+//! Data-stall-time = fmem × AMAT                                  (Eq. 6, in-order)
+//! Data-stall-time = fmem × C-AMAT × (1 − overlapRatio_c-m)       (Eq. 7)
+//! overlapRatio_c-m = overlapCycles_c-m / T_memAcc                (Eq. 8)
+//! Data-stall-time = CPIexe × (1 − overlapRatio_c-m) × LPMR1      (Eq. 12)
+//! Data-stall-time = (H1×fmem/CH1 + CPIexe × η × LPMR2)
+//!                   × (1 − overlapRatio_c-m)                     (Eq. 13)
+//! ```
+//!
+//! All stall times are *cycles per instruction* so they can be added to
+//! `CPIexe` directly (Eq. 5).
+
+use crate::camat::CamatParams;
+use crate::error::{self, ModelError};
+use crate::lpmr::Lpmr;
+
+/// Per-core measurement context shared by all stall-time forms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreParams {
+    /// Fraction of instructions that access memory, `fmem ∈ [0, 1]`.
+    pub fmem: f64,
+    /// Processor cycles per instruction under a perfect cache.
+    pub cpi_exe: f64,
+    /// Computation/memory overlap ratio of Eq. (8), in `[0, 1]`.
+    pub overlap_ratio: f64,
+}
+
+impl CoreParams {
+    /// Build a validated parameter set.
+    pub fn new(fmem: f64, cpi_exe: f64, overlap_ratio: f64) -> Result<Self, ModelError> {
+        Ok(Self {
+            fmem: error::ratio("fmem", fmem)?,
+            cpi_exe: error::positive("CPIexe", cpi_exe)?,
+            overlap_ratio: error::ratio("overlapRatio_c-m", overlap_ratio)?,
+        })
+    }
+
+    /// Compute intensity `IPCexe = 1 / CPIexe`.
+    pub fn ipc_exe(&self) -> f64 {
+        1.0 / self.cpi_exe
+    }
+
+    /// Eq. (8): derive the overlap ratio from raw cycle counts.
+    pub fn overlap_ratio_from_cycles(
+        overlap_cycles: u64,
+        total_mem_access_cycles: u64,
+    ) -> Result<f64, ModelError> {
+        if total_mem_access_cycles == 0 {
+            return Ok(0.0);
+        }
+        if overlap_cycles > total_mem_access_cycles {
+            return Err(ModelError::InconsistentCounters {
+                what: "overlap cycles exceed total memory access cycles",
+            });
+        }
+        Ok(overlap_cycles as f64 / total_mem_access_cycles as f64)
+    }
+}
+
+/// Evaluator for the stall-time family of equations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StallModel {
+    /// Core-side measurements.
+    pub core: CoreParams,
+}
+
+impl StallModel {
+    /// Create a stall model for the given core parameters.
+    pub fn new(core: CoreParams) -> Self {
+        Self { core }
+    }
+
+    /// Eq. (7): `stall = fmem × C-AMAT × (1 − overlapRatio)`,
+    /// cycles per instruction.
+    pub fn from_camat(&self, camat: f64) -> Result<f64, ModelError> {
+        let camat = error::non_negative("C-AMAT", camat)?;
+        Ok(self.core.fmem * camat * (1.0 - self.core.overlap_ratio))
+    }
+
+    /// Eq. (12): `stall = CPIexe × (1 − overlapRatio) × LPMR1`.
+    pub fn from_lpmr1(&self, lpmr1: Lpmr) -> f64 {
+        self.core.cpi_exe * (1.0 - self.core.overlap_ratio) * lpmr1.value()
+    }
+
+    /// Eq. (13): `stall = (H1×fmem/CH1 + CPIexe×η×LPMR2) × (1 − overlapRatio)`,
+    /// where `η = (pAMP1/AMP1) × (Cm1/CM1) × (pMR1/MR1)` is the extended
+    /// concurrency-and-locality effectiveness factor.
+    pub fn from_lpmr2(
+        &self,
+        l1: &CamatParams,
+        eta_extended: f64,
+        lpmr2: Lpmr,
+    ) -> Result<f64, ModelError> {
+        let eta = error::non_negative("eta", eta_extended)?;
+        let hit_part = l1.hit_component() * self.core.fmem;
+        let miss_part = self.core.cpi_exe * eta * lpmr2.value();
+        Ok((hit_part + miss_part) * (1.0 - self.core.overlap_ratio))
+    }
+
+    /// Eq. (5): total CPU time in seconds for `instruction_count`
+    /// instructions with the given per-instruction stall and clock period.
+    pub fn cpu_time(
+        &self,
+        instruction_count: u64,
+        stall_per_instruction: f64,
+        cycle_time_seconds: f64,
+    ) -> Result<f64, ModelError> {
+        let stall = error::non_negative("Data-stall-time", stall_per_instruction)?;
+        let ct = error::positive("Cycle-time", cycle_time_seconds)?;
+        Ok(instruction_count as f64 * (self.core.cpi_exe + stall) * ct)
+    }
+
+    /// The fraction of execution time spent stalled on data:
+    /// `stall / (CPIexe + stall)`. The paper reports 50–70% for modern
+    /// data-intensive workloads.
+    pub fn stall_fraction(&self, stall_per_instruction: f64) -> Result<f64, ModelError> {
+        let stall = error::non_negative("Data-stall-time", stall_per_instruction)?;
+        Ok(stall / (self.core.cpi_exe + stall))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camat::{CamatParams, Eta};
+    use proptest::prelude::*;
+
+    fn core(fmem: f64, cpi: f64, overlap: f64) -> CoreParams {
+        CoreParams::new(fmem, cpi, overlap).unwrap()
+    }
+
+    #[test]
+    fn eq7_and_eq12_agree() {
+        // Eq. 12 is Eq. 7 rewritten through Eq. 9; they must agree exactly.
+        let c = core(0.5, 0.4, 0.3);
+        let m = StallModel::new(c);
+        let camat1 = 1.6;
+        let via7 = m.from_camat(camat1).unwrap();
+        let lpmr1 = Lpmr::layer1(camat1, c.fmem, c.cpi_exe).unwrap();
+        let via12 = m.from_lpmr1(lpmr1);
+        assert!((via7 - via12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq13_agrees_with_eq7_plus_recursion() {
+        // Construct a consistent two-layer scenario and check that Eq. 13
+        // equals Eq. 7 applied to the Eq. 4 recursion.
+        let c = core(0.4, 0.5, 0.2);
+        let m = StallModel::new(c);
+
+        let l1 = CamatParams::new(2.0, 2.0, 0.05, 12.0, 1.5).unwrap();
+        // η1 chosen so the recursion is self-consistent:
+        // C-AMAT2 = AMP1/Cm1. Take AMP1 = 15, Cm1 = 2 → C-AMAT2 = 7.5.
+        let amp1 = 15.0;
+        let cm1 = 2.0;
+        let camat2 = amp1 / cm1;
+        let eta1 = Eta::new(12.0, amp1, cm1, 1.5).unwrap();
+        let mr1 = 0.1; // pMR1/MR1 = 0.5
+        let eta_ext = eta1.extended(l1.pure_miss_rate() / mr1).unwrap();
+
+        // Eq. 7 with the recursive C-AMAT1 (Eq. 4):
+        let camat1 = l1.hit_component() + l1.pure_miss_rate() * eta1.value() * camat2;
+        let via7 = m.from_camat(camat1).unwrap();
+
+        // Eq. 13 with LPMR2 (Eq. 10):
+        let lpmr2 = Lpmr::layer2(camat2, c.fmem, mr1, c.cpi_exe).unwrap();
+        let via13 = m.from_lpmr2(&l1, eta_ext, lpmr2).unwrap();
+
+        assert!((via7 - via13).abs() < 1e-12, "Eq.7={via7}, Eq.13={via13}");
+    }
+
+    #[test]
+    fn full_overlap_eliminates_stall() {
+        let m = StallModel::new(core(0.5, 0.4, 1.0));
+        assert_eq!(m.from_camat(100.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn overlap_ratio_from_cycles_validates() {
+        assert_eq!(CoreParams::overlap_ratio_from_cycles(0, 0).unwrap(), 0.0);
+        assert_eq!(CoreParams::overlap_ratio_from_cycles(5, 10).unwrap(), 0.5);
+        assert!(CoreParams::overlap_ratio_from_cycles(11, 10).is_err());
+    }
+
+    #[test]
+    fn cpu_time_eq5() {
+        let m = StallModel::new(core(0.5, 0.5, 0.0));
+        // 1000 instructions, stall 0.5 cy/instr, 1 ns clock:
+        // 1000 × (0.5 + 0.5) × 1e-9 = 1 µs.
+        let t = m.cpu_time(1000, 0.5, 1e-9).unwrap();
+        assert!((t - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn stall_fraction_matches_paper_range() {
+        // "data stall time is 1 to 2.3 times of pure computing time"
+        // corresponds to stall fractions of 50%–70%.
+        let m = StallModel::new(core(0.5, 1.0, 0.0));
+        let lo = m.stall_fraction(1.0).unwrap();
+        let hi = m.stall_fraction(2.3).unwrap();
+        assert!((lo - 0.5).abs() < 1e-12);
+        assert!((hi - 0.6969).abs() < 1e-3);
+    }
+
+    proptest! {
+        #[test]
+        fn stall_decreases_with_overlap(
+            fmem in 0.01f64..1.0, cpi in 0.1f64..4.0,
+            camat in 0.1f64..100.0, o1 in 0.0f64..0.5, o2 in 0.5f64..1.0,
+        ) {
+            let a = StallModel::new(core(fmem, cpi, o1)).from_camat(camat).unwrap();
+            let b = StallModel::new(core(fmem, cpi, o2)).from_camat(camat).unwrap();
+            prop_assert!(b <= a + 1e-12);
+        }
+
+        #[test]
+        fn eq12_linear_in_lpmr1(
+            fmem in 0.01f64..1.0, cpi in 0.1f64..4.0, o in 0.0f64..0.99,
+            l in 0.01f64..50.0, k in 1.0f64..5.0,
+        ) {
+            let m = StallModel::new(core(fmem, cpi, o));
+            let a = m.from_lpmr1(Lpmr(l));
+            let b = m.from_lpmr1(Lpmr(l * k));
+            prop_assert!((b / a - k).abs() < 1e-9);
+        }
+
+        #[test]
+        fn stall_fraction_in_unit_interval(
+            cpi in 0.1f64..4.0, stall in 0.0f64..100.0,
+        ) {
+            let m = StallModel::new(core(0.5, cpi, 0.0));
+            let f = m.stall_fraction(stall).unwrap();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Matching thresholds `T1`/`T2` (Eq. 14 and Eq. 15) and the optimization
+//! grains of the LPM algorithm (§IV).
+//!
+//! The LPM goal is a "minimal data stall time": stall per instruction no
+//! more than `Δ%` of `CPIexe`. Working backwards through Eq. (12) and
+//! Eq. (13) gives the largest acceptable mismatch at each boundary:
+//!
+//! ```text
+//! T1 = Δ% / (1 − overlapRatio_c-m)                               (Eq. 14)
+//! T2 = (1/η) × (Δ%/(1 − overlapRatio) − H1×fmem/(CH1×CPIexe))    (Eq. 15)
+//! ```
+//!
+//! The paper uses Δ = 1% for fine-grained optimization (achievable on
+//! reconfigurable hardware with a large design space) and Δ = 10% for
+//! coarse-grained optimization (e.g. pure software scheduling).
+
+use crate::camat::CamatParams;
+use crate::error::{self, ModelError};
+use crate::stall::CoreParams;
+
+/// Optimization grain: the stall budget Δ as a fraction of `CPIexe`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Grain {
+    /// Fine-grained: stall ≤ 1% of pure compute time.
+    Fine,
+    /// Coarse-grained: stall ≤ 10% of pure compute time.
+    Coarse,
+    /// A custom budget (fraction of `CPIexe`, must be in `(0, 1]`).
+    Custom(f64),
+}
+
+impl Grain {
+    /// The Δ budget as a fraction (0.01 for fine, 0.10 for coarse).
+    pub fn delta(&self) -> f64 {
+        match self {
+            Grain::Fine => 0.01,
+            Grain::Coarse => 0.10,
+            Grain::Custom(d) => *d,
+        }
+    }
+
+    /// Validate a custom grain.
+    pub fn validated(self) -> Result<Self, ModelError> {
+        let d = self.delta();
+        if !d.is_finite() || d <= 0.0 || d > 1.0 {
+            return Err(ModelError::NotARatio {
+                name: "delta",
+                value: d,
+            });
+        }
+        Ok(self)
+    }
+}
+
+/// The pair of matching thresholds for a two-cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// `T1`: largest acceptable `LPMR1` (Eq. 14).
+    pub t1: f64,
+    /// `T2`: largest acceptable `LPMR2` (Eq. 15). May be `None` when the
+    /// L1 hit component alone already exceeds the stall budget — no amount
+    /// of L2 matching can then meet the target and L1 must be optimized
+    /// first (the algorithm treats this as `T2 = 0`).
+    pub t2: Option<f64>,
+}
+
+impl Thresholds {
+    /// Compute `T1` and `T2` from online measurements.
+    ///
+    /// * `grain` — the Δ budget,
+    /// * `core` — `fmem`, `CPIexe` and the overlap ratio,
+    /// * `l1` — the L1 C-AMAT parameters (for `H1/CH1`),
+    /// * `eta_extended` — `η = η1 × pMR1/MR1` as measured at L1.
+    pub fn compute(
+        grain: Grain,
+        core: &CoreParams,
+        l1: &CamatParams,
+        eta_extended: f64,
+    ) -> Result<Self, ModelError> {
+        let grain = grain.validated()?;
+        let eta = error::non_negative("eta", eta_extended)?;
+        let one_minus_o = 1.0 - core.overlap_ratio;
+        if one_minus_o <= 0.0 {
+            // Full overlap: stall is always zero, every ratio is acceptable.
+            return Ok(Thresholds {
+                t1: f64::INFINITY,
+                t2: Some(f64::INFINITY),
+            });
+        }
+        let t1 = grain.delta() / one_minus_o;
+        let budget = grain.delta() / one_minus_o - l1.hit_component() * core.fmem / core.cpi_exe;
+        let t2 = if eta == 0.0 {
+            // η = 0: the lower layer is fully hidden; any LPMR2 matches.
+            Some(f64::INFINITY)
+        } else if budget <= 0.0 {
+            None
+        } else {
+            Some(budget / eta)
+        };
+        Ok(Thresholds { t1, t2 })
+    }
+
+    /// `T2` collapsed to a float, with the "unattainable" case mapped to 0
+    /// (the convention used by the optimizer loop).
+    pub fn t2_or_zero(&self) -> f64 {
+        self.t2.unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lpmr::Lpmr;
+    use crate::stall::StallModel;
+    use proptest::prelude::*;
+
+    fn l1() -> CamatParams {
+        CamatParams::new(2.0, 4.0, 0.02, 10.0, 2.0).unwrap()
+    }
+
+    #[test]
+    fn t1_matches_eq14() {
+        let core = CoreParams::new(0.4, 0.5, 0.2).unwrap();
+        let th = Thresholds::compute(Grain::Fine, &core, &l1(), 0.3).unwrap();
+        assert!((th.t1 - 0.01 / 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meeting_t1_meets_the_stall_budget() {
+        // If LPMR1 == T1 exactly, Eq. 12 gives stall == Δ% × CPIexe.
+        let core = CoreParams::new(0.4, 0.5, 0.2).unwrap();
+        let th = Thresholds::compute(Grain::Coarse, &core, &l1(), 0.3).unwrap();
+        let stall = StallModel::new(core).from_lpmr1(Lpmr(th.t1));
+        assert!((stall - 0.10 * core.cpi_exe).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meeting_t2_meets_the_stall_budget() {
+        // If LPMR2 == T2 exactly, Eq. 13 gives stall == Δ% × CPIexe.
+        let core = CoreParams::new(0.1, 1.0, 0.2).unwrap();
+        let p = l1();
+        let eta = 0.3;
+        let th = Thresholds::compute(Grain::Coarse, &core, &p, eta).unwrap();
+        let t2 = th.t2.expect("budget attainable");
+        let stall = StallModel::new(core).from_lpmr2(&p, eta, Lpmr(t2)).unwrap();
+        assert!((stall - 0.10 * core.cpi_exe).abs() < 1e-12, "stall={stall}");
+    }
+
+    #[test]
+    fn t2_none_when_hit_component_eats_budget() {
+        // H1/CH1 × fmem / CPIexe = 0.5×0.8/0.5 = 0.8 > Δ/(1−o) = 0.0125.
+        let core = CoreParams::new(0.8, 0.5, 0.2).unwrap();
+        let p = CamatParams::new(2.0, 4.0, 0.02, 10.0, 2.0).unwrap();
+        let th = Thresholds::compute(Grain::Fine, &core, &p, 0.3).unwrap();
+        assert!(th.t2.is_none());
+        assert_eq!(th.t2_or_zero(), 0.0);
+    }
+
+    #[test]
+    fn zero_eta_means_any_lpmr2_matches() {
+        let core = CoreParams::new(0.01, 1.0, 0.2).unwrap();
+        let th = Thresholds::compute(Grain::Coarse, &core, &l1(), 0.0).unwrap();
+        assert_eq!(th.t2, Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn full_overlap_means_infinite_thresholds() {
+        let core = CoreParams::new(0.4, 0.5, 1.0).unwrap();
+        let th = Thresholds::compute(Grain::Fine, &core, &l1(), 0.3).unwrap();
+        assert_eq!(th.t1, f64::INFINITY);
+    }
+
+    #[test]
+    fn grains() {
+        assert_eq!(Grain::Fine.delta(), 0.01);
+        assert_eq!(Grain::Coarse.delta(), 0.10);
+        assert!(Grain::Custom(0.05).validated().is_ok());
+        assert!(Grain::Custom(0.0).validated().is_err());
+        assert!(Grain::Custom(1.5).validated().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn coarse_threshold_dominates_fine(
+            fmem in 0.01f64..1.0, cpi in 0.1f64..4.0, o in 0.0f64..0.95,
+            eta in 0.01f64..1.0,
+        ) {
+            let core = CoreParams::new(fmem, cpi, o).unwrap();
+            let fine = Thresholds::compute(Grain::Fine, &core, &l1(), eta).unwrap();
+            let coarse = Thresholds::compute(Grain::Coarse, &core, &l1(), eta).unwrap();
+            prop_assert!(coarse.t1 >= fine.t1);
+            prop_assert!(coarse.t2_or_zero() >= fine.t2_or_zero());
+        }
+
+        #[test]
+        fn more_overlap_relaxes_t1(
+            fmem in 0.01f64..1.0, cpi in 0.1f64..4.0,
+            o1 in 0.0f64..0.5, o2 in 0.5f64..0.95, eta in 0.01f64..1.0,
+        ) {
+            let a = Thresholds::compute(
+                Grain::Fine, &CoreParams::new(fmem, cpi, o1).unwrap(), &l1(), eta).unwrap();
+            let b = Thresholds::compute(
+                Grain::Fine, &CoreParams::new(fmem, cpi, o2).unwrap(), &l1(), eta).unwrap();
+            prop_assert!(b.t1 >= a.t1);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Full-system simulation for the LPM reproduction: out-of-order cores,
+//! a two-level non-blocking cache hierarchy, DRAM, and — the paper's
+//! Fig. 4 — a **C-AMAT analyzer** (Hit Concurrency Detector + Miss
+//! Concurrency Detector) attached to every cache layer.
+//!
+//! * [`analyzer`] — per-layer HCD/MCD sampling that accumulates the
+//!   [`lpm_model::LayerCounters`] raw counters, plus a DRAM occupancy
+//!   analyzer for the third LPMR boundary.
+//! * [`config`] — [`SystemConfig`] bundling core, L1, L2 and DRAM
+//!   parameters (the design space of Table I).
+//! * [`cmp`] — the [`cmp::Cmp`] N-core chip multiprocessor with private
+//!   L1s, a shared banked L2 (the NUCA substrate of case study II) and
+//!   shared DRAM.
+//! * [`system`] — a single-core convenience wrapper used for profiling and
+//!   the Table I design-space exploration.
+//! * [`report`] — measurement reports: per-layer C-AMAT parameters,
+//!   LPMR1/2/3, stall time, APC values.
+//!
+//! # Example
+//!
+//! ```
+//! use lpm_sim::{System, SystemConfig};
+//! use lpm_trace::{Generator, SpecWorkload};
+//!
+//! let trace = SpecWorkload::Bzip2Like.generator().generate(20_000, 1);
+//! let mut sys = System::new(SystemConfig::default(), trace, 1);
+//! sys.run(2_000_000);
+//! let report = sys.report();
+//! assert!(report.l1.mr() < 0.2, "bzip2-like fits a 32 KiB L1");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod cmp;
+pub mod config;
+pub mod report;
+pub mod system;
+
+pub use analyzer::{CacheAnalyzer, DramAnalyzer};
+pub use cmp::{Cmp, CoreSlot};
+pub use config::SystemConfig;
+pub use report::SystemReport;
+pub use system::System;

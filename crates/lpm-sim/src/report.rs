@@ -1,0 +1,208 @@
+//! Measurement reports: everything the LPM model and algorithm consume,
+//! derived from one simulation run (or one interval of it).
+
+use lpm_cpu::CoreStats;
+use lpm_model::{LayerCounters, Lpmr, LpmrSet, ModelError};
+
+/// A full measurement of one core's view of the hierarchy.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemReport {
+    /// Core-side statistics (cycles, IPC, fmem, stalls, overlap).
+    pub core: CoreStats,
+    /// L1 analyzer counters.
+    pub l1: LayerCounters,
+    /// L2 analyzer counters.
+    pub l2: LayerCounters,
+    /// L3 analyzer counters, when a third cache level is configured
+    /// (the L2 is then no longer the LLC).
+    pub l3: Option<LayerCounters>,
+    /// DRAM accesses accepted.
+    pub dram_accesses: u64,
+    /// DRAM active (busy or queued) cycles.
+    pub dram_active_cycles: u64,
+    /// `CPIexe` measured by a perfect-cache run of the same trace
+    /// (0 when not measured).
+    pub cpi_exe: f64,
+}
+
+impl SystemReport {
+    /// Measured C-AMAT1 via APC (Eq. 3).
+    pub fn camat1(&self) -> f64 {
+        self.l1.camat_via_apc()
+    }
+
+    /// Measured C-AMAT2 via APC.
+    pub fn camat2(&self) -> f64 {
+        self.l2.camat_via_apc()
+    }
+
+    /// Measured C-AMAT of the L3, when configured.
+    pub fn camat_l3(&self) -> Option<f64> {
+        self.l3.map(|c| c.camat_via_apc())
+    }
+
+    /// Measured C-AMAT3 (DRAM active cycles per access).
+    pub fn camat3(&self) -> f64 {
+        if self.dram_accesses == 0 {
+            0.0
+        } else {
+            self.dram_active_cycles as f64 / self.dram_accesses as f64
+        }
+    }
+
+    /// APC at each layer: `(APC1, APC2, APC3)`.
+    pub fn apcs(&self) -> (f64, f64, f64) {
+        let apc3 = if self.dram_active_cycles == 0 {
+            0.0
+        } else {
+            self.dram_accesses as f64 / self.dram_active_cycles as f64
+        };
+        (self.l1.apc(), self.l2.apc(), apc3)
+    }
+
+    /// The three LPMRs (Eq. 9–11) from the measured quantities.
+    ///
+    /// The miss-rate chain factors are measured as the Fig. 2 *request
+    /// cascade*: `MR1` is the fraction of L1 requests that become L2
+    /// requests (`accesses2 / accesses1`) and `MR1×MR2` the fraction that
+    /// reach main memory. This is the physically matching definition for
+    /// a non-blocking hierarchy, where MSHR merging means not every miss
+    /// generates downstream traffic.
+    ///
+    /// Degenerate layers (no traffic) make the corresponding deeper ratios
+    /// zero rather than erroring: a workload that never misses L1 has a
+    /// perfectly matched (indeed idle) L2 boundary.
+    pub fn lpmrs(&self) -> Result<LpmrSet, ModelError> {
+        let fmem = self.core.fmem();
+        let cpi_exe = self.cpi_exe;
+        let l1 = Lpmr::layer1(self.camat1().max(1e-12), fmem, cpi_exe)?;
+        let mk = |camat: f64, mr_chain: f64| -> Lpmr {
+            if camat <= 0.0 || mr_chain <= 0.0 {
+                Lpmr(0.0)
+            } else {
+                Lpmr(camat * fmem * mr_chain / cpi_exe)
+            }
+        };
+        let acc1 = self.l1.accesses.max(1) as f64;
+        let mr1 = self.l2.accesses as f64 / acc1;
+        // With an L3 configured, boundary 3 is the L2↔L3 interface and the
+        // DRAM boundary becomes the (extended) fourth ratio.
+        if let Some(l3c) = self.l3 {
+            let mr13 = l3c.accesses as f64 / acc1;
+            let mr1d = self.dram_accesses as f64 / acc1;
+            Ok(LpmrSet {
+                l1,
+                l2: mk(self.camat2(), mr1),
+                l3: mk(l3c.camat_via_apc(), mr13),
+                l4: Some(mk(self.camat3(), mr1d)),
+            })
+        } else {
+            let mr12 = self.dram_accesses as f64 / acc1;
+            Ok(LpmrSet {
+                l1,
+                l2: mk(self.camat2(), mr1),
+                l3: mk(self.camat3(), mr12),
+                l4: None,
+            })
+        }
+    }
+
+    /// Measured data stall time, cycles per instruction (the simulator's
+    /// ground truth, to be compared against the Eq. 12/13 predictions).
+    pub fn measured_stall(&self) -> f64 {
+        self.core.stall_per_instruction()
+    }
+
+    /// The Eq. (12) prediction of stall time from LPMR1.
+    pub fn predicted_stall_eq12(&self) -> Result<f64, ModelError> {
+        let lpmrs = self.lpmrs()?;
+        Ok(self.cpi_exe * (1.0 - self.core.overlap_ratio()) * lpmrs.l1.value())
+    }
+
+    /// The extended η factor of Eq. (13), from L1 counters.
+    pub fn eta_extended(&self) -> Option<f64> {
+        self.l1.eta_extended()
+    }
+
+    /// Sanity-check the analyzer counters and the Eq. 2 ≡ Eq. 3 identity.
+    ///
+    /// `tolerance` covers port-contention stretching (see
+    /// [`LayerCounters::check_identity`]).
+    pub fn check(&self, tolerance: f64) -> Result<(), ModelError> {
+        self.l1.check_identity(tolerance)?;
+        self.l2.check_identity(tolerance)?;
+        if let Some(l3) = &self.l3 {
+            l3.check_identity(tolerance)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpm_model::example;
+
+    fn dummy_report() -> SystemReport {
+        let core = CoreStats {
+            cycles: 1000,
+            retired: 500,
+            mem_retired: 250,
+            data_stall_cycles: 200,
+            mem_busy_cycles: 400,
+            overlap_cycles: 100,
+            ..Default::default()
+        };
+        SystemReport {
+            core,
+            l1: example::fig1_counters(),
+            l2: LayerCounters::new(12),
+            l3: None,
+            dram_accesses: 0,
+            dram_active_cycles: 0,
+            cpi_exe: 0.5,
+        }
+    }
+
+    #[test]
+    fn camats_follow_counters() {
+        let r = dummy_report();
+        assert!((r.camat1() - 1.6).abs() < 1e-12);
+        assert_eq!(r.camat2(), 0.0);
+        assert_eq!(r.camat3(), 0.0);
+    }
+
+    #[test]
+    fn lpmr1_matches_hand_computation() {
+        let r = dummy_report();
+        // fmem = 0.5, CPIexe = 0.5 → LPMR1 = 1.6×0.5/0.5 = 1.6.
+        let s = r.lpmrs().unwrap();
+        assert!((s.l1.value() - 1.6).abs() < 1e-12);
+        // Idle deeper layers → matched (zero) ratios.
+        assert_eq!(s.l2.value(), 0.0);
+        assert_eq!(s.l3.value(), 0.0);
+    }
+
+    #[test]
+    fn eq12_prediction_uses_overlap() {
+        let r = dummy_report();
+        // overlap = 100/400 = 0.25 → stall = 0.5 × 0.75 × 1.6 = 0.6.
+        let p = r.predicted_stall_eq12().unwrap();
+        assert!((p - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_validates_identity() {
+        let r = dummy_report();
+        r.check(0.0).unwrap();
+    }
+
+    #[test]
+    fn apcs_reported() {
+        let r = dummy_report();
+        let (a1, a2, a3) = r.apcs();
+        assert!((a1 - 0.625).abs() < 1e-12);
+        assert_eq!(a2, 0.0);
+        assert_eq!(a3, 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Trace record types.
+//!
+//! A trace is a sequence of retired-order instructions. Each instruction is
+//! either pure compute or a memory operation carrying a byte address, and
+//! may name one *register dependence*: the instruction `dep` positions
+//! earlier whose result it consumes. Dependences are what limit issue
+//! concurrency in the out-of-order core and therefore shape the CH/CM
+//! values the analyzer observes — a pointer chase is simply a trace where
+//! every load depends on the previous load.
+
+/// Operation kind of one trace instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// A non-memory instruction (ALU/FPU work).
+    Compute,
+    /// A load from the given byte address.
+    Load(u64),
+    /// A store to the given byte address.
+    Store(u64),
+}
+
+impl Op {
+    /// Whether this is a memory operation.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Op::Load(_) | Op::Store(_))
+    }
+
+    /// The byte address, if this is a memory operation.
+    pub fn addr(&self) -> Option<u64> {
+        match self {
+            Op::Load(a) | Op::Store(a) => Some(*a),
+            Op::Compute => None,
+        }
+    }
+}
+
+/// One instruction in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instr {
+    /// What the instruction does.
+    pub op: Op,
+    /// Backward dependence distance: this instruction consumes the result
+    /// of the instruction `dep` positions before it (0 = no dependence).
+    /// A distance pointing before the start of the trace is treated as
+    /// already satisfied.
+    pub dep: u32,
+}
+
+impl Instr {
+    /// A compute instruction with no dependence.
+    pub fn compute() -> Self {
+        Instr {
+            op: Op::Compute,
+            dep: 0,
+        }
+    }
+
+    /// A dependence-free load.
+    pub fn load(addr: u64) -> Self {
+        Instr {
+            op: Op::Load(addr),
+            dep: 0,
+        }
+    }
+
+    /// A dependence-free store.
+    pub fn store(addr: u64) -> Self {
+        Instr {
+            op: Op::Store(addr),
+            dep: 0,
+        }
+    }
+
+    /// Attach a backward dependence distance.
+    pub fn depending_on(mut self, dep: u32) -> Self {
+        self.dep = dep;
+        self
+    }
+}
+
+/// An instruction trace in program (retire) order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    instrs: Vec<Instr>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a vector of instructions.
+    pub fn from_vec(instrs: Vec<Instr>) -> Self {
+        Self { instrs }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Append one instruction.
+    pub fn push(&mut self, i: Instr) {
+        self.instrs.push(i);
+    }
+
+    /// The instructions, in program order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Iterate over the instructions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instr> {
+        self.instrs.iter()
+    }
+
+    /// Relocate every memory address by `offset` bytes. Used by the CMP
+    /// harness to give each core a disjoint address space (multiprogrammed
+    /// workloads, as in the paper's SPEC setup).
+    pub fn relocate(&mut self, offset: u64) {
+        for i in &mut self.instrs {
+            i.op = match i.op {
+                Op::Load(a) => Op::Load(a + offset),
+                Op::Store(a) => Op::Store(a + offset),
+                Op::Compute => Op::Compute,
+            };
+        }
+    }
+
+    /// Number of memory operations.
+    pub fn mem_ops(&self) -> usize {
+        self.instrs.iter().filter(|i| i.op.is_mem()).count()
+    }
+}
+
+impl FromIterator<Instr> for Trace {
+    fn from_iter<T: IntoIterator<Item = Instr>>(iter: T) -> Self {
+        Trace {
+            instrs: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Instr;
+    type IntoIter = std::slice::Iter<'a, Instr>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.instrs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_classification() {
+        assert!(Op::Load(0).is_mem());
+        assert!(Op::Store(8).is_mem());
+        assert!(!Op::Compute.is_mem());
+        assert_eq!(Op::Load(64).addr(), Some(64));
+        assert_eq!(Op::Compute.addr(), None);
+    }
+
+    #[test]
+    fn builders() {
+        let i = Instr::load(128).depending_on(3);
+        assert_eq!(i.op, Op::Load(128));
+        assert_eq!(i.dep, 3);
+        assert_eq!(Instr::compute().dep, 0);
+    }
+
+    #[test]
+    fn trace_push_and_count() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(Instr::compute());
+        t.push(Instr::load(0));
+        t.push(Instr::store(64));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.mem_ops(), 2);
+    }
+
+    #[test]
+    fn relocate_shifts_only_memory_ops() {
+        let mut t = Trace::from_vec(vec![Instr::compute(), Instr::load(100), Instr::store(200)]);
+        t.relocate(1 << 40);
+        assert_eq!(t.instrs()[0].op, Op::Compute);
+        assert_eq!(t.instrs()[1].op, Op::Load(100 + (1 << 40)));
+        assert_eq!(t.instrs()[2].op, Op::Store(200 + (1 << 40)));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: Trace = (0..4u64).map(|i| Instr::load(i * 64)).collect();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.mem_ops(), 4);
+    }
+}
