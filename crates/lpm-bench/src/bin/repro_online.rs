@@ -4,37 +4,81 @@
 //! applications"). Starting from the starved configuration A, the
 //! controller measures each interval, walks the hardware toward a matched
 //! configuration, and the workload's IPC rises live — no re-simulation.
+//!
+//! Usage: `repro_online [interval_cycles] [--faults[=seed]]`
+//!
+//! With `--faults`, a seeded injector (DRAM latency spikes, refresh
+//! storms, cache-bank stalls, MSHR exhaustion, counter noise) stresses
+//! the run and the hardened controller preset rides through it.
 
 use lpm_core::design_space::HwConfig;
 use lpm_core::online::OnlineLpmController;
 use lpm_model::Grain;
-use lpm_sim::{System, SystemConfig};
+use lpm_sim::{FaultConfig, System, SystemConfig};
 use lpm_trace::{Generator, SpecWorkload};
 
 fn main() {
-    let interval: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(20_000);
+    let mut interval: u64 = 20_000;
+    let mut fault_seed: Option<u64> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--faults" {
+            fault_seed = Some(42);
+        } else if let Some(s) = arg.strip_prefix("--faults=") {
+            fault_seed = Some(s.parse().expect("--faults=<u64 seed>"));
+        } else if let Ok(v) = arg.parse() {
+            interval = v;
+        } else {
+            eprintln!("usage: repro_online [interval_cycles] [--faults[=seed]]");
+            std::process::exit(1);
+        }
+    }
+
     let trace = SpecWorkload::BwavesLike.generator().generate(600_000, 11);
     let base = HwConfig::A.apply(&SystemConfig::default());
-    let mut sys = System::new_looping(base, trace, 100, 1);
+    let mut sys =
+        System::try_new_looping(base, trace, 100, 1).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
     sys.cmp_mut().warm_up(30_000);
+    if let Some(seed) = fault_seed {
+        sys.enable_faults(FaultConfig::all(seed));
+    }
 
-    let mut ctl = OnlineLpmController::new(HwConfig::A, interval, Grain::Custom(0.5));
-    println!("== online LPM adaptation (intervals of {interval} cycles) ==");
+    let mut ctl = if fault_seed.is_some() {
+        OnlineLpmController::new_hardened(HwConfig::A, interval, Grain::Custom(0.5))
+    } else {
+        OnlineLpmController::new(HwConfig::A, interval, Grain::Custom(0.5))
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    match fault_seed {
+        Some(seed) => println!(
+            "== online LPM adaptation (intervals of {interval} cycles, faults on, seed {seed}) =="
+        ),
+        None => println!("== online LPM adaptation (intervals of {interval} cycles) =="),
+    }
     println!(
-        "{:>8} {:>7} {:>7} {:>6} | {:>20} {:>6} {:>4} {:>4} {:>5} {:>5}",
-        "cycle", "LPMR1", "T1", "IPC", "action", "width", "IW", "ROB", "ports", "MSHR"
+        "{:>8} {:>7} {:>7} {:>6} {:>6} | {:>20} {:>6} {:>4} {:>4} {:>5} {:>5}",
+        "cycle", "LPMR1", "T1", "IPC", "budget", "action", "width", "IW", "ROB", "ports", "MSHR"
     );
-    let log = ctl.run(&mut sys, 12);
+    let log = match ctl.try_run(&mut sys, 12) {
+        Ok(log) => log,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
     for r in &log {
         println!(
-            "{:>8} {:>7.2} {:>7.2} {:>6.2} | {:>20} {:>6} {:>4} {:>4} {:>5} {:>5}",
+            "{:>8} {:>7.2} {:>7.2} {:>6.2} {:>6} | {:>20} {:>6} {:>4} {:>4} {:>5} {:>5}",
             r.cycle,
             r.measurement.lpmr1,
             r.measurement.t1,
             r.ipc,
+            if r.stall_budget_met { "Y" } else { "n" },
             format!("{:?}", r.action),
             r.hw.issue_width,
             r.hw.iw_size,
@@ -45,6 +89,7 @@ fn main() {
     }
     let first = log.first().expect("at least one interval");
     let last = log.last().expect("at least one interval");
+    let met = log.iter().filter(|r| r.stall_budget_met).count();
     println!(
         "\nadaptation: LPMR1 {:.2} → {:.2}, IPC {:.2} → {:.2} ({}% faster), \
          final config {:?}",
@@ -55,4 +100,25 @@ fn main() {
         ((last.ipc / first.ipc - 1.0) * 100.0).round(),
         ctl.hw
     );
+    println!(
+        "stall-budget attainment: {met}/{} intervals ({:.0}%)",
+        log.len(),
+        met as f64 / log.len() as f64 * 100.0
+    );
+    if fault_seed.is_some() {
+        let h = ctl.health();
+        println!(
+            "controller health: {} degenerate window(s), {} sensor fault(s), \
+             {} rollback(s), {} clamped step(s), {} oscillation trip(s)",
+            h.degenerate_windows, h.sensor_faults, h.rollbacks, h.clamped_steps, h.oscillation_trips
+        );
+        if let Some(fs) = sys.fault_stats() {
+            println!(
+                "injected: {} DRAM spike(s), {} refresh storm(s), {} bank stall(s), \
+                 {} MSHR squeeze(s) over {} faulted cycle(s)",
+                fs.spike_events, fs.storm_events, fs.stall_events, fs.squeeze_events,
+                fs.faulted_cycles
+            );
+        }
+    }
 }

@@ -103,6 +103,12 @@ pub struct Cache {
     /// The selective-bypass streaming detector (configured by
     /// `cfg.bypass`).
     bypass: BypassDetector,
+    /// Fault injection: while set, every new access is rejected at the
+    /// ports (a transient bank/array stall).
+    fault_stalled: bool,
+    /// Fault injection: MSHR entries withheld from allocation (an
+    /// MSHR-exhaustion burst). Effective capacity never drops below one.
+    fault_reserved_mshrs: u32,
     stats: CacheStats,
 }
 
@@ -123,6 +129,8 @@ impl Cache {
             pending_outgoing_prefetch: Vec::new(),
             prefetcher: Engine::new(cfg.prefetch, cfg.line_bytes),
             bypass: BypassDetector::new(cfg.bypass),
+            fault_stalled: false,
+            fault_reserved_mshrs: 0,
             stats: CacheStats::default(),
             cfg,
         }
@@ -151,6 +159,10 @@ impl Cache {
     /// cycle (interleaving emulates multi-porting cheaply, at the price
     /// of bank conflicts).
     pub fn access(&mut self, now: u64, id: AccessId, addr: u64, is_store: bool) -> AccessResponse {
+        if self.fault_stalled {
+            self.stats.port_rejects += 1;
+            return AccessResponse::RejectPort;
+        }
         let bank = self.cfg.bank_of(addr) as usize;
         if self.cfg.banks > 1 && self.bank_last_used[bank] == now {
             self.stats.port_rejects += 1;
@@ -413,7 +425,29 @@ impl Cache {
         self.cfg.banks = banks;
         self.port_free_at.resize(ports as usize, 0);
         self.bank_last_used.resize(banks as usize, u64::MAX);
-        self.mshr.set_capacity(mshrs as usize);
+        self.mshr.set_capacity(self.effective_mshrs());
+    }
+
+    /// Set (or clear) the injected fault state for this cycle: `stalled`
+    /// rejects every new access at the ports; `reserved_mshrs` withholds
+    /// that many MSHR entries from allocation. Existing MSHR entries
+    /// survive a shrink gracefully (allocation respects the smaller
+    /// capacity, in-flight misses complete normally). Clearing both
+    /// (`false, 0`) restores nominal behaviour exactly.
+    pub fn set_fault(&mut self, stalled: bool, reserved_mshrs: u32) {
+        self.fault_stalled = stalled;
+        if reserved_mshrs != self.fault_reserved_mshrs {
+            self.fault_reserved_mshrs = reserved_mshrs;
+            self.mshr.set_capacity(self.effective_mshrs());
+        }
+    }
+
+    /// MSHR capacity after subtracting any fault reservation (≥ 1).
+    fn effective_mshrs(&self) -> usize {
+        self.cfg
+            .mshrs
+            .saturating_sub(self.fault_reserved_mshrs)
+            .max(1) as usize
     }
 }
 

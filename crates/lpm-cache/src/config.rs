@@ -105,35 +105,51 @@ impl CacheConfig {
     /// Validate structural constraints, panicking with a descriptive
     /// message on violation. Called by [`crate::cache::Cache::new`].
     pub fn validate(&self) {
-        assert!(
-            self.size_bytes.is_power_of_two(),
-            "cache size must be a power of two, got {}",
-            self.size_bytes
-        );
-        assert!(
-            self.line_bytes.is_power_of_two() && self.line_bytes >= 8,
-            "line size must be a power of two >= 8, got {}",
-            self.line_bytes
-        );
-        assert!(
-            self.assoc.is_power_of_two(),
-            "associativity must be a power of two, got {}",
-            self.assoc
-        );
-        assert!(
-            self.size_bytes >= self.line_bytes * self.assoc as u64,
-            "cache too small for one set of {} ways",
-            self.assoc
-        );
-        assert!(self.hit_latency >= 1, "hit latency must be >= 1");
-        assert!(self.ports >= 1, "need at least one port");
-        assert!(
-            self.banks.is_power_of_two(),
-            "banks must be a power of two, got {}",
-            self.banks
-        );
-        assert!(self.mshrs >= 1, "need at least one MSHR");
-        assert!(self.targets_per_mshr >= 1, "need at least one target");
+        if let Err(msg) = self.try_validate() {
+            panic!("{msg}");
+        }
+    }
+
+    /// Validate structural constraints, returning a descriptive message
+    /// on violation instead of panicking.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if !self.size_bytes.is_power_of_two() {
+            return Err(format!(
+                "cache size must be a power of two, got {}",
+                self.size_bytes
+            ));
+        }
+        if !(self.line_bytes.is_power_of_two() && self.line_bytes >= 8) {
+            return Err(format!(
+                "line size must be a power of two >= 8, got {}",
+                self.line_bytes
+            ));
+        }
+        if !self.assoc.is_power_of_two() {
+            return Err(format!(
+                "associativity must be a power of two, got {}",
+                self.assoc
+            ));
+        }
+        if self.size_bytes < self.line_bytes * self.assoc as u64 {
+            return Err(format!("cache too small for one set of {} ways", self.assoc));
+        }
+        if self.hit_latency < 1 {
+            return Err("hit latency must be >= 1".into());
+        }
+        if self.ports < 1 {
+            return Err("need at least one port".into());
+        }
+        if !self.banks.is_power_of_two() {
+            return Err(format!("banks must be a power of two, got {}", self.banks));
+        }
+        if self.mshrs < 1 {
+            return Err("need at least one MSHR".into());
+        }
+        if self.targets_per_mshr < 1 {
+            return Err("need at least one target".into());
+        }
+        Ok(())
     }
 }
 

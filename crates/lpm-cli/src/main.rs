@@ -16,7 +16,7 @@ use lpm_core::design_space::{measure_config, DesignSpaceExplorer, HwConfig};
 use lpm_core::online::OnlineLpmController;
 use lpm_core::optimizer::{run_lpm_loop, LpmOptimizer};
 use lpm_model::Grain;
-use lpm_sim::{System, SystemConfig};
+use lpm_sim::{FaultConfig, System, SystemConfig};
 use lpm_trace::{Generator, SpecWorkload, Trace};
 
 fn main() {
@@ -85,7 +85,10 @@ fn print_help() {
          \x20 --l3-size 8M        add an L3 of this capacity\n\
          \x20 --grain X           stall budget as a fraction of CPIexe (0.01/0.10/custom)\n\
          \x20 --mode guided       explore: raise only the sensitivity-ranked knob per step\n\
-         \x20 --interval N        online measurement interval in cycles (default 20000)"
+         \x20 --interval N        online measurement interval in cycles (default 20000)\n\
+         \x20 --faults CLASS      online: inject faults (all, dram-spike, refresh-storm,\n\
+         \x20                     bank-stall, mshr-squeeze, counter-noise); hardens the controller\n\
+         \x20 --fault-seed S      fault-injection seed (default 42)"
     );
 }
 
@@ -273,29 +276,62 @@ fn cmd_explore(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn fault_config_from(a: &Args) -> Result<Option<FaultConfig>, String> {
+    let Some(class) = a.options.get("faults") else {
+        return Ok(None);
+    };
+    let seed = a.int_or("fault-seed", 42)?;
+    let cfg = match class.as_str() {
+        "all" => FaultConfig::all(seed),
+        "dram-spike" => FaultConfig::dram_spike(seed),
+        "refresh-storm" => FaultConfig::refresh_storm(seed),
+        "bank-stall" => FaultConfig::bank_stall(seed),
+        "mshr-squeeze" => FaultConfig::mshr_squeeze(seed),
+        "counter-noise" => FaultConfig::counter_noise(seed),
+        other => {
+            return Err(format!(
+                "unknown fault class {other:?}; use all, dram-spike, refresh-storm, \
+                 bank-stall, mshr-squeeze or counter-noise"
+            ))
+        }
+    };
+    Ok(Some(cfg))
+}
+
 fn cmd_online(a: &Args) -> Result<(), String> {
     let w = workload_from(a)?;
     let n = a.int_or("instructions", 600_000)? as usize;
     let seed = a.int_or("seed", 7)?;
     let interval = a.int_or("interval", 20_000)?;
     let grain = grain_from(a, 0.50)?;
+    let faults = fault_config_from(a)?;
     let trace = w.generator().generate(n, seed);
     let base = HwConfig::A.apply(&SystemConfig::default());
-    let mut sys = System::new_looping(base, trace, 100, seed);
+    let mut sys = System::try_new_looping(base, trace, 100, seed).map_err(|e| e.to_string())?;
     sys.cmp_mut().warm_up(30_000);
-    let mut ctl = OnlineLpmController::new(HwConfig::A, interval, grain);
-    let log = ctl.run(&mut sys, 12);
+    let mut ctl = if faults.is_some() {
+        // Faulted sensors need the defensive preset.
+        OnlineLpmController::new_hardened(HwConfig::A, interval, grain)
+    } else {
+        OnlineLpmController::new(HwConfig::A, interval, grain)
+    }
+    .map_err(|e| e.to_string())?;
+    if let Some(cfg) = faults {
+        sys.enable_faults(cfg);
+    }
+    let log = ctl.try_run(&mut sys, 12).map_err(|e| e.to_string())?;
     println!(
-        "{:>9} {:>7} {:>7} {:>6}  {:<20} {:>5} {:>4} {:>5}",
-        "cycle", "LPMR1", "T1", "IPC", "action", "width", "IW", "MSHR"
+        "{:>9} {:>7} {:>7} {:>6} {:>6}  {:<20} {:>5} {:>4} {:>5}",
+        "cycle", "LPMR1", "T1", "IPC", "budget", "action", "width", "IW", "MSHR"
     );
     for r in &log {
         println!(
-            "{:>9} {:>7.2} {:>7.2} {:>6.2}  {:<20} {:>5} {:>4} {:>5}",
+            "{:>9} {:>7.2} {:>7.2} {:>6.2} {:>6}  {:<20} {:>5} {:>4} {:>5}",
             r.cycle,
             r.measurement.lpmr1,
             r.measurement.t1,
             r.ipc,
+            if r.stall_budget_met { "Y" } else { "n" },
             format!("{:?}", r.action),
             r.hw.issue_width,
             r.hw.iw_size,
@@ -303,10 +339,32 @@ fn cmd_online(a: &Args) -> Result<(), String> {
         );
     }
     if let (Some(first), Some(last)) = (log.first(), log.last()) {
+        let met = log.iter().filter(|r| r.stall_budget_met).count();
         println!(
-            "adaptation: LPMR1 {:.2} → {:.2}, IPC {:.2} → {:.2}",
-            first.measurement.lpmr1, last.measurement.lpmr1, first.ipc, last.ipc
+            "adaptation: LPMR1 {:.2} → {:.2}, IPC {:.2} → {:.2}; \
+             stall budget met in {met}/{} intervals",
+            first.measurement.lpmr1,
+            last.measurement.lpmr1,
+            first.ipc,
+            last.ipc,
+            log.len()
         );
+    }
+    if a.options.contains_key("faults") {
+        let h = ctl.health();
+        println!(
+            "controller health: {} degenerate window(s), {} sensor fault(s), \
+             {} rollback(s), {} clamped step(s), {} oscillation trip(s)",
+            h.degenerate_windows, h.sensor_faults, h.rollbacks, h.clamped_steps, h.oscillation_trips
+        );
+        if let Some(fs) = sys.fault_stats() {
+            println!(
+                "injected: {} DRAM spike(s), {} refresh storm(s), {} bank stall(s), \
+                 {} MSHR squeeze(s) over {} faulted cycle(s)",
+                fs.spike_events, fs.storm_events, fs.stall_events, fs.squeeze_events,
+                fs.faulted_cycles
+            );
+        }
     }
     Ok(())
 }

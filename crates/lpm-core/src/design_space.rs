@@ -136,26 +136,47 @@ impl HwConfig {
     /// Raise the L1-side knobs one notch each (IW, ROB, ports, MSHRs,
     /// width). Returns `false` if every knob is already at its maximum.
     pub fn bump_l1(&mut self) -> bool {
-        let mut changed = false;
-        if let Some(v) = Self::bump(WINDOWS, self.iw_size) {
-            self.iw_size = v;
-            changed = true;
+        self.bump_l1_limited(u32::MAX) > 0
+    }
+
+    /// Like [`HwConfig::bump_l1`], but raise at most `max_knobs` knob
+    /// groups (window = IW+ROB together, ports, MSHRs, width — in that
+    /// order). Returns the number of groups actually changed. The
+    /// hardened online controller uses this to clamp reconfiguration step
+    /// sizes so a single noisy interval cannot jump the whole ladder.
+    pub fn bump_l1_limited(&mut self, max_knobs: u32) -> u32 {
+        let mut changed = 0u32;
+        if changed < max_knobs {
+            let mut window = false;
+            if let Some(v) = Self::bump(WINDOWS, self.iw_size) {
+                self.iw_size = v;
+                window = true;
+            }
+            if let Some(v) = Self::bump(WINDOWS, self.rob_size) {
+                self.rob_size = v;
+                window = true;
+            }
+            if window {
+                changed += 1;
+            }
         }
-        if let Some(v) = Self::bump(WINDOWS, self.rob_size) {
-            self.rob_size = v;
-            changed = true;
+        if changed < max_knobs {
+            if let Some(v) = Self::bump(PORTS, self.l1_ports) {
+                self.l1_ports = v;
+                changed += 1;
+            }
         }
-        if let Some(v) = Self::bump(PORTS, self.l1_ports) {
-            self.l1_ports = v;
-            changed = true;
+        if changed < max_knobs {
+            if let Some(v) = Self::bump(MSHRS, self.mshrs) {
+                self.mshrs = v;
+                changed += 1;
+            }
         }
-        if let Some(v) = Self::bump(MSHRS, self.mshrs) {
-            self.mshrs = v;
-            changed = true;
-        }
-        if let Some(v) = Self::bump(WIDTHS, self.issue_width) {
-            self.issue_width = v;
-            changed = true;
+        if changed < max_knobs {
+            if let Some(v) = Self::bump(WIDTHS, self.issue_width) {
+                self.issue_width = v;
+                changed += 1;
+            }
         }
         changed
     }

@@ -17,7 +17,11 @@
 //!   Fig. 7 APC1/APC2 data).
 //! * [`online`] — the interval-driven online controller: measures a
 //!   *running* reconfigurable system each interval and retunes it on the
-//!   fly (the paper's deployment model).
+//!   fly (the paper's deployment model), with optional hardening
+//!   (hysteresis, step clamping, oscillation detection, rollback) for
+//!   faulted environments.
+//! * [`error`] — [`LpmError`], the unified error type across the
+//!   simulator/model/controller boundary.
 //! * [`burst`] — the §IV measurement-interval study (how many bursty
 //!   access phases are perceived and processed timely at 10/20/40-cycle
 //!   intervals).
@@ -27,6 +31,7 @@
 
 pub mod burst;
 pub mod design_space;
+pub mod error;
 pub mod hsp;
 pub mod measurement;
 pub mod online;
@@ -36,9 +41,10 @@ pub mod sched;
 pub mod validation;
 
 pub use design_space::{HwConfig, TableIRow};
+pub use error::LpmError;
 pub use hsp::{fairness, harmonic_weighted_speedup, weighted_speedup};
 pub use measurement::LpmMeasurement;
-pub use online::OnlineLpmController;
+pub use online::{ControllerHealth, HardeningConfig, IntervalRecord, OnlineLpmController};
 pub use optimizer::{LpmAction, LpmOptimizer, LpmOutcome, Tunable};
 pub use profile::{profile_suite, WorkloadProfile};
 pub use sched::{NucaLayout, Scheduler, SchedulerKind};

@@ -8,16 +8,41 @@
 //! 4-cycle reconfiguration cost), resets the measurement window, and lets
 //! execution continue — no re-simulation, exactly like the hardware
 //! approach of §V.A.
+//!
+//! # Robustness
+//!
+//! Deployed controllers read *sensors*, and sensors lie: counters drop
+//! out, DRAM refresh storms distort a window, transient stalls inflate
+//! LPMR for one interval. [`HardeningConfig`] adds four defenses, each
+//! off by default so the clean-path behaviour is bit-identical to the
+//! unhardened controller:
+//!
+//! * **hysteresis** on the T1/T2 comparisons, so noise straddling a
+//!   threshold cannot flip the decision every interval;
+//! * **clamped step sizes**, so a single wild measurement cannot jump
+//!   several ladder notches at once;
+//! * **oscillation detection**: repeated grow↔shed direction flips
+//!   (Case I/II ↔ III ping-pong) freeze further reconfiguration;
+//! * **rollback**: after `rollback_after` consecutive IPC-regressing
+//!   intervals the controller restores the best configuration seen.
+//!
+//! Degenerate windows (no retirements, no L1 accesses, or model-rejected
+//! counters) are *skipped and counted* in [`ControllerHealth`] rather
+//! than silently ending adaptation.
 
 use lpm_model::Grain;
 use lpm_sim::{Cmp, System};
 
 use crate::design_space::HwConfig;
+use crate::error::LpmError;
 use crate::measurement::LpmMeasurement;
 use crate::optimizer::{LpmAction, LpmOptimizer};
 
 /// Cycles one reconfiguration operation costs (the paper's figure).
 pub const RECONFIG_COST_CYCLES: u64 = 4;
+
+/// Minimum measurement interval accepted by the controller, cycles.
+pub const MIN_INTERVAL_CYCLES: u64 = 100;
 
 /// One interval's record in the adaptation log.
 #[derive(Debug, Clone)]
@@ -32,6 +57,78 @@ pub struct IntervalRecord {
     pub hw: HwConfig,
     /// IPC measured over the interval.
     pub ipc: f64,
+    /// Whether the measured stall met the Δ budget this interval.
+    pub stall_budget_met: bool,
+}
+
+/// Defensive-control parameters. The default configuration disables
+/// every defense, making the controller behave exactly like the
+/// original unhardened implementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardeningConfig {
+    /// Hysteresis band around the T1/T2 comparisons, as a fraction of
+    /// each threshold. `0.0` disables (exact comparisons).
+    pub hysteresis: f64,
+    /// Maximum L1-side knob groups raised per interval. `u32::MAX`
+    /// disables clamping (every knob climbs one notch, the original
+    /// behaviour).
+    pub max_step_knobs: u32,
+    /// Consecutive IPC-regressing intervals before rolling back to the
+    /// best configuration observed. `0` disables rollback.
+    pub rollback_after: u32,
+    /// Grow↔shed direction flips tolerated before reconfiguration is
+    /// frozen for the rest of the run. `0` disables the detector.
+    pub oscillation_limit: u32,
+}
+
+impl Default for HardeningConfig {
+    fn default() -> Self {
+        HardeningConfig {
+            hysteresis: 0.0,
+            max_step_knobs: u32::MAX,
+            rollback_after: 0,
+            oscillation_limit: 0,
+        }
+    }
+}
+
+impl HardeningConfig {
+    /// A reasonable all-defenses-on preset for faulted environments:
+    /// 5% hysteresis, at most two knob groups per step, rollback after
+    /// three regressing intervals, freeze after six direction flips.
+    pub fn hardened() -> Self {
+        HardeningConfig {
+            hysteresis: 0.05,
+            max_step_knobs: 2,
+            rollback_after: 3,
+            oscillation_limit: 6,
+        }
+    }
+}
+
+/// Counters describing how the controller coped with a run: how many
+/// windows were unusable, how often defenses fired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControllerHealth {
+    /// Windows with no retirements or no L1 accesses (skipped).
+    pub degenerate_windows: u64,
+    /// Windows whose counters the model rejected (skipped) — the
+    /// signature of counter dropout or noise faults.
+    pub sensor_faults: u64,
+    /// Rollbacks to the last-known-good configuration.
+    pub rollbacks: u64,
+    /// Growth steps that were truncated by the step-size clamp.
+    pub clamped_steps: u64,
+    /// Times the oscillation detector froze reconfiguration.
+    pub oscillation_trips: u64,
+}
+
+/// Direction of the last applied reconfiguration (for the oscillation
+/// detector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Grow,
+    Shed,
 }
 
 /// Interval-driven LPM controller for a single-core reconfigurable
@@ -49,18 +146,62 @@ pub struct OnlineLpmController {
     pub optimizer: LpmOptimizer,
     /// Current hardware configuration.
     pub hw: HwConfig,
+    /// Defensive-control parameters.
+    pub hardening: HardeningConfig,
+    health: ControllerHealth,
+    /// Best (configuration, IPC) observed so far, for rollback.
+    best: Option<(HwConfig, f64)>,
+    /// Consecutive intervals with IPC below the best observed.
+    regress_streak: u32,
+    last_direction: Option<Direction>,
+    direction_flips: u32,
+    /// Set when the oscillation detector trips; no further
+    /// reconfigurations are applied.
+    frozen: bool,
 }
 
 impl OnlineLpmController {
     /// A controller starting from `hw` with the given interval and grain.
-    pub fn new(hw: HwConfig, interval_cycles: u64, grain: Grain) -> Self {
-        assert!(interval_cycles >= 100, "intervals need enough samples");
-        OnlineLpmController {
+    ///
+    /// Fails with [`LpmError::InvalidInterval`] when `interval_cycles`
+    /// is too short to carry meaningful counters.
+    pub fn new(hw: HwConfig, interval_cycles: u64, grain: Grain) -> Result<Self, LpmError> {
+        if interval_cycles < MIN_INTERVAL_CYCLES {
+            return Err(LpmError::InvalidInterval {
+                got: interval_cycles,
+                min: MIN_INTERVAL_CYCLES,
+            });
+        }
+        Ok(OnlineLpmController {
             interval_cycles,
             grain,
             optimizer: LpmOptimizer::default(),
             hw,
-        }
+            hardening: HardeningConfig::default(),
+            health: ControllerHealth::default(),
+            best: None,
+            regress_streak: 0,
+            last_direction: None,
+            direction_flips: 0,
+            frozen: false,
+        })
+    }
+
+    /// Like [`OnlineLpmController::new`], with the
+    /// [`HardeningConfig::hardened`] defenses enabled.
+    pub fn new_hardened(
+        hw: HwConfig,
+        interval_cycles: u64,
+        grain: Grain,
+    ) -> Result<Self, LpmError> {
+        let mut c = Self::new(hw, interval_cycles, grain)?;
+        c.hardening = HardeningConfig::hardened();
+        Ok(c)
+    }
+
+    /// Health counters accumulated across `run`/`try_run` calls.
+    pub fn health(&self) -> ControllerHealth {
+        self.health
     }
 
     /// Apply the controller's current configuration to the live system.
@@ -72,52 +213,153 @@ impl OnlineLpmController {
         cmp.reconfigure_l2(cfg.l2.ports, cfg.l2.mshrs, cfg.l2.banks);
     }
 
+    /// Grow the L1-side knobs under the step-size clamp; returns whether
+    /// anything changed and updates the clamp counter.
+    fn clamped_bump_l1(&mut self) -> bool {
+        let max = self.hardening.max_step_knobs;
+        if max == u32::MAX {
+            return self.hw.bump_l1();
+        }
+        let mut probe = self.hw;
+        let unclamped = probe.bump_l1_limited(u32::MAX);
+        let taken = self.hw.bump_l1_limited(max);
+        if unclamped > taken {
+            self.health.clamped_steps += 1;
+        }
+        taken > 0
+    }
+
+    /// Note an applied reconfiguration's direction and trip the
+    /// oscillation detector on too many grow↔shed flips.
+    fn note_direction(&mut self, dir: Direction) {
+        if let Some(last) = self.last_direction {
+            if last != dir {
+                self.direction_flips += 1;
+            }
+        }
+        self.last_direction = Some(dir);
+        let limit = self.hardening.oscillation_limit;
+        if limit > 0 && self.direction_flips >= limit && !self.frozen {
+            self.frozen = true;
+            self.health.oscillation_trips += 1;
+        }
+    }
+
     /// Run `intervals` adaptation intervals on the live system, returning
     /// the adaptation log. The system keeps executing its trace
-    /// throughout; each record reflects one window.
+    /// throughout; each record reflects one window. Panics on simulator
+    /// errors; use [`OnlineLpmController::try_run`] for typed errors.
     pub fn run(&mut self, sys: &mut System, intervals: usize) -> Vec<IntervalRecord> {
+        self.try_run(sys, intervals).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`OnlineLpmController::run`]: simulator
+    /// failures (deadlock, invalid reconfiguration) come back as
+    /// [`LpmError`] with the adaptation completed so far discarded.
+    pub fn try_run(
+        &mut self,
+        sys: &mut System,
+        intervals: usize,
+    ) -> Result<Vec<IntervalRecord>, LpmError> {
         self.apply(sys);
         sys.cmp_mut().reset_measurement();
         let mut log = Vec::with_capacity(intervals);
         for _ in 0..intervals {
-            sys.run_for(self.interval_cycles);
+            sys.try_run_for(self.interval_cycles)?;
             let report = sys.report();
             if report.core.retired == 0 || report.l1.accesses == 0 {
-                // Nothing measurable this window (e.g. trace drained).
-                break;
-            }
-            let Ok(m) = LpmMeasurement::from_report(&report, self.grain) else {
-                break;
-            };
-            let action = self.optimizer.decide(&m);
-            let applied = match action {
-                LpmAction::OptimizeBoth => {
-                    let a = self.hw.bump_l1();
-                    let b = self.hw.bump_l2();
-                    a || b
+                // Nothing measurable this window: the trace drained, or a
+                // fault (bank stall, counter dropout) blanked the sensors.
+                self.health.degenerate_windows += 1;
+                sys.cmp_mut().reset_measurement();
+                if sys.finished() {
+                    break;
                 }
-                LpmAction::OptimizeL1 => self.hw.bump_l1(),
-                LpmAction::ReduceOverprovision => self.hw.shed(),
-                LpmAction::Done => false,
+                continue;
+            }
+            let m = match LpmMeasurement::from_report(&report, self.grain) {
+                Ok(m) => m,
+                Err(_) => {
+                    // The model rejected the window's counters — the
+                    // signature of sensor noise. Skip, count, continue.
+                    self.health.sensor_faults += 1;
+                    sys.cmp_mut().reset_measurement();
+                    if sys.finished() {
+                        break;
+                    }
+                    continue;
+                }
+            };
+            let ipc = report.core.ipc();
+
+            // Rollback bookkeeping: `ipc` was produced by the current
+            // `self.hw` (the config live during this window).
+            let mut rolled_back = false;
+            match self.best {
+                Some((_, best_ipc)) if ipc <= best_ipc => {
+                    self.regress_streak += 1;
+                    let after = self.hardening.rollback_after;
+                    if after > 0 && self.regress_streak >= after {
+                        if let Some((best_hw, _)) = self.best {
+                            if best_hw != self.hw {
+                                self.hw = best_hw;
+                                self.apply(sys);
+                                sys.try_run_for(RECONFIG_COST_CYCLES)?;
+                                self.health.rollbacks += 1;
+                                rolled_back = true;
+                            }
+                        }
+                        self.regress_streak = 0;
+                    }
+                }
+                _ => {
+                    self.best = Some((self.hw, ipc));
+                    self.regress_streak = 0;
+                }
+            }
+
+            let action = self
+                .optimizer
+                .decide_with_hysteresis(&m, self.hardening.hysteresis);
+            let applied = if rolled_back || self.frozen {
+                // A rollback supersedes this interval's action; a tripped
+                // oscillation detector freezes the configuration.
+                false
+            } else {
+                match action {
+                    LpmAction::OptimizeBoth => {
+                        let a = self.clamped_bump_l1();
+                        let b = self.hw.bump_l2();
+                        a || b
+                    }
+                    LpmAction::OptimizeL1 => self.clamped_bump_l1(),
+                    LpmAction::ReduceOverprovision => self.hw.shed(),
+                    LpmAction::Done => false,
+                }
             };
             if applied {
+                self.note_direction(match action {
+                    LpmAction::ReduceOverprovision => Direction::Shed,
+                    _ => Direction::Grow,
+                });
                 self.apply(sys);
                 // The paper's reconfiguration cost: the core pauses.
-                sys.run_for(RECONFIG_COST_CYCLES);
+                sys.try_run_for(RECONFIG_COST_CYCLES)?;
             }
             log.push(IntervalRecord {
                 cycle: sys.now(),
                 measurement: m,
                 action,
                 hw: self.hw,
-                ipc: report.core.ipc(),
+                ipc,
+                stall_budget_met: m.stall_budget_met(),
             });
             sys.cmp_mut().reset_measurement();
             if sys.finished() {
                 break;
             }
         }
-        log
+        Ok(log)
     }
 }
 
@@ -133,7 +375,7 @@ mod tests {
         let mut sys = System::new_looping(base, trace, 100, 1);
         // Warm the caches before handing over to the controller.
         sys.cmp_mut().warm_up(30_000);
-        let mut ctl = OnlineLpmController::new(HwConfig::A, 20_000, Grain::Custom(0.5));
+        let mut ctl = OnlineLpmController::new(HwConfig::A, 20_000, Grain::Custom(0.5)).unwrap();
         let log = ctl.run(&mut sys, intervals);
         (log, ctl)
     }
@@ -185,5 +427,59 @@ mod tests {
             log[0].action,
             LpmAction::OptimizeBoth | LpmAction::OptimizeL1
         ));
+    }
+
+    #[test]
+    fn short_intervals_are_rejected_with_a_typed_error() {
+        let err = OnlineLpmController::new(HwConfig::A, 10, Grain::Coarse).unwrap_err();
+        assert_eq!(err, LpmError::InvalidInterval { got: 10, min: 100 });
+        assert!(err.to_string().contains("intervals need enough samples"));
+    }
+
+    #[test]
+    fn default_hardening_is_all_off() {
+        let h = HardeningConfig::default();
+        assert_eq!(h.hysteresis, 0.0);
+        assert_eq!(h.max_step_knobs, u32::MAX);
+        assert_eq!(h.rollback_after, 0);
+        assert_eq!(h.oscillation_limit, 0);
+    }
+
+    #[test]
+    fn hardened_controller_still_adapts_upward_on_a_clean_run() {
+        let trace = SpecWorkload::BwavesLike.generator().generate(600_000, 11);
+        let base = HwConfig::A.apply(&SystemConfig::default());
+        let mut sys = System::new_looping(base, trace, 100, 1);
+        sys.cmp_mut().warm_up(30_000);
+        let mut ctl =
+            OnlineLpmController::new_hardened(HwConfig::A, 20_000, Grain::Custom(0.5)).unwrap();
+        let log = ctl.try_run(&mut sys, 10).unwrap();
+        assert!(!log.is_empty());
+        assert!(
+            ctl.hw.mshrs > HwConfig::A.mshrs || ctl.hw.l1_ports > HwConfig::A.l1_ports,
+            "hardened controller failed to grow: {:?}",
+            ctl.hw
+        );
+        // Clamped growth: steps were limited, so the clamp must have
+        // engaged at least once on this starved starting point.
+        assert!(ctl.health().clamped_steps > 0);
+    }
+
+    #[test]
+    fn clamp_limits_knobs_per_step() {
+        let mut hw = HwConfig::A;
+        let changed = hw.bump_l1_limited(1);
+        assert_eq!(changed, 1);
+        // Only the window group moved.
+        assert!(hw.iw_size > HwConfig::A.iw_size);
+        assert_eq!(hw.l1_ports, HwConfig::A.l1_ports);
+        assert_eq!(hw.mshrs, HwConfig::A.mshrs);
+        assert_eq!(hw.issue_width, HwConfig::A.issue_width);
+        // Unlimited matches the legacy all-knobs bump.
+        let mut a = HwConfig::A;
+        let mut b = HwConfig::A;
+        a.bump_l1();
+        b.bump_l1_limited(u32::MAX);
+        assert_eq!(a, b);
     }
 }

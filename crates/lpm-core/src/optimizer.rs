@@ -49,14 +49,29 @@ impl Default for LpmOptimizer {
 impl LpmOptimizer {
     /// Classify a measurement into one of the four cases of Fig. 3.
     pub fn decide(&self, m: &LpmMeasurement) -> LpmAction {
+        // hysteresis = 0 multiplies the thresholds by exactly 1.0, so
+        // this is bit-identical to the unhardened comparison.
+        self.decide_with_hysteresis(m, 0.0)
+    }
+
+    /// Like [`LpmOptimizer::decide`], but with a hysteresis band of
+    /// `hysteresis` (a fraction of each threshold) around the T1/T2
+    /// comparisons: growth requires overshooting `T1 × (1 + h)` and
+    /// shedding requires undershooting `T1 × (1 − h)`, so measurement
+    /// noise straddling a threshold does not flip the decision each
+    /// interval.
+    pub fn decide_with_hysteresis(&self, m: &LpmMeasurement, hysteresis: f64) -> LpmAction {
         let delta = self.delta_frac * m.t1;
-        if m.lpmr1 > m.t1 {
-            if m.lpmr2 > m.t2 {
+        let t1_hi = m.t1 * (1.0 + hysteresis);
+        let t2_hi = m.t2 * (1.0 + hysteresis);
+        let t1_lo = m.t1 * (1.0 - hysteresis);
+        if m.lpmr1 > t1_hi {
+            if m.lpmr2 > t2_hi {
                 LpmAction::OptimizeBoth
             } else {
                 LpmAction::OptimizeL1
             }
-        } else if m.lpmr1 + delta < m.t1 {
+        } else if m.lpmr1 + delta < t1_lo {
             LpmAction::ReduceOverprovision
         } else {
             LpmAction::Done

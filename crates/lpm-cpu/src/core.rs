@@ -49,11 +49,30 @@ impl CoreConfig {
 
     /// Validate structural constraints.
     pub fn validate(&self) {
-        assert!(self.issue_width >= 1, "issue width must be >= 1");
-        assert!(self.iw_size >= 1, "issue window must hold an instruction");
-        assert!(self.rob_size >= 1, "ROB must hold an instruction");
-        assert!(self.compute_latency >= 1);
-        assert!(self.store_buffer >= 1, "store buffer must hold an entry");
+        if let Err(msg) = self.try_validate() {
+            panic!("{msg}");
+        }
+    }
+
+    /// Validate structural constraints, returning a descriptive message
+    /// on violation instead of panicking.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.issue_width < 1 {
+            return Err("issue width must be >= 1".into());
+        }
+        if self.iw_size < 1 {
+            return Err("issue window must hold an instruction".into());
+        }
+        if self.rob_size < 1 {
+            return Err("ROB must hold an instruction".into());
+        }
+        if self.compute_latency < 1 {
+            return Err("compute latency must be >= 1".into());
+        }
+        if self.store_buffer < 1 {
+            return Err("store buffer must hold an entry".into());
+        }
+        Ok(())
     }
 }
 

@@ -59,14 +59,30 @@ impl DramConfig {
 
     /// Validate structural constraints.
     pub fn validate(&self) {
-        assert!(self.channels >= 1, "need at least one channel");
-        assert!(self.banks_per_channel >= 1, "need at least one bank");
-        assert!(
-            self.row_bytes.is_power_of_two() && self.row_bytes >= 64,
-            "row size must be a power of two >= 64"
-        );
-        assert!(self.t_cas >= 1 && self.burst_cycles >= 1);
-        assert!(self.queue_depth >= 1);
+        if let Err(msg) = self.try_validate() {
+            panic!("{msg}");
+        }
+    }
+
+    /// Validate structural constraints, returning a descriptive message
+    /// on violation instead of panicking.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.channels < 1 {
+            return Err("need at least one channel".into());
+        }
+        if self.banks_per_channel < 1 {
+            return Err("need at least one bank".into());
+        }
+        if !(self.row_bytes.is_power_of_two() && self.row_bytes >= 64) {
+            return Err("row size must be a power of two >= 64".into());
+        }
+        if self.t_cas < 1 || self.burst_cycles < 1 {
+            return Err("t_cas and burst_cycles must be >= 1".into());
+        }
+        if self.queue_depth < 1 {
+            return Err("queue depth must be >= 1".into());
+        }
+        Ok(())
     }
 
     /// Map an address to `(channel, bank, row)`.

@@ -70,6 +70,12 @@ struct Channel {
 pub struct Dram {
     cfg: DramConfig,
     channels: Vec<Channel>,
+    /// Fault injection: extra cycles added to every newly issued access
+    /// (a latency spike).
+    fault_extra_latency: u64,
+    /// Fault injection: while set, no new commands issue (a refresh
+    /// storm). Queued requests wait; in-flight transfers still complete.
+    fault_blocked: bool,
     stats: DramStats,
 }
 
@@ -88,8 +94,20 @@ impl Dram {
         Dram {
             cfg,
             channels,
+            fault_extra_latency: 0,
+            fault_blocked: false,
             stats: DramStats::default(),
         }
+    }
+
+    /// Set (or clear) the injected fault state for this cycle:
+    /// `extra_latency` is added to each newly issued access's array
+    /// latency; `blocked` suppresses command issue entirely (requests
+    /// queue up, completions still drain). Clearing (`0, false`) restores
+    /// nominal behaviour exactly.
+    pub fn set_fault(&mut self, extra_latency: u64, blocked: bool) {
+        self.fault_extra_latency = extra_latency;
+        self.fault_blocked = blocked;
     }
 
     /// The configuration.
@@ -136,6 +154,8 @@ impl Dram {
         if self.outstanding() > 0 {
             self.stats.busy_cycles += 1;
         }
+        let fault_blocked = self.fault_blocked;
+        let fault_extra_latency = self.fault_extra_latency;
         for channel in &mut self.channels {
             // Completions first.
             let mut i = 0;
@@ -151,6 +171,11 @@ impl Dram {
                 } else {
                     i += 1;
                 }
+            }
+            // A refresh storm blocks command issue; completions above
+            // still drain.
+            if fault_blocked {
+                continue;
             }
             // Pick the next request to issue (one command per channel per
             // cycle). The bank must be free; the data bus is *reserved*
@@ -206,7 +231,7 @@ impl Dram {
             bank.open_row = Some(q.row);
             // The transfer takes the first bus slot after the array access
             // completes; the bank stays busy through its transfer.
-            let data_start = (now + access_latency).max(channel.bus_free_at);
+            let data_start = (now + access_latency + fault_extra_latency).max(channel.bus_free_at);
             let done = data_start + self.cfg.burst_cycles;
             bank.busy_until = done;
             channel.bus_free_at = done;

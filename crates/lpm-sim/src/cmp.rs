@@ -30,6 +30,8 @@ use lpm_model::LayerCounters;
 use lpm_trace::Trace;
 
 use crate::analyzer::{CacheAnalyzer, DramAnalyzer};
+use crate::error::SimError;
+use crate::fault::{FaultConfig, FaultInjector, FaultStats};
 use crate::report::SystemReport;
 
 /// Per-core configuration slot (heterogeneous L1s are the point of case
@@ -62,7 +64,8 @@ struct LevelReq {
 }
 
 /// How many cycles without any retirement before the simulator assumes a
-/// deadlock and panics (a simulator bug, not a modelling outcome).
+/// deadlock (a simulator bug, not a modelling outcome). [`Cmp::try_step`]
+/// reports it as [`SimError::Deadlock`]; the legacy [`Cmp::step`] panics.
 const WATCHDOG_CYCLES: u64 = 500_000;
 
 /// The N-core chip multiprocessor. The shared side of the hierarchy is a
@@ -89,6 +92,9 @@ pub struct Cmp {
     mlp_quota: Option<u32>,
     /// Outstanding shared-L2 demand fills per core.
     l2_outstanding: Vec<u32>,
+    /// Optional fault injector (robustness testing); `None` leaves the
+    /// simulation bit-for-bit identical to a clean run.
+    fault: Option<FaultInjector>,
     now: u64,
     last_retired_total: u64,
     last_progress_cycle: u64,
@@ -135,9 +141,22 @@ impl Cmp {
         Self::new_with_hierarchy(slots, vec![l2], dram, traces, repeats, seed)
     }
 
+    /// Fallible variant of [`Cmp::new_looping`].
+    pub fn try_new_looping(
+        slots: Vec<CoreSlot>,
+        l2: CacheConfig,
+        dram: DramConfig,
+        traces: Vec<Trace>,
+        repeats: u32,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        Self::try_new_with_hierarchy(slots, vec![l2], dram, traces, repeats, seed)
+    }
+
     /// Fully general constructor: the shared side of the hierarchy is the
     /// chain `shared_cfgs[0] → shared_cfgs[1] → … → DRAM` (e.g. an L2
-    /// followed by an L3).
+    /// followed by an L3). Panics on an invalid configuration; see
+    /// [`Cmp::try_new_with_hierarchy`] for the fallible variant.
     pub fn new_with_hierarchy(
         slots: Vec<CoreSlot>,
         shared_cfgs: Vec<CacheConfig>,
@@ -146,41 +165,66 @@ impl Cmp {
         repeats: u32,
         seed: u64,
     ) -> Self {
-        assert_eq!(slots.len(), traces.len(), "one trace per core");
-        assert!(!slots.is_empty(), "need at least one core");
-        assert!(slots.len() <= 32, "tag encoding supports up to 32 cores");
-        assert!(
-            !shared_cfgs.is_empty() && shared_cfgs.len() <= 8,
-            "need 1..=8 shared levels"
-        );
-        for c in &shared_cfgs {
-            c.validate();
-            assert_eq!(
-                c.line_bytes, shared_cfgs[0].line_bytes,
-                "mixed line sizes are not modelled"
-            );
+        Self::try_new_with_hierarchy(slots, shared_cfgs, dram, traces, repeats, seed)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Cmp::new_with_hierarchy`], but structural configuration
+    /// problems come back as [`SimError::InvalidConfig`] instead of
+    /// panicking.
+    pub fn try_new_with_hierarchy(
+        slots: Vec<CoreSlot>,
+        shared_cfgs: Vec<CacheConfig>,
+        dram: DramConfig,
+        traces: Vec<Trace>,
+        repeats: u32,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        let bad = |msg: String| Err(SimError::InvalidConfig(msg));
+        if slots.len() != traces.len() {
+            return bad(format!(
+                "one trace per core ({} slots, {} traces)",
+                slots.len(),
+                traces.len()
+            ));
         }
+        if slots.is_empty() {
+            return bad("need at least one core".into());
+        }
+        if slots.len() > 32 {
+            return bad("tag encoding supports up to 32 cores".into());
+        }
+        if shared_cfgs.is_empty() || shared_cfgs.len() > 8 {
+            return bad(format!("need 1..=8 shared levels, got {}", shared_cfgs.len()));
+        }
+        for c in &shared_cfgs {
+            c.try_validate().map_err(SimError::InvalidConfig)?;
+            if c.line_bytes != shared_cfgs[0].line_bytes {
+                return bad("mixed line sizes are not modelled".into());
+            }
+        }
+        dram.try_validate().map_err(SimError::InvalidConfig)?;
         let l2 = &shared_cfgs[0];
         let n = slots.len();
         let mut cores = Vec::with_capacity(n);
         let mut l1s = Vec::with_capacity(n);
         let mut l1_analyzers = Vec::with_capacity(n);
         for (i, (slot, mut trace)) in slots.into_iter().zip(traces).enumerate() {
-            slot.l1.validate();
-            assert_eq!(
-                slot.l1.line_bytes, l2.line_bytes,
-                "mixed line sizes are not modelled"
-            );
+            slot.core.try_validate().map_err(SimError::InvalidConfig)?;
+            slot.l1.try_validate().map_err(SimError::InvalidConfig)?;
+            if slot.l1.line_bytes != l2.line_bytes {
+                return bad("mixed line sizes are not modelled".into());
+            }
             let max_addr = trace
                 .iter()
                 .filter_map(|ins| ins.op.addr())
                 .max()
                 .unwrap_or(0);
-            assert!(
-                max_addr < 1 << CORE_SPACE_BITS,
-                "trace addresses must fit in {} bits, found {max_addr:#x}",
-                CORE_SPACE_BITS
-            );
+            if max_addr >= 1 << CORE_SPACE_BITS {
+                return bad(format!(
+                    "trace addresses must fit in {CORE_SPACE_BITS} bits, found {max_addr:#x}"
+                ));
+            }
             trace.relocate((i as u64) << CORE_SPACE_BITS);
             let analyzer = CacheAnalyzer::new(slot.l1.hit_latency);
             l1s.push(Cache::new(slot.l1, seed.wrapping_add(i as u64)));
@@ -197,7 +241,7 @@ impl Cmp {
             .map(|(j, c)| Cache::new(c, seed.wrapping_mul(31 + j as u64)))
             .collect();
         let level_queues = (0..shared.len()).map(|_| VecDeque::new()).collect();
-        Cmp {
+        Ok(Cmp {
             cores,
             l1s,
             l1_analyzers,
@@ -211,10 +255,36 @@ impl Cmp {
             finished_at: vec![None; n],
             mlp_quota: None,
             l2_outstanding: vec![0; n],
+            fault: None,
             now: 0,
             last_retired_total: 0,
             last_progress_cycle: 0,
+        })
+    }
+
+    /// Attach (or with `None` detach) a fault injector. The injector is
+    /// ticked once per cycle before the hardware advances; detached, the
+    /// simulation is bit-for-bit identical to a clean run.
+    pub fn set_fault_injector(&mut self, inj: Option<FaultInjector>) {
+        if inj.is_none() {
+            // Clear any residual fault state in the hardware.
+            self.dram.set_fault(0, false);
+            for c in self.l1s.iter_mut().chain(self.shared.iter_mut()) {
+                c.set_fault(false, 0);
+            }
         }
+        self.fault = inj;
+    }
+
+    /// Enable fault injection per `cfg` (convenience over
+    /// [`Cmp::set_fault_injector`]).
+    pub fn enable_faults(&mut self, cfg: FaultConfig) {
+        self.set_fault_injector(Some(FaultInjector::new(cfg)));
+    }
+
+    /// Injection totals, when an injector is attached.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault.as_ref().map(|f| f.stats())
     }
 
     /// Enable (or disable with `None`) memory-parallelism partitioning:
@@ -324,7 +394,7 @@ impl Cmp {
     /// A full report for core `i`; `cpi_exe` comes from a perfect-cache
     /// run of the same trace (see [`crate::System::measure_cpi_exe`]).
     pub fn report_for(&self, i: usize, cpi_exe: f64) -> SystemReport {
-        SystemReport {
+        let mut r = SystemReport {
             core: *self.cores[i].stats(),
             l1: self.l1_analyzers[i].counters(),
             l2: self.shared_analyzers[0].counters(),
@@ -332,7 +402,13 @@ impl Cmp {
             dram_accesses: self.dram_analyzer.accesses,
             dram_active_cycles: self.dram_analyzer.active_cycles,
             cpi_exe,
+        };
+        // Sensor faults (counter noise/dropout) act at read-out only, so
+        // the same window reads identically however often it is sampled.
+        if let Some(inj) = &self.fault {
+            inj.perturb_report(&mut r, self.now);
         }
+        r
     }
 
     /// Exclude everything measured so far (warmup): zero core statistics
@@ -368,13 +444,19 @@ impl Cmp {
     /// every core finishes), then reset measurement windows. Returns the
     /// warmup cycle count.
     pub fn warm_up(&mut self, instructions: u64) -> u64 {
+        self.try_warm_up(instructions)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Cmp::warm_up`].
+    pub fn try_warm_up(&mut self, instructions: u64) -> Result<u64, SimError> {
         let target = self.cores[0].retired() + instructions;
         while self.cores[0].retired() < target && !self.all_finished() {
-            self.step();
+            self.try_step()?;
         }
         let warmup_cycles = self.now;
         self.reset_measurement();
-        warmup_cycles
+        Ok(warmup_cycles)
     }
 
     /// Run until **every** core has retired `instructions` more
@@ -383,6 +465,12 @@ impl Cmp {
     /// where cores progress at very different rates. Returns the warmup
     /// cycle count.
     pub fn warm_up_all(&mut self, instructions: u64) -> u64 {
+        self.try_warm_up_all(instructions)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Cmp::warm_up_all`].
+    pub fn try_warm_up_all(&mut self, instructions: u64) -> Result<u64, SimError> {
         let targets: Vec<u64> = self
             .cores
             .iter()
@@ -397,16 +485,33 @@ impl Cmp {
             if !behind {
                 break;
             }
-            self.step();
+            self.try_step()?;
         }
         let warmup_cycles = self.now;
         self.reset_measurement();
-        warmup_cycles
+        Ok(warmup_cycles)
     }
 
-    /// Advance one cycle.
+    /// Advance one cycle, panicking if the deadlock watchdog fires. See
+    /// [`Cmp::try_step`] for the fallible variant.
     pub fn step(&mut self) {
+        self.try_step().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Advance one cycle. Returns [`SimError::Deadlock`] if no core has
+    /// retired an instruction for longer than the watchdog horizon.
+    pub fn try_step(&mut self) -> Result<(), SimError> {
         let now = self.now;
+
+        // 0. Fault injection: decide what misbehaves this cycle and push
+        // it into the hardware before anything advances.
+        if let Some(inj) = &mut self.fault {
+            let act = inj.tick(now);
+            self.dram.set_fault(act.dram_extra_latency, act.dram_blocked);
+            for c in self.l1s.iter_mut().chain(self.shared.iter_mut()) {
+                c.set_fault(act.cache_stalled, act.mshr_reserved);
+            }
+        }
 
         // 1. Cores.
         for i in 0..self.cores.len() {
@@ -564,43 +669,52 @@ impl Cmp {
             self.last_retired_total = retired_total;
             self.last_progress_cycle = now;
         } else if !self.all_finished() && now - self.last_progress_cycle > WATCHDOG_CYCLES {
-            panic!(
-                "simulator deadlock: no retirement since cycle {} (now {now}); \
-                 queues={:?} to_dram={} shared_mshrs={:?} shared_deferred={:?} \
-                 dram_outstanding={} dram_reads={} \
-                 l1_mshrs={:?} l1_deferred={:?} heads={:#?}",
-                self.last_progress_cycle,
-                self.level_queues
-                    .iter()
-                    .map(|q| q.len())
-                    .collect::<Vec<_>>(),
-                self.to_dram.len(),
-                self.shared
-                    .iter()
-                    .map(|c| c.mshrs_in_use())
-                    .collect::<Vec<_>>(),
-                self.shared
-                    .iter()
-                    .map(|c| c.deferred_misses())
-                    .collect::<Vec<_>>(),
-                self.dram.outstanding(),
-                self.dram.stats().reads,
-                self.l1s
-                    .iter()
-                    .map(|c| c.mshrs_in_use())
-                    .collect::<Vec<_>>(),
-                self.l1s
-                    .iter()
-                    .map(|c| c.deferred_misses())
-                    .collect::<Vec<_>>(),
-                self.cores
-                    .iter()
-                    .map(|c| c.head_debug())
-                    .collect::<Vec<_>>(),
-            );
+            return Err(self.deadlock_error(now));
         }
 
         self.now += 1;
+        Ok(())
+    }
+
+    /// Build the watchdog's diagnostic payload.
+    fn deadlock_error(&self, now: u64) -> SimError {
+        let detail = format!(
+            "queues={:?} to_dram={} shared_mshrs={:?} shared_deferred={:?} \
+             dram_outstanding={} dram_reads={} \
+             l1_mshrs={:?} l1_deferred={:?} heads={:#?}",
+            self.level_queues
+                .iter()
+                .map(|q| q.len())
+                .collect::<Vec<_>>(),
+            self.to_dram.len(),
+            self.shared
+                .iter()
+                .map(|c| c.mshrs_in_use())
+                .collect::<Vec<_>>(),
+            self.shared
+                .iter()
+                .map(|c| c.deferred_misses())
+                .collect::<Vec<_>>(),
+            self.dram.outstanding(),
+            self.dram.stats().reads,
+            self.l1s
+                .iter()
+                .map(|c| c.mshrs_in_use())
+                .collect::<Vec<_>>(),
+            self.l1s
+                .iter()
+                .map(|c| c.deferred_misses())
+                .collect::<Vec<_>>(),
+            self.cores
+                .iter()
+                .map(|c| c.head_debug())
+                .collect::<Vec<_>>(),
+        );
+        SimError::Deadlock {
+            since: self.last_progress_cycle,
+            now,
+            detail,
+        }
     }
 
     /// Whether the memory system has no in-flight work (queues, lookups,
@@ -625,30 +739,41 @@ impl Cmp {
     /// last instruction retires; their fills, evictions and writebacks
     /// complete during the drain). Returns whether all cores finished.
     pub fn run(&mut self, max_cycles: u64) -> bool {
+        self.try_run(max_cycles).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Cmp::run`].
+    pub fn try_run(&mut self, max_cycles: u64) -> Result<bool, SimError> {
         while self.now < max_cycles {
             if self.all_finished() {
                 break;
             }
-            self.step();
+            self.try_step()?;
         }
         if !self.all_finished() {
-            return false;
+            return Ok(false);
         }
         // Bounded drain: every in-flight access resolves within a DRAM
         // round trip plus queueing.
         let drain_budget = self.now + 1_000_000;
         while self.now < drain_budget && !self.memory_idle() {
-            self.step();
+            self.try_step()?;
         }
-        true
+        Ok(true)
     }
 
     /// Run exactly `cycles` more cycles (finished cores idle).
     pub fn run_for(&mut self, cycles: u64) {
+        self.try_run_for(cycles).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible variant of [`Cmp::run_for`].
+    pub fn try_run_for(&mut self, cycles: u64) -> Result<(), SimError> {
         let end = self.now + cycles;
         while self.now < end {
-            self.step();
+            self.try_step()?;
         }
+        Ok(())
     }
 
     /// Run until every core has retired `instructions` more instructions
@@ -656,6 +781,16 @@ impl Cmp {
     /// their target. The fixed-work-per-core measurement window of the
     /// scheduling study.
     pub fn run_until_all_retired(&mut self, instructions: u64, max_cycles: u64) -> bool {
+        self.try_run_until_all_retired(instructions, max_cycles)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Cmp::run_until_all_retired`].
+    pub fn try_run_until_all_retired(
+        &mut self,
+        instructions: u64,
+        max_cycles: u64,
+    ) -> Result<bool, SimError> {
         let targets: Vec<u64> = self
             .cores
             .iter()
@@ -668,11 +803,11 @@ impl Cmp {
                 .zip(&targets)
                 .any(|(c, &t)| !c.finished() && c.retired() < t);
             if !behind {
-                return true;
+                return Ok(true);
             }
-            self.step();
+            self.try_step()?;
         }
-        false
+        Ok(false)
     }
 }
 

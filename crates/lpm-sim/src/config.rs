@@ -36,21 +36,28 @@ impl Default for SystemConfig {
 impl SystemConfig {
     /// Validate all components.
     pub fn validate(&self) {
-        self.core.validate();
-        self.l1.validate();
-        self.l2.validate();
-        self.dram.validate();
-        assert!(
-            self.l1.line_bytes == self.l2.line_bytes,
-            "mixed line sizes between levels are not modelled"
-        );
-        if let Some(l3) = &self.l3 {
-            l3.validate();
-            assert!(
-                l3.line_bytes == self.l2.line_bytes,
-                "mixed line sizes between levels are not modelled"
-            );
+        if let Err(msg) = self.try_validate() {
+            panic!("{msg}");
         }
+    }
+
+    /// Validate all components, returning a descriptive message on
+    /// violation instead of panicking.
+    pub fn try_validate(&self) -> Result<(), String> {
+        self.core.try_validate()?;
+        self.l1.try_validate()?;
+        self.l2.try_validate()?;
+        self.dram.try_validate()?;
+        if self.l1.line_bytes != self.l2.line_bytes {
+            return Err("mixed line sizes between levels are not modelled".into());
+        }
+        if let Some(l3) = &self.l3 {
+            l3.try_validate()?;
+            if l3.line_bytes != self.l2.line_bytes {
+                return Err("mixed line sizes between levels are not modelled".into());
+            }
+        }
+        Ok(())
     }
 }
 

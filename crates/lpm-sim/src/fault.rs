@@ -1,0 +1,510 @@
+//! Deterministic, seeded fault injection.
+//!
+//! Four classes of hardware misbehaviour can be injected into a running
+//! [`crate::Cmp`], mirroring the transient failures a deployed LPM
+//! controller must ride through:
+//!
+//! * **DRAM latency spikes** — every issued DRAM access pays extra array
+//!   latency for the duration of the spike (thermal throttling, rank
+//!   contention from a co-located agent);
+//! * **DRAM refresh storms** — the controller stops issuing new commands
+//!   entirely while queued work backs up (rank-wide refresh, calibration);
+//! * **transient cache-bank stalls** — every cache rejects new demand
+//!   accesses at the ports for a burst of cycles (bank conflict storms,
+//!   way-predictor repair);
+//! * **MSHR-exhaustion bursts** — a slice of each cache's MSHR file is
+//!   held unavailable, throttling miss-level parallelism;
+//!
+//! plus **counter sensor noise & dropout**: the HCD/MCD readings (`H`,
+//! `CH`, `CM`, `Cm`) are perturbed — or an entire layer's counter packet
+//! is lost — at *read-out* only. Sensor faults never touch simulation
+//! state, exactly like a flaky performance-monitoring unit on real
+//! silicon.
+//!
+//! # Determinism
+//!
+//! All decisions derive from [`FaultConfig::seed`] through a splitmix64
+//! stream (event scheduling) and a stateless hash of
+//! `(seed, layer, cycle)` (sensor noise, so read-out stays `&self` and
+//! idempotent). The same seed and configuration produce bit-identical
+//! fault schedules; an empty configuration (or no injector at all)
+//! leaves the simulation bit-for-bit identical to a clean run.
+
+use lpm_model::LayerCounters;
+
+use crate::report::SystemReport;
+
+/// One splitmix64 step: the event-scheduling stream.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Stateless mix of `(seed, lane, cycle)` for read-out sensor noise.
+fn mix(seed: u64, lane: u64, cycle: u64) -> u64 {
+    let mut s = seed ^ lane.wrapping_mul(0xA24BAED4963EE407) ^ cycle.wrapping_mul(0x9FB21C651E98DF25);
+    splitmix(&mut s)
+}
+
+/// A uniform value in `[-1, 1]` from a hash word.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (2.0 / (1u64 << 53) as f64) - 1.0
+}
+
+/// DRAM latency-spike fault class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramSpikeFault {
+    /// Mean cycles between spike onsets (geometric arrival process).
+    pub mean_interval: u64,
+    /// Spike duration, cycles.
+    pub duration: u64,
+    /// Extra array latency per access while the spike is active.
+    pub extra_latency: u64,
+}
+
+impl Default for DramSpikeFault {
+    fn default() -> Self {
+        DramSpikeFault {
+            mean_interval: 3_000,
+            duration: 400,
+            extra_latency: 200,
+        }
+    }
+}
+
+/// DRAM refresh-storm fault class: command issue blocks entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshStormFault {
+    /// Mean cycles between storm onsets.
+    pub mean_interval: u64,
+    /// Storm duration, cycles.
+    pub duration: u64,
+}
+
+impl Default for RefreshStormFault {
+    fn default() -> Self {
+        RefreshStormFault {
+            mean_interval: 8_000,
+            duration: 1_200,
+        }
+    }
+}
+
+/// Transient cache-bank stall fault class: every cache rejects demand
+/// accesses at the ports while active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankStallFault {
+    /// Mean cycles between stall onsets.
+    pub mean_interval: u64,
+    /// Stall duration, cycles.
+    pub duration: u64,
+}
+
+impl Default for BankStallFault {
+    fn default() -> Self {
+        BankStallFault {
+            mean_interval: 2_000,
+            duration: 60,
+        }
+    }
+}
+
+/// MSHR-exhaustion burst fault class: `reserved` MSHR entries per cache
+/// are held unavailable while active (each cache keeps at least one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrSqueezeFault {
+    /// Mean cycles between burst onsets.
+    pub mean_interval: u64,
+    /// Burst duration, cycles.
+    pub duration: u64,
+    /// MSHR entries withheld from each cache.
+    pub reserved: u32,
+}
+
+impl Default for MshrSqueezeFault {
+    fn default() -> Self {
+        MshrSqueezeFault {
+            mean_interval: 4_000,
+            duration: 800,
+            reserved: 31,
+        }
+    }
+}
+
+/// Counter sensor noise & dropout, applied at read-out only.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterNoiseFault {
+    /// Relative amplitude of multiplicative noise on the concurrency
+    /// readings (`CH`, `CM`, `Cm` numerators), e.g. `0.15` for ±15 %.
+    pub amplitude: f64,
+    /// Per-layer, per-read-out probability (in 1/1000) that the layer's
+    /// entire counter packet is dropped (reads as all-zero).
+    pub dropout_per_mille: u32,
+    /// Per-layer, per-read-out probability (in 1/1000) that the hit-time
+    /// register `H` misreads by ±1 cycle.
+    pub hit_time_glitch_per_mille: u32,
+}
+
+impl Default for CounterNoiseFault {
+    fn default() -> Self {
+        CounterNoiseFault {
+            amplitude: 0.15,
+            dropout_per_mille: 30,
+            hit_time_glitch_per_mille: 20,
+        }
+    }
+}
+
+/// Which fault classes to inject, and the seed driving all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultConfig {
+    /// Seed for the fault schedule and the sensor-noise hash.
+    pub seed: u64,
+    /// DRAM latency spikes, if enabled.
+    pub dram_spike: Option<DramSpikeFault>,
+    /// DRAM refresh storms, if enabled.
+    pub refresh_storm: Option<RefreshStormFault>,
+    /// Transient cache-bank stalls, if enabled.
+    pub bank_stall: Option<BankStallFault>,
+    /// MSHR-exhaustion bursts, if enabled.
+    pub mshr_squeeze: Option<MshrSqueezeFault>,
+    /// Counter sensor noise & dropout, if enabled.
+    pub counter_noise: Option<CounterNoiseFault>,
+}
+
+impl FaultConfig {
+    /// No fault classes enabled: the injector is inert and the run is
+    /// bit-for-bit identical to one without an injector.
+    pub fn none(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Every fault class enabled at its default severity.
+    pub fn all(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            dram_spike: Some(DramSpikeFault::default()),
+            refresh_storm: Some(RefreshStormFault::default()),
+            bank_stall: Some(BankStallFault::default()),
+            mshr_squeeze: Some(MshrSqueezeFault::default()),
+            counter_noise: Some(CounterNoiseFault::default()),
+        }
+    }
+
+    /// Only DRAM latency spikes.
+    pub fn dram_spike(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            dram_spike: Some(DramSpikeFault::default()),
+            ..Default::default()
+        }
+    }
+
+    /// Only DRAM refresh storms.
+    pub fn refresh_storm(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            refresh_storm: Some(RefreshStormFault::default()),
+            ..Default::default()
+        }
+    }
+
+    /// Only transient cache-bank stalls.
+    pub fn bank_stall(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            bank_stall: Some(BankStallFault::default()),
+            ..Default::default()
+        }
+    }
+
+    /// Only MSHR-exhaustion bursts.
+    pub fn mshr_squeeze(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            mshr_squeeze: Some(MshrSqueezeFault::default()),
+            ..Default::default()
+        }
+    }
+
+    /// Only counter sensor noise & dropout.
+    pub fn counter_noise(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            counter_noise: Some(CounterNoiseFault::default()),
+            ..Default::default()
+        }
+    }
+
+    /// Whether any fault class is enabled.
+    pub fn is_active(&self) -> bool {
+        self.dram_spike.is_some()
+            || self.refresh_storm.is_some()
+            || self.bank_stall.is_some()
+            || self.mshr_squeeze.is_some()
+            || self.counter_noise.is_some()
+    }
+}
+
+/// What the injector wants applied to the hardware this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultActions {
+    /// Extra DRAM array latency per issued access.
+    pub dram_extra_latency: u64,
+    /// Whether DRAM command issue is blocked (refresh storm).
+    pub dram_blocked: bool,
+    /// Whether caches reject demand accesses at the ports.
+    pub cache_stalled: bool,
+    /// MSHR entries withheld from each cache.
+    pub mshr_reserved: u32,
+}
+
+/// Injection totals, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// DRAM latency-spike events started.
+    pub spike_events: u64,
+    /// Refresh-storm events started.
+    pub storm_events: u64,
+    /// Cache-bank stall events started.
+    pub stall_events: u64,
+    /// MSHR-squeeze events started.
+    pub squeeze_events: u64,
+    /// Cycles with at least one timing fault active.
+    pub faulted_cycles: u64,
+}
+
+/// The per-run fault scheduler. Owned by [`crate::Cmp`]; `tick` is called
+/// once per simulated cycle, read-out perturbation through
+/// [`FaultInjector::perturb_report`].
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    rng: u64,
+    spike_until: u64,
+    storm_until: u64,
+    stall_until: u64,
+    squeeze_until: u64,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Build an injector for `cfg`.
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultInjector {
+            cfg,
+            // Offset the stream so seed 0 does not start at raw state 0.
+            rng: cfg.seed ^ 0x5DEECE66D,
+            spike_until: 0,
+            storm_until: 0,
+            stall_until: 0,
+            squeeze_until: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The configuration driving this injector.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Injection totals so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Decide what faults are active at cycle `now`. Called once per
+    /// cycle, before the hardware advances.
+    pub fn tick(&mut self, now: u64) -> FaultActions {
+        let mut act = FaultActions::default();
+        if let Some(f) = self.cfg.dram_spike {
+            if now < self.spike_until
+                || Self::starts(&mut self.rng, f.mean_interval, &mut self.spike_until, now, f.duration, &mut self.stats.spike_events)
+            {
+                act.dram_extra_latency = f.extra_latency;
+            }
+        }
+        if let Some(f) = self.cfg.refresh_storm {
+            act.dram_blocked = now < self.storm_until
+                || Self::starts(&mut self.rng, f.mean_interval, &mut self.storm_until, now, f.duration, &mut self.stats.storm_events);
+        }
+        if let Some(f) = self.cfg.bank_stall {
+            act.cache_stalled = now < self.stall_until
+                || Self::starts(&mut self.rng, f.mean_interval, &mut self.stall_until, now, f.duration, &mut self.stats.stall_events);
+        }
+        if let Some(f) = self.cfg.mshr_squeeze {
+            if now < self.squeeze_until
+                || Self::starts(&mut self.rng, f.mean_interval, &mut self.squeeze_until, now, f.duration, &mut self.stats.squeeze_events)
+            {
+                act.mshr_reserved = f.reserved;
+            }
+        }
+        if act != FaultActions::default() {
+            self.stats.faulted_cycles += 1;
+        }
+        act
+    }
+
+    /// Geometric event-onset decision: with probability `1/mean` start a
+    /// new event at `now` lasting `duration` cycles.
+    fn starts(
+        rng: &mut u64,
+        mean: u64,
+        until: &mut u64,
+        now: u64,
+        duration: u64,
+        events: &mut u64,
+    ) -> bool {
+        if mean == 0 || !splitmix(rng).is_multiple_of(mean) {
+            return false;
+        }
+        *until = now + duration;
+        *events += 1;
+        true
+    }
+
+    /// Apply sensor noise & dropout to a measurement read-out taken at
+    /// cycle `now`. Pure in the simulation state: the same `(seed, now)`
+    /// perturbs identically however many times it is read.
+    pub fn perturb_report(&self, r: &mut SystemReport, now: u64) {
+        let Some(noise) = self.cfg.counter_noise else {
+            return;
+        };
+        let seed = self.cfg.seed;
+        Self::perturb_layer(&mut r.l1, noise, seed, 1, now);
+        Self::perturb_layer(&mut r.l2, noise, seed, 2, now);
+        if let Some(l3) = &mut r.l3 {
+            Self::perturb_layer(l3, noise, seed, 3, now);
+        }
+        // DRAM occupancy sensors (the LPMR3 boundary) see the same noise.
+        let h = mix(seed, 4, now);
+        if h % 1000 < noise.dropout_per_mille as u64 {
+            r.dram_accesses = 0;
+            r.dram_active_cycles = 0;
+        } else {
+            r.dram_active_cycles = Self::noisy(r.dram_active_cycles, noise.amplitude, mix(seed, 5, now));
+        }
+    }
+
+    /// Perturb one layer's counter packet.
+    fn perturb_layer(c: &mut LayerCounters, noise: CounterNoiseFault, seed: u64, lane: u64, now: u64) {
+        let h = mix(seed, lane, now);
+        if h % 1000 < noise.dropout_per_mille as u64 {
+            // Packet lost: everything but the configured hit time reads
+            // zero — a degenerate window the controller must survive.
+            *c = LayerCounters::new(c.hit_time);
+            return;
+        }
+        if h >> 10 & 0x3FF < noise.hit_time_glitch_per_mille as u64 {
+            // H misread by ±1 cycle (never below 1).
+            c.hit_time = if h >> 20 & 1 == 0 {
+                c.hit_time + 1
+            } else {
+                c.hit_time.saturating_sub(1).max(1)
+            };
+        }
+        // Noise the concurrency numerators: CH = hit_access_cycles /
+        // hit_cycles, CM = miss_access_cycles / miss_cycles, Cm likewise.
+        // Clamping at the denominator keeps readings >= 1 concurrent
+        // access per busy cycle, as the HCD/MCD hardware guarantees.
+        let a = noise.amplitude;
+        c.hit_access_cycles =
+            Self::noisy(c.hit_access_cycles, a, mix(seed, lane ^ 0x10, now)).max(c.hit_cycles);
+        c.miss_access_cycles =
+            Self::noisy(c.miss_access_cycles, a, mix(seed, lane ^ 0x20, now)).max(c.miss_cycles);
+        c.pure_miss_access_cycles = Self::noisy(c.pure_miss_access_cycles, a, mix(seed, lane ^ 0x30, now))
+            .max(c.pure_miss_cycles);
+    }
+
+    /// Multiplicative noise `c * (1 + amplitude * u)`, `u ∈ [-1, 1]`.
+    fn noisy(c: u64, amplitude: f64, h: u64) -> u64 {
+        let scaled = c as f64 * (1.0 + amplitude * unit(h));
+        scaled.max(0.0).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_config_is_inert() {
+        let mut inj = FaultInjector::new(FaultConfig::none(7));
+        for now in 0..10_000 {
+            assert_eq!(inj.tick(now), FaultActions::default());
+        }
+        assert_eq!(inj.stats(), FaultStats::default());
+        assert!(!FaultConfig::none(7).is_active());
+        assert!(FaultConfig::all(7).is_active());
+    }
+
+    #[test]
+    fn schedules_are_seed_deterministic() {
+        let run = |seed: u64| -> Vec<FaultActions> {
+            let mut inj = FaultInjector::new(FaultConfig::all(seed));
+            (0..50_000).map(|now| inj.tick(now)).collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds, different schedules");
+    }
+
+    #[test]
+    fn events_fire_and_persist_for_their_duration() {
+        let mut inj = FaultInjector::new(FaultConfig::refresh_storm(1));
+        let blocked: Vec<bool> = (0..100_000).map(|now| inj.tick(now).dram_blocked).collect();
+        let stats = inj.stats();
+        assert!(stats.storm_events >= 1, "no storm in 100k cycles");
+        // Each onset blocks for the configured duration.
+        let first = blocked.iter().position(|&b| b).unwrap();
+        let dur = RefreshStormFault::default().duration as usize;
+        assert!(blocked[first..first + dur].iter().all(|&b| b));
+        assert!(stats.faulted_cycles >= dur as u64);
+    }
+
+    #[test]
+    fn sensor_noise_is_pure_at_readout() {
+        let inj = FaultInjector::new(FaultConfig::counter_noise(5));
+        let mut c = LayerCounters::new(3);
+        c.accesses = 1000;
+        c.misses = 100;
+        c.hit_cycles = 800;
+        c.hit_access_cycles = 1600;
+        c.miss_cycles = 500;
+        c.miss_access_cycles = 2000;
+        c.pure_miss_cycles = 200;
+        c.pure_miss_access_cycles = 400;
+        let mut a = c;
+        let mut b = c;
+        FaultInjector::perturb_layer(&mut a, inj.cfg.counter_noise.unwrap(), 5, 1, 777);
+        FaultInjector::perturb_layer(&mut b, inj.cfg.counter_noise.unwrap(), 5, 1, 777);
+        assert_eq!(a, b, "read-out noise must be idempotent");
+        // Denominator clamp: readings never fall below 1 access/cycle.
+        assert!(a.hit_access_cycles >= a.hit_cycles);
+        assert!(a.miss_access_cycles >= a.miss_cycles);
+        assert!(a.pure_miss_access_cycles >= a.pure_miss_cycles);
+    }
+
+    #[test]
+    fn dropout_eventually_zeroes_a_packet() {
+        let noise = CounterNoiseFault::default();
+        let mut c = LayerCounters::new(3);
+        c.accesses = 10;
+        let mut dropped = 0;
+        for now in 0..2_000 {
+            let mut x = c;
+            x.accesses = 10;
+            FaultInjector::perturb_layer(&mut x, noise, 9, 1, now);
+            if x.accesses == 0 {
+                dropped += 1;
+            }
+        }
+        // 3% per read-out over 2000 read-outs: comfortably nonzero.
+        assert!(dropped > 10, "only {dropped} dropouts in 2000 windows");
+    }
+}

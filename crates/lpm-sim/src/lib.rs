@@ -15,6 +15,11 @@
 //!   the Table I design-space exploration.
 //! * [`report`] — measurement reports: per-layer C-AMAT parameters,
 //!   LPMR1/2/3, stall time, APC values.
+//! * [`error`] — the [`SimError`] type returned by the fallible (`try_*`)
+//!   entry points (deadlock watchdog, configuration validation).
+//! * [`fault`] — deterministic, seeded fault injection (DRAM latency
+//!   spikes, refresh storms, cache-bank stalls, MSHR exhaustion, counter
+//!   sensor noise) for robustness testing.
 //!
 //! # Example
 //!
@@ -35,11 +40,18 @@
 pub mod analyzer;
 pub mod cmp;
 pub mod config;
+pub mod error;
+pub mod fault;
 pub mod report;
 pub mod system;
 
 pub use analyzer::{CacheAnalyzer, DramAnalyzer};
 pub use cmp::{Cmp, CoreSlot};
 pub use config::SystemConfig;
+pub use error::SimError;
+pub use fault::{
+    BankStallFault, CounterNoiseFault, DramSpikeFault, FaultConfig, FaultInjector, FaultStats,
+    MshrSqueezeFault, RefreshStormFault,
+};
 pub use report::SystemReport;
 pub use system::System;

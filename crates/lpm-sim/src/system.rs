@@ -6,6 +6,8 @@ use lpm_trace::Trace;
 
 use crate::cmp::{Cmp, CoreSlot};
 use crate::config::SystemConfig;
+use crate::error::SimError;
+use crate::fault::{FaultConfig, FaultStats};
 use crate::report::SystemReport;
 
 /// A single-core system with automatic `CPIexe` measurement.
@@ -27,13 +29,30 @@ impl System {
     /// (rate-mode). Combine with [`System::measure_steady`] for fully
     /// warmed steady-state measurements.
     pub fn new_looping(cfg: SystemConfig, trace: Trace, repeats: u32, seed: u64) -> Self {
-        cfg.validate();
-        let cpi_exe = Self::measure_cpi_exe(&cfg, &trace);
+        Self::try_new_looping(cfg, trace, repeats, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`System::new`].
+    pub fn try_new(cfg: SystemConfig, trace: Trace, seed: u64) -> Result<Self, SimError> {
+        Self::try_new_looping(cfg, trace, 1, seed)
+    }
+
+    /// Fallible variant of [`System::new_looping`]: configuration and
+    /// calibration problems come back as [`SimError`] instead of
+    /// panicking.
+    pub fn try_new_looping(
+        cfg: SystemConfig,
+        trace: Trace,
+        repeats: u32,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        cfg.try_validate().map_err(SimError::InvalidConfig)?;
+        let cpi_exe = Self::try_measure_cpi_exe(&cfg, &trace)?;
         let mut shared = vec![cfg.l2];
         if let Some(l3) = cfg.l3 {
             shared.push(l3);
         }
-        let cmp = Cmp::new_with_hierarchy(
+        let cmp = Cmp::try_new_with_hierarchy(
             vec![CoreSlot {
                 core: cfg.core,
                 l1: cfg.l1.clone(),
@@ -43,8 +62,8 @@ impl System {
             vec![trace],
             repeats,
             seed,
-        );
-        System { cmp, cpi_exe }
+        )?;
+        Ok(System { cmp, cpi_exe })
     }
 
     /// Steady-state measurement: run `warmup` instructions unmeasured,
@@ -58,6 +77,11 @@ impl System {
 
     /// `CPIexe` of `trace` on `cfg`'s core with a perfect cache.
     pub fn measure_cpi_exe(cfg: &SystemConfig, trace: &Trace) -> f64 {
+        Self::try_measure_cpi_exe(cfg, trace).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`System::measure_cpi_exe`].
+    pub fn try_measure_cpi_exe(cfg: &SystemConfig, trace: &Trace) -> Result<f64, SimError> {
         let mut core = Core::new(cfg.core, trace.clone());
         let mut mem = PerfectMemory::new(cfg.l1.hit_latency);
         let mut now = 0u64;
@@ -71,8 +95,12 @@ impl System {
             core.cycle(now, &mut mem);
             now += 1;
         }
-        assert!(core.finished(), "perfect-cache run did not converge");
-        core.stats().cpi()
+        if !core.finished() {
+            return Err(SimError::Unconverged(
+                "perfect-cache run did not converge".into(),
+            ));
+        }
+        Ok(core.stats().cpi())
     }
 
     /// The measured `CPIexe`.
@@ -86,6 +114,11 @@ impl System {
         self.cmp.run(max_cycles)
     }
 
+    /// Fallible variant of [`System::run`].
+    pub fn try_run(&mut self, max_cycles: u64) -> Result<bool, SimError> {
+        self.cmp.try_run(max_cycles)
+    }
+
     /// Run the first `instructions` as unmeasured warmup (cold-cache
     /// exclusion), then continue measured until the trace drains or
     /// `max_cycles` elapse.
@@ -97,6 +130,26 @@ impl System {
     /// Advance exactly `cycles`.
     pub fn run_for(&mut self, cycles: u64) {
         self.cmp.run_for(cycles);
+    }
+
+    /// Fallible variant of [`System::run_for`].
+    pub fn try_run_for(&mut self, cycles: u64) -> Result<(), SimError> {
+        self.cmp.try_run_for(cycles)
+    }
+
+    /// Enable fault injection per `cfg` (see [`crate::fault`]).
+    pub fn enable_faults(&mut self, cfg: FaultConfig) {
+        self.cmp.enable_faults(cfg);
+    }
+
+    /// Detach the fault injector and clear residual fault state.
+    pub fn disable_faults(&mut self) {
+        self.cmp.set_fault_injector(None);
+    }
+
+    /// Injection totals, when an injector is attached.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.cmp.fault_stats()
     }
 
     /// Current cycle.

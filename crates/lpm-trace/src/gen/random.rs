@@ -50,7 +50,7 @@ impl Generator for RandomGen {
         let mut cc_chain: Option<usize> = None;
         for pos in 0..n {
             if rng.gen_bool(self.fmem) {
-                let addr = rng.gen_range(0..lines) * 64 + rng.gen_range(0..8) * 8;
+                let addr = rng.gen_range(0..lines) * 64 + rng.gen_range(0..8u64) * 8;
                 let op = if rng.gen_bool(self.store_frac) {
                     Op::Store(addr)
                 } else {

@@ -76,13 +76,16 @@ pub mod core {
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use lpm_core::{
-        harmonic_weighted_speedup, profile_suite, HwConfig, LpmAction, LpmMeasurement,
-        LpmOptimizer, NucaLayout, Scheduler, SchedulerKind, Tunable,
+        harmonic_weighted_speedup, profile_suite, ControllerHealth, HardeningConfig, HwConfig,
+        LpmAction, LpmError, LpmMeasurement, LpmOptimizer, NucaLayout, OnlineLpmController,
+        Scheduler, SchedulerKind, Tunable,
     };
     pub use lpm_model::{
         AmatParams, CamatParams, Grain, LayerCounters, Lpmr, LpmrSet, StallModel, Thresholds,
     };
-    pub use lpm_sim::{Cmp, CoreSlot, System, SystemConfig, SystemReport};
+    pub use lpm_sim::{
+        Cmp, CoreSlot, FaultConfig, FaultStats, SimError, System, SystemConfig, SystemReport,
+    };
     pub use lpm_trace::{Generator, Instr, Op, SpecWorkload, Trace};
 }
 

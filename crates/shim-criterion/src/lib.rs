@@ -1,0 +1,181 @@
+//! A self-contained stand-in for the `criterion` crate: enough of its API
+//! to compile and run this workspace's benches offline. Measurements are
+//! simple wall-clock means over a fixed number of samples — adequate for
+//! spotting order-of-magnitude regressions, without criterion's
+//! statistics, plots, or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u32,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: u32) -> Self {
+        Bencher {
+            samples,
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Time `routine` over calibrated batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: aim for ~1 ms per sample, at least one iteration.
+        let start = Instant::now();
+        black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(1).as_nanos() / one.as_nanos()).max(1) as u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.total += start.elapsed();
+            self.iters += per_sample;
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup` (setup excluded).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<40} (no iterations)");
+            return;
+        }
+        let per = self.total.as_nanos() as f64 / self.iters as f64;
+        println!("{name:<40} {per:>12.1} ns/iter  ({} iters)", self.iters);
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    samples: u32,
+}
+
+impl BenchmarkGroup {
+    /// Set the sample count for subsequent benches in this group.
+    pub fn sample_size(&mut self, n: u32) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark. Accepts `&str` or `String` names, like
+    /// criterion's `IntoBenchmarkId`.
+    pub fn bench_function<N, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        N: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name.as_ref()));
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 10,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<N, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        N: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(10);
+        f(&mut b);
+        b.report(name.as_ref());
+        self
+    }
+}
+
+/// Bundle bench functions into a group runner (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_addition(c: &mut Criterion) {
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(group, bench_addition);
+
+    #[test]
+    fn harness_runs() {
+        group();
+    }
+}
