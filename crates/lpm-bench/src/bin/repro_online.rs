@@ -5,41 +5,58 @@
 //! controller measures each interval, walks the hardware toward a matched
 //! configuration, and the workload's IPC rises live — no re-simulation.
 //!
-//! Usage: `repro_online [interval_cycles] [--faults[=seed]]`
+//! Usage: `repro_online [interval_cycles] [--faults[=seed]]
+//! [--telemetry-out=FILE] [--telemetry-format=jsonl|csv]`
 //!
 //! With `--faults`, a seeded injector (DRAM latency spikes, refresh
 //! storms, cache-bank stalls, MSHR exhaustion, counter noise) stresses
-//! the run and the hardened controller preset rides through it.
+//! the run and the hardened controller preset rides through it. With
+//! `--telemetry-out`, the run is recorded through `lpm-telemetry` and
+//! the structured log (per-interval snapshots, typed events, summary)
+//! is written to the given file.
 
 use lpm_core::design_space::HwConfig;
 use lpm_core::online::OnlineLpmController;
 use lpm_model::Grain;
 use lpm_sim::{FaultConfig, System, SystemConfig};
+use lpm_telemetry::{RingRecorder, RunSummary, TelemetryLog};
 use lpm_trace::{Generator, SpecWorkload};
 
 fn main() {
     let mut interval: u64 = 20_000;
     let mut fault_seed: Option<u64> = None;
+    let mut telemetry_out: Option<String> = None;
+    let mut telemetry_format = "jsonl".to_string();
     for arg in std::env::args().skip(1) {
         if arg == "--faults" {
             fault_seed = Some(42);
         } else if let Some(s) = arg.strip_prefix("--faults=") {
             fault_seed = Some(s.parse().expect("--faults=<u64 seed>"));
+        } else if let Some(s) = arg.strip_prefix("--telemetry-out=") {
+            telemetry_out = Some(s.to_string());
+        } else if let Some(s) = arg.strip_prefix("--telemetry-format=") {
+            telemetry_format = s.to_string();
         } else if let Ok(v) = arg.parse() {
             interval = v;
         } else {
-            eprintln!("usage: repro_online [interval_cycles] [--faults[=seed]]");
+            eprintln!(
+                "usage: repro_online [interval_cycles] [--faults[=seed]] \
+                 [--telemetry-out=FILE] [--telemetry-format=jsonl|csv]"
+            );
             std::process::exit(1);
         }
+    }
+    if !matches!(telemetry_format.as_str(), "jsonl" | "csv") {
+        eprintln!("unknown --telemetry-format {telemetry_format:?}; use jsonl or csv");
+        std::process::exit(1);
     }
 
     let trace = SpecWorkload::BwavesLike.generator().generate(600_000, 11);
     let base = HwConfig::A.apply(&SystemConfig::default());
-    let mut sys =
-        System::try_new_looping(base, trace, 100, 1).unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        });
+    let mut sys = System::try_new_looping(base, trace, 100, 1).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     sys.cmp_mut().warm_up(30_000);
     if let Some(seed) = fault_seed {
         sys.enable_faults(FaultConfig::all(seed));
@@ -64,7 +81,12 @@ fn main() {
         "{:>8} {:>7} {:>7} {:>6} {:>6} | {:>20} {:>6} {:>4} {:>4} {:>5} {:>5}",
         "cycle", "LPMR1", "T1", "IPC", "budget", "action", "width", "IW", "ROB", "ports", "MSHR"
     );
-    let log = match ctl.try_run(&mut sys, 12) {
+    let mut recorder = telemetry_out.as_ref().map(|_| RingRecorder::default());
+    let run_result = match &mut recorder {
+        Some(rec) => ctl.try_run_recorded(&mut sys, 12, rec),
+        None => ctl.try_run(&mut sys, 12),
+    };
+    let log = match run_result {
         Ok(log) => log,
         Err(e) => {
             eprintln!("error: {e}");
@@ -105,20 +127,42 @@ fn main() {
         log.len(),
         met as f64 / log.len() as f64 * 100.0
     );
-    if fault_seed.is_some() {
-        let h = ctl.health();
+    let h = ctl.health();
+    println!(
+        "controller health: {} degenerate window(s), {} sensor fault(s), \
+         {} rollback(s), {} clamped step(s), {} oscillation trip(s)",
+        h.degenerate_windows, h.sensor_faults, h.rollbacks, h.clamped_steps, h.oscillation_trips
+    );
+    if let Some(fs) = sys.fault_stats() {
         println!(
-            "controller health: {} degenerate window(s), {} sensor fault(s), \
-             {} rollback(s), {} clamped step(s), {} oscillation trip(s)",
-            h.degenerate_windows, h.sensor_faults, h.rollbacks, h.clamped_steps, h.oscillation_trips
+            "injected: {} DRAM spike(s), {} refresh storm(s), {} bank stall(s), \
+             {} MSHR squeeze(s) over {} faulted cycle(s)",
+            fs.spike_events, fs.storm_events, fs.stall_events, fs.squeeze_events, fs.faulted_cycles
         );
-        if let Some(fs) = sys.fault_stats() {
-            println!(
-                "injected: {} DRAM spike(s), {} refresh storm(s), {} bank stall(s), \
-                 {} MSHR squeeze(s) over {} faulted cycle(s)",
-                fs.spike_events, fs.storm_events, fs.stall_events, fs.squeeze_events,
-                fs.faulted_cycles
-            );
+    }
+    if let (Some(path), Some(rec)) = (telemetry_out, recorder) {
+        let summary = RunSummary {
+            total_cycles: sys.now(),
+            health: Some(ctl.health().to_telemetry()),
+            faults: sys
+                .fault_stats()
+                .map(|fs| fs.to_telemetry(fault_seed.unwrap_or(0))),
+            ..RunSummary::default()
+        };
+        let telemetry: TelemetryLog = rec.into_log(summary);
+        let data = match telemetry_format.as_str() {
+            "csv" => telemetry.to_csv(),
+            _ => telemetry.to_jsonl(),
+        };
+        if let Err(e) = std::fs::write(&path, data) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
         }
+        print!("{}", telemetry.human_summary());
+        println!(
+            "wrote {} snapshot(s), {} event(s) to {path} ({telemetry_format})",
+            telemetry.snapshots.len(),
+            telemetry.events.len()
+        );
     }
 }

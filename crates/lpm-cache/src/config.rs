@@ -132,7 +132,10 @@ impl CacheConfig {
             ));
         }
         if self.size_bytes < self.line_bytes * self.assoc as u64 {
-            return Err(format!("cache too small for one set of {} ways", self.assoc));
+            return Err(format!(
+                "cache too small for one set of {} ways",
+                self.assoc
+            ));
         }
         if self.hit_latency < 1 {
             return Err("hit latency must be >= 1".into());

@@ -14,6 +14,9 @@ pub struct Args {
     pub positional: Vec<String>,
 }
 
+/// Flags that are boolean switches: present or absent, no value.
+const SWITCHES: &[&str] = &["quiet"];
+
 /// Parse a raw argument list (excluding the program name).
 pub fn parse(raw: &[String]) -> Result<Args, String> {
     let mut it = raw.iter().peekable();
@@ -25,10 +28,14 @@ pub fn parse(raw: &[String]) -> Result<Args, String> {
     let mut positional = Vec::new();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
-            let value = it
-                .next()
-                .ok_or_else(|| format!("flag --{key} expects a value"))?;
-            if options.insert(key.to_string(), value.clone()).is_some() {
+            let value = if SWITCHES.contains(&key) {
+                "true".to_string()
+            } else {
+                it.next()
+                    .ok_or_else(|| format!("flag --{key} expects a value"))?
+                    .clone()
+            };
+            if options.insert(key.to_string(), value).is_some() {
                 return Err(format!("flag --{key} given twice"));
             }
         } else {
@@ -46,6 +53,11 @@ impl Args {
     /// Look up an option, falling back to `default`.
     pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
         self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Whether a boolean switch (e.g. `--quiet`) was given.
+    pub fn has(&self, key: &str) -> bool {
+        self.options.contains_key(key)
     }
 
     /// Parse an integer option.
@@ -126,6 +138,17 @@ mod tests {
     #[test]
     fn flag_without_value_is_an_error() {
         assert!(parse(&sv(&["run", "--workload"])).is_err());
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let a = parse(&sv(&["online", "--quiet", "--seed", "9"])).unwrap();
+        assert!(a.has("quiet"));
+        assert_eq!(a.int_or("seed", 1).unwrap(), 9);
+        // Trailing switch is fine too.
+        let a = parse(&sv(&["online", "--quiet"])).unwrap();
+        assert!(a.has("quiet"));
+        assert!(!a.has("seed"));
     }
 
     #[test]

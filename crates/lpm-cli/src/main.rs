@@ -17,6 +17,7 @@ use lpm_core::online::OnlineLpmController;
 use lpm_core::optimizer::{run_lpm_loop, LpmOptimizer};
 use lpm_model::Grain;
 use lpm_sim::{FaultConfig, System, SystemConfig};
+use lpm_telemetry::{RingRecorder, RunSummary, TelemetryLog, DEFAULT_EVENT_CAPACITY};
 use lpm_trace::{Generator, SpecWorkload, Trace};
 
 fn main() {
@@ -88,7 +89,14 @@ fn print_help() {
          \x20 --interval N        online measurement interval in cycles (default 20000)\n\
          \x20 --faults CLASS      online: inject faults (all, dram-spike, refresh-storm,\n\
          \x20                     bank-stall, mshr-squeeze, counter-noise); hardens the controller\n\
-         \x20 --fault-seed S      fault-injection seed (default 42)"
+         \x20 --fault-seed S      fault-injection seed (default 42)\n\
+         \n\
+         telemetry flags (online):\n\
+         \x20 --telemetry-out F   write structured telemetry to F (`-` = stdout; human\n\
+         \x20                     output then moves to stderr so pipes stay clean)\n\
+         \x20 --telemetry-format  jsonl (snapshots + events + summary) or csv (snapshot table)\n\
+         \x20 --trace-events N    event ring capacity (default 4096; 0 keeps snapshots only)\n\
+         \x20 --quiet             suppress the human-readable report (data output only)"
     );
 }
 
@@ -171,7 +179,9 @@ fn cmd_run(a: &Args) -> Result<(), String> {
         let (t, n, seed) = trace_from(a, w)?;
         (w.name().to_string(), t, n, seed)
     };
-    eprintln!("simulating {label} for {n} instructions (half warmup) ...");
+    if !a.has("quiet") {
+        eprintln!("simulating {label} for {n} instructions (half warmup) ...");
+    }
     let mut sys = System::new(cfg, trace, seed);
     if !sys.run_with_warmup(n as u64 / 2, n as u64 * 2000 + 10_000_000) {
         return Err("trace did not drain within the cycle budget".into());
@@ -298,13 +308,33 @@ fn fault_config_from(a: &Args) -> Result<Option<FaultConfig>, String> {
     Ok(Some(cfg))
 }
 
+/// Serialize a telemetry log in the requested `--telemetry-format`.
+fn render_telemetry(log: &TelemetryLog, format: &str) -> Result<String, String> {
+    match format {
+        "jsonl" => Ok(log.to_jsonl()),
+        "csv" => Ok(log.to_csv()),
+        other => Err(format!(
+            "unknown --telemetry-format {other:?}; use jsonl or csv"
+        )),
+    }
+}
+
 fn cmd_online(a: &Args) -> Result<(), String> {
+    use std::fmt::Write as _;
+
     let w = workload_from(a)?;
     let n = a.int_or("instructions", 600_000)? as usize;
     let seed = a.int_or("seed", 7)?;
     let interval = a.int_or("interval", 20_000)?;
     let grain = grain_from(a, 0.50)?;
     let faults = fault_config_from(a)?;
+    let fault_seed = faults.as_ref().map(|c| c.seed);
+    let quiet = a.has("quiet");
+    let telemetry_out = a.options.get("telemetry-out").cloned();
+    let format = a.get_or("telemetry-format", "jsonl").to_string();
+    // Reject a bad format up front, even when no output file is requested.
+    render_telemetry(&TelemetryLog::default(), &format)?;
+    let capacity = a.int_or("trace-events", DEFAULT_EVENT_CAPACITY as u64)? as usize;
     let trace = w.generator().generate(n, seed);
     let base = HwConfig::A.apply(&SystemConfig::default());
     let mut sys = System::try_new_looping(base, trace, 100, seed).map_err(|e| e.to_string())?;
@@ -319,13 +349,38 @@ fn cmd_online(a: &Args) -> Result<(), String> {
     if let Some(cfg) = faults {
         sys.enable_faults(cfg);
     }
-    let log = ctl.try_run(&mut sys, 12).map_err(|e| e.to_string())?;
-    println!(
+    // With telemetry requested, run through a RingRecorder; otherwise the
+    // no-op recorder path, which is bit-identical to the plain run.
+    let (log, telemetry) = if telemetry_out.is_some() {
+        let mut rec = RingRecorder::new(capacity);
+        let log = ctl
+            .try_run_recorded(&mut sys, 12, &mut rec)
+            .map_err(|e| e.to_string())?;
+        let summary = RunSummary {
+            total_cycles: sys.now(),
+            health: Some(ctl.health().to_telemetry()),
+            faults: sys
+                .fault_stats()
+                .map(|fs| fs.to_telemetry(fault_seed.unwrap_or(0))),
+            ..RunSummary::default()
+        };
+        (log, Some(rec.into_log(summary)))
+    } else {
+        (ctl.try_run(&mut sys, 12).map_err(|e| e.to_string())?, None)
+    };
+
+    // The human-readable report, built up front so it can be routed to
+    // stderr when the data stream owns stdout.
+    let mut human = String::new();
+    writeln!(
+        human,
         "{:>9} {:>7} {:>7} {:>6} {:>6}  {:<20} {:>5} {:>4} {:>5}",
         "cycle", "LPMR1", "T1", "IPC", "budget", "action", "width", "IW", "MSHR"
-    );
+    )
+    .unwrap();
     for r in &log {
-        println!(
+        writeln!(
+            human,
             "{:>9} {:>7.2} {:>7.2} {:>6.2} {:>6}  {:<20} {:>5} {:>4} {:>5}",
             r.cycle,
             r.measurement.lpmr1,
@@ -336,11 +391,13 @@ fn cmd_online(a: &Args) -> Result<(), String> {
             r.hw.issue_width,
             r.hw.iw_size,
             r.hw.mshrs
-        );
+        )
+        .unwrap();
     }
     if let (Some(first), Some(last)) = (log.first(), log.last()) {
         let met = log.iter().filter(|r| r.stall_budget_met).count();
-        println!(
+        writeln!(
+            human,
             "adaptation: LPMR1 {:.2} → {:.2}, IPC {:.2} → {:.2}; \
              stall budget met in {met}/{} intervals",
             first.measurement.lpmr1,
@@ -348,22 +405,51 @@ fn cmd_online(a: &Args) -> Result<(), String> {
             first.ipc,
             last.ipc,
             log.len()
-        );
+        )
+        .unwrap();
     }
-    if a.options.contains_key("faults") {
-        let h = ctl.health();
-        println!(
-            "controller health: {} degenerate window(s), {} sensor fault(s), \
-             {} rollback(s), {} clamped step(s), {} oscillation trip(s)",
-            h.degenerate_windows, h.sensor_faults, h.rollbacks, h.clamped_steps, h.oscillation_trips
-        );
-        if let Some(fs) = sys.fault_stats() {
-            println!(
-                "injected: {} DRAM spike(s), {} refresh storm(s), {} bank stall(s), \
-                 {} MSHR squeeze(s) over {} faulted cycle(s)",
-                fs.spike_events, fs.storm_events, fs.stall_events, fs.squeeze_events,
-                fs.faulted_cycles
-            );
+    let h = ctl.health();
+    writeln!(
+        human,
+        "controller health: {} degenerate window(s), {} sensor fault(s), \
+         {} rollback(s), {} clamped step(s), {} oscillation trip(s)",
+        h.degenerate_windows, h.sensor_faults, h.rollbacks, h.clamped_steps, h.oscillation_trips
+    )
+    .unwrap();
+    if let Some(fs) = sys.fault_stats() {
+        writeln!(
+            human,
+            "injected: {} DRAM spike(s), {} refresh storm(s), {} bank stall(s), \
+             {} MSHR squeeze(s) over {} faulted cycle(s)",
+            fs.spike_events, fs.storm_events, fs.stall_events, fs.squeeze_events, fs.faulted_cycles
+        )
+        .unwrap();
+    }
+    if let Some(t) = &telemetry {
+        human.push_str(&t.human_summary());
+    }
+
+    let data_owns_stdout = telemetry_out.as_deref() == Some("-");
+    if !quiet {
+        if data_owns_stdout {
+            eprint!("{human}");
+        } else {
+            print!("{human}");
+        }
+    }
+    if let (Some(path), Some(t)) = (&telemetry_out, &telemetry) {
+        let data = render_telemetry(t, &format)?;
+        if path == "-" {
+            print!("{data}");
+        } else {
+            std::fs::write(path, data).map_err(|e| format!("cannot write {path}: {e}"))?;
+            if !quiet {
+                eprintln!(
+                    "wrote {} snapshot(s), {} event(s) to {path} ({format})",
+                    t.snapshots.len(),
+                    t.events.len()
+                );
+            }
         }
     }
     Ok(())
@@ -453,6 +539,74 @@ mod tests {
     fn bad_grain_is_rejected() {
         let a = args::parse(&sv(&["explore", "--grain", "7.0"])).unwrap();
         assert!(grain_from(&a, 0.3).is_err());
+    }
+
+    #[test]
+    fn online_telemetry_jsonl_end_to_end() {
+        let dir = std::env::temp_dir().join("lpm-cli-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let path_s = path.to_str().unwrap().to_string();
+        run(&sv(&[
+            "online",
+            "--workload",
+            "bwaves",
+            "--instructions",
+            "200000",
+            "--interval",
+            "5000",
+            "--quiet",
+            "--telemetry-out",
+            &path_s,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let log = TelemetryLog::from_jsonl(&text).unwrap();
+        assert!(!log.snapshots.is_empty());
+        // Every decision the controller took is in the event log.
+        let decisions = log.events.iter().filter(|e| e.kind() == "decision").count();
+        assert_eq!(decisions as u64, log.summary.intervals);
+        // Health counters ride along even without faults.
+        assert!(log.summary.health.is_some());
+        // Per-layer C-AMAT components are present for every layer.
+        for s in &log.snapshots {
+            assert!(s.layers.iter().any(|l| l.name == "L1"));
+            assert!(s.layers.iter().any(|l| l.name == "DRAM"));
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn online_telemetry_csv_end_to_end() {
+        let dir = std::env::temp_dir().join("lpm-cli-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.csv");
+        let path_s = path.to_str().unwrap().to_string();
+        run(&sv(&[
+            "online",
+            "--workload",
+            "bwaves",
+            "--instructions",
+            "200000",
+            "--interval",
+            "5000",
+            "--quiet",
+            "--telemetry-format",
+            "csv",
+            "--telemetry-out",
+            &path_s,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let log = TelemetryLog::from_csv(&text).unwrap();
+        assert!(!log.snapshots.is_empty());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_telemetry_format_is_rejected() {
+        let e = render_telemetry(&TelemetryLog::default(), "xml").unwrap_err();
+        assert!(e.contains("--telemetry-format"));
     }
 }
 

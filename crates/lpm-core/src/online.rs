@@ -32,6 +32,9 @@
 
 use lpm_model::Grain;
 use lpm_sim::{Cmp, System};
+use lpm_telemetry::{
+    DecisionCase, Event, HealthCounters, MetricsSnapshot, NullRecorder, Recorder, SkipReason,
+};
 
 use crate::design_space::HwConfig;
 use crate::error::LpmError;
@@ -121,6 +124,19 @@ pub struct ControllerHealth {
     pub clamped_steps: u64,
     /// Times the oscillation detector froze reconfiguration.
     pub oscillation_trips: u64,
+}
+
+impl ControllerHealth {
+    /// The telemetry-export view of these counters.
+    pub fn to_telemetry(self) -> HealthCounters {
+        HealthCounters {
+            degenerate_windows: self.degenerate_windows,
+            sensor_faults: self.sensor_faults,
+            rollbacks: self.rollbacks,
+            clamped_steps: self.clamped_steps,
+            oscillation_trips: self.oscillation_trips,
+        }
+    }
 }
 
 /// Direction of the last applied reconfiguration (for the oscillation
@@ -250,7 +266,8 @@ impl OnlineLpmController {
     /// throughout; each record reflects one window. Panics on simulator
     /// errors; use [`OnlineLpmController::try_run`] for typed errors.
     pub fn run(&mut self, sys: &mut System, intervals: usize) -> Vec<IntervalRecord> {
-        self.try_run(sys, intervals).unwrap_or_else(|e| panic!("{e}"))
+        self.try_run(sys, intervals)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible variant of [`OnlineLpmController::run`]: simulator
@@ -261,16 +278,73 @@ impl OnlineLpmController {
         sys: &mut System,
         intervals: usize,
     ) -> Result<Vec<IntervalRecord>, LpmError> {
+        self.try_run_recorded(sys, intervals, &mut NullRecorder)
+    }
+
+    /// Emit one [`Event::KnobChange`] per knob that differs between two
+    /// configurations (the net effect of an interval's reconfigurations).
+    fn emit_knob_changes<R: Recorder>(
+        rec: &mut R,
+        cycle: u64,
+        before: &HwConfig,
+        after: &HwConfig,
+    ) {
+        let knobs: [(&'static str, u32, u32); 6] = [
+            ("issue_width", before.issue_width, after.issue_width),
+            ("iw_size", before.iw_size, after.iw_size),
+            ("rob_size", before.rob_size, after.rob_size),
+            ("l1_ports", before.l1_ports, after.l1_ports),
+            ("mshrs", before.mshrs, after.mshrs),
+            ("l2_banks", before.l2_banks, after.l2_banks),
+        ];
+        for (knob, from, to) in knobs {
+            if from != to {
+                rec.event(Event::KnobChange {
+                    cycle,
+                    knob,
+                    from: u64::from(from),
+                    to: u64::from(to),
+                });
+            }
+        }
+    }
+
+    /// Recorder-aware variant of [`OnlineLpmController::try_run`]
+    /// (telemetry). With the no-op `NullRecorder` the instrumentation
+    /// monomorphizes away and the run is bit-for-bit identical to
+    /// [`OnlineLpmController::try_run`]. With a real recorder, every
+    /// interval contributes a [`MetricsSnapshot`] and the event log
+    /// captures decisions, knob changes, rollbacks, freezes, skipped
+    /// windows, threshold crossings and injected faults.
+    pub fn try_run_recorded<R: Recorder>(
+        &mut self,
+        sys: &mut System,
+        intervals: usize,
+        rec: &mut R,
+    ) -> Result<Vec<IntervalRecord>, LpmError> {
         self.apply(sys);
         sys.cmp_mut().reset_measurement();
         let mut log = Vec::with_capacity(intervals);
+        // Threshold-crossing state: (LPMR1 > T1, LPMR2 > T2) last interval.
+        let mut prev_cross: Option<(bool, bool)> = None;
+        // Wall-clock anchor for sim-throughput reporting.
+        let mut last_wall = R::ENABLED.then(std::time::Instant::now);
         for _ in 0..intervals {
-            sys.try_run_for(self.interval_cycles)?;
+            sys.try_run_for_with(self.interval_cycles, rec)?;
             let report = sys.report();
             if report.core.retired == 0 || report.l1.accesses == 0 {
                 // Nothing measurable this window: the trace drained, or a
                 // fault (bank stall, counter dropout) blanked the sensors.
                 self.health.degenerate_windows += 1;
+                if R::ENABLED {
+                    rec.event(Event::WindowSkipped {
+                        cycle: sys.now(),
+                        reason: SkipReason::DegenerateWindow,
+                    });
+                    // Discard the window's occupancy accumulator.
+                    let _ = rec.take_interval();
+                    last_wall = Some(std::time::Instant::now());
+                }
                 sys.cmp_mut().reset_measurement();
                 if sys.finished() {
                     break;
@@ -283,6 +357,14 @@ impl OnlineLpmController {
                     // The model rejected the window's counters — the
                     // signature of sensor noise. Skip, count, continue.
                     self.health.sensor_faults += 1;
+                    if R::ENABLED {
+                        rec.event(Event::WindowSkipped {
+                            cycle: sys.now(),
+                            reason: SkipReason::SensorFault,
+                        });
+                        let _ = rec.take_interval();
+                        last_wall = Some(std::time::Instant::now());
+                    }
                     sys.cmp_mut().reset_measurement();
                     if sys.finished() {
                         break;
@@ -291,6 +373,33 @@ impl OnlineLpmController {
                 }
             };
             let ipc = report.core.ipc();
+            let decision_cycle = sys.now();
+            let hw_before = self.hw;
+
+            if R::ENABLED {
+                let cross = (m.lpmr1 > m.t1, m.lpmr2 > m.t2);
+                if let Some(prev) = prev_cross {
+                    if prev.0 != cross.0 {
+                        rec.event(Event::ThresholdCrossing {
+                            cycle: decision_cycle,
+                            boundary: 1,
+                            lpmr: m.lpmr1,
+                            threshold: m.t1,
+                            upward: cross.0,
+                        });
+                    }
+                    if prev.1 != cross.1 {
+                        rec.event(Event::ThresholdCrossing {
+                            cycle: decision_cycle,
+                            boundary: 2,
+                            lpmr: m.lpmr2,
+                            threshold: m.t2,
+                            upward: cross.1,
+                        });
+                    }
+                }
+                prev_cross = Some(cross);
+            }
 
             // Rollback bookkeeping: `ipc` was produced by the current
             // `self.hw` (the config live during this window).
@@ -302,11 +411,18 @@ impl OnlineLpmController {
                     if after > 0 && self.regress_streak >= after {
                         if let Some((best_hw, _)) = self.best {
                             if best_hw != self.hw {
+                                let streak = self.regress_streak;
                                 self.hw = best_hw;
                                 self.apply(sys);
-                                sys.try_run_for(RECONFIG_COST_CYCLES)?;
+                                sys.try_run_for_with(RECONFIG_COST_CYCLES, rec)?;
                                 self.health.rollbacks += 1;
                                 rolled_back = true;
+                                if R::ENABLED {
+                                    rec.event(Event::Rollback {
+                                        cycle: decision_cycle,
+                                        streak: u64::from(streak),
+                                    });
+                                }
                             }
                         }
                         self.regress_streak = 0;
@@ -321,6 +437,7 @@ impl OnlineLpmController {
             let action = self
                 .optimizer
                 .decide_with_hysteresis(&m, self.hardening.hysteresis);
+            let was_frozen = self.frozen;
             let applied = if rolled_back || self.frozen {
                 // A rollback supersedes this interval's action; a tripped
                 // oscillation detector freezes the configuration.
@@ -344,7 +461,32 @@ impl OnlineLpmController {
                 });
                 self.apply(sys);
                 // The paper's reconfiguration cost: the core pauses.
-                sys.try_run_for(RECONFIG_COST_CYCLES)?;
+                sys.try_run_for_with(RECONFIG_COST_CYCLES, rec)?;
+            }
+            if R::ENABLED {
+                if !was_frozen && self.frozen {
+                    rec.event(Event::Freeze {
+                        cycle: decision_cycle,
+                        flips: u64::from(self.direction_flips),
+                    });
+                }
+                rec.event(Event::Decision {
+                    cycle: decision_cycle,
+                    interval: log.len() as u64,
+                    case: match action {
+                        LpmAction::OptimizeBoth => DecisionCase::CaseI,
+                        LpmAction::OptimizeL1 => DecisionCase::CaseII,
+                        LpmAction::ReduceOverprovision => DecisionCase::CaseIII,
+                        LpmAction::Done => DecisionCase::CaseIV,
+                    },
+                    lpmr1: m.lpmr1,
+                    lpmr2: m.lpmr2,
+                    t1: m.t1,
+                    t2: m.t2,
+                    ipc,
+                    applied,
+                });
+                Self::emit_knob_changes(rec, decision_cycle, &hw_before, &self.hw);
             }
             log.push(IntervalRecord {
                 cycle: sys.now(),
@@ -354,6 +496,40 @@ impl OnlineLpmController {
                 ipc,
                 stall_budget_met: m.stall_budget_met(),
             });
+            if R::ENABLED {
+                let acc = rec.take_interval();
+                let now_wall = std::time::Instant::now();
+                let elapsed = last_wall
+                    .map(|t| now_wall.duration_since(t).as_secs_f64())
+                    .unwrap_or(0.0);
+                last_wall = Some(now_wall);
+                let wall_cycles_per_sec = if elapsed > 0.0 {
+                    acc.cycles as f64 / elapsed
+                } else {
+                    0.0
+                };
+                let dram_bank_util = acc.bank_util();
+                rec.snapshot(MetricsSnapshot {
+                    interval: log.len() as u64 - 1,
+                    cycle: sys.now(),
+                    cycles: acc.cycles,
+                    layers: report.layer_metrics(),
+                    lpmr1: m.lpmr1,
+                    lpmr2: m.lpmr2,
+                    lpmr3: m.lpmr3,
+                    t1: m.t1,
+                    t2: m.t2,
+                    ipc,
+                    cpi_exe: m.cpi_exe,
+                    stall_per_instr: m.stall_per_instr,
+                    stall_budget_met: m.stall_budget_met(),
+                    l1_mshr_hist: acc.l1_mshr_hist,
+                    shared_mshr_hist: acc.shared_mshr_hist,
+                    rob_hist: acc.rob_hist,
+                    dram_bank_util,
+                    wall_cycles_per_sec,
+                });
+            }
             sys.cmp_mut().reset_measurement();
             if sys.finished() {
                 break;

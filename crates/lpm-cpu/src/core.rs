@@ -255,6 +255,12 @@ impl Core {
         self.stats.retired
     }
 
+    /// ROB entries currently occupied (for telemetry's occupancy
+    /// sampling).
+    pub fn rob_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+
     /// Debug summary of the ROB head: (seq, state description, outstanding
     /// memory accesses). For deadlock diagnostics.
     pub fn head_debug(&self) -> String {

@@ -147,6 +147,21 @@ impl Dram {
             .sum()
     }
 
+    /// Banks currently mid-operation at cycle `now` (for telemetry's
+    /// bank-utilization sampling).
+    pub fn banks_busy(&self, now: u64) -> usize {
+        self.channels
+            .iter()
+            .flat_map(|c| c.banks.iter())
+            .filter(|b| b.busy_until > now)
+            .count()
+    }
+
+    /// Total banks across all channels.
+    pub fn banks_total(&self) -> usize {
+        self.channels.iter().map(|c| c.banks.len()).sum()
+    }
+
     /// Advance one cycle: schedule at most one request per channel and
     /// collect completions. Returns `(id, is_write)` pairs.
     pub fn step(&mut self, now: u64) -> Vec<(u64, bool)> {

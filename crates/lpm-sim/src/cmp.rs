@@ -27,6 +27,7 @@ use lpm_cache::{AccessId, AccessResponse, Cache, CacheConfig};
 use lpm_cpu::{Core, CoreConfig, CoreStats, MemoryPort};
 use lpm_dram::{Dram, DramConfig, DramRequest};
 use lpm_model::LayerCounters;
+use lpm_telemetry::{CycleSample, Event, NullRecorder, Recorder};
 use lpm_trace::Trace;
 
 use crate::analyzer::{CacheAnalyzer, DramAnalyzer};
@@ -195,7 +196,10 @@ impl Cmp {
             return bad("tag encoding supports up to 32 cores".into());
         }
         if shared_cfgs.is_empty() || shared_cfgs.len() > 8 {
-            return bad(format!("need 1..=8 shared levels, got {}", shared_cfgs.len()));
+            return bad(format!(
+                "need 1..=8 shared levels, got {}",
+                shared_cfgs.len()
+            ));
         }
         for c in &shared_cfgs {
             c.try_validate().map_err(SimError::InvalidConfig)?;
@@ -501,15 +505,40 @@ impl Cmp {
     /// Advance one cycle. Returns [`SimError::Deadlock`] if no core has
     /// retired an instruction for longer than the watchdog horizon.
     pub fn try_step(&mut self) -> Result<(), SimError> {
+        self.try_step_with(&mut NullRecorder)
+    }
+
+    /// Advance one cycle, emitting into a telemetry recorder: per-cycle
+    /// occupancy samples (MSHRs, ROB, DRAM banks) and fault-onset events
+    /// carrying the injector's seed. With [`NullRecorder`] every
+    /// instrumentation block is guarded by the constant `R::ENABLED` and
+    /// monomorphizes away, leaving [`Cmp::try_step`] bit-for-bit
+    /// identical to the uninstrumented simulator.
+    pub fn try_step_with<R: Recorder>(&mut self, rec: &mut R) -> Result<(), SimError> {
         let now = self.now;
 
         // 0. Fault injection: decide what misbehaves this cycle and push
         // it into the hardware before anything advances.
         if let Some(inj) = &mut self.fault {
+            if R::ENABLED {
+                inj.set_onset_logging(true);
+            }
             let act = inj.tick(now);
-            self.dram.set_fault(act.dram_extra_latency, act.dram_blocked);
+            self.dram
+                .set_fault(act.dram_extra_latency, act.dram_blocked);
             for c in self.l1s.iter_mut().chain(self.shared.iter_mut()) {
                 c.set_fault(act.cache_stalled, act.mshr_reserved);
+            }
+            if R::ENABLED {
+                let seed = inj.config().seed;
+                for onset in inj.drain_onsets() {
+                    rec.event(Event::FaultInjected {
+                        cycle: onset.cycle,
+                        kind: onset.kind.label().into(),
+                        seed,
+                        duration: onset.duration,
+                    });
+                }
             }
         }
 
@@ -580,6 +609,18 @@ impl Cmp {
             an.sample(now, c);
         }
         self.dram_analyzer.sample(&self.dram);
+
+        // 4b. Telemetry occupancy sample, at the same point in the cycle
+        // the analyzers observe (after new accesses, before any step).
+        if R::ENABLED {
+            rec.cycle_sample(&CycleSample {
+                l1_mshrs: self.l1s.iter().map(|c| c.mshrs_in_use()).sum(),
+                shared_mshrs: self.shared.iter().map(|c| c.mshrs_in_use()).sum(),
+                rob: self.cores.iter().map(|c| c.rob_occupancy()).sum(),
+                dram_banks_busy: self.dram.banks_busy(now),
+                dram_banks_total: self.dram.banks_total(),
+            });
+        }
 
         // 5. DRAM advances; reads fill the last shared level.
         for (id, is_write) in self.dram.step(now) {
@@ -772,6 +813,19 @@ impl Cmp {
         let end = self.now + cycles;
         while self.now < end {
             self.try_step()?;
+        }
+        Ok(())
+    }
+
+    /// Recorder-aware variant of [`Cmp::try_run_for`].
+    pub fn try_run_for_with<R: Recorder>(
+        &mut self,
+        cycles: u64,
+        rec: &mut R,
+    ) -> Result<(), SimError> {
+        let end = self.now + cycles;
+        while self.now < end {
+            self.try_step_with(rec)?;
         }
         Ok(())
     }

@@ -45,7 +45,8 @@ fn splitmix(state: &mut u64) -> u64 {
 
 /// Stateless mix of `(seed, lane, cycle)` for read-out sensor noise.
 fn mix(seed: u64, lane: u64, cycle: u64) -> u64 {
-    let mut s = seed ^ lane.wrapping_mul(0xA24BAED4963EE407) ^ cycle.wrapping_mul(0x9FB21C651E98DF25);
+    let mut s =
+        seed ^ lane.wrapping_mul(0xA24BAED4963EE407) ^ cycle.wrapping_mul(0x9FB21C651E98DF25);
     splitmix(&mut s)
 }
 
@@ -252,6 +253,42 @@ impl FaultConfig {
     }
 }
 
+/// A timing-fault class, for onset logging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// DRAM latency spike.
+    DramSpike,
+    /// DRAM refresh storm.
+    RefreshStorm,
+    /// Transient cache-bank stall.
+    BankStall,
+    /// MSHR-exhaustion burst.
+    MshrSqueeze,
+}
+
+impl FaultKind {
+    /// Stable string label (matches the CLI's `--faults` class names).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::DramSpike => "dram-spike",
+            FaultKind::RefreshStorm => "refresh-storm",
+            FaultKind::BankStall => "bank-stall",
+            FaultKind::MshrSqueeze => "mshr-squeeze",
+        }
+    }
+}
+
+/// One fault event onset, recorded when onset logging is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultOnset {
+    /// Fault class that started.
+    pub kind: FaultKind,
+    /// Onset cycle.
+    pub cycle: u64,
+    /// Event duration in cycles.
+    pub duration: u64,
+}
+
 /// What the injector wants applied to the hardware this cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FaultActions {
@@ -280,6 +317,21 @@ pub struct FaultStats {
     pub faulted_cycles: u64,
 }
 
+impl FaultStats {
+    /// The telemetry-export view of these totals, stamped with the seed
+    /// that drove the schedule (for exact reproduction).
+    pub fn to_telemetry(self, seed: u64) -> lpm_telemetry::FaultTotals {
+        lpm_telemetry::FaultTotals {
+            seed,
+            spike_events: self.spike_events,
+            storm_events: self.storm_events,
+            stall_events: self.stall_events,
+            squeeze_events: self.squeeze_events,
+            faulted_cycles: self.faulted_cycles,
+        }
+    }
+}
+
 /// The per-run fault scheduler. Owned by [`crate::Cmp`]; `tick` is called
 /// once per simulated cycle, read-out perturbation through
 /// [`FaultInjector::perturb_report`].
@@ -292,6 +344,11 @@ pub struct FaultInjector {
     stall_until: u64,
     squeeze_until: u64,
     stats: FaultStats,
+    /// When `true`, each event onset is appended to `onset_log` for a
+    /// telemetry recorder to drain. Off by default: the log must stay
+    /// empty (no allocation, no growth) on the uninstrumented path.
+    log_onsets: bool,
+    onset_log: Vec<FaultOnset>,
 }
 
 impl FaultInjector {
@@ -306,7 +363,23 @@ impl FaultInjector {
             stall_until: 0,
             squeeze_until: 0,
             stats: FaultStats::default(),
+            log_onsets: false,
+            onset_log: Vec::new(),
         }
+    }
+
+    /// Enable or disable onset logging (telemetry). The fault *schedule*
+    /// is unaffected: logging only records what would happen anyway.
+    pub fn set_onset_logging(&mut self, enabled: bool) {
+        self.log_onsets = enabled;
+        if !enabled {
+            self.onset_log.clear();
+        }
+    }
+
+    /// Drain the onsets recorded since the last drain.
+    pub fn drain_onsets(&mut self) -> Vec<FaultOnset> {
+        std::mem::take(&mut self.onset_log)
     }
 
     /// The configuration driving this injector.
@@ -324,24 +397,88 @@ impl FaultInjector {
     pub fn tick(&mut self, now: u64) -> FaultActions {
         let mut act = FaultActions::default();
         if let Some(f) = self.cfg.dram_spike {
-            if now < self.spike_until
-                || Self::starts(&mut self.rng, f.mean_interval, &mut self.spike_until, now, f.duration, &mut self.stats.spike_events)
-            {
+            let active = now < self.spike_until || {
+                let fresh = Self::starts(
+                    &mut self.rng,
+                    f.mean_interval,
+                    &mut self.spike_until,
+                    now,
+                    f.duration,
+                    &mut self.stats.spike_events,
+                );
+                if fresh && self.log_onsets {
+                    self.onset_log.push(FaultOnset {
+                        kind: FaultKind::DramSpike,
+                        cycle: now,
+                        duration: f.duration,
+                    });
+                }
+                fresh
+            };
+            if active {
                 act.dram_extra_latency = f.extra_latency;
             }
         }
         if let Some(f) = self.cfg.refresh_storm {
-            act.dram_blocked = now < self.storm_until
-                || Self::starts(&mut self.rng, f.mean_interval, &mut self.storm_until, now, f.duration, &mut self.stats.storm_events);
+            act.dram_blocked = now < self.storm_until || {
+                let fresh = Self::starts(
+                    &mut self.rng,
+                    f.mean_interval,
+                    &mut self.storm_until,
+                    now,
+                    f.duration,
+                    &mut self.stats.storm_events,
+                );
+                if fresh && self.log_onsets {
+                    self.onset_log.push(FaultOnset {
+                        kind: FaultKind::RefreshStorm,
+                        cycle: now,
+                        duration: f.duration,
+                    });
+                }
+                fresh
+            };
         }
         if let Some(f) = self.cfg.bank_stall {
-            act.cache_stalled = now < self.stall_until
-                || Self::starts(&mut self.rng, f.mean_interval, &mut self.stall_until, now, f.duration, &mut self.stats.stall_events);
+            act.cache_stalled = now < self.stall_until || {
+                let fresh = Self::starts(
+                    &mut self.rng,
+                    f.mean_interval,
+                    &mut self.stall_until,
+                    now,
+                    f.duration,
+                    &mut self.stats.stall_events,
+                );
+                if fresh && self.log_onsets {
+                    self.onset_log.push(FaultOnset {
+                        kind: FaultKind::BankStall,
+                        cycle: now,
+                        duration: f.duration,
+                    });
+                }
+                fresh
+            };
         }
         if let Some(f) = self.cfg.mshr_squeeze {
-            if now < self.squeeze_until
-                || Self::starts(&mut self.rng, f.mean_interval, &mut self.squeeze_until, now, f.duration, &mut self.stats.squeeze_events)
-            {
+            let active = now < self.squeeze_until || {
+                let fresh = Self::starts(
+                    &mut self.rng,
+                    f.mean_interval,
+                    &mut self.squeeze_until,
+                    now,
+                    f.duration,
+                    &mut self.stats.squeeze_events,
+                );
+                if fresh && self.log_onsets {
+                    self.onset_log.push(FaultOnset {
+                        kind: FaultKind::MshrSqueeze,
+                        cycle: now,
+                        duration: f.duration,
+                    });
+                }
+                fresh
+            };
+            if active {
                 act.mshr_reserved = f.reserved;
             }
         }
@@ -388,12 +525,19 @@ impl FaultInjector {
             r.dram_accesses = 0;
             r.dram_active_cycles = 0;
         } else {
-            r.dram_active_cycles = Self::noisy(r.dram_active_cycles, noise.amplitude, mix(seed, 5, now));
+            r.dram_active_cycles =
+                Self::noisy(r.dram_active_cycles, noise.amplitude, mix(seed, 5, now));
         }
     }
 
     /// Perturb one layer's counter packet.
-    fn perturb_layer(c: &mut LayerCounters, noise: CounterNoiseFault, seed: u64, lane: u64, now: u64) {
+    fn perturb_layer(
+        c: &mut LayerCounters,
+        noise: CounterNoiseFault,
+        seed: u64,
+        lane: u64,
+        now: u64,
+    ) {
         let h = mix(seed, lane, now);
         if h % 1000 < noise.dropout_per_mille as u64 {
             // Packet lost: everything but the configured hit time reads
@@ -418,8 +562,9 @@ impl FaultInjector {
             Self::noisy(c.hit_access_cycles, a, mix(seed, lane ^ 0x10, now)).max(c.hit_cycles);
         c.miss_access_cycles =
             Self::noisy(c.miss_access_cycles, a, mix(seed, lane ^ 0x20, now)).max(c.miss_cycles);
-        c.pure_miss_access_cycles = Self::noisy(c.pure_miss_access_cycles, a, mix(seed, lane ^ 0x30, now))
-            .max(c.pure_miss_cycles);
+        c.pure_miss_access_cycles =
+            Self::noisy(c.pure_miss_access_cycles, a, mix(seed, lane ^ 0x30, now))
+                .max(c.pure_miss_cycles);
     }
 
     /// Multiplicative noise `c * (1 + amplitude * u)`, `u ∈ [-1, 1]`.
@@ -488,6 +633,31 @@ mod tests {
         assert!(a.hit_access_cycles >= a.hit_cycles);
         assert!(a.miss_access_cycles >= a.miss_cycles);
         assert!(a.pure_miss_access_cycles >= a.pure_miss_cycles);
+    }
+
+    #[test]
+    fn onset_logging_is_faithful_and_non_perturbing() {
+        let run = |log: bool| -> (Vec<FaultActions>, FaultStats, Vec<FaultOnset>) {
+            let mut inj = FaultInjector::new(FaultConfig::all(11));
+            inj.set_onset_logging(log);
+            let acts: Vec<FaultActions> = (0..100_000).map(|now| inj.tick(now)).collect();
+            let stats = inj.stats();
+            (acts, stats, inj.drain_onsets())
+        };
+        let (acts_off, stats_off, onsets_off) = run(false);
+        let (acts_on, stats_on, onsets_on) = run(true);
+        // Logging never changes the schedule.
+        assert_eq!(acts_off, acts_on);
+        assert_eq!(stats_off, stats_on);
+        assert!(onsets_off.is_empty());
+        // Every started event appears in the log, once, in cycle order.
+        let total = stats_on.spike_events
+            + stats_on.storm_events
+            + stats_on.stall_events
+            + stats_on.squeeze_events;
+        assert_eq!(onsets_on.len() as u64, total);
+        assert!(onsets_on.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        assert!(total > 0, "no events in 100k cycles");
     }
 
     #[test]

@@ -21,6 +21,17 @@
 //!   spikes, refresh storms, cache-bank stalls, MSHR exhaustion, counter
 //!   sensor noise) for robustness testing.
 //!
+//! # Telemetry
+//!
+//! The simulator is instrumented for `lpm-telemetry`: recorder-aware
+//! entry points ([`cmp::Cmp::try_step_with`],
+//! [`cmp::Cmp::try_run_for_with`], [`system::System::try_run_for_with`])
+//! emit per-cycle occupancy samples (MSHRs, ROB, DRAM banks) and typed
+//! fault-onset events carrying the injector seed. With the no-op
+//! `NullRecorder` the instrumentation monomorphizes away and the plain
+//! entry points are bit-for-bit identical to the uninstrumented
+//! simulator.
+//!
 //! # Example
 //!
 //! ```
@@ -50,8 +61,8 @@ pub use cmp::{Cmp, CoreSlot};
 pub use config::SystemConfig;
 pub use error::SimError;
 pub use fault::{
-    BankStallFault, CounterNoiseFault, DramSpikeFault, FaultConfig, FaultInjector, FaultStats,
-    MshrSqueezeFault, RefreshStormFault,
+    BankStallFault, CounterNoiseFault, DramSpikeFault, FaultConfig, FaultInjector, FaultKind,
+    FaultOnset, FaultStats, MshrSqueezeFault, RefreshStormFault,
 };
 pub use report::SystemReport;
 pub use system::System;

@@ -3,6 +3,7 @@
 
 use lpm_cpu::CoreStats;
 use lpm_model::{LayerCounters, Lpmr, LpmrSet, ModelError};
+use lpm_telemetry::LayerMetrics;
 
 /// A full measurement of one core's view of the hierarchy.
 #[derive(Debug, Clone, Copy)]
@@ -122,6 +123,27 @@ impl SystemReport {
     /// The extended η factor of Eq. (13), from L1 counters.
     pub fn eta_extended(&self) -> Option<f64> {
         self.l1.eta_extended()
+    }
+
+    /// Per-layer telemetry read-outs (`L1`, `L2`, optional `L3`,
+    /// `DRAM`), in hierarchy order, for a telemetry snapshot. The DRAM
+    /// entry carries only the occupancy view (APC/C-AMAT); its `H` is
+    /// reported as 0 because the analyzer does not observe the
+    /// configured array latency.
+    pub fn layer_metrics(&self) -> Vec<LayerMetrics> {
+        let mut layers = vec![
+            LayerMetrics::from_counters("L1", &self.l1),
+            LayerMetrics::from_counters("L2", &self.l2),
+        ];
+        if let Some(l3) = &self.l3 {
+            layers.push(LayerMetrics::from_counters("L3", l3));
+        }
+        layers.push(LayerMetrics::dram(
+            0,
+            self.dram_accesses,
+            self.dram_active_cycles,
+        ));
+        layers
     }
 
     /// Sanity-check the analyzer counters and the Eq. 2 ≡ Eq. 3 identity.

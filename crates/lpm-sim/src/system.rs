@@ -137,6 +137,15 @@ impl System {
         self.cmp.try_run_for(cycles)
     }
 
+    /// Recorder-aware variant of [`System::try_run_for`] (telemetry).
+    pub fn try_run_for_with<R: lpm_telemetry::Recorder>(
+        &mut self,
+        cycles: u64,
+        rec: &mut R,
+    ) -> Result<(), SimError> {
+        self.cmp.try_run_for_with(cycles, rec)
+    }
+
     /// Enable fault injection per `cfg` (see [`crate::fault`]).
     pub fn enable_faults(&mut self, cfg: FaultConfig) {
         self.cmp.enable_faults(cfg);

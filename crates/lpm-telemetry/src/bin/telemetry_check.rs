@@ -1,0 +1,47 @@
+//! CI validator for telemetry exports.
+//!
+//! Usage: `telemetry_check <file.jsonl|file.csv>` — parses the file
+//! with the strict round-trip parsers and exits non-zero (with a
+//! diagnostic on stderr) if it is malformed. CI runs this against the
+//! artifact produced by a short `repro_online` run.
+
+use lpm_telemetry::TelemetryLog;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: telemetry_check <file.jsonl|file.csv>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("telemetry_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if path.ends_with(".csv") {
+        TelemetryLog::from_csv(&text)
+    } else {
+        TelemetryLog::from_jsonl(&text)
+    };
+    match result {
+        Ok(log) => {
+            println!(
+                "telemetry_check: {path} OK ({} snapshots, {} events)",
+                log.snapshots.len(),
+                log.events.len()
+            );
+            if log.snapshots.is_empty() {
+                eprintln!("telemetry_check: {path} contains no snapshots");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("telemetry_check: {path} is malformed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

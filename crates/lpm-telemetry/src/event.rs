@@ -1,0 +1,446 @@
+//! Typed telemetry events: everything the online controller and the
+//! fault injector decide, with enough payload that a run's event log
+//! alone explains its stall-budget trajectory.
+
+use crate::json::Value;
+
+/// The paper's Fig. 3 decision cases, as recorded in the event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionCase {
+    /// Case I — both boundaries mismatch (`LPMR1 > T1`, `LPMR2 > T2`):
+    /// optimize L1 and L2 simultaneously.
+    CaseI,
+    /// Case II — only the L1 boundary mismatches: optimize L1.
+    CaseII,
+    /// Case III — matched with slack: shed over-provisioned hardware.
+    CaseIII,
+    /// Case IV — matched within the target band: done.
+    CaseIV,
+}
+
+impl DecisionCase {
+    /// Roman-numeral label used in exports (`"I"`..`"IV"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            DecisionCase::CaseI => "I",
+            DecisionCase::CaseII => "II",
+            DecisionCase::CaseIII => "III",
+            DecisionCase::CaseIV => "IV",
+        }
+    }
+
+    /// Inverse of [`DecisionCase::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "I" => Some(DecisionCase::CaseI),
+            "II" => Some(DecisionCase::CaseII),
+            "III" => Some(DecisionCase::CaseIII),
+            "IV" => Some(DecisionCase::CaseIV),
+            _ => None,
+        }
+    }
+}
+
+/// Why the controller skipped a measurement window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// No retirements or no L1 accesses in the window.
+    DegenerateWindow,
+    /// The model rejected the window's counters (sensor noise/dropout).
+    SensorFault,
+}
+
+impl SkipReason {
+    /// Stable string used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SkipReason::DegenerateWindow => "degenerate-window",
+            SkipReason::SensorFault => "sensor-fault",
+        }
+    }
+
+    /// Inverse of [`SkipReason::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "degenerate-window" => Some(SkipReason::DegenerateWindow),
+            "sensor-fault" => Some(SkipReason::SensorFault),
+            _ => None,
+        }
+    }
+}
+
+/// One typed entry in the bounded event log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// An interval's controller decision (Fig. 3 classification).
+    Decision {
+        /// Cycle at which the decision was taken.
+        cycle: u64,
+        /// Zero-based interval index.
+        interval: u64,
+        /// The Fig. 3 case the measurement classified into.
+        case: DecisionCase,
+        /// Measured `LPMR1` driving the decision.
+        lpmr1: f64,
+        /// Measured `LPMR2`.
+        lpmr2: f64,
+        /// Threshold `T1` (Eq. 14).
+        t1: f64,
+        /// Threshold `T2` (Eq. 15), zero when unattainable.
+        t2: f64,
+        /// IPC measured over the interval.
+        ipc: f64,
+        /// Whether a reconfiguration was actually applied (a rollback or
+        /// oscillation freeze can supersede the decision).
+        applied: bool,
+    },
+    /// One hardware knob changed value.
+    KnobChange {
+        /// Cycle at which the new configuration took effect.
+        cycle: u64,
+        /// Knob name (`issue_width`, `iw_size`, `rob_size`, `l1_ports`,
+        /// `mshrs`, `l2_banks`).
+        knob: &'static str,
+        /// Value before.
+        from: u64,
+        /// Value after.
+        to: u64,
+    },
+    /// The controller rolled back to the best configuration observed.
+    Rollback {
+        /// Cycle of the rollback.
+        cycle: u64,
+        /// Consecutive IPC-regressing intervals that triggered it.
+        streak: u64,
+    },
+    /// The oscillation detector froze further reconfiguration.
+    Freeze {
+        /// Cycle of the trip.
+        cycle: u64,
+        /// Grow↔shed direction flips observed.
+        flips: u64,
+    },
+    /// A measurement window was skipped.
+    WindowSkipped {
+        /// Cycle at the end of the skipped window.
+        cycle: u64,
+        /// Why it was unusable.
+        reason: SkipReason,
+    },
+    /// The fault injector started a fault event.
+    FaultInjected {
+        /// Onset cycle.
+        cycle: u64,
+        /// Fault class (`dram-spike`, `refresh-storm`, `bank-stall`,
+        /// `mshr-squeeze`).
+        kind: String,
+        /// The seed driving the whole fault schedule — with it and the
+        /// cycle, the injection is exactly reproducible.
+        seed: u64,
+        /// Fault duration in cycles.
+        duration: u64,
+    },
+    /// A measured LPMR crossed its threshold between intervals.
+    ThresholdCrossing {
+        /// Cycle at which the crossing was observed.
+        cycle: u64,
+        /// Which boundary (1 = L1↔L2 against `T1`, 2 = L2↔DRAM against
+        /// `T2`).
+        boundary: u64,
+        /// The measured ratio this interval.
+        lpmr: f64,
+        /// The threshold it crossed.
+        threshold: f64,
+        /// `true` when the ratio rose above the threshold (match lost).
+        upward: bool,
+    },
+}
+
+impl Event {
+    /// Stable kind tag used in exports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Decision { .. } => "decision",
+            Event::KnobChange { .. } => "knob-change",
+            Event::Rollback { .. } => "rollback",
+            Event::Freeze { .. } => "freeze",
+            Event::WindowSkipped { .. } => "window-skipped",
+            Event::FaultInjected { .. } => "fault-injected",
+            Event::ThresholdCrossing { .. } => "threshold-crossing",
+        }
+    }
+
+    /// The cycle the event is stamped with.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            Event::Decision { cycle, .. }
+            | Event::KnobChange { cycle, .. }
+            | Event::Rollback { cycle, .. }
+            | Event::Freeze { cycle, .. }
+            | Event::WindowSkipped { cycle, .. }
+            | Event::FaultInjected { cycle, .. }
+            | Event::ThresholdCrossing { cycle, .. } => *cycle,
+        }
+    }
+
+    /// Serialize to a JSON object (`{"type":"event","kind":...}`).
+    pub fn to_json(&self) -> Value {
+        let mut f: Vec<(String, Value)> = vec![
+            ("type".into(), Value::Str("event".into())),
+            ("kind".into(), Value::Str(self.kind().into())),
+            ("cycle".into(), Value::Uint(self.cycle())),
+        ];
+        match self {
+            Event::Decision {
+                interval,
+                case,
+                lpmr1,
+                lpmr2,
+                t1,
+                t2,
+                ipc,
+                applied,
+                ..
+            } => {
+                f.push(("interval".into(), Value::Uint(*interval)));
+                f.push(("case".into(), Value::Str(case.label().into())));
+                f.push(("lpmr1".into(), Value::Num(*lpmr1)));
+                f.push(("lpmr2".into(), Value::Num(*lpmr2)));
+                f.push(("t1".into(), Value::Num(*t1)));
+                f.push(("t2".into(), Value::Num(*t2)));
+                f.push(("ipc".into(), Value::Num(*ipc)));
+                f.push(("applied".into(), Value::Bool(*applied)));
+            }
+            Event::KnobChange { knob, from, to, .. } => {
+                f.push(("knob".into(), Value::Str((*knob).into())));
+                f.push(("from".into(), Value::Uint(*from)));
+                f.push(("to".into(), Value::Uint(*to)));
+            }
+            Event::Rollback { streak, .. } => {
+                f.push(("streak".into(), Value::Uint(*streak)));
+            }
+            Event::Freeze { flips, .. } => {
+                f.push(("flips".into(), Value::Uint(*flips)));
+            }
+            Event::WindowSkipped { reason, .. } => {
+                f.push(("reason".into(), Value::Str(reason.label().into())));
+            }
+            Event::FaultInjected {
+                kind,
+                seed,
+                duration,
+                ..
+            } => {
+                f.push(("fault".into(), Value::Str(kind.clone())));
+                f.push(("seed".into(), Value::Uint(*seed)));
+                f.push(("duration".into(), Value::Uint(*duration)));
+            }
+            Event::ThresholdCrossing {
+                boundary,
+                lpmr,
+                threshold,
+                upward,
+                ..
+            } => {
+                f.push(("boundary".into(), Value::Uint(*boundary)));
+                f.push(("lpmr".into(), Value::Num(*lpmr)));
+                f.push(("threshold".into(), Value::Num(*threshold)));
+                f.push(("upward".into(), Value::Bool(*upward)));
+            }
+        }
+        Value::Obj(f)
+    }
+
+    /// Deserialize from the [`Event::to_json`] representation.
+    pub fn from_json(v: &Value) -> Result<Event, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("event missing kind")?;
+        let cycle = v
+            .get("cycle")
+            .and_then(Value::as_u64)
+            .ok_or("event missing cycle")?;
+        let u = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("event missing {key}"))
+        };
+        let n = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("event missing {key}"))
+        };
+        let b = |key: &str| -> Result<bool, String> {
+            v.get(key)
+                .and_then(Value::as_bool)
+                .ok_or_else(|| format!("event missing {key}"))
+        };
+        match kind {
+            "decision" => Ok(Event::Decision {
+                cycle,
+                interval: u("interval")?,
+                case: v
+                    .get("case")
+                    .and_then(Value::as_str)
+                    .and_then(DecisionCase::from_label)
+                    .ok_or("bad decision case")?,
+                lpmr1: n("lpmr1")?,
+                lpmr2: n("lpmr2")?,
+                t1: n("t1")?,
+                t2: n("t2")?,
+                ipc: n("ipc")?,
+                applied: b("applied")?,
+            }),
+            "knob-change" => {
+                let name = v
+                    .get("knob")
+                    .and_then(Value::as_str)
+                    .ok_or("missing knob")?;
+                Ok(Event::KnobChange {
+                    cycle,
+                    knob: knob_name(name).ok_or_else(|| format!("unknown knob {name:?}"))?,
+                    from: u("from")?,
+                    to: u("to")?,
+                })
+            }
+            "rollback" => Ok(Event::Rollback {
+                cycle,
+                streak: u("streak")?,
+            }),
+            "freeze" => Ok(Event::Freeze {
+                cycle,
+                flips: u("flips")?,
+            }),
+            "window-skipped" => Ok(Event::WindowSkipped {
+                cycle,
+                reason: v
+                    .get("reason")
+                    .and_then(Value::as_str)
+                    .and_then(SkipReason::from_label)
+                    .ok_or("bad skip reason")?,
+            }),
+            "fault-injected" => Ok(Event::FaultInjected {
+                cycle,
+                kind: v
+                    .get("fault")
+                    .and_then(Value::as_str)
+                    .ok_or("missing fault kind")?
+                    .to_string(),
+                seed: u("seed")?,
+                duration: u("duration")?,
+            }),
+            "threshold-crossing" => Ok(Event::ThresholdCrossing {
+                cycle,
+                boundary: u("boundary")?,
+                lpmr: n("lpmr")?,
+                threshold: n("threshold")?,
+                upward: b("upward")?,
+            }),
+            other => Err(format!("unknown event kind {other:?}")),
+        }
+    }
+}
+
+/// Map a knob name back to its canonical `&'static str` (the event type
+/// stores knob names statically so recording never allocates).
+fn knob_name(s: &str) -> Option<&'static str> {
+    [
+        "issue_width",
+        "iw_size",
+        "rob_size",
+        "l1_ports",
+        "mshrs",
+        "l2_banks",
+    ]
+    .into_iter()
+    .find(|name| s == *name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Decision {
+                cycle: 123,
+                interval: 0,
+                case: DecisionCase::CaseI,
+                lpmr1: 14.25,
+                lpmr2: 2.5,
+                t1: 1.5,
+                t2: 0.75,
+                ipc: 0.5,
+                applied: true,
+            },
+            Event::KnobChange {
+                cycle: 123,
+                knob: "mshrs",
+                from: 4,
+                to: 8,
+            },
+            Event::Rollback {
+                cycle: 400,
+                streak: 3,
+            },
+            Event::Freeze {
+                cycle: 500,
+                flips: 6,
+            },
+            Event::WindowSkipped {
+                cycle: 600,
+                reason: SkipReason::SensorFault,
+            },
+            Event::FaultInjected {
+                cycle: 700,
+                kind: "refresh-storm".into(),
+                seed: u64::MAX,
+                duration: 1200,
+            },
+            Event::ThresholdCrossing {
+                cycle: 800,
+                boundary: 1,
+                lpmr: 1.4,
+                threshold: 1.5,
+                upward: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips_through_json() {
+        for ev in sample_events() {
+            let json = ev.to_json().to_json();
+            let back = Event::from_json(&Value::parse(&json).unwrap()).unwrap();
+            assert_eq!(back, ev, "{json}");
+        }
+    }
+
+    #[test]
+    fn kind_and_cycle_are_stable() {
+        let evs = sample_events();
+        assert_eq!(evs[0].kind(), "decision");
+        assert_eq!(evs[5].kind(), "fault-injected");
+        assert_eq!(evs[5].cycle(), 700);
+    }
+
+    #[test]
+    fn case_labels_invert() {
+        for case in [
+            DecisionCase::CaseI,
+            DecisionCase::CaseII,
+            DecisionCase::CaseIII,
+            DecisionCase::CaseIV,
+        ] {
+            assert_eq!(DecisionCase::from_label(case.label()), Some(case));
+        }
+        assert_eq!(DecisionCase::from_label("V"), None);
+    }
+
+    #[test]
+    fn unknown_kinds_are_rejected() {
+        let v = Value::parse(r#"{"kind":"martian","cycle":1}"#).unwrap();
+        assert!(Event::from_json(&v).is_err());
+    }
+}

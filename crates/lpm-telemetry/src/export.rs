@@ -1,0 +1,597 @@
+//! Exporters: JSON-lines and CSV round-trips plus the human-readable
+//! end-of-run summary.
+//!
+//! A telemetry file is self-describing. JSON-lines carries one object
+//! per line, discriminated by `"type"`: `snapshot` lines (one per
+//! measurement interval), `event` lines (the typed event log), and a
+//! final `summary` line. CSV carries the snapshot table only (events
+//! and the summary are not tabular); histograms are packed into
+//! `value:count` cells so the file stays one row per interval.
+
+use crate::event::Event;
+use crate::json::Value;
+use crate::snapshot::{Histogram, LayerMetrics, MetricsSnapshot};
+
+/// End-of-run controller health counters (mirrors
+/// `lpm_core::ControllerHealth`, re-declared here so the telemetry
+/// crate stays dependency-light).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthCounters {
+    /// Windows with no retirements or no L1 accesses (skipped).
+    pub degenerate_windows: u64,
+    /// Windows whose counters the model rejected (skipped).
+    pub sensor_faults: u64,
+    /// Rollbacks to the last-known-good configuration.
+    pub rollbacks: u64,
+    /// Growth steps truncated by the step-size clamp.
+    pub clamped_steps: u64,
+    /// Oscillation-detector freezes.
+    pub oscillation_trips: u64,
+}
+
+/// End-of-run fault-injection totals (mirrors `lpm_sim::FaultStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTotals {
+    /// Seed the fault schedule was driven by.
+    pub seed: u64,
+    /// DRAM latency-spike events started.
+    pub spike_events: u64,
+    /// Refresh-storm events started.
+    pub storm_events: u64,
+    /// Cache-bank stall events started.
+    pub stall_events: u64,
+    /// MSHR-squeeze events started.
+    pub squeeze_events: u64,
+    /// Cycles with at least one timing fault active.
+    pub faulted_cycles: u64,
+}
+
+/// The end-of-run summary record.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunSummary {
+    /// Measurement intervals recorded.
+    pub intervals: u64,
+    /// Total simulated cycles.
+    pub total_cycles: u64,
+    /// IPC over the final interval.
+    pub final_ipc: f64,
+    /// Events currently held in the ring buffer.
+    pub events_recorded: u64,
+    /// Events dropped because the ring was full.
+    pub events_dropped: u64,
+    /// Controller health counters, when an online controller ran.
+    pub health: Option<HealthCounters>,
+    /// Fault-injection totals, when faults were enabled.
+    pub faults: Option<FaultTotals>,
+}
+
+impl RunSummary {
+    /// Serialize to a JSON object (`{"type":"summary",...}`).
+    pub fn to_json(&self) -> Value {
+        let mut f: Vec<(String, Value)> = vec![
+            ("type".into(), Value::Str("summary".into())),
+            ("intervals".into(), Value::Uint(self.intervals)),
+            ("total_cycles".into(), Value::Uint(self.total_cycles)),
+            ("final_ipc".into(), Value::Num(self.final_ipc)),
+            ("events_recorded".into(), Value::Uint(self.events_recorded)),
+            ("events_dropped".into(), Value::Uint(self.events_dropped)),
+        ];
+        if let Some(h) = &self.health {
+            f.push((
+                "health".into(),
+                Value::Obj(vec![
+                    (
+                        "degenerate_windows".into(),
+                        Value::Uint(h.degenerate_windows),
+                    ),
+                    ("sensor_faults".into(), Value::Uint(h.sensor_faults)),
+                    ("rollbacks".into(), Value::Uint(h.rollbacks)),
+                    ("clamped_steps".into(), Value::Uint(h.clamped_steps)),
+                    ("oscillation_trips".into(), Value::Uint(h.oscillation_trips)),
+                ]),
+            ));
+        }
+        if let Some(ft) = &self.faults {
+            f.push((
+                "faults".into(),
+                Value::Obj(vec![
+                    ("seed".into(), Value::Uint(ft.seed)),
+                    ("spike_events".into(), Value::Uint(ft.spike_events)),
+                    ("storm_events".into(), Value::Uint(ft.storm_events)),
+                    ("stall_events".into(), Value::Uint(ft.stall_events)),
+                    ("squeeze_events".into(), Value::Uint(ft.squeeze_events)),
+                    ("faulted_cycles".into(), Value::Uint(ft.faulted_cycles)),
+                ]),
+            ));
+        }
+        Value::Obj(f)
+    }
+
+    /// Inverse of [`RunSummary::to_json`].
+    pub fn from_json(v: &Value) -> Result<RunSummary, String> {
+        let u = |obj: &Value, key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("summary missing {key}"))
+        };
+        let health = match v.get("health") {
+            Some(h) => Some(HealthCounters {
+                degenerate_windows: u(h, "degenerate_windows")?,
+                sensor_faults: u(h, "sensor_faults")?,
+                rollbacks: u(h, "rollbacks")?,
+                clamped_steps: u(h, "clamped_steps")?,
+                oscillation_trips: u(h, "oscillation_trips")?,
+            }),
+            None => None,
+        };
+        let faults = match v.get("faults") {
+            Some(ft) => Some(FaultTotals {
+                seed: u(ft, "seed")?,
+                spike_events: u(ft, "spike_events")?,
+                storm_events: u(ft, "storm_events")?,
+                stall_events: u(ft, "stall_events")?,
+                squeeze_events: u(ft, "squeeze_events")?,
+                faulted_cycles: u(ft, "faulted_cycles")?,
+            }),
+            None => None,
+        };
+        Ok(RunSummary {
+            intervals: u(v, "intervals")?,
+            total_cycles: u(v, "total_cycles")?,
+            final_ipc: v
+                .get("final_ipc")
+                .and_then(Value::as_f64)
+                .ok_or("summary missing final_ipc")?,
+            events_recorded: u(v, "events_recorded")?,
+            events_dropped: u(v, "events_dropped")?,
+            health,
+            faults,
+        })
+    }
+}
+
+/// A complete exported run: snapshots, event log, and summary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryLog {
+    /// Per-interval snapshots, in interval order.
+    pub snapshots: Vec<MetricsSnapshot>,
+    /// The typed event log, in emission order.
+    pub events: Vec<Event>,
+    /// End-of-run summary.
+    pub summary: RunSummary,
+}
+
+impl TelemetryLog {
+    /// Serialize to JSON-lines: one object per snapshot, per event, and
+    /// a final summary line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.snapshots {
+            out.push_str(&s.to_json().to_json());
+            out.push('\n');
+        }
+        for e in &self.events {
+            out.push_str(&e.to_json().to_json());
+            out.push('\n');
+        }
+        out.push_str(&self.summary.to_json().to_json());
+        out.push('\n');
+        out
+    }
+
+    /// Parse a JSON-lines export back into a [`TelemetryLog`].
+    pub fn from_jsonl(text: &str) -> Result<TelemetryLog, String> {
+        let mut log = TelemetryLog::default();
+        let mut saw_summary = false;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = Value::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            match v.get("type").and_then(Value::as_str) {
+                Some("snapshot") => log.snapshots.push(
+                    MetricsSnapshot::from_json(&v).map_err(|e| format!("line {}: {e}", i + 1))?,
+                ),
+                Some("event") => log
+                    .events
+                    .push(Event::from_json(&v).map_err(|e| format!("line {}: {e}", i + 1))?),
+                Some("summary") => {
+                    log.summary =
+                        RunSummary::from_json(&v).map_err(|e| format!("line {}: {e}", i + 1))?;
+                    saw_summary = true;
+                }
+                other => return Err(format!("line {}: unknown record type {other:?}", i + 1)),
+            }
+        }
+        if !saw_summary {
+            return Err("missing summary line".into());
+        }
+        Ok(log)
+    }
+
+    /// Serialize the snapshot table to CSV (events and summary are not
+    /// tabular and are omitted; use JSON-lines for the full log).
+    ///
+    /// Layer columns are emitted for `L1`, `L2`, `L3` and `DRAM`; runs
+    /// without an L3 leave its cells empty.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("interval,cycle,cycles");
+        for layer in LAYER_COLUMNS {
+            for param in PARAM_COLUMNS {
+                out.push_str(&format!(",{layer}_{param}"));
+            }
+        }
+        out.push_str(
+            ",lpmr1,lpmr2,lpmr3,t1,t2,ipc,cpi_exe,stall_per_instr,stall_budget_met,\
+             l1_mshr_hist,shared_mshr_hist,rob_hist,dram_bank_util,wall_cycles_per_sec\n",
+        );
+        for s in &self.snapshots {
+            out.push_str(&format!("{},{},{}", s.interval, s.cycle, s.cycles));
+            for layer in LAYER_COLUMNS {
+                match s.layers.iter().find(|l| l.name == *layer) {
+                    Some(l) => {
+                        for v in [
+                            l.h, l.ch, l.cm, l.cm_conv, l.pmr, l.mr, l.pamp, l.amp, l.apc, l.camat,
+                        ] {
+                            out.push_str(&format!(",{v}"));
+                        }
+                        out.push_str(&format!(",{}", l.accesses));
+                    }
+                    None => {
+                        for _ in PARAM_COLUMNS {
+                            out.push(',');
+                        }
+                    }
+                }
+            }
+            out.push_str(&format!(
+                ",{},{},{},{},{},{},{},{},{}",
+                s.lpmr1,
+                s.lpmr2,
+                s.lpmr3,
+                s.t1,
+                s.t2,
+                s.ipc,
+                s.cpi_exe,
+                s.stall_per_instr,
+                s.stall_budget_met
+            ));
+            out.push_str(&format!(
+                ",{},{},{},{},{}\n",
+                s.l1_mshr_hist.to_compact(),
+                s.shared_mshr_hist.to_compact(),
+                s.rob_hist.to_compact(),
+                s.dram_bank_util,
+                s.wall_cycles_per_sec
+            ));
+        }
+        out
+    }
+
+    /// Parse the [`TelemetryLog::to_csv`] snapshot table. Events and
+    /// summary come back empty (CSV does not carry them).
+    pub fn from_csv(text: &str) -> Result<TelemetryLog, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty CSV")?;
+        let cols: Vec<&str> = header.split(',').collect();
+        let expected = 3 + LAYER_COLUMNS.len() * PARAM_COLUMNS.len() + 14;
+        if cols.len() != expected {
+            return Err(format!(
+                "CSV header has {} columns, expected {expected}",
+                cols.len()
+            ));
+        }
+        let mut log = TelemetryLog::default();
+        for (lineno, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let cells: Vec<&str> = line.split(',').collect();
+            if cells.len() != expected {
+                return Err(format!(
+                    "CSV row {} has {} cells, expected {expected}",
+                    lineno + 2,
+                    cells.len()
+                ));
+            }
+            let pu = |i: usize| -> Result<u64, String> {
+                cells[i]
+                    .parse()
+                    .map_err(|_| format!("row {}: bad integer {:?}", lineno + 2, cells[i]))
+            };
+            let pf = |i: usize| -> Result<f64, String> {
+                cells[i]
+                    .parse()
+                    .map_err(|_| format!("row {}: bad number {:?}", lineno + 2, cells[i]))
+            };
+            let mut layers = Vec::new();
+            for (li, layer) in LAYER_COLUMNS.iter().enumerate() {
+                let base = 3 + li * PARAM_COLUMNS.len();
+                if cells[base].is_empty() {
+                    continue;
+                }
+                layers.push(LayerMetrics {
+                    name: (*layer).to_string(),
+                    h: pf(base)?,
+                    ch: pf(base + 1)?,
+                    cm: pf(base + 2)?,
+                    cm_conv: pf(base + 3)?,
+                    pmr: pf(base + 4)?,
+                    mr: pf(base + 5)?,
+                    pamp: pf(base + 6)?,
+                    amp: pf(base + 7)?,
+                    apc: pf(base + 8)?,
+                    camat: pf(base + 9)?,
+                    accesses: pu(base + 10)?,
+                });
+            }
+            let t = 3 + LAYER_COLUMNS.len() * PARAM_COLUMNS.len();
+            log.snapshots.push(MetricsSnapshot {
+                interval: pu(0)?,
+                cycle: pu(1)?,
+                cycles: pu(2)?,
+                layers,
+                lpmr1: pf(t)?,
+                lpmr2: pf(t + 1)?,
+                lpmr3: pf(t + 2)?,
+                t1: pf(t + 3)?,
+                t2: pf(t + 4)?,
+                ipc: pf(t + 5)?,
+                cpi_exe: pf(t + 6)?,
+                stall_per_instr: pf(t + 7)?,
+                stall_budget_met: match cells[t + 8] {
+                    "true" => true,
+                    "false" => false,
+                    other => return Err(format!("row {}: bad bool {other:?}", lineno + 2)),
+                },
+                l1_mshr_hist: Histogram::from_compact(cells[t + 9])?,
+                shared_mshr_hist: Histogram::from_compact(cells[t + 10])?,
+                rob_hist: Histogram::from_compact(cells[t + 11])?,
+                dram_bank_util: pf(t + 12)?,
+                wall_cycles_per_sec: pf(t + 13)?,
+            });
+        }
+        Ok(log)
+    }
+
+    /// Render the human-readable end-of-run summary table.
+    pub fn human_summary(&self) -> String {
+        let mut out = String::new();
+        let s = &self.summary;
+        out.push_str("== telemetry summary ==\n");
+        out.push_str(&format!(
+            "intervals: {}   cycles: {}   final IPC: {:.3}\n",
+            s.intervals, s.total_cycles, s.final_ipc
+        ));
+        out.push_str(&format!(
+            "events: {} recorded, {} dropped\n",
+            s.events_recorded, s.events_dropped
+        ));
+        let mut by_kind: Vec<(&'static str, u64)> = Vec::new();
+        for e in &self.events {
+            match by_kind.iter_mut().find(|(k, _)| *k == e.kind()) {
+                Some((_, n)) => *n += 1,
+                None => by_kind.push((e.kind(), 1)),
+            }
+        }
+        for (kind, n) in &by_kind {
+            out.push_str(&format!("  {kind}: {n}\n"));
+        }
+        if let Some(h) = &s.health {
+            out.push_str(&format!(
+                "controller health: {} degenerate windows, {} sensor faults, {} rollbacks, \
+                 {} clamped steps, {} oscillation freezes\n",
+                h.degenerate_windows,
+                h.sensor_faults,
+                h.rollbacks,
+                h.clamped_steps,
+                h.oscillation_trips
+            ));
+        }
+        if let Some(ft) = &s.faults {
+            out.push_str(&format!(
+                "faults (seed {}): {} spikes, {} storms, {} bank stalls, {} squeezes over {} faulted cycles\n",
+                ft.seed, ft.spike_events, ft.storm_events, ft.stall_events, ft.squeeze_events,
+                ft.faulted_cycles
+            ));
+        }
+        if let Some(last) = self.snapshots.last() {
+            out.push_str(&format!(
+                "final interval: LPMR1 {:.3}  LPMR2 {:.3}  T1 {:.3}  T2 {:.3}  budget {}\n",
+                last.lpmr1,
+                last.lpmr2,
+                last.t1,
+                last.t2,
+                if last.stall_budget_met {
+                    "met"
+                } else {
+                    "MISSED"
+                }
+            ));
+            out.push_str(&format!(
+                "occupancy means: L1 MSHR {:.2}  shared MSHR {:.2}  ROB {:.2}  DRAM bank util {:.1}%\n",
+                last.l1_mshr_hist.mean(),
+                last.shared_mshr_hist.mean(),
+                last.rob_hist.mean(),
+                last.dram_bank_util * 100.0
+            ));
+            if last.wall_cycles_per_sec > 0.0 {
+                out.push_str(&format!(
+                    "sim throughput: {:.0} cycles/sec\n",
+                    last.wall_cycles_per_sec
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Layer column order in CSV exports.
+const LAYER_COLUMNS: &[&str] = &["L1", "L2", "L3", "DRAM"];
+/// Per-layer parameter column order in CSV exports.
+const PARAM_COLUMNS: &[&str] = &[
+    "H", "CH", "CM", "Cm", "pMR", "MR", "pAMP", "AMP", "APC", "camat", "accesses",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DecisionCase, SkipReason};
+
+    fn sample_log() -> TelemetryLog {
+        let mut c = lpm_model::LayerCounters::new(3);
+        c.accesses = 5;
+        c.misses = 2;
+        c.pure_misses = 1;
+        c.hit_cycles = 4;
+        c.hit_access_cycles = 10;
+        c.miss_cycles = 3;
+        c.miss_access_cycles = 4;
+        c.pure_miss_cycles = 2;
+        c.pure_miss_access_cycles = 2;
+        c.active_cycles = 6;
+        let mut hist = Histogram::default();
+        hist.record(2);
+        hist.record(2);
+        hist.record(5);
+        let snap = MetricsSnapshot {
+            interval: 0,
+            cycle: 10_000,
+            cycles: 10_000,
+            layers: vec![
+                LayerMetrics::from_counters("L1", &c),
+                LayerMetrics::from_counters("L2", &c),
+                LayerMetrics::dram(60, 40, 700),
+            ],
+            lpmr1: 3.5,
+            lpmr2: 1.5,
+            lpmr3: 0.0,
+            t1: 1.5,
+            t2: 0.75,
+            ipc: 1.25,
+            cpi_exe: 0.5,
+            stall_per_instr: 0.125,
+            stall_budget_met: false,
+            l1_mshr_hist: hist.clone(),
+            shared_mshr_hist: hist.clone(),
+            rob_hist: hist,
+            dram_bank_util: 0.25,
+            wall_cycles_per_sec: 2.0e6,
+        };
+        TelemetryLog {
+            snapshots: vec![snap],
+            events: vec![
+                Event::Decision {
+                    cycle: 10_000,
+                    interval: 0,
+                    case: DecisionCase::CaseI,
+                    lpmr1: 3.5,
+                    lpmr2: 1.5,
+                    t1: 1.5,
+                    t2: 0.75,
+                    ipc: 1.25,
+                    applied: true,
+                },
+                Event::KnobChange {
+                    cycle: 10_000,
+                    knob: "mshrs",
+                    from: 4,
+                    to: 8,
+                },
+                Event::FaultInjected {
+                    cycle: 4321,
+                    kind: "dram-spike".into(),
+                    seed: 0xDEAD_BEEF,
+                    duration: 900,
+                },
+                Event::WindowSkipped {
+                    cycle: 20_000,
+                    reason: SkipReason::DegenerateWindow,
+                },
+            ],
+            summary: RunSummary {
+                intervals: 1,
+                total_cycles: 10_000,
+                final_ipc: 1.25,
+                events_recorded: 4,
+                events_dropped: 0,
+                health: Some(HealthCounters {
+                    degenerate_windows: 1,
+                    sensor_faults: 0,
+                    rollbacks: 2,
+                    clamped_steps: 3,
+                    oscillation_trips: 0,
+                }),
+                faults: Some(FaultTotals {
+                    seed: 0xDEAD_BEEF,
+                    spike_events: 1,
+                    storm_events: 0,
+                    stall_events: 0,
+                    squeeze_events: 0,
+                    faulted_cycles: 900,
+                }),
+            },
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_exactly() {
+        let log = sample_log();
+        let text = log.to_jsonl();
+        let back = TelemetryLog::from_jsonl(&text).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn csv_round_trips_snapshots() {
+        let log = sample_log();
+        let text = log.to_csv();
+        let back = TelemetryLog::from_csv(&text).unwrap();
+        assert_eq!(back.snapshots, log.snapshots);
+        assert!(back.events.is_empty());
+    }
+
+    #[test]
+    fn csv_leaves_missing_l3_blank() {
+        let log = sample_log();
+        let text = log.to_csv();
+        let row = text.lines().nth(1).unwrap();
+        // The L3 block (11 columns) is empty.
+        assert!(row.contains(",,,,,,,,,,,"));
+    }
+
+    #[test]
+    fn jsonl_rejects_corruption() {
+        let log = sample_log();
+        let mut text = log.to_jsonl();
+        assert!(TelemetryLog::from_jsonl(&text.replace("snapshot", "snapsh0t")).is_err());
+        text.push_str("{\"type\":\"event\"}\n");
+        assert!(TelemetryLog::from_jsonl(&text).is_err());
+        assert!(TelemetryLog::from_jsonl("").is_err());
+    }
+
+    #[test]
+    fn summary_without_optionals_round_trips() {
+        let s = RunSummary {
+            intervals: 3,
+            total_cycles: 30_000,
+            final_ipc: 2.0,
+            events_recorded: 0,
+            events_dropped: 0,
+            health: None,
+            faults: None,
+        };
+        let v = Value::parse(&s.to_json().to_json()).unwrap();
+        assert_eq!(RunSummary::from_json(&v).unwrap(), s);
+    }
+
+    #[test]
+    fn human_summary_mentions_key_counters() {
+        let text = sample_log().human_summary();
+        assert!(text.contains("rollbacks"));
+        assert!(text.contains("seed 3735928559"));
+        assert!(text.contains("LPMR1"));
+        assert!(text.contains("fault-injected: 1"));
+    }
+}

@@ -32,9 +32,8 @@ fn main() {
     // squeezes and sensor noise on the analyzer counters.
     sys.enable_faults(FaultConfig::all(seed));
 
-    let mut ctl =
-        OnlineLpmController::new_hardened(HwConfig::A, 20_000, Grain::Custom(0.5))
-            .expect("valid interval");
+    let mut ctl = OnlineLpmController::new_hardened(HwConfig::A, 20_000, Grain::Custom(0.5))
+        .expect("valid interval");
     println!("hardened online LPM under fault injection (seed {seed}):\n");
     println!(
         "{:>9} {:>7} {:>7} {:>6} {:>6}  {:<20} {:>4} {:>5}",

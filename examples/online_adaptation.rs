@@ -40,8 +40,8 @@ fn main() {
     let mut sys = System::new_looping(base, trace, 50, 1);
     sys.cmp_mut().warm_up(20_000);
 
-    let mut ctl = OnlineLpmController::new(HwConfig::A, 15_000, Grain::Custom(0.5))
-        .expect("valid interval");
+    let mut ctl =
+        OnlineLpmController::new(HwConfig::A, 15_000, Grain::Custom(0.5)).expect("valid interval");
     println!("phase-adaptive online LPM (15k-cycle intervals):\n");
     println!(
         "{:>9} {:>7} {:>7} {:>6}  {:<20} {:>4} {:>5}",
