@@ -1,0 +1,88 @@
+//! Parallel sweep scaling: the canonical 16-point sweep (4 Table I
+//! configs × 2 workloads × 2 seeds) at 1/2/4/8 worker threads, plus an
+//! explicit speedup record written to `target/sweep-speedup.txt`.
+//!
+//! The engine's determinism contract means every row below produces
+//! byte-identical output — the only thing the worker count changes is
+//! wall-clock time. On an N-core machine the sweep scales near-linearly
+//! up to N workers (points are coarse-grained and share no state); on a
+//! single hardware thread the parallel rows collapse to serial time plus
+//! scheduling noise, and the recorded speedup reflects that honestly.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lpm_core::design_space::HwConfig;
+use lpm_harness::{run_sweep, SweepSpec};
+use lpm_trace::SpecWorkload;
+use std::time::Instant;
+
+/// The 16-point sweep: 4 configs × 2 workloads × 2 seeds, clean runs.
+fn sixteen_point_spec() -> SweepSpec {
+    SweepSpec {
+        configs: vec![
+            ("A".into(), HwConfig::A),
+            ("B".into(), HwConfig::B),
+            ("C".into(), HwConfig::C),
+            ("D".into(), HwConfig::D),
+        ],
+        workloads: vec![SpecWorkload::BwavesLike, SpecWorkload::McfLike],
+        seeds: vec![7, 11],
+        fault_seeds: vec![None],
+        instructions: 60_000,
+        intervals: 6,
+        interval_cycles: 10_000,
+        warmup_instructions: 10_000,
+        loop_repeats: 100,
+        ..SweepSpec::default()
+    }
+}
+
+/// Best-of-`reps` wall time for one full sweep at `jobs` workers.
+fn best_time(spec: &SweepSpec, jobs: usize, reps: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let report = run_sweep(spec, jobs).expect("sweep failed");
+        assert_eq!(report.len(), 16);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_sweep_scaling(c: &mut Criterion) {
+    let spec = sixteen_point_spec();
+    let mut g = c.benchmark_group("sweep16");
+    g.sample_size(2);
+    for jobs in [1usize, 2, 4, 8] {
+        let spec = spec.clone();
+        g.bench_function(format!("jobs{jobs}"), |b| {
+            b.iter_batched(
+                || (),
+                |()| run_sweep(&spec, jobs).expect("sweep failed"),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+
+    // The explicit speedup record the CI artifact carries.
+    let t1 = best_time(&spec, 1, 2);
+    let t8 = best_time(&spec, 8, 2);
+    let speedup = t1 / t8;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let record = format!(
+        "16-point sweep, {cores} hardware thread(s)\n\
+         jobs=1: {t1:.3} s\n\
+         jobs=8: {t8:.3} s\n\
+         speedup at 8 jobs: {speedup:.2}x\n"
+    );
+    print!("{record}");
+    let out = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("sweep-speedup.txt");
+    if std::fs::write(&out, &record).is_ok() {
+        println!("speedup record written to {}", out.display());
+    }
+}
+
+criterion_group!(benches, bench_sweep_scaling);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Batch sweep driver: evaluate the canonical 16-point design sweep
+//! (4 Table I configs × 2 workloads × 2 seeds) across worker threads,
+//! with bit-for-bit identical output for every `--jobs` value.
+//!
+//! Usage: `repro_sweep [--jobs=N] [--faults[=seed]] [--verify]
+//! [--telemetry-out=FILE] [--telemetry-format=jsonl|csv]`
+//!
+//! `--verify` re-runs the sweep serially and checks that every export is
+//! byte-identical to the parallel run — the determinism contract,
+//! checked on the spot. `--faults` adds a faulted sibling (all injector
+//! classes, hardened controller) next to every clean point, doubling the
+//! sweep to 32 points.
+
+use lpm_core::design_space::HwConfig;
+use lpm_harness::{run_sweep, SweepSpec};
+use lpm_trace::SpecWorkload;
+
+fn main() {
+    let mut jobs: usize = 1;
+    let mut fault_seed: Option<u64> = None;
+    let mut verify = false;
+    let mut telemetry_out: Option<String> = None;
+    let mut telemetry_format = "jsonl".to_string();
+    for arg in std::env::args().skip(1) {
+        if let Some(s) = arg.strip_prefix("--jobs=") {
+            jobs = match s.parse() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    eprintln!("--jobs expects a positive integer, got {s:?}");
+                    std::process::exit(1);
+                }
+            };
+        } else if arg == "--faults" {
+            fault_seed = Some(42);
+        } else if let Some(s) = arg.strip_prefix("--faults=") {
+            fault_seed = Some(s.parse().expect("--faults=<u64 seed>"));
+        } else if arg == "--verify" {
+            verify = true;
+        } else if let Some(s) = arg.strip_prefix("--telemetry-out=") {
+            telemetry_out = Some(s.to_string());
+        } else if let Some(s) = arg.strip_prefix("--telemetry-format=") {
+            telemetry_format = s.to_string();
+        } else {
+            eprintln!(
+                "usage: repro_sweep [--jobs=N] [--faults[=seed]] [--verify] \
+                 [--telemetry-out=FILE] [--telemetry-format=jsonl|csv]"
+            );
+            std::process::exit(1);
+        }
+    }
+    if !matches!(telemetry_format.as_str(), "jsonl" | "csv") {
+        eprintln!("unknown --telemetry-format {telemetry_format:?}; use jsonl or csv");
+        std::process::exit(1);
+    }
+
+    let spec = SweepSpec {
+        configs: vec![
+            ("A".into(), HwConfig::A),
+            ("B".into(), HwConfig::B),
+            ("C".into(), HwConfig::C),
+            ("D".into(), HwConfig::D),
+        ],
+        workloads: vec![SpecWorkload::BwavesLike, SpecWorkload::McfLike],
+        seeds: vec![7, 11],
+        fault_seeds: match fault_seed {
+            Some(s) => vec![None, Some(s)],
+            None => vec![None],
+        },
+        instructions: 60_000,
+        intervals: 6,
+        interval_cycles: 10_000,
+        warmup_instructions: 10_000,
+        loop_repeats: 100,
+        ..SweepSpec::default()
+    };
+
+    let report = run_sweep(&spec, jobs).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", report.to_text());
+
+    if verify {
+        let serial = run_sweep(&spec, 1).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        let same = serial == report
+            && serial.to_text() == report.to_text()
+            && serial.to_csv() == report.to_csv()
+            && serial.to_jsonl() == report.to_jsonl();
+        if same {
+            println!("determinism: jobs={jobs} output is byte-identical to jobs=1 — OK");
+        } else {
+            eprintln!("determinism VIOLATION: jobs={jobs} output differs from jobs=1");
+            std::process::exit(2);
+        }
+    }
+
+    if let Some(path) = telemetry_out {
+        let data = match telemetry_format.as_str() {
+            "csv" => report.to_csv(),
+            _ => report.to_jsonl(),
+        };
+        if let Err(e) = std::fs::write(&path, data) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "wrote {} point(s) to {path} ({telemetry_format})",
+            report.len()
+        );
+    }
+}

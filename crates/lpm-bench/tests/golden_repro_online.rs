@@ -1,0 +1,63 @@
+//! Golden snapshot test for the `repro_online` human summary.
+//!
+//! The batch driver's stdout (interval table, adaptation line, budget
+//! attainment, controller health) is fully deterministic — seeded trace
+//! generation, seeded simulation, seeded fault injection, no wall-clock
+//! anywhere. Any diff against the checked-in snapshot is a behavior
+//! change that must be reviewed (and, if intended, regenerated with
+//! `UPDATE_GOLDEN=1 cargo test -p lpm-bench --test golden_repro_online`).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../tests/golden/{name}"))
+}
+
+/// Compare `actual` against the named golden file, regenerating it when
+/// `UPDATE_GOLDEN=1` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate it with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "{name} drifted from its golden snapshot.\n\
+         If the change is intended, regenerate with UPDATE_GOLDEN=1.\n\
+         --- expected ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}
+
+fn run_repro_online(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro_online"))
+        .args(args)
+        .output()
+        .expect("repro_online should run");
+    assert!(
+        out.status.success(),
+        "repro_online {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("stdout is UTF-8")
+}
+
+#[test]
+fn clean_run_matches_snapshot() {
+    assert_golden("repro_online.txt", &run_repro_online(&["20000"]));
+}
+
+#[test]
+fn faulted_run_matches_snapshot() {
+    assert_golden(
+        "repro_online_faults.txt",
+        &run_repro_online(&["20000", "--faults=42"]),
+    );
+}

@@ -70,6 +70,35 @@ impl Args {
         }
     }
 
+    /// Parse a strictly positive integer option: `0`, negative and
+    /// non-numeric values are rejected with a typed error naming the
+    /// flag (used by `--jobs`, where 0 workers is meaningless).
+    pub fn positive_int_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => match v.parse::<u64>() {
+                Ok(0) => Err(format!("--{key} expects a positive integer, got 0")),
+                Ok(n) => Ok(n),
+                Err(_) => Err(format!("--{key} expects a positive integer, got {v:?}")),
+            },
+        }
+    }
+
+    /// Parse a comma-separated list of integers (`--seeds 7,11,13`).
+    pub fn int_list_or(&self, key: &str, default: &[u64]) -> Result<Vec<u64>, String> {
+        match self.options.get(key) {
+            None => Ok(default.to_vec()),
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|_| format!("--{key} expects comma-separated integers, got {s:?}"))
+                })
+                .collect(),
+        }
+    }
+
     /// Parse a float option.
     pub fn float_or(&self, key: &str, default: f64) -> Result<f64, String> {
         match self.options.get(key) {
@@ -174,6 +203,32 @@ mod tests {
         assert!(e.contains("--seed"));
         let a = parse(&sv(&["run", "--l1-size", "huge"])).unwrap();
         assert!(a.size_or("l1-size", 1).is_err());
+    }
+
+    #[test]
+    fn positive_int_rejects_zero_and_garbage() {
+        let a = parse(&sv(&["sweep", "--jobs", "0"])).unwrap();
+        let e = a.positive_int_or("jobs", 1).unwrap_err();
+        assert!(e.contains("--jobs") && e.contains("positive"), "{e}");
+        let a = parse(&sv(&["sweep", "--jobs", "four"])).unwrap();
+        let e = a.positive_int_or("jobs", 1).unwrap_err();
+        assert!(e.contains("\"four\""), "{e}");
+        let a = parse(&sv(&["sweep", "--jobs", "-2"])).unwrap();
+        assert!(a.positive_int_or("jobs", 1).is_err());
+        let a = parse(&sv(&["sweep", "--jobs", "8"])).unwrap();
+        assert_eq!(a.positive_int_or("jobs", 1).unwrap(), 8);
+        let a = parse(&sv(&["sweep"])).unwrap();
+        assert_eq!(a.positive_int_or("jobs", 3).unwrap(), 3);
+    }
+
+    #[test]
+    fn int_lists_parse_and_reject_garbage() {
+        let a = parse(&sv(&["sweep", "--seeds", "7, 11,13"])).unwrap();
+        assert_eq!(a.int_list_or("seeds", &[1]).unwrap(), vec![7, 11, 13]);
+        let a = parse(&sv(&["sweep"])).unwrap();
+        assert_eq!(a.int_list_or("seeds", &[5]).unwrap(), vec![5]);
+        let a = parse(&sv(&["sweep", "--seeds", "7,x"])).unwrap();
+        assert!(a.int_list_or("seeds", &[]).unwrap_err().contains("--seeds"));
     }
 
     #[test]

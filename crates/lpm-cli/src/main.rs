@@ -15,6 +15,7 @@ use args::Args;
 use lpm_core::design_space::{measure_config, DesignSpaceExplorer, HwConfig};
 use lpm_core::online::OnlineLpmController;
 use lpm_core::optimizer::{run_lpm_loop, LpmOptimizer};
+use lpm_harness::{run_sweep, FaultClass, SweepSpec};
 use lpm_model::Grain;
 use lpm_sim::{FaultConfig, System, SystemConfig};
 use lpm_telemetry::{RingRecorder, RunSummary, TelemetryLog, DEFAULT_EVENT_CAPACITY};
@@ -61,6 +62,7 @@ fn run(raw: &[String]) -> Result<(), String> {
         "table1" => cmd_table1(&a),
         "explore" => cmd_explore(&a),
         "online" => cmd_online(&a),
+        "sweep" => cmd_sweep(&a),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -77,6 +79,7 @@ fn print_help() {
          \x20 table1                           regenerate Table I (configs A–E on bwaves-like)\n\
          \x20 explore --workload NAME          LPM-guided design-space exploration from config A\n\
          \x20 online  --workload NAME          online interval-driven adaptation\n\
+         \x20 sweep   [--jobs N]               parallel sweep over configs × workloads × seeds\n\
          \n\
          common flags:\n\
          \x20 --instructions N    measurement window (default 60000)\n\
@@ -91,13 +94,34 @@ fn print_help() {
          \x20                     bank-stall, mshr-squeeze, counter-noise); hardens the controller\n\
          \x20 --fault-seed S      fault-injection seed (default 42)\n\
          \n\
-         telemetry flags (online):\n\
+         telemetry flags (online, sweep):\n\
          \x20 --telemetry-out F   write structured telemetry to F (`-` = stdout; human\n\
          \x20                     output then moves to stderr so pipes stay clean)\n\
          \x20 --telemetry-format  jsonl (snapshots + events + summary) or csv (snapshot table)\n\
          \x20 --trace-events N    event ring capacity (default 4096; 0 keeps snapshots only)\n\
-         \x20 --quiet             suppress the human-readable report (data output only)"
+         \x20 --quiet             suppress the human-readable report (data output only)\n\
+         \n\
+         sweep flags:\n\
+         \x20 --jobs N            worker threads (positive; output is bit-for-bit identical\n\
+         \x20                     for every N — see DESIGN.md on the determinism invariant)\n\
+         \x20 --configs A,C,E     Table I configuration labels to sweep (default A,C)\n\
+         \x20 --workloads X,Y     workloads to sweep (default bwaves)\n\
+         \x20 --seeds 7,11        generator seeds to sweep (default 7)\n\
+         \x20 --faults CLASS      add faulted points next to every clean point\n\
+         \x20 --fault-seeds 42,43 fault-schedule seeds for the faulted points (default 42)\n\
+         \x20 --intervals N       controller intervals per point (default 8)"
     );
+}
+
+fn lookup_workload(name: &str) -> Result<SpecWorkload, String> {
+    SpecWorkload::ALL
+        .into_iter()
+        .find(|w| {
+            w.name() == name
+                || w.name().split_once('.').is_some_and(|(_, n)| n == name)
+                || w.name().trim_end_matches("-like").ends_with(name)
+        })
+        .ok_or_else(|| format!("unknown workload {name:?}; see `lpm workloads`"))
 }
 
 fn workload_from(a: &Args) -> Result<SpecWorkload, String> {
@@ -105,14 +129,7 @@ fn workload_from(a: &Args) -> Result<SpecWorkload, String> {
         .options
         .get("workload")
         .ok_or("missing --workload; see `lpm workloads`")?;
-    SpecWorkload::ALL
-        .into_iter()
-        .find(|w| {
-            w.name() == name
-                || w.name().split_once('.').is_some_and(|(_, n)| n == name)
-                || w.name().trim_end_matches("-like").ends_with(name.as_str())
-        })
-        .ok_or_else(|| format!("unknown workload {name:?}; see `lpm workloads`"))
+    lookup_workload(name)
 }
 
 fn system_config_from(a: &Args) -> Result<SystemConfig, String> {
@@ -455,6 +472,83 @@ fn cmd_online(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_sweep(a: &Args) -> Result<(), String> {
+    let jobs = a.positive_int_or("jobs", 1)? as usize;
+    let quiet = a.has("quiet");
+    let telemetry_out = a.options.get("telemetry-out").cloned();
+    let format = a.get_or("telemetry-format", "jsonl").to_string();
+    if !matches!(format.as_str(), "jsonl" | "csv") {
+        return Err(format!(
+            "unknown --telemetry-format {format:?}; use jsonl or csv"
+        ));
+    }
+
+    let mut configs = Vec::new();
+    for label in a.get_or("configs", "A,C").split(',') {
+        let label = label.trim();
+        let hw = HwConfig::by_label(label)
+            .ok_or_else(|| format!("unknown config {label:?}; Table I defines A through E"))?;
+        configs.push((label.to_string(), hw));
+    }
+    let mut workloads = Vec::new();
+    for name in a.get_or("workloads", "bwaves").split(',') {
+        workloads.push(lookup_workload(name.trim())?);
+    }
+    let seeds = a.int_list_or("seeds", &[7])?;
+    let fault_class = match a.options.get("faults") {
+        Some(class) => FaultClass::parse(class)?,
+        None => FaultClass::All,
+    };
+    // With --faults, every clean point gains a faulted sibling per seed.
+    let mut fault_seeds = vec![None];
+    if a.has("faults") {
+        for s in a.int_list_or("fault-seeds", &[42])? {
+            fault_seeds.push(Some(s));
+        }
+    }
+
+    let spec = SweepSpec {
+        configs,
+        workloads,
+        seeds,
+        fault_seeds,
+        fault_class,
+        instructions: a.int_or("instructions", 60_000)? as usize,
+        intervals: a.int_or("intervals", 8)? as usize,
+        interval_cycles: a.int_or("interval", 20_000)?,
+        grain: a.float_or("grain", 0.50)?,
+        warmup_instructions: a.int_or("warmup", 30_000)?,
+        event_capacity: a.int_or("trace-events", DEFAULT_EVENT_CAPACITY as u64)? as usize,
+        ..SweepSpec::default()
+    };
+    let report = run_sweep(&spec, jobs)?;
+
+    let data_owns_stdout = telemetry_out.as_deref() == Some("-");
+    if !quiet {
+        let human = report.to_text();
+        if data_owns_stdout {
+            eprint!("{human}");
+        } else {
+            print!("{human}");
+        }
+    }
+    if let Some(path) = &telemetry_out {
+        let data = match format.as_str() {
+            "csv" => report.to_csv(),
+            _ => report.to_jsonl(),
+        };
+        if path == "-" {
+            print!("{data}");
+        } else {
+            std::fs::write(path, data).map_err(|e| format!("cannot write {path}: {e}"))?;
+            if !quiet {
+                eprintln!("wrote {} point(s) to {path} ({format})", report.len());
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -607,6 +701,63 @@ mod tests {
     fn bad_telemetry_format_is_rejected() {
         let e = render_telemetry(&TelemetryLog::default(), "xml").unwrap_err();
         assert!(e.contains("--telemetry-format"));
+    }
+
+    #[test]
+    fn sweep_rejects_zero_and_non_numeric_jobs() {
+        let e = run(&sv(&["sweep", "--jobs", "0"])).unwrap_err();
+        assert!(e.contains("--jobs") && e.contains("positive"), "{e}");
+        let e = run(&sv(&["sweep", "--jobs", "many"])).unwrap_err();
+        assert!(e.contains("--jobs") && e.contains("\"many\""), "{e}");
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_config_workload_and_fault_class() {
+        let e = run(&sv(&["sweep", "--configs", "A,Z"])).unwrap_err();
+        assert!(e.contains("\"Z\""), "{e}");
+        let e = run(&sv(&["sweep", "--workloads", "nope"])).unwrap_err();
+        assert!(e.contains("unknown workload"), "{e}");
+        let e = run(&sv(&["sweep", "--faults", "meteor"])).unwrap_err();
+        assert!(e.contains("unknown fault class"), "{e}");
+        let e = run(&sv(&["sweep", "--telemetry-format", "xml"])).unwrap_err();
+        assert!(e.contains("--telemetry-format"), "{e}");
+    }
+
+    #[test]
+    fn sweep_end_to_end_writes_jsonl() {
+        let dir = std::env::temp_dir().join("lpm-cli-sweep-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.jsonl");
+        let path_s = path.to_str().unwrap().to_string();
+        run(&sv(&[
+            "sweep",
+            "--configs",
+            "A",
+            "--workloads",
+            "bwaves",
+            "--instructions",
+            "30000",
+            "--intervals",
+            "2",
+            "--interval",
+            "5000",
+            "--warmup",
+            "5000",
+            "--jobs",
+            "2",
+            "--quiet",
+            "--telemetry-out",
+            &path_s,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let point_lines = text
+            .lines()
+            .filter(|l| l.contains("\"type\":\"point\""))
+            .count();
+        assert_eq!(point_lines, 1);
+        assert!(text.contains("\"type\":\"snapshot\""));
+        std::fs::remove_file(path).ok();
     }
 }
 

@@ -1,0 +1,235 @@
+//! The sweep engine: evaluate one point, or run a whole spec across
+//! work-stealing worker threads with deterministically merged results.
+
+use std::sync::mpsc;
+
+use lpm_core::online::OnlineLpmController;
+use lpm_model::Grain;
+use lpm_sim::System;
+use lpm_telemetry::{RingRecorder, RunSummary};
+
+use crate::point::{
+    derive_stream, PointResult, SweepPoint, SweepSpec, SALT_FAULT, SALT_SIM, SALT_TRACE,
+};
+use crate::queue::WorkStealingQueue;
+use crate::report::SweepReport;
+
+/// Evaluate one sweep point: generate its trace, build and warm the
+/// system, optionally arm the fault injectors, run the online LPM
+/// controller for the spec's interval count with a private
+/// `RingRecorder`, and package the outcome.
+///
+/// Every stream the evaluation consumes is derived from the *point's*
+/// seeds via [`derive_stream`] — nothing here may depend on which worker
+/// thread runs it, on wall-clock time, or on any global state. The one
+/// wall-clock-derived telemetry field (`wall_cycles_per_sec`) is zeroed
+/// before the log leaves this function.
+pub fn evaluate_point(point: &SweepPoint, spec: &SweepSpec) -> Result<PointResult, String> {
+    let label = point.label();
+    let ctx = |what: &str, e: &dyn std::fmt::Display| format!("point {label}: {what}: {e}");
+
+    let trace_seed = derive_stream(point.seed, SALT_TRACE);
+    let sim_seed = derive_stream(point.seed, SALT_SIM);
+    let fault_seed = point.fault_seed.map(|f| derive_stream(f, SALT_FAULT));
+
+    let trace = point
+        .workload
+        .generator()
+        .generate(spec.instructions, trace_seed);
+    let cfg = point.hw.apply(&spec.base);
+    let mut sys = System::try_new_looping(cfg, trace, spec.loop_repeats, sim_seed)
+        .map_err(|e| ctx("cannot build system", &e))?;
+    sys.cmp_mut().warm_up(spec.warmup_instructions);
+    if let Some(fs) = fault_seed {
+        sys.enable_faults(spec.fault_class.config(fs));
+    }
+
+    let grain = Grain::Custom(spec.grain);
+    let mut ctl = if fault_seed.is_some() {
+        OnlineLpmController::new_hardened(point.hw, spec.interval_cycles, grain)
+    } else {
+        OnlineLpmController::new(point.hw, spec.interval_cycles, grain)
+    }
+    .map_err(|e| ctx("cannot build controller", &e))?;
+
+    let mut rec = RingRecorder::new(spec.event_capacity);
+    let log = ctl
+        .try_run_recorded(&mut sys, spec.intervals, &mut rec)
+        .map_err(|e| ctx("run failed", &e))?;
+
+    let summary = RunSummary {
+        total_cycles: sys.now(),
+        health: Some(ctl.health().to_telemetry()),
+        faults: sys
+            .fault_stats()
+            .map(|fs| fs.to_telemetry(fault_seed.unwrap_or(0))),
+        ..RunSummary::default()
+    };
+    let mut telemetry = rec.into_log(summary);
+    // Determinism normalization: sim throughput is measured against the
+    // wall clock and would differ between runs (and between worker
+    // counts). It carries no simulation information, so the sweep report
+    // zeroes it.
+    for s in &mut telemetry.snapshots {
+        s.wall_cycles_per_sec = 0.0;
+    }
+
+    let first = log.first();
+    let last = log.last();
+    Ok(PointResult {
+        index: point.index,
+        label,
+        point: point.clone(),
+        intervals_run: log.len(),
+        ipc_first: first.map_or(0.0, |r| r.ipc),
+        ipc_last: last.map_or(0.0, |r| r.ipc),
+        lpmr1_first: first.map_or(0.0, |r| r.measurement.lpmr1),
+        lpmr1_last: last.map_or(0.0, |r| r.measurement.lpmr1),
+        budget_met: log.iter().filter(|r| r.stall_budget_met).count(),
+        final_hw: ctl.hw,
+        total_cycles: sys.now(),
+        telemetry,
+    })
+}
+
+/// Run a sweep with `jobs` worker threads and return the merged report.
+///
+/// The output is **bit-for-bit identical for every `jobs` value**: points
+/// are self-seeded ([`evaluate_point`]), each runs with a private
+/// recorder, and results are collected into a slot per point index and
+/// merged in index order. Errors are deterministic too — when several
+/// points fail, the error of the lowest-indexed failing point is
+/// returned, regardless of which worker hit its error first.
+pub fn run_sweep(spec: &SweepSpec, jobs: usize) -> Result<SweepReport, String> {
+    if jobs == 0 {
+        return Err("jobs must be at least 1".into());
+    }
+    spec.validate()?;
+    let points = spec.points();
+    let workers = jobs.min(points.len());
+
+    let mut slots: Vec<Option<Result<PointResult, String>>> = Vec::new();
+    slots.resize_with(points.len(), || None);
+
+    if workers == 1 {
+        // Serial reference path: evaluate in point order, no threads.
+        for p in &points {
+            slots[p.index] = Some(evaluate_point(p, spec));
+        }
+    } else {
+        let queue = WorkStealingQueue::deal(points.len(), workers);
+        let (tx, rx) = mpsc::channel::<(usize, Result<PointResult, String>)>();
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let tx = tx.clone();
+                let queue = &queue;
+                let points = &points;
+                scope.spawn(move || {
+                    while let Some(i) = queue.pop(w) {
+                        let res = evaluate_point(&points[i], spec);
+                        if tx.send((i, res)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            // Arrival order is schedule-dependent; the slot vector
+            // erases it before anything downstream can observe it.
+            for (i, res) in rx {
+                slots[i] = Some(res);
+            }
+        });
+    }
+
+    // Merge in point-index order: lowest-index error wins, otherwise the
+    // results vector is in spec enumeration order by construction.
+    let mut results = Vec::with_capacity(points.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Ok(r)) => results.push(r),
+            Some(Err(e)) => return Err(e),
+            None => return Err(format!("point {i}: worker died before reporting")),
+        }
+    }
+    Ok(SweepReport { results })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::FaultClass;
+    use lpm_core::design_space::HwConfig;
+    use lpm_trace::SpecWorkload;
+
+    /// A small spec sized for debug-mode tests: 4 points, short runs.
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            configs: vec![("A".into(), HwConfig::A), ("C".into(), HwConfig::C)],
+            workloads: vec![SpecWorkload::BwavesLike],
+            seeds: vec![7],
+            fault_seeds: vec![None, Some(42)],
+            fault_class: FaultClass::All,
+            instructions: 30_000,
+            intervals: 3,
+            interval_cycles: 5_000,
+            warmup_instructions: 5_000,
+            loop_repeats: 50,
+            ..SweepSpec::default()
+        }
+    }
+
+    #[test]
+    fn evaluate_point_is_deterministic_and_wall_clock_free() {
+        let spec = tiny_spec();
+        let p = &spec.points()[0];
+        let a = evaluate_point(p, &spec).unwrap();
+        let b = evaluate_point(p, &spec).unwrap();
+        assert_eq!(a, b);
+        assert!(a.intervals_run > 0);
+        assert!(a
+            .telemetry
+            .snapshots
+            .iter()
+            .all(|s| s.wall_cycles_per_sec == 0.0));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_bit_for_bit() {
+        let spec = tiny_spec();
+        let serial = run_sweep(&spec, 1).unwrap();
+        let parallel = run_sweep(&spec, 4).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.to_jsonl(), parallel.to_jsonl());
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        assert_eq!(serial.to_text(), parallel.to_text());
+    }
+
+    #[test]
+    fn more_jobs_than_points_is_fine() {
+        let mut spec = tiny_spec();
+        spec.fault_seeds = vec![None];
+        spec.configs.truncate(1); // 1 point
+        let one = run_sweep(&spec, 1).unwrap();
+        let many = run_sweep(&spec, 8).unwrap();
+        assert_eq!(one, many);
+        assert_eq!(one.results.len(), 1);
+    }
+
+    #[test]
+    fn zero_jobs_is_rejected() {
+        let err = run_sweep(&tiny_spec(), 0).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn errors_are_deterministic_across_job_counts() {
+        // An interval shorter than the controller minimum fails spec
+        // validation identically for every job count.
+        let mut spec = tiny_spec();
+        spec.interval_cycles = 10;
+        let e1 = run_sweep(&spec, 1).unwrap_err();
+        let e4 = run_sweep(&spec, 4).unwrap_err();
+        assert_eq!(e1, e4);
+    }
+}

@@ -1,0 +1,46 @@
+//! Parallel deterministic sweep engine for the LPM reproduction.
+//!
+//! The LPM algorithm (Fig. 3) earns its keep at scale: the paper sweeps
+//! SPEC CPU2006 over hardware knobs, and a batch service built on this
+//! reproduction must evaluate many (hierarchy config × workload × fault
+//! seed) points per request. This crate turns the previously serial
+//! `design_space`/`lpm-bench` evaluation loop into a multi-threaded,
+//! work-stealing sweep with a hard determinism contract:
+//!
+//! > **The merged output of a sweep is bit-for-bit identical for every
+//! > worker count.** `--jobs 8` and `--jobs 1` produce the same report
+//! > text, the same CSV, and the same JSONL telemetry, byte for byte.
+//!
+//! Three rules make that hold:
+//!
+//! 1. **Per-point RNG streams.** Every random stream a point consumes
+//!    (trace generation, simulator seed, fault schedule) is derived from
+//!    the *point's* seed by [`point::derive_stream`] — never from the
+//!    shard that happens to evaluate it, never from a global counter.
+//! 2. **Per-point recorders.** Each point runs with its own
+//!    `RingRecorder`; shards share no mutable telemetry state.
+//! 3. **Deterministic merge.** Results land in a slot vector indexed by
+//!    point order and are merged in that order
+//!    ([`lpm_telemetry::TelemetryLog::merge`]), so the schedule — which
+//!    shard ran what, and when it finished — is invisible in the output.
+//!    Wall-clock throughput fields are zeroed in sweep telemetry for the
+//!    same reason.
+//!
+//! The engine uses only `std::thread` + channels (shim-crate policy: no
+//! new external dependencies). Scheduling is work-stealing: points are
+//! dealt round-robin to per-worker deques, a worker drains its own deque
+//! from the front and steals from the back of the busiest victim when
+//! idle, so one slow point cannot serialize the sweep.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod point;
+pub mod queue;
+pub mod report;
+
+pub use engine::{evaluate_point, run_sweep};
+pub use point::{derive_stream, FaultClass, PointResult, SweepPoint, SweepSpec};
+pub use queue::WorkStealingQueue;
+pub use report::SweepReport;

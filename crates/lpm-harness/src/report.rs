@@ -1,0 +1,264 @@
+//! The merged output of a sweep, in the three export shapes the CLI
+//! exposes: a human table, a per-point CSV summary, and full JSONL
+//! (per-point header line followed by the point's telemetry records).
+//!
+//! Every byte any of these emit is a pure function of the
+//! [`PointResult`]s in point-index order — no timestamps, no worker
+//! identity, no wall-clock throughput — so a report produced with
+//! `--jobs 8` serializes identically to one produced with `--jobs 1`.
+
+use lpm_telemetry::{TelemetryLog, Value};
+
+use crate::point::PointResult;
+
+/// A completed sweep: one [`PointResult`] per point, in point-index
+/// (spec enumeration) order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Per-point results, ordered by `PointResult::index`.
+    pub results: Vec<PointResult>,
+}
+
+impl SweepReport {
+    /// Number of evaluated points.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the sweep evaluated no points.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Merge every point's telemetry into one log, in point order (the
+    /// shape `--telemetry-out` writes when a single combined log is
+    /// wanted rather than per-point records).
+    pub fn merged_telemetry(&self) -> TelemetryLog {
+        TelemetryLog::merged(self.results.iter().map(|r| r.telemetry.clone()))
+    }
+
+    /// Render the human-readable sweep table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== sweep: {} point(s) ==\n", self.results.len()));
+        out.push_str(&format!(
+            "{:>4}  {:<34} {:>4}  {:>6} {:>6}  {:>6} {:>6}  {:>6}  {:>10}  final config\n",
+            "#", "point", "ints", "IPC0", "IPCn", "LPMR1", "→", "budget", "cycles"
+        ));
+        for r in &self.results {
+            let hw = r.final_hw;
+            out.push_str(&format!(
+                "{:>4}  {:<34} {:>4}  {:>6.2} {:>6.2}  {:>6.2} {:>6.2}  {:>3}/{:<3}  {:>10}  \
+                 w{} iw{} rob{} p{} m{} b{}\n",
+                r.index,
+                r.label,
+                r.intervals_run,
+                r.ipc_first,
+                r.ipc_last,
+                r.lpmr1_first,
+                r.lpmr1_last,
+                r.budget_met,
+                r.intervals_run,
+                r.total_cycles,
+                hw.issue_width,
+                hw.iw_size,
+                hw.rob_size,
+                hw.l1_ports,
+                hw.mshrs,
+                hw.l2_banks,
+            ));
+        }
+        let total_cycles: u64 = self.results.iter().map(|r| r.total_cycles).sum();
+        let total_intervals: usize = self.results.iter().map(|r| r.intervals_run).sum();
+        let budget: usize = self.results.iter().map(|r| r.budget_met).sum();
+        out.push_str(&format!(
+            "totals: {} interval(s), {}/{} budget-met, {} simulated cycle(s)\n",
+            total_intervals, budget, total_intervals, total_cycles
+        ));
+        out
+    }
+
+    /// Serialize the per-point summary table to CSV (one row per point;
+    /// full telemetry is JSONL-only).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "index,label,config,workload,seed,fault_seed,intervals_run,ipc_first,ipc_last,\
+             lpmr1_first,lpmr1_last,budget_met,total_cycles,\
+             final_issue_width,final_iw_size,final_rob_size,final_l1_ports,final_mshrs,\
+             final_l2_banks\n",
+        );
+        for r in &self.results {
+            let fault = r
+                .point
+                .fault_seed
+                .map(|f| f.to_string())
+                .unwrap_or_default();
+            let hw = r.final_hw;
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                r.index,
+                r.label,
+                r.point.config_label,
+                r.point.workload.name(),
+                r.point.seed,
+                fault,
+                r.intervals_run,
+                r.ipc_first,
+                r.ipc_last,
+                r.lpmr1_first,
+                r.lpmr1_last,
+                r.budget_met,
+                r.total_cycles,
+                hw.issue_width,
+                hw.iw_size,
+                hw.rob_size,
+                hw.l1_ports,
+                hw.mshrs,
+                hw.l2_banks,
+            ));
+        }
+        out
+    }
+
+    /// Serialize the full sweep to JSON-lines: for each point, one
+    /// `{"type":"point",...}` header line followed by the point's
+    /// telemetry records (snapshots, events, its own summary line). The
+    /// per-point summary lines keep each point self-contained; consumers
+    /// wanting one combined log use [`SweepReport::merged_telemetry`].
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.results {
+            out.push_str(&r.header_json().to_json());
+            out.push('\n');
+            out.push_str(&r.telemetry.to_jsonl());
+        }
+        out
+    }
+}
+
+impl PointResult {
+    /// The point's JSONL header record.
+    fn header_json(&self) -> Value {
+        let hw = self.final_hw;
+        let mut f: Vec<(String, Value)> = vec![
+            ("type".into(), Value::Str("point".into())),
+            ("index".into(), Value::Uint(self.index as u64)),
+            ("label".into(), Value::Str(self.label.clone())),
+            ("config".into(), Value::Str(self.point.config_label.clone())),
+            (
+                "workload".into(),
+                Value::Str(self.point.workload.name().into()),
+            ),
+            ("seed".into(), Value::Uint(self.point.seed)),
+        ];
+        if let Some(fs) = self.point.fault_seed {
+            f.push(("fault_seed".into(), Value::Uint(fs)));
+        }
+        f.extend([
+            (
+                "intervals_run".into(),
+                Value::Uint(self.intervals_run as u64),
+            ),
+            ("ipc_first".into(), Value::Num(self.ipc_first)),
+            ("ipc_last".into(), Value::Num(self.ipc_last)),
+            ("lpmr1_first".into(), Value::Num(self.lpmr1_first)),
+            ("lpmr1_last".into(), Value::Num(self.lpmr1_last)),
+            ("budget_met".into(), Value::Uint(self.budget_met as u64)),
+            ("total_cycles".into(), Value::Uint(self.total_cycles)),
+            (
+                "final_hw".into(),
+                Value::Obj(vec![
+                    ("issue_width".into(), Value::Uint(hw.issue_width.into())),
+                    ("iw_size".into(), Value::Uint(hw.iw_size.into())),
+                    ("rob_size".into(), Value::Uint(hw.rob_size.into())),
+                    ("l1_ports".into(), Value::Uint(hw.l1_ports.into())),
+                    ("mshrs".into(), Value::Uint(hw.mshrs.into())),
+                    ("l2_banks".into(), Value::Uint(hw.l2_banks.into())),
+                ]),
+            ),
+        ]);
+        Value::Obj(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_sweep;
+    use crate::point::{FaultClass, SweepSpec};
+    use lpm_core::design_space::HwConfig;
+    use lpm_trace::SpecWorkload;
+
+    fn small_report() -> SweepReport {
+        let spec = SweepSpec {
+            configs: vec![("A".into(), HwConfig::A)],
+            workloads: vec![SpecWorkload::BwavesLike],
+            seeds: vec![7],
+            fault_seeds: vec![None, Some(5)],
+            fault_class: FaultClass::DramSpike,
+            instructions: 30_000,
+            intervals: 2,
+            interval_cycles: 5_000,
+            warmup_instructions: 5_000,
+            loop_repeats: 50,
+            ..SweepSpec::default()
+        };
+        run_sweep(&spec, 2).unwrap()
+    }
+
+    #[test]
+    fn exports_are_stable_and_self_describing() {
+        let rep = small_report();
+        assert_eq!(rep.len(), 2);
+        let text = rep.to_text();
+        assert!(text.contains("== sweep: 2 point(s) =="));
+        assert!(text.contains("A/410.bwaves-like/s7"));
+        assert!(text.contains("totals:"));
+        let csv = rep.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("index,label,config,workload"));
+        // The faulted point carries its fault seed; the clean one an
+        // empty cell.
+        assert!(csv.contains(",410.bwaves-like,7,,"));
+        assert!(csv.contains(",410.bwaves-like,7,5,"));
+        // Serialization is a pure function of the results.
+        assert_eq!(text, rep.to_text());
+        assert_eq!(csv, rep.to_csv());
+        assert_eq!(rep.to_jsonl(), rep.to_jsonl());
+    }
+
+    #[test]
+    fn jsonl_has_one_point_header_per_point_and_parses() {
+        let rep = small_report();
+        let jsonl = rep.to_jsonl();
+        let mut points = 0;
+        for line in jsonl.lines() {
+            let v = Value::parse(line).unwrap();
+            if v.get("type").and_then(Value::as_str) == Some("point") {
+                points += 1;
+                assert!(v.get("final_hw").is_some());
+                assert!(v.get("label").is_some());
+            }
+        }
+        assert_eq!(points, 2);
+    }
+
+    #[test]
+    fn merged_telemetry_concatenates_in_point_order() {
+        let rep = small_report();
+        let merged = rep.merged_telemetry();
+        let expected: u64 = rep
+            .results
+            .iter()
+            .map(|r| r.telemetry.summary.intervals)
+            .sum();
+        assert_eq!(merged.summary.intervals, expected);
+        assert_eq!(
+            merged.snapshots.len(),
+            rep.results
+                .iter()
+                .map(|r| r.telemetry.snapshots.len())
+                .sum::<usize>()
+        );
+    }
+}

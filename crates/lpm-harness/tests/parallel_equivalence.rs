@@ -1,0 +1,88 @@
+//! The sweep determinism contract, property-tested: for arbitrary point
+//! seeds, fault schedules and worker counts, the merged sweep report and
+//! every exported byte stream are identical to the serial (`jobs = 1`)
+//! reference.
+
+use lpm_core::design_space::HwConfig;
+use lpm_harness::{run_sweep, FaultClass, SweepSpec};
+use lpm_trace::SpecWorkload;
+use proptest::prelude::*;
+
+/// A 4-point spec (2 configs × {clean, faulted}) sized for debug-mode
+/// test runs.
+fn spec_for(seed: u64, fault_seed: u64, fault_class: FaultClass) -> SweepSpec {
+    SweepSpec {
+        configs: vec![("A".into(), HwConfig::A), ("C".into(), HwConfig::C)],
+        workloads: vec![SpecWorkload::BwavesLike],
+        seeds: vec![seed],
+        fault_seeds: vec![None, Some(fault_seed)],
+        fault_class,
+        instructions: 30_000,
+        intervals: 3,
+        interval_cycles: 5_000,
+        warmup_instructions: 5_000,
+        loop_repeats: 50,
+        ..SweepSpec::default()
+    }
+}
+
+const FAULT_CLASSES: [FaultClass; 4] = [
+    FaultClass::All,
+    FaultClass::DramSpike,
+    FaultClass::MshrSqueeze,
+    FaultClass::CounterNoise,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// For arbitrary seeds, fault schedules and jobs ∈ {2, 4, 8}: the
+    /// merged report, the JSONL export and the CSV export are
+    /// byte-identical to the serial reference.
+    #[test]
+    fn sweep_output_is_independent_of_worker_count(
+        seed in 0u64..10_000,
+        fault_seed in 0u64..10_000,
+        class_ix in 0usize..4,
+        jobs_ix in 0usize..3,
+    ) {
+        let jobs = [2usize, 4, 8][jobs_ix];
+        let spec = spec_for(seed, fault_seed, FAULT_CLASSES[class_ix]);
+        let serial = run_sweep(&spec, 1).map_err(|e| e.to_string())?;
+        let parallel = run_sweep(&spec, jobs).map_err(|e| e.to_string())?;
+        prop_assert_eq!(&serial, &parallel, "report structs diverged at jobs={}", jobs);
+        prop_assert!(
+            serial.to_jsonl() == parallel.to_jsonl(),
+            "JSONL bytes diverged at jobs={}", jobs
+        );
+        prop_assert!(
+            serial.to_csv() == parallel.to_csv(),
+            "CSV bytes diverged at jobs={}", jobs
+        );
+        prop_assert!(
+            serial.to_text() == parallel.to_text(),
+            "report text diverged at jobs={}", jobs
+        );
+    }
+}
+
+/// The CI job matrix runs this test with `LPM_SWEEP_JOBS` set to each
+/// matrix entry; every entry must serialize identically to the serial
+/// reference (and therefore to every other entry).
+#[test]
+fn sweep_with_env_selected_jobs_matches_serial() {
+    let jobs: usize = std::env::var("LPM_SWEEP_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    assert!(jobs >= 1, "LPM_SWEEP_JOBS must be >= 1");
+    let spec = spec_for(7, 42, FaultClass::All);
+    let serial = run_sweep(&spec, 1).unwrap();
+    let under_test = run_sweep(&spec, jobs).unwrap();
+    assert_eq!(
+        serial.to_jsonl(),
+        under_test.to_jsonl(),
+        "jobs={jobs} JSONL differs from serial"
+    );
+    assert_eq!(serial, under_test, "jobs={jobs} report differs from serial");
+}

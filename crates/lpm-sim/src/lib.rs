@@ -66,3 +66,23 @@ pub use fault::{
 };
 pub use report::SystemReport;
 pub use system::System;
+
+// Compile-time thread-safety audit: the parallel sweep harness moves
+// whole simulator instances (and everything needed to build them) across
+// `std::thread` workers. The entire stack is owned data — no `Rc`, no
+// `RefCell`, no raw pointers (`forbid(unsafe_code)` above) — so `Send`
+// must hold for every one of these types; if a future change smuggles in
+// a non-`Send` field, this block fails to compile and names the type.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+    assert_send::<Cmp>();
+    assert_send::<System>();
+    assert_send::<SystemReport>();
+    assert_send::<FaultConfig>();
+    assert_send::<FaultInjector>();
+    assert_send::<SimError>();
+    // Configurations are also shared immutably across shards.
+    assert_sync::<SystemConfig>();
+    assert_sync::<FaultConfig>();
+};

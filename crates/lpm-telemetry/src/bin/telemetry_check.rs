@@ -4,9 +4,57 @@
 //! with the strict round-trip parsers and exits non-zero (with a
 //! diagnostic on stderr) if it is malformed. CI runs this against the
 //! artifact produced by a short `repro_online` run.
+//!
+//! Two JSONL shapes are accepted: a single-run log (snapshots, events,
+//! one summary — what `repro_online` and `lpm-cli online` write) and a
+//! sweep export (repeated `{"type":"point",...}` headers, each followed
+//! by that point's complete single-run log — what `lpm-cli sweep` and
+//! `repro_sweep` write). A sweep is validated per segment, so a
+//! malformed record is reported with its point label.
 
-use lpm_telemetry::TelemetryLog;
+use lpm_telemetry::{TelemetryLog, Value};
 use std::process::ExitCode;
+
+/// Validate one sweep export: every `point` header must parse and carry
+/// `index`/`label`, and every segment between headers must be a valid
+/// single-run log. Returns `(points, snapshots, events)`.
+fn check_sweep_jsonl(text: &str) -> Result<(usize, usize, usize), String> {
+    let mut segments: Vec<(String, String)> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let is_point = Value::parse(line)
+            .ok()
+            .and_then(|v| v.get("type").and_then(Value::as_str).map(|t| t == "point"))
+            .unwrap_or(false);
+        if is_point {
+            let v = Value::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            let label = v
+                .get("label")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("line {}: point record has no label", i + 1))?;
+            if v.get("index").is_none() {
+                return Err(format!("line {}: point record has no index", i + 1));
+            }
+            segments.push((label.to_string(), String::new()));
+        } else {
+            let Some((_, seg)) = segments.last_mut() else {
+                return Err(format!("line {}: record before any point header", i + 1));
+            };
+            seg.push_str(line);
+            seg.push('\n');
+        }
+    }
+    let mut snapshots = 0;
+    let mut events = 0;
+    for (label, seg) in &segments {
+        let log = TelemetryLog::from_jsonl(seg).map_err(|e| format!("point {label}: {e}"))?;
+        snapshots += log.snapshots.len();
+        events += log.events.len();
+    }
+    Ok((segments.len(), snapshots, events))
+}
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -21,6 +69,34 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // A sweep export announces itself with a point header on the first
+    // non-empty line.
+    let is_sweep = !path.ends_with(".csv")
+        && text
+            .lines()
+            .find(|l| !l.trim().is_empty())
+            .and_then(|l| Value::parse(l).ok())
+            .and_then(|v| v.get("type").and_then(Value::as_str).map(|t| t == "point"))
+            .unwrap_or(false);
+    if is_sweep {
+        return match check_sweep_jsonl(&text) {
+            Ok((points, snapshots, events)) => {
+                println!(
+                    "telemetry_check: {path} OK (sweep: {points} points, \
+                     {snapshots} snapshots, {events} events)"
+                );
+                if snapshots == 0 {
+                    eprintln!("telemetry_check: {path} contains no snapshots");
+                    return ExitCode::FAILURE;
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("telemetry_check: {path} is malformed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let result = if path.ends_with(".csv") {
         TelemetryLog::from_csv(&text)
     } else {

@@ -150,6 +150,54 @@ impl RunSummary {
     }
 }
 
+impl HealthCounters {
+    /// Fold another run's health counters into this one.
+    pub fn absorb(&mut self, other: &HealthCounters) {
+        self.degenerate_windows += other.degenerate_windows;
+        self.sensor_faults += other.sensor_faults;
+        self.rollbacks += other.rollbacks;
+        self.clamped_steps += other.clamped_steps;
+        self.oscillation_trips += other.oscillation_trips;
+    }
+}
+
+impl FaultTotals {
+    /// Fold another run's injection totals into this one. The seed of the
+    /// first run is kept — merged totals span runs with different seeds,
+    /// so per-run seeds must be read from the per-run records.
+    pub fn absorb(&mut self, other: &FaultTotals) {
+        self.spike_events += other.spike_events;
+        self.storm_events += other.storm_events;
+        self.stall_events += other.stall_events;
+        self.squeeze_events += other.squeeze_events;
+        self.faulted_cycles += other.faulted_cycles;
+    }
+}
+
+impl RunSummary {
+    /// Fold a later run's totals into this one. Counters sum; `final_ipc`
+    /// takes the later run's value (it is "the IPC of the final
+    /// interval", and `other` is the later part). Used by the sweep
+    /// harness to merge per-point summaries in deterministic point order.
+    pub fn absorb(&mut self, other: &RunSummary) {
+        self.intervals += other.intervals;
+        self.total_cycles += other.total_cycles;
+        self.final_ipc = other.final_ipc;
+        self.events_recorded += other.events_recorded;
+        self.events_dropped += other.events_dropped;
+        match (&mut self.health, &other.health) {
+            (Some(mine), Some(theirs)) => mine.absorb(theirs),
+            (None, Some(theirs)) => self.health = Some(*theirs),
+            _ => {}
+        }
+        match (&mut self.faults, &other.faults) {
+            (Some(mine), Some(theirs)) => mine.absorb(theirs),
+            (None, Some(theirs)) => self.faults = Some(*theirs),
+            _ => {}
+        }
+    }
+}
+
 /// A complete exported run: snapshots, event log, and summary.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TelemetryLog {
@@ -353,6 +401,35 @@ impl TelemetryLog {
             });
         }
         Ok(log)
+    }
+
+    /// Append another log's records to this one, in order: `other`'s
+    /// snapshots follow this log's snapshots, its events follow this
+    /// log's events, and its summary is absorbed. Merging the per-shard
+    /// recorder outputs of a parallel sweep **in point order** yields a
+    /// log that is byte-identical no matter how many workers produced
+    /// the parts — the determinism invariant the `lpm-harness` crate
+    /// builds on.
+    pub fn merge(&mut self, other: TelemetryLog) {
+        self.snapshots.extend(other.snapshots);
+        self.events.extend(other.events);
+        self.summary.absorb(&other.summary);
+    }
+
+    /// Merge an ordered sequence of logs into one (see
+    /// [`TelemetryLog::merge`]).
+    pub fn merged<I: IntoIterator<Item = TelemetryLog>>(parts: I) -> TelemetryLog {
+        let mut out = TelemetryLog::default();
+        let mut first = true;
+        for part in parts {
+            if first {
+                out = part;
+                first = false;
+            } else {
+                out.merge(part);
+            }
+        }
+        out
     }
 
     /// Render the human-readable end-of-run summary table.
@@ -584,6 +661,56 @@ mod tests {
         };
         let v = Value::parse(&s.to_json().to_json()).unwrap();
         assert_eq!(RunSummary::from_json(&v).unwrap(), s);
+    }
+
+    #[test]
+    fn merge_concatenates_in_order_and_sums_summaries() {
+        let a = sample_log();
+        let mut b = sample_log();
+        b.summary.final_ipc = 2.5;
+        b.summary.faults.as_mut().unwrap().seed = 7;
+        let merged = TelemetryLog::merged([a.clone(), b.clone()]);
+        assert_eq!(merged.snapshots.len(), 2);
+        assert_eq!(merged.events.len(), 8);
+        // First part's records strictly precede the second's.
+        assert_eq!(&merged.snapshots[0], &a.snapshots[0]);
+        assert_eq!(&merged.events[..4], &a.events[..]);
+        let s = &merged.summary;
+        assert_eq!(s.intervals, 2);
+        assert_eq!(s.total_cycles, 20_000);
+        assert_eq!(s.events_recorded, 8);
+        // final_ipc takes the later part; fault seed keeps the first.
+        assert!((s.final_ipc - 2.5).abs() < 1e-12);
+        let ft = s.faults.unwrap();
+        assert_eq!(ft.seed, 0xDEAD_BEEF);
+        assert_eq!(ft.spike_events, 2);
+        let h = s.health.unwrap();
+        assert_eq!(h.rollbacks, 4);
+        assert_eq!(h.clamped_steps, 6);
+    }
+
+    #[test]
+    fn merge_order_determines_output_bytes() {
+        // The byte-for-byte determinism contract: merging [a, b] and
+        // [b, a] differ, but any schedule that presents the same order
+        // yields identical JSONL.
+        let a = sample_log();
+        let mut b = sample_log();
+        b.summary.final_ipc = 9.0;
+        let ab1 = TelemetryLog::merged([a.clone(), b.clone()]).to_jsonl();
+        let ab2 = TelemetryLog::merged([a.clone(), b.clone()]).to_jsonl();
+        let ba = TelemetryLog::merged([b, a]).to_jsonl();
+        assert_eq!(ab1, ab2);
+        assert_ne!(ab1, ba);
+    }
+
+    #[test]
+    fn merge_from_empty_adopts_optionals() {
+        let mut base = TelemetryLog::default();
+        base.merge(sample_log());
+        assert!(base.summary.health.is_some());
+        assert!(base.summary.faults.is_some());
+        assert_eq!(base.summary.intervals, 1);
     }
 
     #[test]
