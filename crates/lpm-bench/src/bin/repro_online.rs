@@ -144,9 +144,7 @@ fn main() {
         let summary = RunSummary {
             total_cycles: sys.now(),
             health: Some(ctl.health().to_telemetry()),
-            faults: sys
-                .fault_stats()
-                .map(|fs| fs.to_telemetry(fault_seed.unwrap_or(0))),
+            faults: sys.fault_stats().map(|fs| fs.to_telemetry(fault_seed)),
             ..RunSummary::default()
         };
         let telemetry: TelemetryLog = rec.into_log(summary);

@@ -3,6 +3,7 @@
 //! with bit-for-bit identical output for every `--jobs` value.
 //!
 //! Usage: `repro_sweep [--jobs=N] [--faults[=seed]] [--verify]
+//! [--keep-going] [--chaos=SPEC] [--checkpoint=FILE] [--resume]
 //! [--telemetry-out=FILE] [--telemetry-format=jsonl|csv]`
 //!
 //! `--verify` re-runs the sweep serially and checks that every export is
@@ -10,15 +11,26 @@
 //! checked on the spot. `--faults` adds a faulted sibling (all injector
 //! classes, hardened controller) next to every clean point, doubling the
 //! sweep to 32 points.
+//!
+//! The crash-safety surface mirrors `lpm-cli sweep`: `--keep-going`
+//! renders the partial report (exit 3) instead of failing on the first
+//! bad point, `--checkpoint` journals every terminal row durably, and
+//! `--resume` skips rows already journaled. `--chaos` injects
+//! deterministic failures (`panic@I`, `fail@I`, `timeout@I`,
+//! `flaky@I:N`) for exercising those paths in CI.
 
 use lpm_core::design_space::HwConfig;
-use lpm_harness::{run_sweep, SweepSpec};
+use lpm_harness::{run_sweep_with, ChaosConfig, SweepOptions, SweepSpec};
 use lpm_trace::SpecWorkload;
 
 fn main() {
     let mut jobs: usize = 1;
     let mut fault_seed: Option<u64> = None;
     let mut verify = false;
+    let mut keep_going = false;
+    let mut chaos = ChaosConfig::default();
+    let mut checkpoint: Option<String> = None;
+    let mut resume = false;
     let mut telemetry_out: Option<String> = None;
     let mut telemetry_format = "jsonl".to_string();
     for arg in std::env::args().skip(1) {
@@ -36,6 +48,17 @@ fn main() {
             fault_seed = Some(s.parse().expect("--faults=<u64 seed>"));
         } else if arg == "--verify" {
             verify = true;
+        } else if arg == "--keep-going" {
+            keep_going = true;
+        } else if let Some(s) = arg.strip_prefix("--chaos=") {
+            chaos = ChaosConfig::parse(s).unwrap_or_else(|e| {
+                eprintln!("bad --chaos: {e}");
+                std::process::exit(1);
+            });
+        } else if let Some(s) = arg.strip_prefix("--checkpoint=") {
+            checkpoint = Some(s.to_string());
+        } else if arg == "--resume" {
+            resume = true;
         } else if let Some(s) = arg.strip_prefix("--telemetry-out=") {
             telemetry_out = Some(s.to_string());
         } else if let Some(s) = arg.strip_prefix("--telemetry-format=") {
@@ -43,6 +66,7 @@ fn main() {
         } else {
             eprintln!(
                 "usage: repro_sweep [--jobs=N] [--faults[=seed]] [--verify] \
+                 [--keep-going] [--chaos=SPEC] [--checkpoint=FILE] [--resume] \
                  [--telemetry-out=FILE] [--telemetry-format=jsonl|csv]"
             );
             std::process::exit(1);
@@ -50,6 +74,10 @@ fn main() {
     }
     if !matches!(telemetry_format.as_str(), "jsonl" | "csv") {
         eprintln!("unknown --telemetry-format {telemetry_format:?}; use jsonl or csv");
+        std::process::exit(1);
+    }
+    if resume && checkpoint.is_none() {
+        eprintln!("--resume needs a journal (pass --checkpoint=FILE)");
         std::process::exit(1);
     }
 
@@ -71,24 +99,46 @@ fn main() {
         interval_cycles: 10_000,
         warmup_instructions: 10_000,
         loop_repeats: 100,
+        chaos,
         ..SweepSpec::default()
     };
+    let opts = SweepOptions {
+        checkpoint: checkpoint.map(std::path::PathBuf::from),
+        resume,
+        ..SweepOptions::default()
+    };
 
-    let report = run_sweep(&spec, jobs).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    });
+    let run = |jobs: usize| {
+        run_sweep_with(&spec, jobs, &opts).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        })
+    };
+    let report = run(jobs);
+    if !keep_going {
+        if let Some(e) = report.first_error() {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
     print!("{}", report.to_text());
 
     if verify {
-        let serial = run_sweep(&spec, 1).unwrap_or_else(|e| {
+        // Resume would skip already-journaled points, making the serial
+        // re-run trivially empty; compare full evaluations instead.
+        let plain = SweepOptions::default();
+        let serial = run_sweep_with(&spec, 1, &plain).unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(1);
         });
-        let same = serial == report
-            && serial.to_text() == report.to_text()
-            && serial.to_csv() == report.to_csv()
-            && serial.to_jsonl() == report.to_jsonl();
+        let parallel = run_sweep_with(&spec, jobs, &plain).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        let same = serial == parallel
+            && serial.to_text() == parallel.to_text()
+            && serial.to_csv() == parallel.to_csv()
+            && serial.to_jsonl() == parallel.to_jsonl();
         if same {
             println!("determinism: jobs={jobs} output is byte-identical to jobs=1 — OK");
         } else {
@@ -110,5 +160,14 @@ fn main() {
             "wrote {} point(s) to {path} ({telemetry_format})",
             report.len()
         );
+    }
+
+    if report.failed_len() > 0 {
+        eprintln!(
+            "repro_sweep: {} of {} point(s) did not finish (see report rows)",
+            report.failed_len(),
+            report.len()
+        );
+        std::process::exit(3);
     }
 }

@@ -15,7 +15,7 @@ pub struct Args {
 }
 
 /// Flags that are boolean switches: present or absent, no value.
-const SWITCHES: &[&str] = &["quiet"];
+const SWITCHES: &[&str] = &["quiet", "keep-going", "resume"];
 
 /// Parse a raw argument list (excluding the program name).
 pub fn parse(raw: &[String]) -> Result<Args, String> {
@@ -178,6 +178,17 @@ mod tests {
         let a = parse(&sv(&["online", "--quiet"])).unwrap();
         assert!(a.has("quiet"));
         assert!(!a.has("seed"));
+        // The crash-safety switches parse the same way.
+        let a = parse(&sv(&[
+            "sweep",
+            "--keep-going",
+            "--resume",
+            "--checkpoint",
+            "j.jsonl",
+        ]))
+        .unwrap();
+        assert!(a.has("keep-going") && a.has("resume"));
+        assert_eq!(a.get_or("checkpoint", ""), "j.jsonl");
     }
 
     #[test]

@@ -15,35 +15,40 @@ use args::Args;
 use lpm_core::design_space::{measure_config, DesignSpaceExplorer, HwConfig};
 use lpm_core::online::OnlineLpmController;
 use lpm_core::optimizer::{run_lpm_loop, LpmOptimizer};
-use lpm_harness::{run_sweep, FaultClass, SweepSpec};
+use lpm_harness::{run_sweep_with, ChaosConfig, FaultClass, SweepOptions, SweepSpec};
 use lpm_model::Grain;
 use lpm_sim::{FaultConfig, System, SystemConfig};
 use lpm_telemetry::{RingRecorder, RunSummary, TelemetryLog, DEFAULT_EVENT_CAPACITY};
 use lpm_trace::{Generator, SpecWorkload, Trace};
 
+/// Exit code for a `--keep-going` sweep that completed with one or more
+/// failed points: the partial report was written, but not everything
+/// finished. Distinct from 1 (hard error, nothing usable produced).
+const EXIT_PARTIAL: u8 = 3;
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let code = match run(&raw) {
-        Ok(()) => 0,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("try `lpm help`");
             1
         }
     };
-    std::process::exit(code);
+    std::process::exit(code.into());
 }
 
-fn run(raw: &[String]) -> Result<(), String> {
+fn run(raw: &[String]) -> Result<u8, String> {
     if raw.is_empty() {
         print_help();
-        return Ok(());
+        return Ok(0);
     }
     let a = args::parse(raw)?;
     match a.command.as_str() {
         "help" | "--help" | "-h" => {
             print_help();
-            Ok(())
+            Ok(0)
         }
         "workloads" => {
             println!("{:<24} {:>6} {:>12}", "workload", "fmem", "footprint");
@@ -55,13 +60,13 @@ fn run(raw: &[String]) -> Result<(), String> {
                     w.approx_footprint()
                 );
             }
-            Ok(())
+            Ok(0)
         }
-        "run" => cmd_run(&a),
-        "trace-dump" => cmd_trace_dump(&a),
-        "table1" => cmd_table1(&a),
-        "explore" => cmd_explore(&a),
-        "online" => cmd_online(&a),
+        "run" => cmd_run(&a).map(|()| 0),
+        "trace-dump" => cmd_trace_dump(&a).map(|()| 0),
+        "table1" => cmd_table1(&a).map(|()| 0),
+        "explore" => cmd_explore(&a).map(|()| 0),
+        "online" => cmd_online(&a).map(|()| 0),
         "sweep" => cmd_sweep(&a),
         other => Err(format!("unknown subcommand {other:?}")),
     }
@@ -109,7 +114,21 @@ fn print_help() {
          \x20 --seeds 7,11        generator seeds to sweep (default 7)\n\
          \x20 --faults CLASS      add faulted points next to every clean point\n\
          \x20 --fault-seeds 42,43 fault-schedule seeds for the faulted points (default 42)\n\
-         \x20 --intervals N       controller intervals per point (default 8)"
+         \x20 --intervals N       controller intervals per point (default 8)\n\
+         \n\
+         sweep crash-safety flags:\n\
+         \x20 --keep-going        evaluate every point even when some fail; render the\n\
+         \x20                     partial report with typed outcomes and exit 3\n\
+         \x20 --max-retries N     retry a failing point N times under re-salted seeds\n\
+         \x20                     before quarantining it (default 0: first failure is final)\n\
+         \x20 --point-cycle-budget N   per-point simulated-cycle watchdog: a point that\n\
+         \x20                     would run past N cycles after warmup fails as timed-out,\n\
+         \x20                     at the same cycle on every run and worker count\n\
+         \x20 --checkpoint FILE   append every finished point to a durable journal\n\
+         \x20 --resume            skip points already in the --checkpoint journal; the\n\
+         \x20                     resumed report is byte-identical to an uninterrupted run\n\
+         \x20 --chaos SPEC        deterministic failure injection for harness testing:\n\
+         \x20                     panic@I,fail@I,timeout@I,flaky@I:N (see DESIGN.md)"
     );
 }
 
@@ -376,9 +395,7 @@ fn cmd_online(a: &Args) -> Result<(), String> {
         let summary = RunSummary {
             total_cycles: sys.now(),
             health: Some(ctl.health().to_telemetry()),
-            faults: sys
-                .fault_stats()
-                .map(|fs| fs.to_telemetry(fault_seed.unwrap_or(0))),
+            faults: sys.fault_stats().map(|fs| fs.to_telemetry(fault_seed)),
             ..RunSummary::default()
         };
         (log, Some(rec.into_log(summary)))
@@ -472,9 +489,10 @@ fn cmd_online(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sweep(a: &Args) -> Result<(), String> {
+fn cmd_sweep(a: &Args) -> Result<u8, String> {
     let jobs = a.positive_int_or("jobs", 1)? as usize;
     let quiet = a.has("quiet");
+    let keep_going = a.has("keep-going");
     let telemetry_out = a.options.get("telemetry-out").cloned();
     let format = a.get_or("telemetry-format", "jsonl").to_string();
     if !matches!(format.as_str(), "jsonl" | "csv") {
@@ -507,6 +525,14 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
         }
     }
 
+    let chaos = match a.options.get("chaos") {
+        Some(s) => ChaosConfig::parse(s).map_err(|e| format!("bad --chaos: {e}"))?,
+        None => ChaosConfig::default(),
+    };
+    let point_cycle_budget = match a.options.get("point-cycle-budget") {
+        Some(_) => Some(a.positive_int_or("point-cycle-budget", 0)?),
+        None => None,
+    };
     let spec = SweepSpec {
         configs,
         workloads,
@@ -519,9 +545,28 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
         grain: a.float_or("grain", 0.50)?,
         warmup_instructions: a.int_or("warmup", 30_000)?,
         event_capacity: a.int_or("trace-events", DEFAULT_EVENT_CAPACITY as u64)? as usize,
+        max_retries: a.int_or("max-retries", 0)? as u32,
+        point_cycle_budget,
+        chaos,
         ..SweepSpec::default()
     };
-    let report = run_sweep(&spec, jobs)?;
+    if a.has("resume") && !a.has("checkpoint") {
+        return Err("--resume needs a checkpoint journal (pass --checkpoint FILE)".into());
+    }
+    let opts = SweepOptions {
+        checkpoint: a.options.get("checkpoint").map(std::path::PathBuf::from),
+        resume: a.has("resume"),
+        ..SweepOptions::default()
+    };
+    let report = run_sweep_with(&spec, jobs, &opts)?;
+    // Fail-fast is the default: any incomplete point aborts with its
+    // error (lowest index wins deterministically). With --keep-going
+    // the partial report is rendered and the exit code says "partial".
+    if !keep_going {
+        if let Some(e) = report.first_error() {
+            return Err(e);
+        }
+    }
 
     let data_owns_stdout = telemetry_out.as_deref() == Some("-");
     if !quiet {
@@ -546,7 +591,18 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
             }
         }
     }
-    Ok(())
+    if report.failed_len() > 0 {
+        if !quiet {
+            eprintln!(
+                "sweep: {}/{} point(s) did not complete (see outcome column); exit {}",
+                report.failed_len(),
+                report.len(),
+                EXIT_PARTIAL
+            );
+        }
+        return Ok(EXIT_PARTIAL);
+    }
+    Ok(0)
 }
 
 #[cfg(test)]
@@ -721,6 +777,108 @@ mod tests {
         assert!(e.contains("unknown fault class"), "{e}");
         let e = run(&sv(&["sweep", "--telemetry-format", "xml"])).unwrap_err();
         assert!(e.contains("--telemetry-format"), "{e}");
+    }
+
+    #[test]
+    fn sweep_keep_going_renders_partial_report_and_exits_3() {
+        let dir = std::env::temp_dir().join("lpm-cli-sweep-keepgoing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("partial.csv");
+        let path_s = path.to_str().unwrap().to_string();
+        let base = [
+            "sweep",
+            "--configs",
+            "A,C",
+            "--instructions",
+            "30000",
+            "--intervals",
+            "2",
+            "--interval",
+            "5000",
+            "--warmup",
+            "5000",
+            "--chaos",
+            "panic@1",
+            "--quiet",
+        ];
+        // Without --keep-going the chaos point is a hard error.
+        let mut fail_fast = sv(&base);
+        let e = run(&fail_fast).unwrap_err();
+        assert!(e.contains("injected panic at point 1"), "{e}");
+        // With it, the sweep completes, writes the partial report, and
+        // signals partiality through the exit code.
+        fail_fast.push("--keep-going".into());
+        fail_fast.push("--telemetry-format".into());
+        fail_fast.push("csv".into());
+        fail_fast.push("--telemetry-out".into());
+        fail_fast.push(path_s.clone());
+        assert_eq!(run(&fail_fast).unwrap(), EXIT_PARTIAL);
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert!(csv.contains(",panicked,"), "{csv}");
+        assert!(csv.contains(",ok,"), "{csv}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sweep_resume_without_checkpoint_is_rejected() {
+        let e = run(&sv(&["sweep", "--resume"])).unwrap_err();
+        assert!(e.contains("--checkpoint"), "{e}");
+    }
+
+    #[test]
+    fn sweep_bad_chaos_and_zero_budget_are_rejected() {
+        let e = run(&sv(&["sweep", "--chaos", "meteor@1"])).unwrap_err();
+        assert!(e.contains("--chaos"), "{e}");
+        let e = run(&sv(&["sweep", "--point-cycle-budget", "0"])).unwrap_err();
+        assert!(e.contains("positive"), "{e}");
+    }
+
+    #[test]
+    fn sweep_checkpoint_resume_reproduces_the_report() {
+        let dir = std::env::temp_dir().join("lpm-cli-sweep-resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("journal.jsonl");
+        let out_a = dir.join("a.jsonl");
+        let out_b = dir.join("b.jsonl");
+        let args_for = |out: &std::path::Path, resume: bool| {
+            let mut v = sv(&[
+                "sweep",
+                "--configs",
+                "A,C",
+                "--instructions",
+                "30000",
+                "--intervals",
+                "2",
+                "--interval",
+                "5000",
+                "--warmup",
+                "5000",
+                "--quiet",
+                "--checkpoint",
+                journal.to_str().unwrap(),
+                "--telemetry-out",
+                out.to_str().unwrap(),
+            ]);
+            if resume {
+                v.push("--resume".into());
+            }
+            v
+        };
+        // Full run, journaling as it goes.
+        assert_eq!(run(&args_for(&out_a, false)).unwrap(), 0);
+        let full = std::fs::read_to_string(&journal).unwrap();
+        // Truncate the journal to simulate a kill after the first point,
+        // then resume: only the missing point re-runs, and the exported
+        // report is byte-identical.
+        let keep: Vec<&str> = full.lines().take(3).collect(); // header + row + marker
+        std::fs::write(&journal, format!("{}\n", keep.join("\n"))).unwrap();
+        assert_eq!(run(&args_for(&out_b, true)).unwrap(), 0);
+        let a = std::fs::read_to_string(&out_a).unwrap();
+        let b = std::fs::read_to_string(&out_b).unwrap();
+        assert_eq!(a, b);
+        for p in [journal, out_a, out_b] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use lpm_model::{CoreParams, Grain, ModelError, Thresholds};
 use lpm_sim::SystemReport;
 
 /// The matching state of a two-cache hierarchy at one instant.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LpmMeasurement {
     /// Measured `LPMR1` (Eq. 9).
     pub lpmr1: f64,

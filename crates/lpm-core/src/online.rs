@@ -48,7 +48,7 @@ pub const RECONFIG_COST_CYCLES: u64 = 4;
 pub const MIN_INTERVAL_CYCLES: u64 = 100;
 
 /// One interval's record in the adaptation log.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntervalRecord {
     /// Cycle at which the interval ended (decision point).
     pub cycle: u64,
@@ -322,6 +322,32 @@ impl OnlineLpmController {
         intervals: usize,
         rec: &mut R,
     ) -> Result<Vec<IntervalRecord>, LpmError> {
+        self.try_run_recorded_budgeted(sys, intervals, rec, None)
+    }
+
+    /// Budgeted variant of [`OnlineLpmController::try_run_recorded`]:
+    /// when `cycle_budget` is `Some(cap)`, every stepping call — the
+    /// measurement intervals and the reconfiguration-cost runs alike —
+    /// refuses to advance the simulation past absolute cycle `cap` and
+    /// fails with `LpmError::Sim(SimError::CycleBudgetExceeded)` instead.
+    /// The cap is checked against the simulated clock inside the step
+    /// loop, so the failure cycle is a pure function of the run — the
+    /// deterministic per-point watchdog the sweep harness builds on.
+    /// `None` is exactly [`OnlineLpmController::try_run_recorded`].
+    pub fn try_run_recorded_budgeted<R: Recorder>(
+        &mut self,
+        sys: &mut System,
+        intervals: usize,
+        rec: &mut R,
+        cycle_budget: Option<u64>,
+    ) -> Result<Vec<IntervalRecord>, LpmError> {
+        let step = |sys: &mut System, cycles: u64, rec: &mut R| -> Result<(), LpmError> {
+            match cycle_budget {
+                None => sys.try_run_for_with(cycles, rec)?,
+                Some(cap) => sys.try_run_for_with_budget(cycles, rec, cap)?,
+            }
+            Ok(())
+        };
         self.apply(sys);
         sys.cmp_mut().reset_measurement();
         let mut log = Vec::with_capacity(intervals);
@@ -330,7 +356,7 @@ impl OnlineLpmController {
         // Wall-clock anchor for sim-throughput reporting.
         let mut last_wall = R::ENABLED.then(std::time::Instant::now);
         for _ in 0..intervals {
-            sys.try_run_for_with(self.interval_cycles, rec)?;
+            step(sys, self.interval_cycles, rec)?;
             let report = sys.report();
             if report.core.retired == 0 || report.l1.accesses == 0 {
                 // Nothing measurable this window: the trace drained, or a
@@ -414,7 +440,7 @@ impl OnlineLpmController {
                                 let streak = self.regress_streak;
                                 self.hw = best_hw;
                                 self.apply(sys);
-                                sys.try_run_for_with(RECONFIG_COST_CYCLES, rec)?;
+                                step(sys, RECONFIG_COST_CYCLES, rec)?;
                                 self.health.rollbacks += 1;
                                 rolled_back = true;
                                 if R::ENABLED {
@@ -461,7 +487,7 @@ impl OnlineLpmController {
                 });
                 self.apply(sys);
                 // The paper's reconfiguration cost: the core pauses.
-                sys.try_run_for_with(RECONFIG_COST_CYCLES, rec)?;
+                step(sys, RECONFIG_COST_CYCLES, rec)?;
             }
             if R::ENABLED {
                 if !was_frozen && self.frozen {
@@ -554,6 +580,49 @@ mod tests {
         let mut ctl = OnlineLpmController::new(HwConfig::A, 20_000, Grain::Custom(0.5)).unwrap();
         let log = ctl.run(&mut sys, intervals);
         (log, ctl)
+    }
+
+    #[test]
+    fn budgeted_run_fails_deterministically_and_none_matches_unbudgeted() {
+        let mk = || {
+            let trace = SpecWorkload::BwavesLike.generator().generate(60_000, 11);
+            let base = HwConfig::A.apply(&SystemConfig::default());
+            let mut sys = System::new_looping(base, trace, 100, 1);
+            sys.cmp_mut().warm_up(10_000);
+            let ctl = OnlineLpmController::new(HwConfig::A, 5_000, Grain::Custom(0.5)).unwrap();
+            (sys, ctl)
+        };
+        // A cap below one interval's worth of cycles must trip the budget.
+        let (mut sys, mut ctl) = mk();
+        let cap = sys.now() + 1_000;
+        let err = ctl
+            .try_run_recorded_budgeted(&mut sys, 4, &mut lpm_telemetry::NullRecorder, Some(cap))
+            .unwrap_err();
+        match err {
+            LpmError::Sim(lpm_sim::SimError::CycleBudgetExceeded { budget, now }) => {
+                assert_eq!(budget, cap);
+                assert_eq!(now, cap, "budget must trip at exactly the cap cycle");
+            }
+            other => panic!("expected CycleBudgetExceeded, got {other:?}"),
+        }
+        // The same cap trips at the same cycle on a fresh identical run.
+        let (mut sys2, mut ctl2) = mk();
+        let err2 = ctl2
+            .try_run_recorded_budgeted(&mut sys2, 4, &mut lpm_telemetry::NullRecorder, Some(cap))
+            .unwrap_err();
+        assert_eq!(format!("{err}"), format!("{err2}"));
+        // An ample budget is indistinguishable from no budget.
+        let (mut sys_a, mut ctl_a) = mk();
+        let log_a = ctl_a
+            .try_run_recorded_budgeted(&mut sys_a, 4, &mut lpm_telemetry::NullRecorder, None)
+            .unwrap();
+        let (mut sys_b, mut ctl_b) = mk();
+        let cap_b = sys_b.now() + 10_000_000;
+        let log_b = ctl_b
+            .try_run_recorded_budgeted(&mut sys_b, 4, &mut lpm_telemetry::NullRecorder, Some(cap_b))
+            .unwrap();
+        assert_eq!(log_a, log_b);
+        assert_eq!(sys_a.now(), sys_b.now());
     }
 
     #[test]

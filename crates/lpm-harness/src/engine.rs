@@ -1,36 +1,151 @@
 //! The sweep engine: evaluate one point, or run a whole spec across
-//! work-stealing worker threads with deterministically merged results.
+//! work-stealing worker threads with deterministically merged results —
+//! now crash-safe. A panicking, failing, or runaway point is isolated
+//! into its own typed [`PointRow`] instead of taking the sweep down,
+//! failed points get bounded deterministic retries before quarantine,
+//! and every terminal row can be journaled to a checkpoint for
+//! byte-identical resume after a kill.
 
-use std::sync::mpsc;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use lpm_core::online::OnlineLpmController;
+use lpm_core::LpmError;
 use lpm_model::Grain;
-use lpm_sim::System;
-use lpm_telemetry::{RingRecorder, RunSummary};
+use lpm_sim::{SimError, System};
+use lpm_telemetry::{Event, RingRecorder, RunSummary};
 
+use crate::checkpoint::{load_journal, CheckpointJournal};
+use crate::outcome::{PointOutcome, PointRow};
 use crate::point::{
-    derive_stream, PointResult, SweepPoint, SweepSpec, SALT_FAULT, SALT_SIM, SALT_TRACE,
+    derive_stream, PointResult, SweepPoint, SweepSpec, SALT_FAULT, SALT_RETRY, SALT_SIM, SALT_TRACE,
 };
 use crate::queue::WorkStealingQueue;
 use crate::report::SweepReport;
 
-/// Evaluate one sweep point: generate its trace, build and warm the
-/// system, optionally arm the fault injectors, run the online LPM
-/// controller for the spec's interval count with a private
-/// `RingRecorder`, and package the outcome.
-///
-/// Every stream the evaluation consumes is derived from the *point's*
-/// seeds via [`derive_stream`] — nothing here may depend on which worker
-/// thread runs it, on wall-clock time, or on any global state. The one
-/// wall-clock-derived telemetry field (`wall_cycles_per_sec`) is zeroed
-/// before the log leaves this function.
-pub fn evaluate_point(point: &SweepPoint, spec: &SweepSpec) -> Result<PointResult, String> {
-    let label = point.label();
-    let ctx = |what: &str, e: &dyn std::fmt::Display| format!("point {label}: {what}: {e}");
+/// How one evaluation *attempt* failed. Internal to the retry driver;
+/// terminal failures surface as [`PointOutcome`] variants.
+enum AttemptFailure {
+    /// Structured error (bad config, sim deadlock, ...).
+    Failed(String),
+    /// The attempt panicked (payload rendered when it was a string).
+    Panicked(String),
+    /// The simulated-cycle watchdog tripped.
+    TimedOut {
+        /// The per-attempt budget, in cycles past warmup.
+        budget: u64,
+        /// Absolute simulated cycle at the trip.
+        cycles: u64,
+    },
+}
 
-    let trace_seed = derive_stream(point.seed, SALT_TRACE);
-    let sim_seed = derive_stream(point.seed, SALT_SIM);
-    let fault_seed = point.fault_seed.map(|f| derive_stream(f, SALT_FAULT));
+impl AttemptFailure {
+    fn kind(&self) -> &'static str {
+        match self {
+            AttemptFailure::Failed(_) => "failed",
+            AttemptFailure::Panicked(_) => "panicked",
+            AttemptFailure::TimedOut { .. } => "timed-out",
+        }
+    }
+
+    /// Render the failure exactly as [`PointRow::error`] will, so the
+    /// `point-failed` event text and the terminal row agree.
+    fn describe(&self, label: &str) -> String {
+        match self {
+            AttemptFailure::Failed(e) => e.clone(),
+            AttemptFailure::Panicked(m) => format!("point {label}: panicked: {m}"),
+            AttemptFailure::TimedOut { budget, cycles } => format!(
+                "point {label}: timed out: exceeded its cycle budget of {budget} cycle(s) at \
+                 simulated cycle {cycles}"
+            ),
+        }
+    }
+
+    fn into_outcome(self) -> PointOutcome {
+        match self {
+            AttemptFailure::Failed(error) => PointOutcome::Failed { error },
+            AttemptFailure::Panicked(message) => PointOutcome::Panicked { message },
+            AttemptFailure::TimedOut { budget, cycles } => {
+                PointOutcome::TimedOut { budget, cycles }
+            }
+        }
+    }
+}
+
+/// Render a `catch_unwind` payload: panics almost always carry `&str`
+/// or `String`; anything else gets a stable placeholder.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".into()
+    }
+}
+
+/// One evaluation attempt of one point. Attempt 0 uses the point's own
+/// seeds; attempt `n > 0` re-derives every seed through
+/// `derive_stream(seed, SALT_RETRY ^ n)` so a retry explores a
+/// decorrelated schedule while staying a pure function of
+/// `(point, attempt)`. Chaos injection (when the spec carries it) is
+/// applied first, before any real work.
+fn evaluate_point_attempt(
+    point: &SweepPoint,
+    spec: &SweepSpec,
+    attempt: u32,
+) -> Result<PointResult, AttemptFailure> {
+    let label = point.label();
+    let fail = |what: &str, e: &dyn std::fmt::Display| {
+        AttemptFailure::Failed(format!("point {label}: {what}: {e}"))
+    };
+
+    let chaos = &spec.chaos;
+    if chaos.panics(point.index) {
+        panic!("chaos: injected panic at point {}", point.index);
+    }
+    if chaos.fails(point.index) {
+        return Err(AttemptFailure::Failed(format!(
+            "point {label}: chaos: injected failure at point {}",
+            point.index
+        )));
+    }
+    if let Some(succeed_at) = chaos.flaky_until(point.index) {
+        if attempt < succeed_at {
+            return Err(AttemptFailure::Failed(format!(
+                "point {label}: chaos: injected flaky failure on attempt {attempt} \
+                 (succeeds from attempt {succeed_at})"
+            )));
+        }
+    }
+
+    // Retry decorrelation: later attempts run the same point under
+    // freshly derived seed streams.
+    let (base_seed, base_fault) = if attempt == 0 {
+        (point.seed, point.fault_seed)
+    } else {
+        let salt = SALT_RETRY ^ u64::from(attempt);
+        (
+            derive_stream(point.seed, salt),
+            point.fault_seed.map(|f| derive_stream(f, salt)),
+        )
+    };
+    let trace_seed = derive_stream(base_seed, SALT_TRACE);
+    let sim_seed = derive_stream(base_seed, SALT_SIM);
+    let fault_seed = base_fault.map(|f| derive_stream(f, SALT_FAULT));
+
+    // The watchdog budget counts simulated cycles from the end of
+    // warmup. A chaos-timeout point gets a one-cycle budget, which no
+    // controller interval can fit in.
+    let budget = if chaos.times_out(point.index) {
+        Some(1)
+    } else {
+        spec.point_cycle_budget
+    };
 
     let trace = point
         .workload
@@ -38,7 +153,7 @@ pub fn evaluate_point(point: &SweepPoint, spec: &SweepSpec) -> Result<PointResul
         .generate(spec.instructions, trace_seed);
     let cfg = point.hw.apply(&spec.base);
     let mut sys = System::try_new_looping(cfg, trace, spec.loop_repeats, sim_seed)
-        .map_err(|e| ctx("cannot build system", &e))?;
+        .map_err(|e| fail("cannot build system", &e))?;
     sys.cmp_mut().warm_up(spec.warmup_instructions);
     if let Some(fs) = fault_seed {
         sys.enable_faults(spec.fault_class.config(fs));
@@ -50,19 +165,28 @@ pub fn evaluate_point(point: &SweepPoint, spec: &SweepSpec) -> Result<PointResul
     } else {
         OnlineLpmController::new(point.hw, spec.interval_cycles, grain)
     }
-    .map_err(|e| ctx("cannot build controller", &e))?;
+    .map_err(|e| fail("cannot build controller", &e))?;
 
     let mut rec = RingRecorder::new(spec.event_capacity);
+    // The budget is relative to the end of warmup; the simulator wants
+    // the absolute cap. `saturating_add` so a huge budget means "never".
+    let cap = budget.map(|b| sys.now().saturating_add(b));
     let log = ctl
-        .try_run_recorded(&mut sys, spec.intervals, &mut rec)
-        .map_err(|e| ctx("run failed", &e))?;
+        .try_run_recorded_budgeted(&mut sys, spec.intervals, &mut rec, cap)
+        .map_err(|e| match (&e, budget) {
+            (LpmError::Sim(SimError::CycleBudgetExceeded { now, .. }), Some(b)) => {
+                AttemptFailure::TimedOut {
+                    budget: b,
+                    cycles: *now,
+                }
+            }
+            _ => fail("run failed", &e),
+        })?;
 
     let summary = RunSummary {
         total_cycles: sys.now(),
         health: Some(ctl.health().to_telemetry()),
-        faults: sys
-            .fault_stats()
-            .map(|fs| fs.to_telemetry(fault_seed.unwrap_or(0))),
+        faults: sys.fault_stats().map(|fs| fs.to_telemetry(fault_seed)),
         ..RunSummary::default()
     };
     let mut telemetry = rec.into_log(summary);
@@ -92,73 +216,367 @@ pub fn evaluate_point(point: &SweepPoint, spec: &SweepSpec) -> Result<PointResul
     })
 }
 
-/// Run a sweep with `jobs` worker threads and return the merged report.
+/// Evaluate one sweep point (single attempt, no retry/chaos driver) and
+/// return its result or a rendered error. This is the classic PR 3
+/// surface, kept for callers that want one point and a `Result`.
 ///
-/// The output is **bit-for-bit identical for every `jobs` value**: points
-/// are self-seeded ([`evaluate_point`]), each runs with a private
-/// recorder, and results are collected into a slot per point index and
-/// merged in index order. Errors are deterministic too — when several
-/// points fail, the error of the lowest-indexed failing point is
-/// returned, regardless of which worker hit its error first.
-pub fn run_sweep(spec: &SweepSpec, jobs: usize) -> Result<SweepReport, String> {
+/// Every stream the evaluation consumes is derived from the *point's*
+/// seeds via [`derive_stream`] — nothing here may depend on which worker
+/// thread runs it, on wall-clock time, or on any global state. The one
+/// wall-clock-derived telemetry field (`wall_cycles_per_sec`) is zeroed
+/// before the log leaves this function.
+pub fn evaluate_point(point: &SweepPoint, spec: &SweepSpec) -> Result<PointResult, String> {
+    evaluate_point_attempt(point, spec, 0).map_err(|f| f.describe(&point.label()))
+}
+
+/// Evaluate one point to a *terminal row*: isolate panics with
+/// `catch_unwind`, classify failures, drive the spec's retry budget,
+/// and quarantine a point whose every attempt failed. Never panics and
+/// never returns an error — whatever happens is data in the row.
+///
+/// The whole attempt history is deterministic: outcomes depend only on
+/// `(spec, point)`, and the row's `harness_events` record each failure
+/// and retry in order.
+pub fn evaluate_row(point: &SweepPoint, spec: &SweepSpec) -> PointRow {
+    let label = point.label();
+    let index = point.index as u64;
+    let mut events: Vec<Event> = Vec::new();
+    let mut attempt: u32 = 0;
+    loop {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            evaluate_point_attempt(point, spec, attempt)
+        }));
+        let failure = match caught {
+            Ok(Ok(result)) => {
+                return PointRow {
+                    index: point.index,
+                    label,
+                    point: point.clone(),
+                    attempts: attempt + 1,
+                    outcome: PointOutcome::Ok(Box::new(result)),
+                    harness_events: events,
+                };
+            }
+            Ok(Err(failure)) => failure,
+            Err(payload) => AttemptFailure::Panicked(panic_message(payload)),
+        };
+        events.push(Event::PointFailed {
+            cycle: 0,
+            index,
+            attempt: attempt.into(),
+            kind: failure.kind().into(),
+            error: failure.describe(&label),
+        });
+        if attempt >= spec.max_retries {
+            // Retry budget exhausted. With no retries configured the
+            // first failure keeps its own classification; with retries,
+            // the point is quarantined.
+            let outcome = if spec.max_retries == 0 {
+                failure.into_outcome()
+            } else {
+                events.push(Event::PointQuarantined {
+                    cycle: 0,
+                    index,
+                    attempts: u64::from(attempt) + 1,
+                });
+                PointOutcome::Quarantined {
+                    attempts: attempt + 1,
+                    last_error: failure.describe(&label),
+                }
+            };
+            return PointRow {
+                index: point.index,
+                label,
+                point: point.clone(),
+                attempts: attempt + 1,
+                outcome,
+                harness_events: events,
+            };
+        }
+        attempt += 1;
+        events.push(Event::PointRetried {
+            cycle: 0,
+            index,
+            attempt: attempt.into(),
+        });
+    }
+}
+
+/// Run-time policy for a sweep: checkpointing, resume, and the
+/// wall-clock stall warning. Merge semantics (keep-going vs fail-fast)
+/// live in the *caller* — [`run_sweep_with`] always returns the full
+/// typed report.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Append every terminal row to this checkpoint journal.
+    pub checkpoint: Option<PathBuf>,
+    /// Load previously journaled rows from `checkpoint` and evaluate
+    /// only the missing points. Requires `checkpoint`.
+    pub resume: bool,
+    /// Warn on stderr when a point has been running this long on the
+    /// wall clock. Diagnostics only: the guard never kills work and
+    /// never touches the report (wall time is nondeterministic; acting
+    /// on it would break the bytes-identical contract — the enforcing
+    /// watchdog is the *simulated-cycle* budget in the spec).
+    pub wall_warn: Option<Duration>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            checkpoint: None,
+            resume: false,
+            wall_warn: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Shared state of the wall-clock stall reporter: which points are
+/// in flight and since when.
+struct WallGuardInner {
+    stop: AtomicBool,
+    warn_after: Duration,
+    active: Mutex<HashMap<usize, (String, Instant)>>,
+}
+
+/// A background thread that periodically scans in-flight points and
+/// warns (once per point, on stderr) when one exceeds the wall-clock
+/// threshold. Mark-only by design — see [`SweepOptions::wall_warn`].
+struct WallGuard {
+    inner: Arc<WallGuardInner>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WallGuard {
+    fn spawn(warn_after: Option<Duration>) -> Option<WallGuard> {
+        let warn_after = warn_after?;
+        let inner = Arc::new(WallGuardInner {
+            stop: AtomicBool::new(false),
+            warn_after,
+            active: Mutex::new(HashMap::new()),
+        });
+        let thread_inner = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name("lpm-wall-guard".into())
+            .spawn(move || {
+                let mut warned: Vec<usize> = Vec::new();
+                while !thread_inner.stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(100));
+                    let active = thread_inner
+                        .active
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner());
+                    for (&idx, (label, start)) in active.iter() {
+                        if start.elapsed() >= thread_inner.warn_after && !warned.contains(&idx) {
+                            warned.push(idx);
+                            eprintln!(
+                                "lpm-harness: point {label} still running after {}s of wall time \
+                                 (report is unaffected; set a --point-cycle-budget to bound \
+                                 runaway points deterministically)",
+                                start.elapsed().as_secs()
+                            );
+                        }
+                    }
+                }
+            })
+            .ok()?;
+        Some(WallGuard {
+            inner,
+            handle: Some(handle),
+        })
+    }
+
+    fn begin(&self, index: usize, label: &str) {
+        self.inner
+            .active
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(index, (label.to_string(), Instant::now()));
+    }
+
+    fn end(&self, index: usize) {
+        self.inner
+            .active
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&index);
+    }
+}
+
+impl Drop for WallGuard {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Evaluate a row with the (optional) wall-clock guard marking it
+/// in flight.
+fn guarded_row(guard: Option<&WallGuard>, point: &SweepPoint, spec: &SweepSpec) -> PointRow {
+    if let Some(g) = guard {
+        g.begin(point.index, &point.label());
+    }
+    let row = evaluate_row(point, spec);
+    if let Some(g) = guard {
+        g.end(point.index);
+    }
+    row
+}
+
+/// One worker's loop: pop point indices until the queue is dry, send
+/// each terminal row to the collector. If the collector is gone (its
+/// receiver dropped after a journal write error), the worker *drains*
+/// its reachable queue items before exiting so no sibling spins on work
+/// nobody will collect.
+fn worker_loop(
+    me: usize,
+    queue: &WorkStealingQueue,
+    points: &[SweepPoint],
+    spec: &SweepSpec,
+    guard: Option<&WallGuard>,
+    tx: &mpsc::Sender<PointRow>,
+) {
+    while let Some(i) = queue.pop(me) {
+        let row = guarded_row(guard, &points[i], spec);
+        if tx.send(row).is_err() {
+            // Collector is gone; nothing we evaluate can be delivered.
+            // Drain the queue so every worker stops promptly instead of
+            // evaluating stranded points.
+            while queue.pop(me).is_some() {}
+            return;
+        }
+    }
+}
+
+/// Run a sweep with `jobs` worker threads under explicit crash-safety
+/// options, and return the full typed report — one [`PointRow`] per
+/// point, ok or not. The caller chooses the merge policy: fail fast on
+/// [`SweepReport::first_error`], or keep going with the partial data.
+///
+/// The output is **bit-for-bit identical for every `jobs` value**, with
+/// or without failures, and across interrupt/resume: points are
+/// self-seeded, retries are salted by `(point, attempt)`, each point
+/// runs with a private recorder, and rows are collected into a slot per
+/// point index and merged in index order.
+pub fn run_sweep_with(
+    spec: &SweepSpec,
+    jobs: usize,
+    opts: &SweepOptions,
+) -> Result<SweepReport, String> {
     if jobs == 0 {
         return Err("jobs must be at least 1".into());
     }
     spec.validate()?;
+    if opts.resume && opts.checkpoint.is_none() {
+        return Err("resume needs a checkpoint journal (pass --checkpoint PATH)".into());
+    }
     let points = spec.points();
-    let workers = jobs.min(points.len());
+    let fingerprint = spec.fingerprint();
 
-    let mut slots: Vec<Option<Result<PointResult, String>>> = Vec::new();
+    let mut slots: Vec<Option<PointRow>> = Vec::new();
     slots.resize_with(points.len(), || None);
 
-    if workers == 1 {
+    // Open the journal: resume loads intact rows first and reopens for
+    // append; a fresh run truncates.
+    let mut journal: Option<CheckpointJournal> = match &opts.checkpoint {
+        None => None,
+        Some(path) if opts.resume && path.exists() => {
+            let rows = load_journal(path, fingerprint, points.len())?;
+            let n = rows.len() as u64;
+            for row in rows {
+                let idx = row.index;
+                slots[idx] = Some(row);
+            }
+            Some(CheckpointJournal::open_append(path, n)?)
+        }
+        Some(path) => Some(CheckpointJournal::create(path, fingerprint, points.len())?),
+    };
+
+    let pending: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.is_none().then_some(i))
+        .collect();
+    let workers = jobs.min(pending.len());
+    let guard = WallGuard::spawn(opts.wall_warn);
+
+    let mut journal_err: Option<String> = None;
+    if workers <= 1 {
         // Serial reference path: evaluate in point order, no threads.
-        for p in &points {
-            slots[p.index] = Some(evaluate_point(p, spec));
+        for &i in &pending {
+            let row = guarded_row(guard.as_ref(), &points[i], spec);
+            if let Some(j) = journal.as_mut() {
+                if let Err(e) = j.append(&row) {
+                    journal_err = Some(e);
+                    break;
+                }
+            }
+            slots[i] = Some(row);
         }
     } else {
-        let queue = WorkStealingQueue::deal(points.len(), workers);
-        let (tx, rx) = mpsc::channel::<(usize, Result<PointResult, String>)>();
+        let queue = WorkStealingQueue::deal_indices(&pending, workers);
+        let (tx, rx) = mpsc::channel::<PointRow>();
         std::thread::scope(|scope| {
             for w in 0..workers {
                 let tx = tx.clone();
                 let queue = &queue;
                 let points = &points;
-                scope.spawn(move || {
-                    while let Some(i) = queue.pop(w) {
-                        let res = evaluate_point(&points[i], spec);
-                        if tx.send((i, res)).is_err() {
-                            break;
-                        }
-                    }
-                });
+                let guard = guard.as_ref();
+                scope.spawn(move || worker_loop(w, queue, points, spec, guard, &tx));
             }
             drop(tx);
             // Arrival order is schedule-dependent; the slot vector
             // erases it before anything downstream can observe it.
-            for (i, res) in rx {
-                slots[i] = Some(res);
+            while let Ok(row) = rx.recv() {
+                if let Some(j) = journal.as_mut() {
+                    if let Err(e) = j.append(&row) {
+                        journal_err = Some(e);
+                        // Dropping the receiver makes every worker's
+                        // next send fail, which triggers their drain
+                        // path and winds the sweep down.
+                        break;
+                    }
+                }
+                let idx = row.index;
+                slots[idx] = Some(row);
             }
         });
     }
+    drop(guard);
+    if let Some(e) = journal_err {
+        return Err(e);
+    }
 
-    // Merge in point-index order: lowest-index error wins, otherwise the
-    // results vector is in spec enumeration order by construction.
-    let mut results = Vec::with_capacity(points.len());
+    // Merge in point-index order; the schedule is invisible from here.
+    let mut rows = Vec::with_capacity(points.len());
     for (i, slot) in slots.into_iter().enumerate() {
         match slot {
-            Some(Ok(r)) => results.push(r),
-            Some(Err(e)) => return Err(e),
+            Some(row) => rows.push(row),
             None => return Err(format!("point {i}: worker died before reporting")),
         }
     }
-    Ok(SweepReport { results })
+    Ok(SweepReport { rows })
+}
+
+/// Run a sweep with `jobs` worker threads and return the merged report,
+/// failing fast: if any point did not complete, the error of the
+/// **lowest-indexed** failing point is returned, regardless of which
+/// worker hit its failure first. (Use [`run_sweep_with`] and the typed
+/// rows for keep-going semantics.)
+pub fn run_sweep(spec: &SweepSpec, jobs: usize) -> Result<SweepReport, String> {
+    let report = run_sweep_with(spec, jobs, &SweepOptions::default())?;
+    match report.first_error() {
+        Some(e) => Err(e),
+        None => Ok(report),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::point::FaultClass;
+    use crate::point::{ChaosConfig, FaultClass};
     use lpm_core::design_space::HwConfig;
     use lpm_trace::SpecWorkload;
 
@@ -213,7 +631,7 @@ mod tests {
         let one = run_sweep(&spec, 1).unwrap();
         let many = run_sweep(&spec, 8).unwrap();
         assert_eq!(one, many);
-        assert_eq!(one.results.len(), 1);
+        assert_eq!(one.rows.len(), 1);
     }
 
     #[test]
@@ -231,5 +649,144 @@ mod tests {
         let e1 = run_sweep(&spec, 1).unwrap_err();
         let e4 = run_sweep(&spec, 4).unwrap_err();
         assert_eq!(e1, e4);
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_classified() {
+        let spec = SweepSpec {
+            chaos: ChaosConfig::parse("panic@1").unwrap(),
+            ..tiny_spec()
+        };
+        let report = run_sweep_with(&spec, 2, &SweepOptions::default()).unwrap();
+        assert_eq!(report.rows.len(), 4);
+        assert_eq!(report.rows[1].outcome.kind(), "panicked");
+        let err = report.rows[1].error().unwrap();
+        assert!(err.contains("chaos: injected panic at point 1"), "{err}");
+        // The other three points completed untouched.
+        assert_eq!(report.rows.iter().filter(|r| r.is_ok()).count(), 3);
+        // Fail-fast surfaces the same text as the row.
+        assert_eq!(run_sweep(&spec, 2).unwrap_err(), err);
+    }
+
+    #[test]
+    fn fail_fast_reports_the_lowest_indexed_failure() {
+        let spec = SweepSpec {
+            chaos: ChaosConfig::parse("panic@3,fail@1").unwrap(),
+            ..tiny_spec()
+        };
+        for jobs in [1, 4] {
+            let err = run_sweep(&spec, jobs).unwrap_err();
+            assert!(err.contains("injected failure at point 1"), "{err}");
+        }
+    }
+
+    #[test]
+    fn cycle_budget_trips_deterministically() {
+        let spec = SweepSpec {
+            point_cycle_budget: Some(7_000), // < 3 intervals of 5_000
+            ..tiny_spec()
+        };
+        let a = run_sweep_with(&spec, 1, &SweepOptions::default()).unwrap();
+        let b = run_sweep_with(&spec, 4, &SweepOptions::default()).unwrap();
+        assert_eq!(a, b);
+        for row in &a.rows {
+            let PointOutcome::TimedOut { budget, cycles } = &row.outcome else {
+                panic!("expected timed-out, got {}", row.outcome.kind());
+            };
+            assert_eq!(*budget, 7_000);
+            assert!(*cycles > 0);
+        }
+    }
+
+    #[test]
+    fn flaky_point_recovers_via_salted_retry() {
+        let spec = SweepSpec {
+            chaos: ChaosConfig::parse("flaky@0:2").unwrap(),
+            max_retries: 2,
+            ..tiny_spec()
+        };
+        let report = run_sweep_with(&spec, 2, &SweepOptions::default()).unwrap();
+        let row = &report.rows[0];
+        assert!(row.is_ok(), "{:?}", row.outcome.kind());
+        assert_eq!(row.attempts, 3);
+        // Two failures and two retries in the event record.
+        let kinds: Vec<&str> = row.harness_events.iter().map(Event::kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                "point-failed",
+                "point-retried",
+                "point-failed",
+                "point-retried"
+            ]
+        );
+        // Keep-going determinism holds with the flake in play.
+        assert_eq!(
+            report,
+            run_sweep_with(&spec, 4, &SweepOptions::default()).unwrap()
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_the_point() {
+        let spec = SweepSpec {
+            chaos: ChaosConfig::parse("fail@0").unwrap(),
+            max_retries: 2,
+            ..tiny_spec()
+        };
+        let report = run_sweep_with(&spec, 1, &SweepOptions::default()).unwrap();
+        let row = &report.rows[0];
+        let PointOutcome::Quarantined {
+            attempts,
+            last_error,
+        } = &row.outcome
+        else {
+            panic!("expected quarantined, got {}", row.outcome.kind());
+        };
+        assert_eq!(*attempts, 3);
+        assert!(last_error.contains("injected failure"), "{last_error}");
+        assert_eq!(
+            row.harness_events.last().map(Event::kind),
+            Some("point-quarantined")
+        );
+    }
+
+    #[test]
+    fn retry_attempts_use_decorrelated_seed_streams() {
+        // The same point evaluated at attempt 0 and attempt 1 must see
+        // different derived streams (else a deterministic failure would
+        // just repeat identically and retries would be pointless).
+        let spec = tiny_spec();
+        let p = &spec.points()[0];
+        let a0 = evaluate_point_attempt(p, &spec, 0).ok().unwrap();
+        let a1 = evaluate_point_attempt(p, &spec, 1).ok().unwrap();
+        assert_ne!(a0.telemetry, a1.telemetry);
+        // And each attempt is itself reproducible.
+        let a1b = evaluate_point_attempt(p, &spec, 1).ok().unwrap();
+        assert_eq!(a1, a1b);
+    }
+
+    #[test]
+    fn workers_drain_the_queue_when_the_collector_is_gone() {
+        // Satellite regression: when the receiving side hangs up, a
+        // worker must not strand queued indices — it drains them so the
+        // queue ends empty and siblings stop.
+        let spec = tiny_spec();
+        let points = spec.points();
+        let queue = WorkStealingQueue::deal_indices(&[0, 1, 2, 3], 1);
+        let (tx, rx) = mpsc::channel::<PointRow>();
+        drop(rx); // collector dead before the worker starts
+        worker_loop(0, &queue, &points, &spec, None, &tx);
+        assert_eq!(queue.remaining(), 0);
+    }
+
+    #[test]
+    fn resume_requires_a_checkpoint_path() {
+        let opts = SweepOptions {
+            resume: true,
+            ..SweepOptions::default()
+        };
+        let err = run_sweep_with(&tiny_spec(), 1, &opts).unwrap_err();
+        assert!(err.contains("--checkpoint"), "{err}");
     }
 }

@@ -31,16 +31,50 @@
 //! dealt round-robin to per-worker deques, a worker drains its own deque
 //! from the front and steals from the back of the busiest victim when
 //! idle, so one slow point cannot serialize the sweep.
+//!
+//! # Crash safety
+//!
+//! The engine is additionally *crash-safe*, without weakening the
+//! determinism contract:
+//!
+//! - **Panic isolation.** Each point attempt runs under `catch_unwind`;
+//!   a panicking point becomes a typed [`PointOutcome::Panicked`] row
+//!   instead of poisoning the sweep.
+//! - **Point watchdog.** An optional simulated-cycle budget
+//!   ([`SweepSpec::point_cycle_budget`]) bounds every attempt; a runaway
+//!   point fails as [`PointOutcome::TimedOut`] at the *same simulated
+//!   cycle* on every run and worker count. A wall-clock guard warns on
+//!   stderr about slow points but never alters results — wall time is
+//!   nondeterministic, so it must stay diagnostic.
+//! - **Retry and quarantine.** Failed attempts are retried up to
+//!   [`SweepSpec::max_retries`] times under seeds re-derived with
+//!   [`point::SALT_RETRY`] (a pure function of point and attempt); a
+//!   point that fails every attempt is quarantined, not looped forever.
+//! - **Partial reports.** [`run_sweep_with`] always returns every row,
+//!   typed by outcome; fail-fast ([`run_sweep`]) and keep-going are
+//!   caller-side merge policies over the same deterministic data.
+//! - **Checkpoint-resume.** With a journal ([`SweepOptions::checkpoint`])
+//!   every terminal row is durably appended as it completes; resuming
+//!   skips journaled points and reproduces the uninterrupted report
+//!   byte for byte. The journal is stamped with the spec
+//!   [fingerprint](SweepSpec::fingerprint), so rows from a different
+//!   spec can never be merged in silently.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod engine;
+pub mod outcome;
 pub mod point;
 pub mod queue;
 pub mod report;
 
-pub use engine::{evaluate_point, run_sweep};
-pub use point::{derive_stream, FaultClass, PointResult, SweepPoint, SweepSpec};
+pub use checkpoint::{load_journal, CheckpointJournal};
+pub use engine::{evaluate_point, evaluate_row, run_sweep, run_sweep_with, SweepOptions};
+pub use outcome::{PointOutcome, PointRow};
+pub use point::{
+    derive_stream, ChaosConfig, FaultClass, PointResult, SweepPoint, SweepSpec, SALT_RETRY,
+};
 pub use queue::WorkStealingQueue;
 pub use report::SweepReport;

@@ -12,6 +12,11 @@ pub const SALT_TRACE: u64 = 0x54_52_41_43; // "TRAC"
 pub const SALT_SIM: u64 = 0x53_49_4D_30; // "SIM0"
 /// Salt for the fault-schedule seed of a point.
 pub const SALT_FAULT: u64 = 0x46_4C_54_53; // "FLTS"
+/// Salt for per-attempt retry re-derivation: attempt `n > 0` of a point
+/// reseeds every stream from `derive_stream(seed, SALT_RETRY ^ n)`, so a
+/// retry explores a decorrelated schedule while staying a pure function
+/// of (point, attempt) — never of the worker or the wall clock.
+pub const SALT_RETRY: u64 = 0x52_54_52_59; // "RTRY"
 
 /// Derive a decorrelated RNG/seed stream from a point's seed and a salt
 /// (SplitMix64 finalizer). Shards never feed their own identity in here:
@@ -87,6 +92,97 @@ impl FaultClass {
     }
 }
 
+/// Deterministic failure injection for crash-safety tests: force chosen
+/// point indices to panic, fail, exceed their cycle budget, or fail
+/// flakily until a given attempt. Part of [`SweepSpec`] (and therefore
+/// of the spec fingerprint): a chaos sweep is a *different* sweep, not a
+/// different run of the same sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Point indices whose evaluation panics.
+    pub panic_at: Vec<usize>,
+    /// Point indices whose evaluation fails with a structured error.
+    pub fail_at: Vec<usize>,
+    /// Point indices forced through the cycle-budget watchdog (their
+    /// effective budget is clamped to one cycle).
+    pub timeout_at: Vec<usize>,
+    /// `(index, succeed_at)` pairs: the point fails on every attempt
+    /// below `succeed_at` and succeeds from that attempt on.
+    pub flaky: Vec<(usize, u32)>,
+}
+
+impl ChaosConfig {
+    /// Whether no injection is configured.
+    pub fn is_empty(&self) -> bool {
+        self.panic_at.is_empty()
+            && self.fail_at.is_empty()
+            && self.timeout_at.is_empty()
+            && self.flaky.is_empty()
+    }
+
+    /// Parse the CLI spelling: a comma-separated list of
+    /// `panic@IDX`, `fail@IDX`, `timeout@IDX` and `flaky@IDX:ATTEMPT`
+    /// directives, e.g. `panic@3,fail@5,timeout@2,flaky@1:2`.
+    pub fn parse(s: &str) -> Result<ChaosConfig, String> {
+        let mut cfg = ChaosConfig::default();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (kind, rest) = part
+                .split_once('@')
+                .ok_or_else(|| format!("chaos directive {part:?} needs KIND@INDEX"))?;
+            let bad_index = || format!("chaos directive {part:?} has a malformed index");
+            match kind {
+                "panic" => cfg.panic_at.push(rest.parse().map_err(|_| bad_index())?),
+                "fail" => cfg.fail_at.push(rest.parse().map_err(|_| bad_index())?),
+                "timeout" => cfg.timeout_at.push(rest.parse().map_err(|_| bad_index())?),
+                "flaky" => {
+                    let (idx, at) = rest.split_once(':').ok_or_else(|| {
+                        format!("chaos directive {part:?} needs flaky@INDEX:ATTEMPT")
+                    })?;
+                    cfg.flaky.push((
+                        idx.parse().map_err(|_| bad_index())?,
+                        at.parse()
+                            .map_err(|_| format!("chaos directive {part:?} has a bad attempt"))?,
+                    ));
+                }
+                other => {
+                    return Err(format!(
+                        "unknown chaos directive {other:?}; use panic@I, fail@I, timeout@I \
+                         or flaky@I:N"
+                    ))
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Whether the point at `index` must panic.
+    pub fn panics(&self, index: usize) -> bool {
+        self.panic_at.contains(&index)
+    }
+
+    /// Whether the point at `index` must fail.
+    pub fn fails(&self, index: usize) -> bool {
+        self.fail_at.contains(&index)
+    }
+
+    /// Whether the point at `index` must run out of cycle budget.
+    pub fn times_out(&self, index: usize) -> bool {
+        self.timeout_at.contains(&index)
+    }
+
+    /// The first succeeding attempt for a flaky point, when configured.
+    pub fn flaky_until(&self, index: usize) -> Option<u32> {
+        self.flaky
+            .iter()
+            .find(|(i, _)| *i == index)
+            .map(|(_, at)| *at)
+    }
+}
+
 /// One point of a sweep: a labelled hardware configuration, a workload,
 /// a base seed, and an optional fault seed. The `index` is the point's
 /// stable position in the spec's enumeration order — the merge key.
@@ -159,6 +255,17 @@ pub struct SweepSpec {
     pub loop_repeats: u32,
     /// Telemetry event-ring capacity per point.
     pub event_capacity: usize,
+    /// Retries granted to a failing point before it is quarantined.
+    /// `0` keeps the classic semantics: the first failure is terminal
+    /// and keeps its own classification (failed / panicked / timed-out).
+    pub max_retries: u32,
+    /// Simulated-cycle budget per point attempt (measured from the end
+    /// of warmup). A point whose controller run would step past it fails
+    /// deterministically as timed-out instead of running away. `None`
+    /// disables the watchdog.
+    pub point_cycle_budget: Option<u64>,
+    /// Deterministic failure injection for crash-safety tests.
+    pub chaos: ChaosConfig,
 }
 
 impl Default for SweepSpec {
@@ -177,6 +284,9 @@ impl Default for SweepSpec {
             warmup_instructions: 30_000,
             loop_repeats: 100,
             event_capacity: lpm_telemetry::DEFAULT_EVENT_CAPACITY,
+            max_retries: 0,
+            point_cycle_budget: None,
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -241,7 +351,26 @@ impl SweepSpec {
                 self.grain
             ));
         }
+        if self.point_cycle_budget == Some(0) {
+            return Err("point cycle budget must be positive (omit it to disable)".into());
+        }
         Ok(())
+    }
+
+    /// A stable 64-bit fingerprint of the whole spec (FNV-1a over its
+    /// canonical rendering). The checkpoint journal stamps its header
+    /// with this value; resuming against a journal whose fingerprint
+    /// differs is refused, because rows computed under a different spec
+    /// would silently corrupt the merged report. Every semantic field —
+    /// dimensions, run parameters, retry/budget policy, chaos injection —
+    /// participates; merge-time policy (`--keep-going`, jobs) does not.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{self:?}").bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
     }
 }
 
@@ -341,6 +470,58 @@ mod tests {
             ..SweepSpec::default()
         };
         assert!(bad_grain.validate().is_err());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_spec_sensitive() {
+        let spec = SweepSpec::default();
+        assert_eq!(spec.fingerprint(), SweepSpec::default().fingerprint());
+        let salted = SweepSpec {
+            seeds: vec![8],
+            ..SweepSpec::default()
+        };
+        assert_ne!(spec.fingerprint(), salted.fingerprint());
+        // Retry/budget/chaos policy is semantic: it changes outcomes, so
+        // it must change the fingerprint too.
+        let retried = SweepSpec {
+            max_retries: 2,
+            ..SweepSpec::default()
+        };
+        assert_ne!(spec.fingerprint(), retried.fingerprint());
+        let budgeted = SweepSpec {
+            point_cycle_budget: Some(1_000_000),
+            ..SweepSpec::default()
+        };
+        assert_ne!(spec.fingerprint(), budgeted.fingerprint());
+        let chaotic = SweepSpec {
+            chaos: ChaosConfig::parse("panic@0").unwrap(),
+            ..SweepSpec::default()
+        };
+        assert_ne!(spec.fingerprint(), chaotic.fingerprint());
+    }
+
+    #[test]
+    fn zero_cycle_budget_is_rejected() {
+        let spec = SweepSpec {
+            point_cycle_budget: Some(0),
+            ..SweepSpec::default()
+        };
+        assert!(spec.validate().unwrap_err().contains("positive"));
+    }
+
+    #[test]
+    fn chaos_parse_accepts_directives_and_rejects_garbage() {
+        let c = ChaosConfig::parse("panic@3,fail@5,timeout@2,flaky@1:2").unwrap();
+        assert!(c.panics(3) && !c.panics(4));
+        assert!(c.fails(5));
+        assert!(c.times_out(2));
+        assert_eq!(c.flaky_until(1), Some(2));
+        assert_eq!(c.flaky_until(3), None);
+        assert!(ChaosConfig::parse("").unwrap().is_empty());
+        assert!(ChaosConfig::parse("panic").is_err());
+        assert!(ChaosConfig::parse("panic@x").is_err());
+        assert!(ChaosConfig::parse("flaky@1").is_err());
+        assert!(ChaosConfig::parse("meteor@1").is_err());
     }
 
     #[test]

@@ -31,12 +31,26 @@ impl WorkStealingQueue {
     ///
     /// Panics if `shards` is zero.
     pub fn deal(points: usize, shards: usize) -> Self {
+        let indices: Vec<usize> = (0..points).collect();
+        Self::deal_indices(&indices, shards)
+    }
+
+    /// Deal an explicit index set round-robin across `shards` deques
+    /// (the `k`-th listed index lands on shard `k % shards`). This is
+    /// the resume path: a checkpointed sweep re-deals only its *pending*
+    /// indices, which are an arbitrary subset of `0..points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn deal_indices(indices: &[usize], shards: usize) -> Self {
         assert!(shards > 0, "a sweep needs at least one shard");
+        let n = indices.len();
         let mut deques: Vec<VecDeque<usize>> = (0..shards)
-            .map(|s| VecDeque::with_capacity(points / shards + usize::from(s < points % shards)))
+            .map(|s| VecDeque::with_capacity(n / shards + usize::from(s < n % shards)))
             .collect();
-        for i in 0..points {
-            deques[i % shards].push_back(i);
+        for (k, &i) in indices.iter().enumerate() {
+            deques[k % shards].push_back(i);
         }
         WorkStealingQueue {
             deques: deques.into_iter().map(Mutex::new).collect(),
@@ -127,6 +141,29 @@ mod tests {
         q.lock(0).clear();
         assert_eq!(q.pop(0), Some(5));
         assert_eq!(q.pop(1), Some(1));
+    }
+
+    #[test]
+    fn deal_indices_preserves_sparse_sets() {
+        // The resume path deals a non-contiguous pending set.
+        let q = WorkStealingQueue::deal_indices(&[2, 5, 11, 17, 23], 2);
+        assert_eq!(q.lock(0).iter().copied().collect::<Vec<_>>(), [2, 11, 23]);
+        assert_eq!(q.lock(1).iter().copied().collect::<Vec<_>>(), [5, 17]);
+        let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop(0)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, [2, 5, 11, 17, 23]);
+    }
+
+    #[test]
+    fn deal_of_a_range_equals_deal_indices_of_that_range() {
+        let a = WorkStealingQueue::deal(9, 4);
+        let b = WorkStealingQueue::deal_indices(&(0..9).collect::<Vec<_>>(), 4);
+        for s in 0..4 {
+            assert_eq!(
+                a.lock(s).iter().copied().collect::<Vec<_>>(),
+                b.lock(s).iter().copied().collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

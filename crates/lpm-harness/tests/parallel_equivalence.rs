@@ -4,7 +4,7 @@
 //! reference.
 
 use lpm_core::design_space::HwConfig;
-use lpm_harness::{run_sweep, FaultClass, SweepSpec};
+use lpm_harness::{run_sweep, run_sweep_with, ChaosConfig, FaultClass, SweepOptions, SweepSpec};
 use lpm_trace::SpecWorkload;
 use proptest::prelude::*;
 
@@ -62,6 +62,96 @@ proptest! {
         prop_assert!(
             serial.to_text() == parallel.to_text(),
             "report text diverged at jobs={}", jobs
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The contract survives crashes: keep-going sweeps with injected
+    /// panics, timeouts and retried flaky points — rows of every
+    /// outcome, retry attempts reseeded per point — export the same
+    /// bytes at jobs ∈ {2, 4, 8} as at jobs = 1.
+    #[test]
+    fn crashy_sweep_output_is_independent_of_worker_count(
+        seed in 0u64..10_000,
+        panic_at in 0usize..4,
+        timeout_at in 0usize..4,
+        flaky_at in 0usize..4,
+        jobs_ix in 0usize..3,
+    ) {
+        let jobs = [2usize, 4, 8][jobs_ix];
+        let chaos = ChaosConfig::parse(&format!(
+            "panic@{panic_at},timeout@{timeout_at},flaky@{flaky_at}:1"
+        )).map_err(|e| e.to_string())?;
+        let spec = SweepSpec {
+            chaos,
+            max_retries: 1,
+            ..spec_for(seed, 42, FaultClass::All)
+        };
+        let opts = SweepOptions::default();
+        let serial = run_sweep_with(&spec, 1, &opts).map_err(|e| e.to_string())?;
+        let parallel = run_sweep_with(&spec, jobs, &opts).map_err(|e| e.to_string())?;
+        prop_assert!(serial.failed_len() > 0, "chaos must fail at least one point");
+        prop_assert_eq!(&serial, &parallel, "report structs diverged at jobs={}", jobs);
+        prop_assert!(
+            serial.to_jsonl() == parallel.to_jsonl(),
+            "JSONL bytes diverged at jobs={}", jobs
+        );
+        prop_assert!(
+            serial.to_csv() == parallel.to_csv(),
+            "CSV bytes diverged at jobs={}", jobs
+        );
+        prop_assert!(
+            serial.to_text() == parallel.to_text(),
+            "report text diverged at jobs={}", jobs
+        );
+    }
+
+    /// A sweep interrupted after an arbitrary number of journaled rows
+    /// (with a torn half-record at the cut, as a SIGKILL leaves behind)
+    /// resumes to a byte-identical report at any worker count.
+    #[test]
+    fn resumed_sweep_output_is_byte_identical(
+        seed in 0u64..10_000,
+        keep_rows in 0usize..4,
+        jobs_ix in 0usize..3,
+    ) {
+        let jobs = [2usize, 4, 8][jobs_ix];
+        let spec = SweepSpec {
+            chaos: ChaosConfig::parse("panic@1").map_err(|e| e.to_string())?,
+            ..spec_for(seed, 42, FaultClass::All)
+        };
+        let path = std::env::temp_dir().join(format!(
+            "lpm-resume-prop-{seed}-{keep_rows}-{jobs}-{}.jsonl",
+            std::process::id()
+        ));
+        let with_journal = |resume: bool, jobs: usize| {
+            run_sweep_with(&spec, jobs, &SweepOptions {
+                checkpoint: Some(path.clone()),
+                resume,
+                ..SweepOptions::default()
+            })
+        };
+        let full = with_journal(false, 1).map_err(|e| e.to_string())?;
+        // Each journaled row is a (row, marker) line pair after the header.
+        let text = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
+        let keep: Vec<&str> = text.lines().take(1 + 2 * keep_rows).collect();
+        std::fs::write(
+            &path,
+            format!("{}\n{{\"type\":\"checkpoint-row\",\"ind", keep.join("\n")),
+        ).map_err(|e| e.to_string())?;
+        let resumed = with_journal(true, jobs).map_err(|e| e.to_string())?;
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(&full, &resumed, "resumed report diverged at jobs={}", jobs);
+        prop_assert!(
+            full.to_jsonl() == resumed.to_jsonl(),
+            "resumed JSONL bytes diverged at jobs={}", jobs
+        );
+        prop_assert!(
+            full.to_text() == resumed.to_text(),
+            "resumed report text diverged at jobs={}", jobs
         );
     }
 }

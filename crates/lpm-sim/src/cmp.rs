@@ -830,6 +830,31 @@ impl Cmp {
         Ok(())
     }
 
+    /// Budgeted variant of [`Cmp::try_run_for_with`]: run `cycles` more
+    /// cycles, but refuse to step past the absolute simulated-cycle cap
+    /// `budget`. The cap is checked before every step, so the error fires
+    /// at exactly the same simulated cycle regardless of how the caller
+    /// chunks its runs — the deterministic half of the sweep harness's
+    /// per-point watchdog.
+    pub fn try_run_for_with_budget<R: Recorder>(
+        &mut self,
+        cycles: u64,
+        rec: &mut R,
+        budget: u64,
+    ) -> Result<(), SimError> {
+        let end = self.now + cycles;
+        while self.now < end {
+            if self.now >= budget {
+                return Err(SimError::CycleBudgetExceeded {
+                    budget,
+                    now: self.now,
+                });
+            }
+            self.try_step_with(rec)?;
+        }
+        Ok(())
+    }
+
     /// Run until every core has retired `instructions` more instructions
     /// (or finished), within `max_cycles`. Returns whether all reached
     /// their target. The fixed-work-per-core measurement window of the

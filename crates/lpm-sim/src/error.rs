@@ -35,6 +35,18 @@ pub enum SimError {
     Unconverged(String),
     /// A measurement could not be reduced to model quantities.
     Model(ModelError),
+    /// A budgeted run hit its simulated-cycle cap before finishing. The
+    /// check happens inside the step loop, so it fires at exactly the
+    /// same simulated cycle on every run — this is the deterministic
+    /// "point watchdog" signal the sweep harness classifies as a
+    /// timeout, distinct from a deadlock (which means no forward
+    /// progress at all).
+    CycleBudgetExceeded {
+        /// The absolute cycle cap the run was given.
+        budget: u64,
+        /// The simulated cycle at which the cap was hit.
+        now: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -47,6 +59,10 @@ impl fmt::Display for SimError {
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             SimError::Unconverged(msg) => write!(f, "run did not converge: {msg}"),
             SimError::Model(e) => write!(f, "model error: {e}"),
+            SimError::CycleBudgetExceeded { budget, now } => write!(
+                f,
+                "cycle budget exceeded: reached simulated cycle {now} with the cap at {budget}"
+            ),
         }
     }
 }
@@ -89,6 +105,17 @@ mod tests {
     fn invalid_config_preserves_message() {
         let e = SimError::InvalidConfig("one trace per core".into());
         assert!(e.to_string().contains("one trace per core"));
+    }
+
+    #[test]
+    fn cycle_budget_error_names_both_cycles() {
+        let e = SimError::CycleBudgetExceeded {
+            budget: 5_000,
+            now: 5_000,
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("cycle budget exceeded"), "{s}");
+        assert!(s.contains("cycle 5000") && s.contains("cap at 5000"), "{s}");
     }
 
     #[test]

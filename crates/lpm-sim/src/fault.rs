@@ -319,8 +319,10 @@ pub struct FaultStats {
 
 impl FaultStats {
     /// The telemetry-export view of these totals, stamped with the seed
-    /// that drove the schedule (for exact reproduction).
-    pub fn to_telemetry(self, seed: u64) -> lpm_telemetry::FaultTotals {
+    /// that drove the schedule (for exact reproduction). `None` means the
+    /// caller did not know the schedule seed — distinct from seed `0`,
+    /// which is a perfectly legal seed.
+    pub fn to_telemetry(self, seed: Option<u64>) -> lpm_telemetry::FaultTotals {
         lpm_telemetry::FaultTotals {
             seed,
             spike_events: self.spike_events,

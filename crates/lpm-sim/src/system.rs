@@ -146,6 +146,18 @@ impl System {
         self.cmp.try_run_for_with(cycles, rec)
     }
 
+    /// Budgeted variant of [`System::try_run_for_with`]: fails with
+    /// [`SimError::CycleBudgetExceeded`] instead of stepping past the
+    /// absolute simulated-cycle cap `budget`.
+    pub fn try_run_for_with_budget<R: lpm_telemetry::Recorder>(
+        &mut self,
+        cycles: u64,
+        rec: &mut R,
+        budget: u64,
+    ) -> Result<(), SimError> {
+        self.cmp.try_run_for_with_budget(cycles, rec, budget)
+    }
+
     /// Enable fault injection per `cfg` (see [`crate::fault`]).
     pub fn enable_faults(&mut self, cfg: FaultConfig) {
         self.cmp.enable_faults(cfg);

@@ -1,25 +1,47 @@
 //! CI validator for telemetry exports.
 //!
-//! Usage: `telemetry_check <file.jsonl|file.csv>` — parses the file
-//! with the strict round-trip parsers and exits non-zero (with a
-//! diagnostic on stderr) if it is malformed. CI runs this against the
+//! Usage: `telemetry_check [--strict] <file.jsonl|file.csv>` — parses
+//! the file with the strict round-trip parsers and exits non-zero (with
+//! a diagnostic on stderr) if it is malformed. CI runs this against the
 //! artifact produced by a short `repro_online` run.
 //!
-//! Two JSONL shapes are accepted: a single-run log (snapshots, events,
-//! one summary — what `repro_online` and `lpm-cli online` write) and a
-//! sweep export (repeated `{"type":"point",...}` headers, each followed
-//! by that point's complete single-run log — what `lpm-cli sweep` and
-//! `repro_sweep` write). A sweep is validated per segment, so a
-//! malformed record is reported with its point label.
+//! Three JSONL shapes are accepted: a single-run log (snapshots,
+//! events, one summary — what `repro_online` and `lpm-cli online`
+//! write), a sweep export (repeated `{"type":"point",...}` headers,
+//! each followed by that point's complete single-run log — what
+//! `lpm-cli sweep` and `repro_sweep` write), and a checkpoint journal
+//! (a `{"type":"checkpoint-header",...}` line followed by
+//! `checkpoint-row` records — what `lpm-cli sweep --checkpoint`
+//! writes). A sweep is validated per segment, so a malformed record is
+//! reported with its point label; a point header whose `outcome` is
+//! not `"ok"` legitimately has no telemetry segment and is accepted
+//! empty.
+//!
+//! Dropped events (the `RingRecorder` overflow counter) are always
+//! reported; with `--strict` any drop is a failure, because a CI
+//! artifact that silently lost telemetry is not a trustworthy
+//! regression baseline.
 
 use lpm_telemetry::{TelemetryLog, Value};
 use std::process::ExitCode;
 
+/// What one validated file contained, for the summary line and the
+/// `--strict` drop gate.
+struct Checked {
+    what: String,
+    snapshots: usize,
+    events_dropped: u64,
+}
+
 /// Validate one sweep export: every `point` header must parse and carry
 /// `index`/`label`, and every segment between headers must be a valid
-/// single-run log. Returns `(points, snapshots, events)`.
-fn check_sweep_jsonl(text: &str) -> Result<(usize, usize, usize), String> {
-    let mut segments: Vec<(String, String)> = Vec::new();
+/// single-run log — except that headers with a non-`"ok"` `outcome`
+/// (failed / panicked / timed-out / quarantined rows under
+/// `--keep-going`) carry no telemetry and may have an empty segment.
+fn check_sweep_jsonl(text: &str) -> Result<Checked, String> {
+    // (label, header outcome if any, accumulated segment text)
+    let mut segments: Vec<(String, Option<String>, String)> = Vec::new();
+    let mut header_drops: u64 = 0;
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -37,9 +59,11 @@ fn check_sweep_jsonl(text: &str) -> Result<(usize, usize, usize), String> {
             if v.get("index").is_none() {
                 return Err(format!("line {}: point record has no index", i + 1));
             }
-            segments.push((label.to_string(), String::new()));
+            let outcome = v.get("outcome").and_then(Value::as_str).map(str::to_string);
+            header_drops += v.get("events_dropped").and_then(Value::as_u64).unwrap_or(0);
+            segments.push((label.to_string(), outcome, String::new()));
         } else {
-            let Some((_, seg)) = segments.last_mut() else {
+            let Some((_, _, seg)) = segments.last_mut() else {
                 return Err(format!("line {}: record before any point header", i + 1));
             };
             seg.push_str(line);
@@ -48,18 +72,172 @@ fn check_sweep_jsonl(text: &str) -> Result<(usize, usize, usize), String> {
     }
     let mut snapshots = 0;
     let mut events = 0;
-    for (label, seg) in &segments {
+    let mut unfinished = 0usize;
+    for (label, outcome, seg) in &segments {
+        let ok_row = outcome.as_deref().map(|o| o == "ok").unwrap_or(true);
+        if !ok_row {
+            unfinished += 1;
+            if !seg.is_empty() {
+                return Err(format!(
+                    "point {label}: outcome {:?} must not carry telemetry records",
+                    outcome.as_deref().unwrap_or("")
+                ));
+            }
+            continue;
+        }
         let log = TelemetryLog::from_jsonl(seg).map_err(|e| format!("point {label}: {e}"))?;
         snapshots += log.snapshots.len();
         events += log.events.len();
     }
-    Ok((segments.len(), snapshots, events))
+    let what = if unfinished > 0 {
+        format!(
+            "sweep: {} points ({unfinished} not ok), {snapshots} snapshots, {events} events",
+            segments.len()
+        )
+    } else {
+        format!(
+            "sweep: {} points, {snapshots} snapshots, {events} events",
+            segments.len()
+        )
+    };
+    // A sweep where *every* point failed still exports zero snapshots;
+    // only require snapshots from the points that claim success.
+    let expect_snapshots = segments.len() > unfinished;
+    Ok(Checked {
+        what,
+        snapshots: if expect_snapshots {
+            snapshots
+        } else {
+            usize::MAX
+        },
+        events_dropped: header_drops,
+    })
+}
+
+/// Structurally validate a checkpoint journal (`lpm-cli sweep
+/// --checkpoint`). The fingerprint cannot be recomputed here — that
+/// needs the sweep spec, and the harness refuses mismatches on resume —
+/// but every record must be well-formed, `ok` rows must embed parsable
+/// telemetry, and a torn line is only tolerated at the very end (the
+/// expected residue of a kill mid-write).
+fn check_checkpoint_jsonl(text: &str) -> Result<Checked, String> {
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let header = Value::parse(lines.first().ok_or("journal is empty")?)
+        .map_err(|e| format!("line 1: unparsable header: {e}"))?;
+    for key in ["version", "fingerprint", "points"] {
+        if header.get(key).and_then(Value::as_u64).is_none() {
+            return Err(format!("line 1: header has no {key}"));
+        }
+    }
+    let points = header.get("points").and_then(Value::as_u64).unwrap_or(0);
+    let mut rows = 0usize;
+    let mut ok_rows = 0usize;
+    let mut snapshots = 0usize;
+    let mut dropped = 0u64;
+    let mut torn = false;
+    for (i, line) in lines.iter().enumerate().skip(1) {
+        let v = match Value::parse(line) {
+            Ok(v) => v,
+            Err(_) if i == lines.len() - 1 => {
+                torn = true;
+                break;
+            }
+            Err(e) => return Err(format!("line {}: corrupt record: {e}", i + 1)),
+        };
+        match v.get("type").and_then(Value::as_str) {
+            Some("checkpoint-row") => {
+                rows += 1;
+                for key in ["index", "label", "outcome", "point"] {
+                    if v.get(key).is_none() {
+                        return Err(format!("line {}: row has no {key}", i + 1));
+                    }
+                }
+                let index = v.get("index").and_then(Value::as_u64).unwrap_or(u64::MAX);
+                if index >= points {
+                    return Err(format!(
+                        "line {}: row index {index} out of range (journal declares {points})",
+                        i + 1
+                    ));
+                }
+                if v.get("outcome").and_then(Value::as_str) == Some("ok") {
+                    ok_rows += 1;
+                    let seg = v
+                        .get("result")
+                        .and_then(|r| r.get("telemetry"))
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| format!("line {}: ok row has no telemetry", i + 1))?;
+                    let log = TelemetryLog::from_jsonl(seg)
+                        .map_err(|e| format!("line {}: embedded telemetry: {e}", i + 1))?;
+                    snapshots += log.snapshots.len();
+                    dropped += log.summary.events_dropped;
+                }
+            }
+            Some("event") => {}
+            other => return Err(format!("line {}: unexpected record type {other:?}", i + 1)),
+        }
+    }
+    let mut what =
+        format!("checkpoint journal: {rows}/{points} rows ({ok_rows} ok), {snapshots} snapshots");
+    if torn {
+        what.push_str(", torn trailing line");
+    }
+    Ok(Checked {
+        what,
+        // A journal with zero ok rows so far (killed very early, or
+        // every point failed) is still valid.
+        snapshots: if ok_rows > 0 { snapshots } else { usize::MAX },
+        events_dropped: dropped,
+    })
+}
+
+fn check(path: &str, text: &str) -> Result<Checked, String> {
+    if path.ends_with(".csv") {
+        let log = TelemetryLog::from_csv(text)?;
+        return Ok(Checked {
+            what: format!(
+                "{} snapshots, {} events",
+                log.snapshots.len(),
+                log.events.len()
+            ),
+            snapshots: log.snapshots.len(),
+            events_dropped: log.summary.events_dropped,
+        });
+    }
+    let first_type = text
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .and_then(|l| Value::parse(l).ok())
+        .and_then(|v| v.get("type").and_then(Value::as_str).map(str::to_string));
+    match first_type.as_deref() {
+        Some("point") => check_sweep_jsonl(text),
+        Some("checkpoint-header") => check_checkpoint_jsonl(text),
+        _ => {
+            let log = TelemetryLog::from_jsonl(text)?;
+            Ok(Checked {
+                what: format!(
+                    "{} snapshots, {} events",
+                    log.snapshots.len(),
+                    log.events.len()
+                ),
+                snapshots: log.snapshots.len(),
+                events_dropped: log.summary.events_dropped,
+            })
+        }
+    }
 }
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: telemetry_check <file.jsonl|file.csv>");
+    let mut strict = false;
+    let mut path = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--strict" {
+            strict = true;
+        } else {
+            path = Some(arg);
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: telemetry_check [--strict] <file.jsonl|file.csv>");
         return ExitCode::from(2);
     };
     let text = match std::fs::read_to_string(&path) {
@@ -69,49 +247,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // A sweep export announces itself with a point header on the first
-    // non-empty line.
-    let is_sweep = !path.ends_with(".csv")
-        && text
-            .lines()
-            .find(|l| !l.trim().is_empty())
-            .and_then(|l| Value::parse(l).ok())
-            .and_then(|v| v.get("type").and_then(Value::as_str).map(|t| t == "point"))
-            .unwrap_or(false);
-    if is_sweep {
-        return match check_sweep_jsonl(&text) {
-            Ok((points, snapshots, events)) => {
-                println!(
-                    "telemetry_check: {path} OK (sweep: {points} points, \
-                     {snapshots} snapshots, {events} events)"
-                );
-                if snapshots == 0 {
-                    eprintln!("telemetry_check: {path} contains no snapshots");
-                    return ExitCode::FAILURE;
-                }
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("telemetry_check: {path} is malformed: {e}");
-                ExitCode::FAILURE
-            }
-        };
-    }
-    let result = if path.ends_with(".csv") {
-        TelemetryLog::from_csv(&text)
-    } else {
-        TelemetryLog::from_jsonl(&text)
-    };
-    match result {
-        Ok(log) => {
-            println!(
-                "telemetry_check: {path} OK ({} snapshots, {} events)",
-                log.snapshots.len(),
-                log.events.len()
-            );
-            if log.snapshots.is_empty() {
+    match check(&path, &text) {
+        Ok(c) => {
+            println!("telemetry_check: {path} OK ({})", c.what);
+            if c.snapshots == 0 {
                 eprintln!("telemetry_check: {path} contains no snapshots");
                 return ExitCode::FAILURE;
+            }
+            if c.events_dropped > 0 {
+                eprintln!(
+                    "telemetry_check: {path}: {} event(s) were dropped by the ring recorder{}",
+                    c.events_dropped,
+                    if strict {
+                        " (--strict: failing)"
+                    } else {
+                        "; raise the event capacity or pass --strict to fail on drops"
+                    }
+                );
+                if strict {
+                    return ExitCode::FAILURE;
+                }
             }
             ExitCode::SUCCESS
         }

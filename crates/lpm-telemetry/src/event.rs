@@ -154,6 +154,47 @@ pub enum Event {
         /// `true` when the ratio rose above the threshold (match lost).
         upward: bool,
     },
+    /// A sweep point's evaluation attempt failed (harness-level event;
+    /// `cycle` is 0 — the failure is not tied to a simulated cycle).
+    PointFailed {
+        /// Always 0 for harness events.
+        cycle: u64,
+        /// The failing point's sweep index.
+        index: u64,
+        /// Zero-based attempt number that failed.
+        attempt: u64,
+        /// Failure classification (`failed`, `panicked`, `timed-out`).
+        kind: String,
+        /// The failure's diagnostic text.
+        error: String,
+    },
+    /// The harness is retrying a failed sweep point with re-salted seeds.
+    PointRetried {
+        /// Always 0 for harness events.
+        cycle: u64,
+        /// The retried point's sweep index.
+        index: u64,
+        /// Zero-based attempt number being started.
+        attempt: u64,
+    },
+    /// A sweep point exhausted its retry budget and was quarantined.
+    PointQuarantined {
+        /// Always 0 for harness events.
+        cycle: u64,
+        /// The quarantined point's sweep index.
+        index: u64,
+        /// Total attempts made before quarantine.
+        attempts: u64,
+    },
+    /// A completed sweep row was appended to the checkpoint journal.
+    CheckpointWritten {
+        /// Always 0 for harness events.
+        cycle: u64,
+        /// The sweep index of the row just persisted.
+        index: u64,
+        /// Rows in the journal after this write.
+        rows: u64,
+    },
 }
 
 impl Event {
@@ -167,6 +208,10 @@ impl Event {
             Event::WindowSkipped { .. } => "window-skipped",
             Event::FaultInjected { .. } => "fault-injected",
             Event::ThresholdCrossing { .. } => "threshold-crossing",
+            Event::PointFailed { .. } => "point-failed",
+            Event::PointRetried { .. } => "point-retried",
+            Event::PointQuarantined { .. } => "point-quarantined",
+            Event::CheckpointWritten { .. } => "checkpoint-written",
         }
     }
 
@@ -179,7 +224,11 @@ impl Event {
             | Event::Freeze { cycle, .. }
             | Event::WindowSkipped { cycle, .. }
             | Event::FaultInjected { cycle, .. }
-            | Event::ThresholdCrossing { cycle, .. } => *cycle,
+            | Event::ThresholdCrossing { cycle, .. }
+            | Event::PointFailed { cycle, .. }
+            | Event::PointRetried { cycle, .. }
+            | Event::PointQuarantined { cycle, .. }
+            | Event::CheckpointWritten { cycle, .. } => *cycle,
         }
     }
 
@@ -247,6 +296,32 @@ impl Event {
                 f.push(("threshold".into(), Value::Num(*threshold)));
                 f.push(("upward".into(), Value::Bool(*upward)));
             }
+            Event::PointFailed {
+                index,
+                attempt,
+                kind,
+                error,
+                ..
+            } => {
+                f.push(("index".into(), Value::Uint(*index)));
+                f.push(("attempt".into(), Value::Uint(*attempt)));
+                f.push(("failure".into(), Value::Str(kind.clone())));
+                f.push(("error".into(), Value::Str(error.clone())));
+            }
+            Event::PointRetried { index, attempt, .. } => {
+                f.push(("index".into(), Value::Uint(*index)));
+                f.push(("attempt".into(), Value::Uint(*attempt)));
+            }
+            Event::PointQuarantined {
+                index, attempts, ..
+            } => {
+                f.push(("index".into(), Value::Uint(*index)));
+                f.push(("attempts".into(), Value::Uint(*attempts)));
+            }
+            Event::CheckpointWritten { index, rows, .. } => {
+                f.push(("index".into(), Value::Uint(*index)));
+                f.push(("rows".into(), Value::Uint(*rows)));
+            }
         }
         Value::Obj(f)
     }
@@ -268,7 +343,7 @@ impl Event {
         };
         let n = |key: &str| -> Result<f64, String> {
             v.get(key)
-                .and_then(Value::as_f64)
+                .and_then(Value::as_num_lossless)
                 .ok_or_else(|| format!("event missing {key}"))
         };
         let b = |key: &str| -> Result<bool, String> {
@@ -336,6 +411,36 @@ impl Event {
                 lpmr: n("lpmr")?,
                 threshold: n("threshold")?,
                 upward: b("upward")?,
+            }),
+            "point-failed" => Ok(Event::PointFailed {
+                cycle,
+                index: u("index")?,
+                attempt: u("attempt")?,
+                kind: v
+                    .get("failure")
+                    .and_then(Value::as_str)
+                    .ok_or("missing failure kind")?
+                    .to_string(),
+                error: v
+                    .get("error")
+                    .and_then(Value::as_str)
+                    .ok_or("missing error text")?
+                    .to_string(),
+            }),
+            "point-retried" => Ok(Event::PointRetried {
+                cycle,
+                index: u("index")?,
+                attempt: u("attempt")?,
+            }),
+            "point-quarantined" => Ok(Event::PointQuarantined {
+                cycle,
+                index: u("index")?,
+                attempts: u("attempts")?,
+            }),
+            "checkpoint-written" => Ok(Event::CheckpointWritten {
+                cycle,
+                index: u("index")?,
+                rows: u("rows")?,
             }),
             other => Err(format!("unknown event kind {other:?}")),
         }
@@ -405,6 +510,28 @@ mod tests {
                 threshold: 1.5,
                 upward: false,
             },
+            Event::PointFailed {
+                cycle: 0,
+                index: 3,
+                attempt: 1,
+                kind: "panicked".into(),
+                error: "chaos: injected panic at point 3".into(),
+            },
+            Event::PointRetried {
+                cycle: 0,
+                index: 3,
+                attempt: 2,
+            },
+            Event::PointQuarantined {
+                cycle: 0,
+                index: 3,
+                attempts: 3,
+            },
+            Event::CheckpointWritten {
+                cycle: 0,
+                index: 5,
+                rows: 6,
+            },
         ]
     }
 
@@ -423,6 +550,11 @@ mod tests {
         assert_eq!(evs[0].kind(), "decision");
         assert_eq!(evs[5].kind(), "fault-injected");
         assert_eq!(evs[5].cycle(), 700);
+        assert_eq!(evs[7].kind(), "point-failed");
+        assert_eq!(evs[8].kind(), "point-retried");
+        assert_eq!(evs[9].kind(), "point-quarantined");
+        assert_eq!(evs[10].kind(), "checkpoint-written");
+        assert_eq!(evs[10].cycle(), 0);
     }
 
     #[test]

@@ -32,8 +32,10 @@ pub struct HealthCounters {
 /// End-of-run fault-injection totals (mirrors `lpm_sim::FaultStats`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultTotals {
-    /// Seed the fault schedule was driven by.
-    pub seed: u64,
+    /// Seed the fault schedule was driven by, when the producer knew it.
+    /// `None` means "not recorded" — deliberately distinct from seed `0`,
+    /// which is a legal schedule seed.
+    pub seed: Option<u64>,
     /// DRAM latency-spike events started.
     pub spike_events: u64,
     /// Refresh-storm events started.
@@ -92,17 +94,18 @@ impl RunSummary {
             ));
         }
         if let Some(ft) = &self.faults {
-            f.push((
-                "faults".into(),
-                Value::Obj(vec![
-                    ("seed".into(), Value::Uint(ft.seed)),
-                    ("spike_events".into(), Value::Uint(ft.spike_events)),
-                    ("storm_events".into(), Value::Uint(ft.storm_events)),
-                    ("stall_events".into(), Value::Uint(ft.stall_events)),
-                    ("squeeze_events".into(), Value::Uint(ft.squeeze_events)),
-                    ("faulted_cycles".into(), Value::Uint(ft.faulted_cycles)),
-                ]),
-            ));
+            let mut fields: Vec<(String, Value)> = Vec::with_capacity(6);
+            if let Some(seed) = ft.seed {
+                fields.push(("seed".into(), Value::Uint(seed)));
+            }
+            fields.extend([
+                ("spike_events".into(), Value::Uint(ft.spike_events)),
+                ("storm_events".into(), Value::Uint(ft.storm_events)),
+                ("stall_events".into(), Value::Uint(ft.stall_events)),
+                ("squeeze_events".into(), Value::Uint(ft.squeeze_events)),
+                ("faulted_cycles".into(), Value::Uint(ft.faulted_cycles)),
+            ]);
+            f.push(("faults".into(), Value::Obj(fields)));
         }
         Value::Obj(f)
     }
@@ -126,7 +129,7 @@ impl RunSummary {
         };
         let faults = match v.get("faults") {
             Some(ft) => Some(FaultTotals {
-                seed: u(ft, "seed")?,
+                seed: ft.get("seed").and_then(Value::as_u64),
                 spike_events: u(ft, "spike_events")?,
                 storm_events: u(ft, "storm_events")?,
                 stall_events: u(ft, "stall_events")?,
@@ -467,9 +470,13 @@ impl TelemetryLog {
             ));
         }
         if let Some(ft) = &s.faults {
+            let seed = match ft.seed {
+                Some(seed) => format!(" (seed {seed})"),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "faults (seed {}): {} spikes, {} storms, {} bank stalls, {} squeezes over {} faulted cycles\n",
-                ft.seed, ft.spike_events, ft.storm_events, ft.stall_events, ft.squeeze_events,
+                "faults{}: {} spikes, {} storms, {} bank stalls, {} squeezes over {} faulted cycles\n",
+                seed, ft.spike_events, ft.storm_events, ft.stall_events, ft.squeeze_events,
                 ft.faulted_cycles
             ));
         }
@@ -601,7 +608,7 @@ mod tests {
                     oscillation_trips: 0,
                 }),
                 faults: Some(FaultTotals {
-                    seed: 0xDEAD_BEEF,
+                    seed: Some(0xDEAD_BEEF),
                     spike_events: 1,
                     storm_events: 0,
                     stall_events: 0,
@@ -664,11 +671,38 @@ mod tests {
     }
 
     #[test]
+    fn seedless_fault_totals_round_trip_and_stay_distinct_from_seed_zero() {
+        let mut none = RunSummary {
+            faults: Some(FaultTotals {
+                seed: None,
+                spike_events: 1,
+                storm_events: 0,
+                stall_events: 0,
+                squeeze_events: 0,
+                faulted_cycles: 10,
+            }),
+            ..RunSummary::default()
+        };
+        let v = Value::parse(&none.to_json().to_json()).unwrap();
+        assert!(v.get("faults").unwrap().get("seed").is_none());
+        assert_eq!(RunSummary::from_json(&v).unwrap(), none);
+        // Seed 0 is a real seed: it must survive the round trip as 0,
+        // not collapse into "not recorded".
+        none.faults.as_mut().unwrap().seed = Some(0);
+        let v = Value::parse(&none.to_json().to_json()).unwrap();
+        assert_eq!(
+            v.get("faults").unwrap().get("seed").and_then(Value::as_u64),
+            Some(0)
+        );
+        assert_eq!(RunSummary::from_json(&v).unwrap(), none);
+    }
+
+    #[test]
     fn merge_concatenates_in_order_and_sums_summaries() {
         let a = sample_log();
         let mut b = sample_log();
         b.summary.final_ipc = 2.5;
-        b.summary.faults.as_mut().unwrap().seed = 7;
+        b.summary.faults.as_mut().unwrap().seed = Some(7);
         let merged = TelemetryLog::merged([a.clone(), b.clone()]);
         assert_eq!(merged.snapshots.len(), 2);
         assert_eq!(merged.events.len(), 8);
@@ -682,7 +716,7 @@ mod tests {
         // final_ipc takes the later part; fault seed keeps the first.
         assert!((s.final_ipc - 2.5).abs() < 1e-12);
         let ft = s.faults.unwrap();
-        assert_eq!(ft.seed, 0xDEAD_BEEF);
+        assert_eq!(ft.seed, Some(0xDEAD_BEEF));
         assert_eq!(ft.spike_events, 2);
         let h = s.health.unwrap();
         assert_eq!(h.rollbacks, 4);

@@ -48,6 +48,19 @@ impl Value {
         }
     }
 
+    /// Numeric view for lossless round-trips: like [`Value::as_f64`]
+    /// but maps `null` back to NaN — the value whose serialization
+    /// degrades to `null` (JSON has no NaN/Inf). Telemetry parsed with
+    /// this re-serializes to the same bytes, which the checkpoint
+    /// journal's byte-identity contract depends on. (Infinities also
+    /// come back as NaN; they too re-serialize as `null`.)
+    pub fn as_num_lossless(&self) -> Option<f64> {
+        match self {
+            Value::Null => Some(f64::NAN),
+            other => other.as_f64(),
+        }
+    }
+
     /// Exact unsigned-integer view.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
@@ -371,6 +384,13 @@ mod tests {
     fn non_finite_degrades_to_null() {
         assert_eq!(Value::Num(f64::NAN).to_json(), "null");
         assert_eq!(Value::parse("null").unwrap().as_f64(), Some(0.0));
+        // The lossless view inverts the degradation, so null → NaN →
+        // null round-trips byte for byte.
+        let back = Value::parse("null").unwrap().as_num_lossless().unwrap();
+        assert!(back.is_nan());
+        assert_eq!(Value::Num(back).to_json(), "null");
+        assert_eq!(Value::Num(1.5).as_num_lossless(), Some(1.5));
+        assert_eq!(Value::Uint(3).as_num_lossless(), Some(3.0));
     }
 
     #[test]

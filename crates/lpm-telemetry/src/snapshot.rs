@@ -242,7 +242,7 @@ impl LayerMetrics {
     pub fn from_json(v: &Value) -> Result<LayerMetrics, String> {
         let n = |key: &str| -> Result<f64, String> {
             v.get(key)
-                .and_then(Value::as_f64)
+                .and_then(Value::as_num_lossless)
                 .ok_or_else(|| format!("layer missing {key}"))
         };
         Ok(LayerMetrics {
@@ -415,9 +415,11 @@ impl MetricsSnapshot {
                 .and_then(Value::as_u64)
                 .ok_or_else(|| format!("snapshot missing {key}"))
         };
+        // NaN fields (e.g. `t2` when unattainable) serialize as `null`;
+        // parse them back to NaN so the round trip is byte-stable.
         let n = |key: &str| -> Result<f64, String> {
             v.get(key)
-                .and_then(Value::as_f64)
+                .and_then(Value::as_num_lossless)
                 .ok_or_else(|| format!("snapshot missing {key}"))
         };
         let hist = |key: &str| -> Result<Histogram, String> {

@@ -136,7 +136,7 @@ fn synth_log(seed: u64, intervals: u64, with_l3: bool) -> TelemetryLog {
             oscillation_trips: seed % 2,
         }),
         faults: Some(FaultTotals {
-            seed,
+            seed: Some(seed),
             spike_events: 2,
             storm_events: 1,
             stall_events: 0,
@@ -165,6 +165,23 @@ fn csv_round_trip_over_many_seeds() {
             TelemetryLog::from_csv(&log.to_csv()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert_eq!(parsed.snapshots, log.snapshots, "seed {seed}");
     }
+}
+
+#[test]
+fn nan_fields_round_trip_to_identical_bytes() {
+    // `t2` is NaN when the Eq. 15 threshold is unattainable; JSON has
+    // no NaN, so it serializes as `null`. Parsing must bring it back as
+    // NaN — not 0.0 — or a parse/re-export cycle (exactly what the
+    // sweep checkpoint journal does) would change bytes.
+    let mut log = synth_log(11, 3, false);
+    log.snapshots[1].t2 = f64::NAN;
+    log.snapshots[1].layers[0].amp = f64::NAN;
+    let jsonl = log.to_jsonl();
+    assert!(jsonl.contains("\"t2\":null"), "{jsonl}");
+    let parsed = TelemetryLog::from_jsonl(&jsonl).unwrap();
+    assert!(parsed.snapshots[1].t2.is_nan());
+    assert!(parsed.snapshots[1].layers[0].amp.is_nan());
+    assert_eq!(parsed.to_jsonl(), jsonl);
 }
 
 #[test]

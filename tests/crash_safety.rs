@@ -1,0 +1,162 @@
+//! Acceptance tests for crash-safe sweeps: a sweep containing a
+//! panicking point, a spec-invalid point, and a budget-exceeding point
+//! completes under keep-going with every failure typed in the report,
+//! fails fast on the lowest-index error without it, stays
+//! byte-identical across worker counts with chaos and retries in play,
+//! and resumes from a truncated (torn) checkpoint journal to a
+//! byte-identical report.
+
+use lpm_core::design_space::HwConfig;
+use lpm_harness::{run_sweep, run_sweep_with, ChaosConfig, SweepOptions, SweepSpec};
+use lpm_trace::SpecWorkload;
+
+/// A config the simulator rejects at build time (caches need >= 1 port).
+fn bad_hw() -> HwConfig {
+    HwConfig {
+        l1_ports: 0,
+        ..HwConfig::A
+    }
+}
+
+/// Four points: index 0 healthy, index 1 spec-invalid, index 2 forced
+/// to panic, index 3 forced over its cycle budget.
+fn chaotic_spec() -> SweepSpec {
+    SweepSpec {
+        configs: vec![
+            ("A".into(), HwConfig::A),
+            ("bad".into(), bad_hw()),
+            ("C".into(), HwConfig::C),
+            ("D".into(), HwConfig::D),
+        ],
+        workloads: vec![SpecWorkload::BwavesLike],
+        seeds: vec![7],
+        instructions: 30_000,
+        intervals: 2,
+        interval_cycles: 5_000,
+        warmup_instructions: 5_000,
+        loop_repeats: 50,
+        chaos: ChaosConfig::parse("panic@2,timeout@3").unwrap(),
+        ..SweepSpec::default()
+    }
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "lpm-crash-safety-{name}-{}.jsonl",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn keep_going_classifies_panic_invalid_config_and_timeout() {
+    let spec = chaotic_spec();
+    let report = run_sweep_with(&spec, 2, &SweepOptions::default()).unwrap();
+    let kinds: Vec<&str> = report.rows.iter().map(|r| r.outcome.kind()).collect();
+    assert_eq!(kinds, ["ok", "failed", "panicked", "timed-out"]);
+    assert_eq!(report.failed_len(), 3);
+
+    let failed = report.rows[1].error().unwrap();
+    assert!(failed.contains("at least one port"), "{failed}");
+    let panicked = report.rows[2].error().unwrap();
+    assert!(panicked.contains("panicked"), "{panicked}");
+    let timed_out = report.rows[3].error().unwrap();
+    assert!(timed_out.contains("cycle budget of 1 cycle"), "{timed_out}");
+
+    // Every export renders the partial sweep: the text report carries an
+    // incomplete-summary line, and the CSV types each failure.
+    let text = report.to_text();
+    assert!(
+        text.contains("incomplete: 3/4 point(s) did not finish"),
+        "{text}"
+    );
+    let csv = report.to_csv();
+    for tag in [",ok,", ",failed,", ",panicked,", ",timed-out,"] {
+        assert!(csv.contains(tag), "CSV is missing {tag}: {csv}");
+    }
+}
+
+#[test]
+fn fail_fast_surfaces_the_lowest_index_error() {
+    // Index 1 (invalid config) is the first failure; the panic at index
+    // 2 and timeout at index 3 must not mask it.
+    let err = run_sweep(&chaotic_spec(), 4).unwrap_err();
+    assert!(err.contains("bad/"), "{err}");
+    assert!(err.contains("at least one port"), "{err}");
+}
+
+#[test]
+fn chaos_with_retries_is_byte_identical_across_worker_counts() {
+    // flaky@0:1 makes the healthy point fail once and succeed on its
+    // (reseeded) retry; the panicking point exhausts its retry and is
+    // quarantined. Both paths must be invisible to the jobs count.
+    let spec = SweepSpec {
+        chaos: ChaosConfig::parse("panic@2,timeout@3,flaky@0:1").unwrap(),
+        max_retries: 1,
+        ..chaotic_spec()
+    };
+    let opts = SweepOptions::default();
+    let serial = run_sweep_with(&spec, 1, &opts).unwrap();
+    assert_eq!(serial.rows[0].outcome.kind(), "ok");
+    assert_eq!(serial.rows[0].attempts, 2);
+    assert_eq!(serial.rows[2].outcome.kind(), "quarantined");
+    for jobs in [2, 4, 8] {
+        let parallel = run_sweep_with(&spec, jobs, &opts).unwrap();
+        assert_eq!(serial, parallel, "report structs diverged at jobs={jobs}");
+        assert_eq!(
+            serial.to_jsonl(),
+            parallel.to_jsonl(),
+            "JSONL bytes diverged at jobs={jobs}"
+        );
+        assert_eq!(
+            serial.to_csv(),
+            parallel.to_csv(),
+            "CSV bytes diverged at jobs={jobs}"
+        );
+        assert_eq!(
+            serial.to_text(),
+            parallel.to_text(),
+            "report text diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn resume_from_a_torn_journal_reproduces_the_report() {
+    let spec = chaotic_spec();
+    let path = tmp("resume");
+    let full = run_sweep_with(
+        &spec,
+        2,
+        &SweepOptions {
+            checkpoint: Some(path.clone()),
+            ..SweepOptions::default()
+        },
+    )
+    .unwrap();
+
+    // Kill simulation: keep the header plus one complete row (journal
+    // rows are row + marker line pairs), then a half-written record.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let keep: Vec<&str> = text.lines().take(3).collect();
+    std::fs::write(
+        &path,
+        format!("{}\n{{\"type\":\"checkpoint-row\",\"ind", keep.join("\n")),
+    )
+    .unwrap();
+
+    let resumed = run_sweep_with(
+        &spec,
+        4,
+        &SweepOptions {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..SweepOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(full, resumed);
+    assert_eq!(full.to_jsonl(), resumed.to_jsonl());
+    assert_eq!(full.to_csv(), resumed.to_csv());
+    assert_eq!(full.to_text(), resumed.to_text());
+    std::fs::remove_file(&path).ok();
+}

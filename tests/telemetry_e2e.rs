@@ -157,7 +157,7 @@ fn recorded_run_exports_and_round_trips() {
     let summary = RunSummary {
         total_cycles: sys.now(),
         health: Some(ctl.health().to_telemetry()),
-        faults: sys.fault_stats().map(|fs| fs.to_telemetry(42)),
+        faults: sys.fault_stats().map(|fs| fs.to_telemetry(Some(42))),
         ..RunSummary::default()
     };
     let log = rec.into_log(summary);
@@ -172,7 +172,7 @@ fn recorded_run_exports_and_round_trips() {
     let jsonl = log.to_jsonl();
     let back = TelemetryLog::from_jsonl(&jsonl).unwrap();
     assert_eq!(back, log);
-    assert_eq!(back.summary.faults.unwrap().seed, 42);
+    assert_eq!(back.summary.faults.unwrap().seed, Some(42));
     let csv = log.to_csv();
     let back_csv = TelemetryLog::from_csv(&csv).unwrap();
     assert_eq!(back_csv.snapshots, log.snapshots);
