@@ -26,8 +26,8 @@ fn bench_model_eval(c: &mut Criterion) {
             )
         })
     });
-    let core = CoreParams::new(0.4, 0.5, 0.2).unwrap();
-    let l1 = CamatParams::new(2.0, 4.0, 0.02, 10.0, 2.0).unwrap();
+    let core = CoreParams::new(0.4, 0.5, 0.2).expect("valid core params");
+    let l1 = CamatParams::new(2.0, 4.0, 0.02, 10.0, 2.0).expect("valid C-AMAT params");
     g.bench_function("thresholds_eq14_15", |b| {
         b.iter(|| Thresholds::compute(Grain::Fine, black_box(&core), black_box(&l1), 0.3))
     });

@@ -53,7 +53,8 @@ fn main() {
     // Fig. 6/7.
     eprintln!("\n... Fig. 6/7 profiles ...");
     let profiles = fig67_profiles(n, SEED);
-    let by_name = |w: SpecWorkload| profiles.iter().find(|p| p.workload == w).unwrap();
+    // lpm-lint: allow(P001) fig67_profiles returns one profile per SpecWorkload::ALL entry
+    let by_name = |w: SpecWorkload| profiles.iter().find(|p| p.workload == w).expect("profiled");
     let bzip = by_name(SpecWorkload::Bzip2Like);
     let gcc = by_name(SpecWorkload::GccLike);
     let mcf = by_name(SpecWorkload::McfLike);

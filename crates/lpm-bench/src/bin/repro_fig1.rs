@@ -25,7 +25,7 @@ fn main() {
     );
     assert!((c.camat() - example::FIG1_CAMAT).abs() < 1e-12);
     assert!((c.amat() - example::FIG1_AMAT).abs() < 1e-12);
-    c.check_identity(0.0).expect("Eq. 2 == Eq. 3");
+    c.check_identity(0.0).expect("Eq. 2 == Eq. 3"); // lpm-lint: allow(P001) repro binary asserting the paper identity holds
     println!("\nall values match the paper exactly.");
     println!("(see `cargo run -p lpm --example camat_anatomy` for the live\n cache replay that produces these counters.)");
 }

@@ -31,7 +31,10 @@ fn main() {
         if arg == "--faults" {
             fault_seed = Some(42);
         } else if let Some(s) = arg.strip_prefix("--faults=") {
-            fault_seed = Some(s.parse().expect("--faults=<u64 seed>"));
+            fault_seed = Some(s.parse().unwrap_or_else(|_| {
+                eprintln!("--faults expects a u64 seed, got {s:?}");
+                std::process::exit(1);
+            }));
         } else if let Some(s) = arg.strip_prefix("--telemetry-out=") {
             telemetry_out = Some(s.to_string());
         } else if let Some(s) = arg.strip_prefix("--telemetry-format=") {
@@ -109,8 +112,10 @@ fn main() {
             r.hw.mshrs,
         );
     }
-    let first = log.first().expect("at least one interval");
-    let last = log.last().expect("at least one interval");
+    let (Some(first), Some(last)) = (log.first(), log.last()) else {
+        println!("no intervals recorded");
+        return;
+    };
     let met = log.iter().filter(|r| r.stall_budget_met).count();
     println!(
         "\nadaptation: LPMR1 {:.2} → {:.2}, IPC {:.2} → {:.2} ({}% faster), \

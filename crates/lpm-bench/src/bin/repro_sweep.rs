@@ -45,7 +45,10 @@ fn main() {
         } else if arg == "--faults" {
             fault_seed = Some(42);
         } else if let Some(s) = arg.strip_prefix("--faults=") {
-            fault_seed = Some(s.parse().expect("--faults=<u64 seed>"));
+            fault_seed = Some(s.parse().unwrap_or_else(|_| {
+                eprintln!("--faults expects a u64 seed, got {s:?}");
+                std::process::exit(1);
+            }));
         } else if arg == "--verify" {
             verify = true;
         } else if arg == "--keep-going" {

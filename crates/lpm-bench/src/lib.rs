@@ -50,6 +50,7 @@ pub fn table1_rows(instructions: usize, seed: u64) -> Vec<TableIRow> {
             });
         }
     });
+    // lpm-lint: allow(P001) scope guarantees each spawned thread filled its slot
     rows.into_iter().map(|r| r.expect("row measured")).collect()
 }
 
@@ -66,11 +67,13 @@ pub fn fig67_profiles(instructions: usize, seed: u64) -> Vec<WorkloadProfile> {
                 *slot = Some(
                     profile_suite(&[w], &FIG5_L1_SIZES, base, instructions, seed)
                         .pop()
+                        // lpm-lint: allow(P001) profile_suite returns one profile per requested workload
                         .expect("one profile"),
                 );
             });
         }
     });
+    // lpm-lint: allow(P001) scope guarantees each spawned thread filled its slot
     out.into_iter().map(|p| p.expect("profiled")).collect()
 }
 
@@ -107,6 +110,7 @@ pub fn fig8_results(
             });
         }
     });
+    // lpm-lint: allow(P001) scope guarantees each spawned thread filled its slot
     out.into_iter().map(|e| e.expect("evaluated")).collect()
 }
 

@@ -483,8 +483,8 @@ mod tests {
         accesses: &[(u64, u64, u64, bool)],
         miss_latency: u64,
         cycles: u64,
-    ) -> std::collections::HashMap<u64, (u64, Completion)> {
-        let mut done = std::collections::HashMap::new();
+    ) -> std::collections::BTreeMap<u64, (u64, Completion)> {
+        let mut done = std::collections::BTreeMap::new();
         let mut fills: Vec<(u64, u64)> = Vec::new(); // (cycle, line)
         let mut pending: Vec<(u64, u64, u64, bool)> = accesses.to_vec();
         for now in 0..cycles {

@@ -106,6 +106,7 @@ impl CacheConfig {
     /// message on violation. Called by [`crate::cache::Cache::new`].
     pub fn validate(&self) {
         if let Err(msg) = self.try_validate() {
+            // lpm-lint: allow(P001) documented panicking wrapper; fallible callers use try_validate
             panic!("{msg}");
         }
     }

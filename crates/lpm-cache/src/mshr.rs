@@ -7,7 +7,7 @@
 //! sustain — the `CM`-side knob of the C-AMAT model and one of the Table I
 //! design-space parameters.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::cache::AccessId;
 
@@ -61,7 +61,7 @@ pub enum MshrAccept {
 pub struct MshrFile {
     capacity: usize,
     targets_per_entry: usize,
-    entries: HashMap<u64, MshrEntry>,
+    entries: BTreeMap<u64, MshrEntry>,
 }
 
 impl MshrFile {
@@ -71,7 +71,9 @@ impl MshrFile {
         MshrFile {
             capacity,
             targets_per_entry,
-            entries: HashMap::with_capacity(capacity),
+            // Ordered by line address: iteration (diagnostics, pure-miss
+            // marking) is deterministic regardless of allocation order.
+            entries: BTreeMap::new(),
         }
     }
 

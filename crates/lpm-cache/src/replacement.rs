@@ -8,6 +8,15 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// The one sanctioned RNG-construction point in this crate (the D003
+/// lint rule forbids ad-hoc seeding elsewhere). The salt decorrelates
+/// this stream from other consumers of the same user-visible seed and
+/// is part of the byte-identity contract — changing it moves every
+/// Random-policy golden result.
+fn salted_rng(seed: u64, salt: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ salt)
+}
+
 /// Which replacement policy a cache uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Policy {
@@ -49,7 +58,7 @@ impl ReplacementState {
             stamps: vec![0; sets * assoc],
             tree: vec![0; sets],
             counter: 0,
-            rng: SmallRng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15),
+            rng: salted_rng(seed, 0x9E3779B97F4A7C15),
         }
     }
 
@@ -90,6 +99,7 @@ impl ReplacementState {
             Policy::Lru | Policy::Fifo => *candidates
                 .iter()
                 .min_by_key(|&&w| self.stamps[set * self.assoc + w])
+                // lpm-lint: allow(P001) candidates verified non-empty at function entry
                 .expect("non-empty candidates"),
             Policy::Random => candidates[self.rng.gen_range(0..candidates.len())],
             Policy::Plru => {

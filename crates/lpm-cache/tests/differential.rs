@@ -119,8 +119,8 @@ proptest! {
     ) {
         let mut cache = Cache::new(small_cfg(), 1);
         let mut pending_fills: Vec<(u64, u64)> = Vec::new();
-        let mut completions: std::collections::HashMap<u64, u32> =
-            std::collections::HashMap::new();
+        let mut completions: std::collections::BTreeMap<u64, u32> =
+            std::collections::BTreeMap::new();
         let mut accepted = 0u64;
         let mut next = schedule.iter();
         let mut upcoming = next.next();

@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (no external dependencies): sizes accept
 //! `4K`/`32K`/`2M`-style suffixes, flags are `--key value`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Parsed command line: a subcommand plus `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -9,7 +9,7 @@ pub struct Args {
     /// The subcommand (first non-flag argument).
     pub command: String,
     /// `--key value` pairs, keys without the leading dashes.
-    pub options: HashMap<String, String>,
+    pub options: BTreeMap<String, String>,
     /// Positional arguments after the subcommand.
     pub positional: Vec<String>,
 }
@@ -24,7 +24,7 @@ pub fn parse(raw: &[String]) -> Result<Args, String> {
         .next()
         .cloned()
         .ok_or_else(|| "missing subcommand; try `lpm help`".to_string())?;
-    let mut options = HashMap::new();
+    let mut options = BTreeMap::new();
     let mut positional = Vec::new();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
@@ -125,7 +125,7 @@ pub fn parse_size(s: &str) -> Option<u64> {
     if s.is_empty() {
         return None;
     }
-    let (digits, mult) = match s.chars().last().unwrap() {
+    let (digits, mult) = match s.chars().last()? {
         'k' | 'K' => (&s[..s.len() - 1], 1u64 << 10),
         'm' | 'M' => (&s[..s.len() - 1], 1u64 << 20),
         'g' | 'G' => (&s[..s.len() - 1], 1u64 << 30),

@@ -406,14 +406,13 @@ fn cmd_online(a: &Args) -> Result<(), String> {
     // The human-readable report, built up front so it can be routed to
     // stderr when the data stream owns stdout.
     let mut human = String::new();
-    writeln!(
+    let _ = writeln!(
         human,
         "{:>9} {:>7} {:>7} {:>6} {:>6}  {:<20} {:>5} {:>4} {:>5}",
         "cycle", "LPMR1", "T1", "IPC", "budget", "action", "width", "IW", "MSHR"
-    )
-    .unwrap();
+    );
     for r in &log {
-        writeln!(
+        let _ = writeln!(
             human,
             "{:>9} {:>7.2} {:>7.2} {:>6.2} {:>6}  {:<20} {:>5} {:>4} {:>5}",
             r.cycle,
@@ -425,12 +424,11 @@ fn cmd_online(a: &Args) -> Result<(), String> {
             r.hw.issue_width,
             r.hw.iw_size,
             r.hw.mshrs
-        )
-        .unwrap();
+        );
     }
     if let (Some(first), Some(last)) = (log.first(), log.last()) {
         let met = log.iter().filter(|r| r.stall_budget_met).count();
-        writeln!(
+        let _ = writeln!(
             human,
             "adaptation: LPMR1 {:.2} → {:.2}, IPC {:.2} → {:.2}; \
              stall budget met in {met}/{} intervals",
@@ -439,25 +437,22 @@ fn cmd_online(a: &Args) -> Result<(), String> {
             first.ipc,
             last.ipc,
             log.len()
-        )
-        .unwrap();
+        );
     }
     let h = ctl.health();
-    writeln!(
+    let _ = writeln!(
         human,
         "controller health: {} degenerate window(s), {} sensor fault(s), \
          {} rollback(s), {} clamped step(s), {} oscillation trip(s)",
         h.degenerate_windows, h.sensor_faults, h.rollbacks, h.clamped_steps, h.oscillation_trips
-    )
-    .unwrap();
+    );
     if let Some(fs) = sys.fault_stats() {
-        writeln!(
+        let _ = writeln!(
             human,
             "injected: {} DRAM spike(s), {} refresh storm(s), {} bank stall(s), \
              {} MSHR squeeze(s) over {} faulted cycle(s)",
             fs.spike_events, fs.storm_events, fs.stall_events, fs.squeeze_events, fs.faulted_cycles
-        )
-        .unwrap();
+        );
     }
     if let Some(t) = &telemetry {
         human.push_str(&t.human_summary());

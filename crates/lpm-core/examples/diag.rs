@@ -15,7 +15,7 @@ fn main() {
         assert!(sys.run_with_warmup(n as u64 / 2, 400_000_000));
         let r = sys.report();
         let l1 = r.l1;
-        let lp = r.lpmrs().unwrap();
+        let lp = r.lpmrs().expect("report has all three layers");
         println!(
             "{label}: LPMR1={:.2} LPMR2={:.2} LPMR3={:.2} CPI={:.3} CPIexe={:.3} C-AMAT1={:.2} MR1={:.3} CM1={:.2} pAMP1={:.1} stall%CPIexe={:.2} l2.camat={:.1} dram={}",
             lp.l1.value(), lp.l2.value(), lp.l3.value(),

@@ -16,7 +16,7 @@
 //! reconfiguration/scheduling cost.
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// Parameters of the burst process and the detector.
 ///
@@ -86,7 +86,7 @@ impl BurstStudy {
 
     /// Generate the cycle-resolved activity series and burst spans.
     pub fn generate(&self, seed: u64) -> (Vec<bool>, Vec<(usize, usize)>) {
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0xB5D7);
+        let mut rng = crate::salted_rng(seed, 0xB5D7);
         let mut activity = Vec::with_capacity(self.total_cycles);
         let mut spans = Vec::new();
         let mut on = false;

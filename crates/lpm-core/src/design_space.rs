@@ -337,6 +337,7 @@ impl ConfigGrid {
 
     /// Iterate every point in index order.
     pub fn iter(&self) -> impl Iterator<Item = HwConfig> + '_ {
+        // lpm-lint: allow(P001) indices come from 0..len(), get cannot miss
         (0..self.len()).map(|i| self.get(i).expect("index in range"))
     }
 
@@ -404,6 +405,7 @@ pub fn measure_config(
         "measurement window did not complete under {hw:?}"
     );
     let r = sys.report();
+    // lpm-lint: allow(P001) measure_steady asserted completion, so the report is measurable
     let lpmrs = r.lpmrs().expect("measurable run");
     TableIRow {
         label: label.to_string(),
@@ -481,6 +483,7 @@ impl Tunable for DesignSpaceExplorer {
         );
         let report = sys.report();
         self.last_l1 = report.l1.to_params().ok();
+        // lpm-lint: allow(P001) exploration asserted its window completed, counters are live
         LpmMeasurement::from_report(&report, self.grain).expect("non-degenerate measurement")
     }
 

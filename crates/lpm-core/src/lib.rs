@@ -38,6 +38,7 @@ pub mod online;
 pub mod optimizer;
 pub mod profile;
 pub mod sched;
+mod seedstream;
 pub mod validation;
 
 pub use design_space::{HwConfig, TableIRow};
@@ -48,4 +49,5 @@ pub use online::{ControllerHealth, HardeningConfig, IntervalRecord, OnlineLpmCon
 pub use optimizer::{LpmAction, LpmOptimizer, LpmOutcome, Tunable};
 pub use profile::{profile_suite, WorkloadProfile};
 pub use sched::{NucaLayout, Scheduler, SchedulerKind};
+pub use seedstream::salted_rng;
 pub use validation::{summarize, validate_stall_model, ValidationRow};

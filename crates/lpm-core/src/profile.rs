@@ -32,6 +32,7 @@ impl WorkloadProfile {
         self.l1_sizes
             .iter()
             .position(|&s| s == size)
+            // lpm-lint: allow(P001) documented panicking lookup, contract stated in the doc comment
             .unwrap_or_else(|| panic!("size {size} not profiled for {}", self.workload))
     }
 
@@ -49,6 +50,7 @@ impl WorkloadProfile {
                 return s;
             }
         }
+        // lpm-lint: allow(P001) profiles are built from at least one L1 size
         *self.l1_sizes.last().expect("non-empty profile")
     }
 }
@@ -95,6 +97,7 @@ pub fn profile_workload(
         p.l2_demand
             .push(r.l2.accesses as f64 / r.core.retired.max(1) as f64);
         p.ipc.push(r.core.ipc());
+        // lpm-lint: allow(P001) measure_steady asserted completion, so the report is measurable
         p.lpmr1.push(r.lpmrs().expect("measurable").l1.value());
     }
     p

@@ -10,9 +10,7 @@
 //! 63,063,000 assignments for 16 programs over 4 size classes); NUCA-SA
 //! is a polynomial-time greedy guided by the LPM measurements.
 
-use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 use lpm_sim::{Cmp, CoreSlot, SystemConfig};
 use lpm_trace::{Generator, SpecWorkload};
@@ -123,7 +121,9 @@ impl Scheduler {
         match self.kind {
             SchedulerKind::Random { seed } => {
                 let mut mapping: Vec<usize> = (0..profiles.len()).collect();
-                mapping.shuffle(&mut SmallRng::seed_from_u64(seed));
+                // Salt 0: this stream predates the salted helper and
+                // its golden assignments must not move.
+                mapping.shuffle(&mut crate::salted_rng(seed, 0));
                 Assignment { mapping }
             }
             SchedulerKind::RoundRobin => Assignment {

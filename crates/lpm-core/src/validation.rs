@@ -52,8 +52,9 @@ pub fn validate_stall_model(
         rows.push(ValidationRow {
             workload: w,
             measured: r.measured_stall(),
+            // lpm-lint: allow(P001) measure_steady asserted completion, so the report is measurable
             predicted: r.predicted_stall_eq12().expect("measurable"),
-            lpmr1: r.lpmrs().expect("measurable").l1.value(),
+            lpmr1: r.lpmrs().expect("measurable").l1.value(), // lpm-lint: allow(P001) same completed window as above
             overlap: r.core.overlap_ratio(),
         });
     }

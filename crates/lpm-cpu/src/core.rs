@@ -50,6 +50,7 @@ impl CoreConfig {
     /// Validate structural constraints.
     pub fn validate(&self) {
         if let Err(msg) = self.try_validate() {
+            // lpm-lint: allow(P001) documented panicking wrapper; fallible callers use try_validate
             panic!("{msg}");
         }
     }
@@ -180,7 +181,7 @@ pub struct Core {
     outstanding_mem: u64,
     /// Ids of posted stores whose writes are still in flight (bounded by
     /// `cfg.store_buffer`).
-    posted_stores: std::collections::HashSet<u64>,
+    posted_stores: std::collections::BTreeSet<u64>,
     stats: CoreStats,
     /// Non-memory instructions that finished execution this cycle
     /// (overlap bookkeeping).
@@ -209,7 +210,7 @@ impl Core {
             total_instructions,
             rob: VecDeque::with_capacity(cfg.rob_size as usize),
             outstanding_mem: 0,
-            posted_stores: std::collections::HashSet::new(),
+            posted_stores: std::collections::BTreeSet::new(),
             stats: CoreStats::default(),
             compute_done_this_cycle: false,
         }
@@ -332,17 +333,15 @@ impl Core {
         // 2. Retire in order.
         let mut retired_this_cycle = 0u32;
         while retired_this_cycle < self.cfg.issue_width {
-            match self.rob.front() {
-                Some(e) if e.state == State::Done => {
-                    let e = self.rob.pop_front().expect("front checked");
-                    self.stats.retired += 1;
-                    if e.op.is_mem() {
-                        self.stats.mem_retired += 1;
-                    }
-                    retired_this_cycle += 1;
-                }
-                _ => break,
+            if !matches!(self.rob.front(), Some(e) if e.state == State::Done) {
+                break;
             }
+            let Some(e) = self.rob.pop_front() else { break };
+            self.stats.retired += 1;
+            if e.op.is_mem() {
+                self.stats.mem_retired += 1;
+            }
+            retired_this_cycle += 1;
         }
 
         // 3. Issue: scan the first `iw_size` un-issued entries in ROB

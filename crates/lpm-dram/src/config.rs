@@ -60,6 +60,7 @@ impl DramConfig {
     /// Validate structural constraints.
     pub fn validate(&self) {
         if let Err(msg) = self.try_validate() {
+            // lpm-lint: allow(P001) documented panicking wrapper; fallible callers use try_validate
             panic!("{msg}");
         }
     }

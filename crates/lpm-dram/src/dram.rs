@@ -282,8 +282,8 @@ mod tests {
         start: u64,
         want: usize,
         limit: u64,
-    ) -> std::collections::HashMap<u64, u64> {
-        let mut out = std::collections::HashMap::new();
+    ) -> std::collections::BTreeMap<u64, u64> {
+        let mut out = std::collections::BTreeMap::new();
         for now in start..start + limit {
             for (id, _) in d.step(now) {
                 out.insert(id, now);

@@ -46,7 +46,7 @@ proptest! {
             .map(|(i, &a)| DramRequest { id: i as u64, addr: a * 64, is_write: false })
             .collect();
         let n = backlog.len();
-        let mut done = std::collections::HashMap::new();
+        let mut done = std::collections::BTreeMap::new();
         // Worst case: everything serializes behind one bank with row
         // conflicts plus the starvation guard.
         let bound = (n as u64 + 4)

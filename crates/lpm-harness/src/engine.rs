@@ -6,7 +6,7 @@
 //! and every terminal row can be journaled to a checkpoint for
 //! byte-identical resume after a kill.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -106,6 +106,7 @@ fn evaluate_point_attempt(
 
     let chaos = &spec.chaos;
     if chaos.panics(point.index) {
+        // lpm-lint: allow(P001) chaos injection must panic: it exercises the catch_unwind isolation path
         panic!("chaos: injected panic at point {}", point.index);
     }
     if chaos.fails(point.index) {
@@ -336,7 +337,7 @@ impl Default for SweepOptions {
 struct WallGuardInner {
     stop: AtomicBool,
     warn_after: Duration,
-    active: Mutex<HashMap<usize, (String, Instant)>>,
+    active: Mutex<BTreeMap<usize, (String, Instant)>>,
 }
 
 /// A background thread that periodically scans in-flight points and
@@ -353,7 +354,7 @@ impl WallGuard {
         let inner = Arc::new(WallGuardInner {
             stop: AtomicBool::new(false),
             warn_after,
-            active: Mutex::new(HashMap::new()),
+            active: Mutex::new(BTreeMap::new()),
         });
         let thread_inner = Arc::clone(&inner);
         let handle = std::thread::Builder::new()
@@ -391,6 +392,7 @@ impl WallGuard {
             .active
             .lock()
             .unwrap_or_else(|p| p.into_inner())
+            // lpm-lint: allow(D002) stall-warning timestamp, stderr diagnostics only — never in results
             .insert(index, (label.to_string(), Instant::now()));
     }
 

@@ -1,0 +1,69 @@
+//! Golden snapshot of a small sweep's CSV export, pinned across worker
+//! counts.
+//!
+//! The parallel-equivalence and crash-safety suites prove the export is
+//! identical for any `--jobs` value *within* one build; this test pins
+//! the bytes *across time*: any change to iteration order (e.g. a map
+//! migration in the engine or stats plumbing), seed derivation, or CSV
+//! formatting diffs against the checked-in snapshot and must be
+//! reviewed. Regenerate intentionally with
+//! `UPDATE_GOLDEN=1 cargo test -p lpm-harness --test golden_sweep`.
+
+use std::path::PathBuf;
+
+use lpm_core::design_space::HwConfig;
+use lpm_harness::{run_sweep, SweepSpec};
+use lpm_trace::SpecWorkload;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/sweep_small.csv")
+}
+
+/// A 4-point spec (2 configs × 2 workloads) sized for debug-mode runs.
+fn small_spec() -> SweepSpec {
+    SweepSpec {
+        configs: vec![("A".into(), HwConfig::A), ("C".into(), HwConfig::C)],
+        workloads: vec![SpecWorkload::BwavesLike, SpecWorkload::McfLike],
+        seeds: vec![7],
+        instructions: 30_000,
+        intervals: 3,
+        interval_cycles: 5_000,
+        warmup_instructions: 5_000,
+        loop_repeats: 50,
+        ..SweepSpec::default()
+    }
+}
+
+#[test]
+fn sweep_csv_matches_snapshot_for_all_worker_counts() {
+    let spec = small_spec();
+    let serial = run_sweep(&spec, 1).expect("serial sweep runs");
+    let csv = serial.to_csv();
+
+    let path = golden_path();
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::write(&path, &csv).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    } else {
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden file {} ({e}); generate it with UPDATE_GOLDEN=1",
+                path.display()
+            )
+        });
+        assert!(
+            expected == csv,
+            "sweep CSV drifted from its golden snapshot.\n\
+             If the change is intended, regenerate with UPDATE_GOLDEN=1.\n\
+             --- expected ---\n{expected}\n--- actual ---\n{csv}"
+        );
+    }
+
+    // The same bytes must come out of every worker count.
+    for jobs in [4usize, 8] {
+        let parallel = run_sweep(&spec, jobs).expect("parallel sweep runs");
+        assert!(
+            parallel.to_csv() == csv,
+            "CSV bytes diverged between jobs=1 and jobs={jobs}"
+        );
+    }
+}

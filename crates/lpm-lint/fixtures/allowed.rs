@@ -1,0 +1,26 @@
+// Fixture: every violation here carries a justified inline allow, so the
+// analyzer must report zero findings — and exactly these allow sites.
+
+use std::sync::Mutex;
+
+pub fn guard_deadline() -> std::time::Instant {
+    // lpm-lint: allow(D002) wall-clock guard only, never flows into results
+    std::time::Instant::now()
+}
+
+pub fn legacy_parse(s: &str) -> u32 {
+    // lpm-lint: allow(P001) documented panicking wrapper, callers use try_parse
+    s.parse().expect("legacy_parse: malformed input")
+}
+
+pub fn last_resort() -> ! {
+    panic!("invariant broken"); // lpm-lint: allow(P001) unreachable by construction, checked above
+}
+
+// An allow may name several rules when one line trips more than one.
+// lpm-lint: allow(D001,P001) ordered drain before export, guarded by sort test
+pub fn first(m: &std::collections::HashMap<u32, u32>) -> u32 { m.get(&0).copied().unwrap() }
+
+pub struct Guard {
+    pub active: Mutex<u32>,
+}

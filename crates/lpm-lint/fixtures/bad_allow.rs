@@ -1,0 +1,18 @@
+// Fixture: malformed allow annotations. Each broken directive must
+// surface as an A001 finding (and must NOT suppress the underlying
+// violation it was aimed at).
+
+// lpm-lint: allow(P001)
+pub fn missing_reason(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+// lpm-lint: allow(Z999) no such rule in the catalog
+pub fn unknown_rule() {
+    panic!("still flagged");
+}
+
+// lpm-lint: allow() nothing listed
+pub fn empty_list(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -1,0 +1,46 @@
+// Fixture: determinism-clean code. The analyzer must report nothing here
+// — including for the decoys below that mention rule triggers only in
+// comments, strings, or test code.
+
+use std::collections::BTreeMap;
+
+/// Decoy: "HashMap and Instant::now and unwrap()" in a doc comment.
+pub fn aggregate(pairs: &[(u64, u64)]) -> BTreeMap<u64, u64> {
+    let mut out = BTreeMap::new();
+    for &(k, v) in pairs {
+        *out.entry(k).or_insert(0) += v;
+    }
+    out
+}
+
+pub fn decoy_strings() -> &'static str {
+    "HashMap::new() Instant::now() panic! .unwrap() seed_from_u64"
+}
+
+pub fn checked(v: Option<u32>) -> Result<u32, String> {
+    v.ok_or_else(|| "missing".to_string())
+}
+
+pub fn widen(n: u32) -> u64 {
+    u64::from(n)
+}
+
+/// The sanctioned RNG helper shape: construction inside `salted_rng` is
+/// exempt from D003 by the default allow_fns list.
+pub fn salted_rng(seed: u64, salt: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ salt)
+}
+
+#[cfg(test)]
+mod tests {
+    // Note: D001 is scope = "all", so even tests must use BTreeMap; only
+    // the panic/clock rules relax here.
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let t = std::time::Instant::now();
+        let _ = t.elapsed();
+    }
+}

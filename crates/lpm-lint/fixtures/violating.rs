@@ -1,0 +1,42 @@
+// Fixture: one violation per rule. Deliberately NOT compiled — this file
+// lives outside src/ and is excluded from the workspace scan; the lint
+// integration tests feed it to the analyzer and compare the findings
+// against the trailing expectation markers (one per flagged line).
+
+use std::collections::HashMap; // expect: D001
+use std::collections::HashSet; // expect: D001
+
+pub fn measure() -> u128 {
+    let t = std::time::Instant::now(); // expect: D002
+    t.elapsed().as_nanos()
+}
+
+pub fn stamp() -> String {
+    let d = std::time::SystemTime::now(); // expect: D002
+    format!("{d:?}")
+}
+
+pub fn shuffle(seed: u64) -> u32 {
+    let mut rng = SmallRng::seed_from_u64(seed); // expect: D003
+    rng.next_u32()
+}
+
+pub fn hostname() -> String {
+    std::env::var("HOSTNAME").unwrap_or_default() // expect: D004
+}
+
+pub fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap() // expect: P001
+}
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.expect("must be set") // expect: P001
+}
+
+pub fn boom() {
+    panic!("bad state"); // expect: P001
+}
+
+pub fn truncate(cycles: u128) -> u64 {
+    cycles as u64 // expect: P002
+}

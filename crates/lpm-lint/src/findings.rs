@@ -1,0 +1,218 @@
+//! Findings, allow sites, and the machine-readable report.
+//!
+//! The JSON writer is hand-rolled (the crate is dependency-free) and
+//! deterministic: findings are sorted by `(file, line, rule)`, allows by
+//! `(file, line)`, and object keys are emitted in a fixed order — the
+//! same tree scanned twice produces byte-identical reports, which is the
+//! contract this whole workspace is built around.
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule ID (`D001`, `P001`, ...).
+    pub rule: String,
+    /// Workspace-relative file path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was found.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+/// One inline allow annotation (the `allow(RULE) reason` escape hatch;
+/// see DESIGN.md §9 for the policy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowSite {
+    /// Rules the annotation suppresses.
+    pub rules: Vec<String>,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Line of the comment itself.
+    pub line: usize,
+    /// The code line the annotation covers.
+    pub target_line: usize,
+}
+
+/// The result of linting a file set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    pub findings: Vec<Finding>,
+    pub allows: Vec<AllowSite>,
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Canonical ordering; call before rendering or comparing.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+        self.allows
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    }
+
+    /// Human-readable rendering, one `file:line [RULE] message` per
+    /// finding, with the fix hint indented under it.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{} [{}] {}\n    fix: {}\n",
+                f.file, f.line, f.rule, f.message, f.hint
+            ));
+        }
+        out.push_str(&format!(
+            "lpm-lint: {} finding(s) in {} file(s) scanned, {} allow annotation(s)\n",
+            self.findings.len(),
+            self.files_scanned,
+            self.allows.len()
+        ));
+        out
+    }
+
+    /// The `--list-allows` rendering: every escape hatch in force, with
+    /// its mandatory reason, so stale allows are visible in review.
+    pub fn allows_text(&self) -> String {
+        let mut out = String::new();
+        for a in &self.allows {
+            out.push_str(&format!(
+                "{}:{} allow({}) — {}\n",
+                a.file,
+                a.line,
+                a.rules.join(","),
+                a.reason
+            ));
+        }
+        out.push_str(&format!("{} allow annotation(s)\n", self.allows.len()));
+        out
+    }
+
+    /// Machine-readable JSON report (stable key order, sorted entries).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"tool\":\"lpm-lint\",\"version\":1,");
+        out.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
+        out.push_str("\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{},\"hint\":{}}}",
+                json_str(&f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message),
+                json_str(&f.hint)
+            ));
+        }
+        out.push_str("],\"allows\":[");
+        for (i, a) in self.allows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rules\":[{}],\"file\":{},\"line\":{},\"target_line\":{},\"reason\":{}}}",
+                a.rules
+                    .iter()
+                    .map(|r| json_str(r))
+                    .collect::<Vec<_>>()
+                    .join(","),
+                json_str(&a.file),
+                a.line,
+                a.target_line,
+                json_str(&a.reason)
+            ));
+        }
+        out.push_str("]}");
+        out.push('\n');
+        out
+    }
+}
+
+/// JSON-escape a string (the subset of escapes this report can need).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (u32::from(c)) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", u32::from(c)));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: usize, rule: &str) -> Finding {
+        Finding {
+            rule: rule.into(),
+            file: file.into(),
+            line,
+            message: "msg \"quoted\"".into(),
+            hint: "hint".into(),
+        }
+    }
+
+    #[test]
+    fn report_ordering_is_canonical() {
+        let mut r = LintReport {
+            findings: vec![
+                finding("b.rs", 1, "D001"),
+                finding("a.rs", 9, "P001"),
+                finding("a.rs", 9, "D002"),
+            ],
+            allows: Vec::new(),
+            files_scanned: 2,
+        };
+        r.sort();
+        let order: Vec<(&str, usize, &str)> = r
+            .findings
+            .iter()
+            .map(|f| (f.file.as_str(), f.line, f.rule.as_str()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs", 9, "D002"),
+                ("a.rs", 9, "P001"),
+                ("b.rs", 1, "D001")
+            ]
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_renders() {
+        let mut r = LintReport {
+            findings: vec![finding("a.rs", 3, "P001")],
+            allows: vec![AllowSite {
+                rules: vec!["P001".into()],
+                reason: "legacy\twrapper".into(),
+                file: "a.rs".into(),
+                line: 2,
+                target_line: 3,
+            }],
+            files_scanned: 1,
+        };
+        r.sort();
+        let json = r.to_json();
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"target_line\":3"));
+        assert!(json.contains("legacy\\twrapper"));
+        assert!(json.ends_with("]}\n"));
+    }
+}

@@ -1,0 +1,366 @@
+//! A hand-rolled Rust token scanner — just enough lexical structure for
+//! static rules: comments and string/char literals are recognized (so a
+//! `HashMap` inside a doc comment or a `"panic!"` inside a string never
+//! trips a rule), identifiers and punctuation carry line numbers, and
+//! everything else is passed through as opaque punctuation.
+//!
+//! This is *not* a parser. The rule engine works on token-sequence
+//! patterns (`Instant :: now`, `. unwrap (`), which is exactly the
+//! granularity the determinism rules need and keeps the crate free of
+//! `syn`/proc-macro machinery, consistent with the workspace's
+//! offline-shim policy.
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+/// The token classes the rule engine distinguishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `as`, ...).
+    Ident(String),
+    /// Single punctuation character (`.`, `:`, `!`, `{`, ...).
+    Punct(char),
+    /// A `//...` or `/*...*/` comment; the payload is the comment text
+    /// without its delimiters (needed for the inline allow directives).
+    Comment(String),
+    /// A string / byte-string / raw-string literal (content dropped).
+    Str,
+    /// A char or byte-char literal (content dropped).
+    Char,
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// A numeric literal (content dropped).
+    Num,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Tokenize `src`. The scanner never fails: malformed input degrades to
+/// opaque punctuation, which at worst means a rule misses a match in a
+/// file `rustc` would reject anyway.
+pub fn lex(src: &str) -> Vec<Token> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment (also doc comments `///`, `//!`).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i + 2;
+            let mut j = start;
+            while j < chars.len() && chars[j] != '\n' {
+                j += 1;
+            }
+            let text: String = chars[start..j].iter().collect();
+            toks.push(Token {
+                kind: TokenKind::Comment(text),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Block comment, nested per Rust rules.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let comment_line = line;
+            let start = i + 2;
+            let mut depth = 1usize;
+            let mut j = start;
+            while j < chars.len() && depth > 0 {
+                if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    if chars[j] == '\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+            }
+            let end = j.saturating_sub(2).max(start);
+            let text: String = chars[start..end].iter().collect();
+            toks.push(Token {
+                kind: TokenKind::Comment(text),
+                line: comment_line,
+            });
+            i = j;
+            continue;
+        }
+        // Identifier (or raw-string / byte-string prefix).
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            let mut j = i;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            let word: String = chars[start..j].iter().collect();
+            // `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`.
+            let is_str_prefix = matches!(word.as_str(), "r" | "b" | "br" | "rb");
+            if is_str_prefix && matches!(chars.get(j), Some('"') | Some('#')) {
+                let raw = word.contains('r');
+                let start_line = line;
+                i = consume_string(&chars, j, raw, &mut line);
+                toks.push(Token {
+                    kind: TokenKind::Str,
+                    line: start_line,
+                });
+                continue;
+            }
+            if word == "b" && chars.get(j) == Some(&'\'') {
+                let start_line = line;
+                i = consume_char_literal(&chars, j, &mut line);
+                toks.push(Token {
+                    kind: TokenKind::Char,
+                    line: start_line,
+                });
+                continue;
+            }
+            toks.push(Token {
+                kind: TokenKind::Ident(word),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let start_line = line;
+            i = consume_string(&chars, i, false, &mut line);
+            toks.push(Token {
+                kind: TokenKind::Str,
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                Some(n) if (n.is_alphanumeric() || n == '_') => after == Some('\''),
+                Some(_) => true, // e.g. '(' — punctuation chars are char literals
+                None => false,
+            };
+            if is_char {
+                let start_line = line;
+                i = consume_char_literal(&chars, i, &mut line);
+                toks.push(Token {
+                    kind: TokenKind::Char,
+                    line: start_line,
+                });
+            } else {
+                // Lifetime: consume ident chars.
+                let mut j = i + 1;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                toks.push(Token {
+                    kind: TokenKind::Lifetime,
+                    line,
+                });
+                i = j;
+            }
+            continue;
+        }
+        // Number: digits, then digits/underscores/hex letters; a dot only
+        // when followed by a digit (so `0..n` stays two range dots).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < chars.len() {
+                let d = chars[j];
+                let float_dot = d == '.'
+                    && chars.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                    && chars.get(j.wrapping_sub(1)) != Some(&'.');
+                if d.is_ascii_alphanumeric() || d == '_' || float_dot {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Token {
+                kind: TokenKind::Num,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Everything else: single punctuation char.
+        toks.push(Token {
+            kind: TokenKind::Punct(c),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// Consume a string literal starting at `i` (at the opening `"` or at the
+/// first `#` of a raw string); returns the index past the closing quote.
+fn consume_string(chars: &[char], i: usize, raw: bool, line: &mut usize) -> usize {
+    let mut j = i;
+    let mut hashes = 0usize;
+    if raw {
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    if chars.get(j) != Some(&'"') {
+        return j + 1; // malformed; skip one char and move on
+    }
+    j += 1;
+    while j < chars.len() {
+        let c = chars[j];
+        if c == '\n' {
+            *line += 1;
+        }
+        if !raw && c == '\\' {
+            j += 2;
+            continue;
+        }
+        if c == '"' {
+            // A raw string needs `hashes` trailing #s to close.
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while raw && seen < hashes && chars.get(k) == Some(&'#') {
+                seen += 1;
+                k += 1;
+            }
+            if !raw || seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Consume a char / byte-char literal starting at the opening `'`;
+/// returns the index past the closing quote.
+fn consume_char_literal(chars: &[char], i: usize, line: &mut usize) -> usize {
+    let mut j = i + 1;
+    while j < chars.len() {
+        let c = chars[j];
+        if c == '\n' {
+            *line += 1;
+        }
+        if c == '\\' {
+            j += 2;
+            continue;
+        }
+        if c == '\'' {
+            return j + 1;
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let a = "HashMap::unwrap()"; // HashMap in a comment
+            /* panic! inside a block
+               spanning lines */
+            let b = r#"Instant::now"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "HashMap"));
+        assert!(!ids.iter().any(|s| s == "panic"));
+        assert!(!ids.iter().any(|s| s == "Instant"));
+        assert!(ids.iter().any(|s| s == "let"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'static str { 'x'; '\\n'; x }");
+        let lifetimes = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::Char).count();
+        assert_eq!(lifetimes, 3);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "let a = \"x\ny\";\nlet bad = 1;";
+        let toks = lex(src);
+        let bad = toks
+            .iter()
+            .find(|t| t.ident() == Some("bad"))
+            .map(|t| t.line);
+        assert_eq!(bad, Some(3));
+    }
+
+    #[test]
+    fn comment_text_is_preserved_for_allow_parsing() {
+        let toks = lex("x(); // lpm-lint: allow(P001) because reasons\n");
+        let c = toks.iter().find_map(|t| match &t.kind {
+            TokenKind::Comment(s) => Some(s.clone()),
+            _ => None,
+        });
+        assert_eq!(c.as_deref(), Some(" lpm-lint: allow(P001) because reasons"));
+    }
+
+    #[test]
+    fn ranges_are_not_swallowed_by_numbers() {
+        let toks = lex("for i in 0..10 { a[i] = 2.5; }");
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2); // the `..`, not the float's decimal point
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = lex("let a = b\"unwrap\"; let c = b'x'; let d = br#\"panic\"#;");
+        assert!(!toks.iter().any(|t| t.ident() == Some("unwrap")));
+        assert!(!toks.iter().any(|t| t.ident() == Some("panic")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! lpm-lint — workspace-wide determinism & panic-safety analyzer.
+//!
+//! The LPM workspace promises byte-identical sweep and telemetry exports
+//! for any `--jobs` value and across checkpoint resume. That contract is
+//! enforced at runtime by golden and parallel-equivalence tests; this
+//! crate enforces it *statically*, catching the classes of code that
+//! break determinism before they ever run:
+//!
+//! - **D001** — hash-ordered collections (`HashMap`/`HashSet`) whose
+//!   iteration order is randomized per-process.
+//! - **D002** — wall-clock reads (`Instant::now`, `SystemTime`) flowing
+//!   into results.
+//! - **D003** — RNG construction outside the sanctioned salted-seed
+//!   helpers, which would fork unreproducible random streams.
+//! - **D004** — date/env-dependent values that could leak into exports.
+//! - **P001** — `unwrap`/`expect`/`panic!` in non-test library code,
+//!   which turns recoverable I/O or parse errors into crashes that kill
+//!   whole sweep shards.
+//! - **P002** — bare `as` numeric casts on counter/cycle types, which
+//!   silently truncate.
+//!
+//! The analyzer is dependency-free: a hand-rolled lexer ([`lexer`]), a
+//! token-pattern rule engine ([`rules`]), a minimal TOML-subset config
+//! loader ([`config`]), and a deterministic report/JSON writer
+//! ([`findings`]). See `DESIGN.md` §9 for the rule catalog and the
+//! allow-annotation policy.
+
+pub mod config;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use config::{LintConfig, RuleConfig, Scope};
+pub use findings::{AllowSite, Finding, LintReport};
+pub use scan::{enumerate_files, lint_files, lint_tree};
+
+use std::path::Path;
+
+/// Lint the workspace rooted at `root`, loading `lint.toml` from the
+/// root if present (compiled-in defaults otherwise).
+pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
+    let cfg_path = root.join("lint.toml");
+    let cfg = if cfg_path.is_file() {
+        LintConfig::load(&cfg_path)?
+    } else {
+        LintConfig::default()
+    };
+    lint_tree(root, &cfg)
+}

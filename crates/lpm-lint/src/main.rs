@@ -1,0 +1,159 @@
+//! The `lpm-lint` CLI.
+//!
+//! ```text
+//! cargo run -p lpm-lint                       # lint the workspace, text output
+//! cargo run -p lpm-lint -- --format json      # machine-readable findings
+//! cargo run -p lpm-lint -- --list-allows      # audit every escape hatch in force
+//! cargo run -p lpm-lint -- path/to/file.rs    # lint specific files only
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings reported, `2` usage/config/I-O
+//! error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use lpm_lint::{lint_files, lint_tree, LintConfig};
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    format: Format,
+    out: Option<PathBuf>,
+    list_allows: bool,
+    paths: Vec<PathBuf>,
+}
+
+#[derive(PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+const USAGE: &str = "usage: lpm-lint [--root DIR] [--config FILE] [--format text|json] \
+[--out FILE] [--list-allows] [PATH ...]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        format: Format::Text,
+        out: None,
+        list_allows: false,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a value")?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a value")?));
+            }
+            "--format" => match it.next().as_deref() {
+                Some("text") => args.format = Format::Text,
+                Some("json") => args.format = Format::Json,
+                _ => return Err("--format must be text or json".into()),
+            },
+            "--out" => {
+                args.out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?));
+            }
+            "--list-allows" => args.list_allows = true,
+            "--help" | "-h" => return Err(USAGE.into()),
+            p if !p.starts_with('-') => args.paths.push(PathBuf::from(p)),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Locate the workspace root: walk up from `start` until a directory
+/// containing `Cargo.toml` with a `[workspace]` table is found.
+fn find_root(start: &Path) -> PathBuf {
+    let mut dir = start.canonicalize().unwrap_or_else(|_| start.to_path_buf());
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).unwrap_or_default();
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        match dir.parent() {
+            Some(p) => dir = p.to_path_buf(),
+            None => return start.to_path_buf(),
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let root = find_root(&args.root);
+
+    let cfg = match &args.config {
+        Some(p) => LintConfig::load(p)?,
+        None => {
+            let default_path = root.join("lint.toml");
+            if default_path.is_file() {
+                LintConfig::load(&default_path)?
+            } else {
+                LintConfig::default()
+            }
+        }
+    };
+
+    let report = if args.paths.is_empty() {
+        lint_tree(&root, &cfg)?
+    } else {
+        let mut files = Vec::new();
+        for p in &args.paths {
+            let abs = p
+                .canonicalize()
+                .map_err(|e| format!("cannot resolve {}: {e}", p.display()))?;
+            let rel = abs
+                .strip_prefix(&root)
+                .unwrap_or(&abs)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            files.push((abs, rel));
+        }
+        files.sort_by(|a, b| a.1.cmp(&b.1));
+        lint_files(&root, &files, &cfg)?
+    };
+
+    if args.list_allows {
+        print!("{}", report.allows_text());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let rendered = match args.format {
+        Format::Text => report.to_text(),
+        Format::Json => report.to_json(),
+    };
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &rendered)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+        None => print!("{rendered}"),
+    }
+
+    if report.findings.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(1))
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("lpm-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,601 @@
+//! The rule catalog and the token-pattern checker.
+//!
+//! Every rule exists to protect one contract: **a sweep/telemetry export
+//! is a pure function of its spec** — byte-identical for any `--jobs`
+//! value, across interrupt/resume, and from machine to machine. The
+//! determinism rules (D...) remove the classic leak paths (hash-order
+//! iteration, wall clocks, ad-hoc RNG seeding, environment reads); the
+//! panic-safety rules (P...) keep library paths typed-error-only so the
+//! harness's `catch_unwind` isolation stays an emergency net, not a
+//! control-flow mechanism.
+
+use crate::config::{LintConfig, RuleConfig, Scope};
+use crate::findings::{AllowSite, Finding};
+use crate::lexer::{Token, TokenKind};
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    pub id: &'static str,
+    pub summary: &'static str,
+    pub hint: &'static str,
+    pub default_scope: Scope,
+    pub default_allow_fns: &'static [&'static str],
+}
+
+/// The compiled-in catalog. `lint.toml` can disable rules, change their
+/// scope, or restrict their paths — but the IDs and semantics live here.
+pub fn catalog() -> &'static [Rule] {
+    const CATALOG: &[Rule] = &[
+        Rule {
+            id: "D001",
+            summary: "iteration-order-dependent hash collection",
+            hint: "use BTreeMap/BTreeSet (or an index-sorted merge) so export, report and \
+                   checkpoint bytes cannot depend on hash iteration order",
+            default_scope: Scope::All,
+            default_allow_fns: &[],
+        },
+        Rule {
+            id: "D002",
+            summary: "wall-clock read in result-affecting code",
+            hint: "derive timing from simulated cycles; wall time may only feed the stderr \
+                   stall guard and the zeroed-on-export cycles/sec field (annotate those \
+                   sites with an allow + reason)",
+            default_scope: Scope::Lib,
+            default_allow_fns: &[],
+        },
+        Rule {
+            id: "D003",
+            summary: "RNG constructed outside a sanctioned seed-derivation helper",
+            hint: "route all stream seeding through derive_stream/rng_for/salted_rng so every \
+                   random stream is a pure function of the point seed, never of call order",
+            default_scope: Scope::Lib,
+            default_allow_fns: &["derive_stream", "rng_for", "salted_rng"],
+        },
+        Rule {
+            id: "D004",
+            summary: "environment- or date-dependent value in library code",
+            hint: "thread configuration through typed options instead of env reads; exports \
+                   must not embed dates, hostnames or environment state",
+            default_scope: Scope::Lib,
+            default_allow_fns: &[],
+        },
+        Rule {
+            id: "P001",
+            summary: "panicking call in non-test library code",
+            hint: "return a typed error (SimError/LpmError/ParseError) instead; if the panic \
+                   is a documented API contract or a proven invariant, annotate it with \
+                   `// lpm-lint: allow(P001) <reason>`",
+            default_scope: Scope::Lib,
+            default_allow_fns: &[],
+        },
+        Rule {
+            id: "P002",
+            summary: "`as` integer cast on counter/cycle arithmetic",
+            hint: "use From/TryFrom (u64::from for widening, try_into for narrowing) or a \
+                   documented saturating helper; silent `as` truncation corrupts counters \
+                   exactly when runs get interesting",
+            default_scope: Scope::Lib,
+            default_allow_fns: &[],
+        },
+        Rule {
+            id: "A001",
+            summary: "malformed lpm-lint allow annotation",
+            hint: "write `// lpm-lint: allow(RULE) <reason>` — the reason is mandatory and \
+                   the rule ID must exist",
+            default_scope: Scope::All,
+            default_allow_fns: &[],
+        },
+    ];
+    CATALOG
+}
+
+/// Look up a catalog rule by ID.
+pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
+    catalog().iter().find(|r| r.id == id)
+}
+
+/// Hash-ordered collection type names (D001).
+const HASH_COLLECTIONS: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "FxHashMap",
+    "FxHashSet",
+    "AHashMap",
+    "AHashSet",
+];
+
+/// RNG constructor names (D003).
+const RNG_CONSTRUCTORS: &[&str] = &[
+    "seed_from_u64",
+    "from_seed",
+    "from_entropy",
+    "thread_rng",
+    "new_rng",
+];
+
+/// Panicking call names reached via `.` or `::` (P001).
+const PANICKY_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Panicking macro names (P001).
+const PANICKY_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Integer cast targets (P002).
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Date-like type names (D004).
+const DATE_TYPES: &[&str] = &["DateTime", "NaiveDate", "NaiveDateTime", "Utc", "Local"];
+
+/// Environment-reading function names after `env::` (D004).
+const ENV_READS: &[&str] = &["var", "var_os", "vars", "vars_os"];
+
+/// Per-file lint outcome before allow filtering.
+pub struct FileLint {
+    pub findings: Vec<Finding>,
+    pub allows: Vec<AllowSite>,
+}
+
+/// Lint one file's source text.
+///
+/// `rel` is the workspace-relative path (used for per-rule path gating);
+/// `in_tests_dir` marks files under a `tests/` directory, which
+/// `Scope::Lib` rules skip wholesale.
+pub fn lint_source(rel: &str, src: &str, cfg: &LintConfig, in_tests_dir: bool) -> FileLint {
+    let tokens = crate::lexer::lex(src);
+
+    // Pass 1: allow annotations and the set of lines that carry code.
+    let mut allows: Vec<AllowSite> = Vec::new();
+    let mut bad_allows: Vec<Finding> = Vec::new();
+    let mut code_lines: Vec<usize> = Vec::new();
+    for t in &tokens {
+        match &t.kind {
+            TokenKind::Comment(text) => {
+                parse_allow_comment(rel, t.line, text, &mut allows, &mut bad_allows);
+            }
+            _ => code_lines.push(t.line),
+        }
+    }
+    code_lines.dedup();
+    // Resolve each allow to the code line it covers: its own line when
+    // the comment trails code, else the first code line after it.
+    for a in &mut allows {
+        if code_lines.binary_search(&a.line).is_ok() {
+            a.target_line = a.line;
+        } else {
+            let next = code_lines.partition_point(|&l| l <= a.line);
+            a.target_line = code_lines.get(next).copied().unwrap_or(a.line);
+        }
+    }
+
+    // Pass 2: pattern matching over code tokens with region tracking.
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::Comment(_)))
+        .collect();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let rule_cfg = |id: &str| cfg.rule_for(id, rel);
+    let mut emit = |id: &str, line: usize, message: String, in_test: bool| {
+        let Some(rc) = rule_cfg(id) else { return };
+        if rc.scope == Scope::Lib && (in_tests_dir || in_test) {
+            return;
+        }
+        let hint = rule_by_id(id).map(|r| r.hint).unwrap_or_default();
+        findings.push(Finding {
+            rule: id.to_string(),
+            file: rel.to_string(),
+            line,
+            message,
+            hint: hint.to_string(),
+        });
+    };
+
+    let mut depth = 0usize;
+    let mut test_stack: Vec<usize> = Vec::new();
+    let mut fn_stack: Vec<(usize, String)> = Vec::new();
+    let mut pending_test = false;
+    let mut pending_fn: Option<String> = None;
+    let mut in_use = false;
+
+    let ident_at = |i: usize| -> Option<&str> { code.get(i).and_then(|t| t.ident()) };
+    let punct_at = |i: usize, c: char| -> bool { code.get(i).is_some_and(|t| t.is_punct(c)) };
+
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = code[i];
+        let in_test = !test_stack.is_empty();
+
+        // Attributes: scan `#[...]` as a unit, mark test regions, and
+        // skip the contents (attribute arguments are not code paths).
+        if t.is_punct('#') && punct_at(i + 1, '[') {
+            let mut j = i + 2;
+            let mut brackets = 1usize;
+            let mut has_test = false;
+            while j < code.len() && brackets > 0 {
+                if punct_at(j, '[') {
+                    brackets += 1;
+                } else if punct_at(j, ']') {
+                    brackets -= 1;
+                } else if ident_at(j) == Some("test") {
+                    has_test = true;
+                }
+                j += 1;
+            }
+            if has_test {
+                pending_test = true;
+            }
+            i = j;
+            continue;
+        }
+
+        match &t.kind {
+            TokenKind::Punct('{') => {
+                depth += 1;
+                if pending_test {
+                    test_stack.push(depth);
+                    pending_test = false;
+                }
+                if let Some(name) = pending_fn.take() {
+                    fn_stack.push((depth, name));
+                }
+            }
+            TokenKind::Punct('}') => {
+                if test_stack.last() == Some(&depth) {
+                    test_stack.pop();
+                }
+                if fn_stack.last().map(|(d, _)| *d) == Some(depth) {
+                    fn_stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            TokenKind::Punct(';') => {
+                in_use = false;
+                // An attribute or fn signature without a body (trait
+                // methods, `#[cfg(test)] use ...;`) binds to nothing.
+                pending_test = false;
+                pending_fn = None;
+            }
+            TokenKind::Ident(word) => match word.as_str() {
+                "use" => in_use = true,
+                "fn" => {
+                    if let Some(name) = ident_at(i + 1) {
+                        pending_fn = Some(name.to_string());
+                    }
+                }
+                w if HASH_COLLECTIONS.contains(&w) => {
+                    emit(
+                        "D001",
+                        t.line,
+                        format!("{w} is iteration-order nondeterministic"),
+                        in_test,
+                    );
+                }
+                "Instant"
+                    if punct_at(i + 1, ':')
+                        && punct_at(i + 2, ':')
+                        && ident_at(i + 3) == Some("now") =>
+                {
+                    emit(
+                        "D002",
+                        t.line,
+                        "Instant::now() reads the wall clock".to_string(),
+                        in_test,
+                    );
+                }
+                "SystemTime" if !in_use => {
+                    emit(
+                        "D002",
+                        t.line,
+                        "SystemTime reads the wall clock".to_string(),
+                        in_test,
+                    );
+                }
+                w if RNG_CONSTRUCTORS.contains(&w) && !in_use => {
+                    let is_definition = i > 0 && ident_at(i - 1) == Some("fn");
+                    let in_allowed_fn = rule_cfg("D003").is_some_and(|rc: &RuleConfig| {
+                        fn_stack
+                            .iter()
+                            .any(|(_, f)| rc.allow_fns.iter().any(|a| a == f))
+                    });
+                    if !is_definition && !in_allowed_fn {
+                        emit(
+                            "D003",
+                            t.line,
+                            format!("RNG constructed via {w} outside a sanctioned helper"),
+                            in_test,
+                        );
+                    }
+                }
+                "env"
+                    if punct_at(i + 1, ':')
+                        && punct_at(i + 2, ':')
+                        && ident_at(i + 3).is_some_and(|f| ENV_READS.contains(&f)) =>
+                {
+                    let f = ident_at(i + 3).unwrap_or_default();
+                    emit(
+                        "D004",
+                        t.line,
+                        format!("env::{f} makes results environment-dependent"),
+                        in_test,
+                    );
+                }
+                "env" | "option_env" if punct_at(i + 1, '!') => {
+                    emit(
+                        "D004",
+                        t.line,
+                        format!("{word}! bakes build-environment state into the binary"),
+                        in_test,
+                    );
+                }
+                w if DATE_TYPES.contains(&w) && !in_use => {
+                    emit(
+                        "D004",
+                        t.line,
+                        format!("date-like type {w} in library code"),
+                        in_test,
+                    );
+                }
+                w if PANICKY_METHODS.contains(&w)
+                    && punct_at(i + 1, '(')
+                    && i > 0
+                    && (punct_at(i - 1, '.') || punct_at(i - 1, ':')) =>
+                {
+                    emit(
+                        "P001",
+                        t.line,
+                        format!(".{w}() panics on the error path"),
+                        in_test,
+                    );
+                }
+                w if PANICKY_MACROS.contains(&w)
+                    && punct_at(i + 1, '!')
+                    // `core::panic::...` the module path, not the macro.
+                    && (i == 0 || !punct_at(i - 1, ':')) =>
+                {
+                    emit("P001", t.line, format!("{w}! in library code"), in_test);
+                }
+                "as" if !in_use && ident_at(i + 1).is_some_and(|ty| INT_TYPES.contains(&ty)) => {
+                    let ty = ident_at(i + 1).unwrap_or_default();
+                    emit(
+                        "P002",
+                        t.line,
+                        format!("`as {ty}` silently truncates/wraps"),
+                        in_test,
+                    );
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // Pass 3: apply allow annotations (a finding on an allow's target
+    // line, for one of its rules, is suppressed).
+    let findings: Vec<Finding> = findings
+        .into_iter()
+        .filter(|f| {
+            !allows
+                .iter()
+                .any(|a| a.target_line == f.line && a.rules.iter().any(|r| r == &f.rule))
+        })
+        .collect();
+
+    let mut all_findings = bad_allows;
+    all_findings.extend(findings);
+    FileLint {
+        findings: all_findings,
+        allows,
+    }
+}
+
+/// Parse an allow directive (`allow(R1,R2) reason` behind the tool-name
+/// prefix) out of one comment, if present.
+///
+/// Only a comment that *starts* with the directive counts — prose that
+/// mentions the annotation syntax mid-sentence (docs, hints) is ignored.
+fn parse_allow_comment(
+    rel: &str,
+    line: usize,
+    text: &str,
+    allows: &mut Vec<AllowSite>,
+    bad: &mut Vec<Finding>,
+) {
+    // Strip doc-comment decoration (`/`, `!`, `*`) before matching.
+    let lead = text.trim_start_matches(['/', '!', '*']).trim_start();
+    let Some(rest_all) = lead.strip_prefix("lpm-lint:") else {
+        return;
+    };
+    let a001 = |message: String| Finding {
+        rule: "A001".to_string(),
+        file: rel.to_string(),
+        line,
+        message,
+        hint: rule_by_id("A001")
+            .map(|r| r.hint)
+            .unwrap_or_default()
+            .to_string(),
+    };
+    let rest = rest_all.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        bad.push(a001(format!(
+            "unrecognized lpm-lint directive {:?}",
+            rest.split_whitespace().next().unwrap_or("")
+        )));
+        return;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        bad.push(a001("allow needs a parenthesized rule list".to_string()));
+        return;
+    };
+    let Some(close) = rest.find(')') else {
+        bad.push(a001("unterminated allow(...) rule list".to_string()));
+        return;
+    };
+    let mut rules: Vec<String> = Vec::new();
+    for id in rest[..close].split(',') {
+        let id = id.trim();
+        if id.is_empty() {
+            continue;
+        }
+        if rule_by_id(id).is_none() {
+            bad.push(a001(format!("allow names unknown rule {id:?}")));
+            return;
+        }
+        if id == "A001" {
+            bad.push(a001("A001 cannot be allowed away".to_string()));
+            return;
+        }
+        rules.push(id.to_string());
+    }
+    if rules.is_empty() {
+        bad.push(a001("allow() lists no rules".to_string()));
+        return;
+    }
+    let reason = rest[close + 1..]
+        .trim()
+        .trim_start_matches([':', '-', '—'])
+        .trim()
+        .to_string();
+    if reason.is_empty() {
+        bad.push(a001(format!(
+            "allow({}) has no reason — the justification is mandatory",
+            rules.join(",")
+        )));
+        return;
+    }
+    allows.push(AllowSite {
+        rules,
+        reason,
+        file: rel.to_string(),
+        line,
+        target_line: line, // resolved by the caller against code lines
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> FileLint {
+        lint_source("crates/x/src/lib.rs", src, &LintConfig::default(), false)
+    }
+
+    fn rules_hit(src: &str) -> Vec<(String, usize)> {
+        lint(src)
+            .findings
+            .iter()
+            .map(|f| (f.rule.clone(), f.line))
+            .collect()
+    }
+
+    #[test]
+    fn d001_fires_on_hash_collections_even_in_tests() {
+        let src = "use std::collections::HashMap;\n#[cfg(test)]\nmod t {\n    fn f() { let s = std::collections::HashSet::<u64>::new(); }\n}\n";
+        assert_eq!(
+            rules_hit(src),
+            vec![("D001".to_string(), 1), ("D001".to_string(), 4)]
+        );
+    }
+
+    #[test]
+    fn p001_skips_cfg_test_regions_and_fn_expect_definitions() {
+        let src = "\
+fn expect(x: u32) -> u32 { x }
+pub fn lib_path(v: Option<u32>) -> u32 { v.unwrap() }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); panic!(\"boom\"); }
+}
+";
+        assert_eq!(rules_hit(src), vec![("P001".to_string(), 2)]);
+    }
+
+    #[test]
+    fn p001_catches_macros_but_not_module_paths() {
+        let src = "fn f() { std::panic::catch_unwind(|| 1).ok(); }\nfn g() { panic!(\"x\"); }\nfn h() { unreachable!() }\n";
+        assert_eq!(
+            rules_hit(src),
+            vec![("P001".to_string(), 2), ("P001".to_string(), 3)]
+        );
+    }
+
+    #[test]
+    fn d002_matches_instant_now_not_duration() {
+        let src =
+            "use std::time::{Duration, Instant};\nfn f() { let t = Instant::now(); let _ = t; }\n";
+        assert_eq!(rules_hit(src), vec![("D002".to_string(), 2)]);
+    }
+
+    #[test]
+    fn d003_respects_allowed_helper_fns() {
+        let src = "\
+fn salted_rng(seed: u64) -> SmallRng { SmallRng::seed_from_u64(seed) }
+fn rogue(seed: u64) -> SmallRng { SmallRng::seed_from_u64(seed) }
+";
+        assert_eq!(rules_hit(src), vec![("D003".to_string(), 2)]);
+    }
+
+    #[test]
+    fn p002_ignores_use_renames_and_float_casts() {
+        let src = "\
+use std::io::Error as IoError;
+fn f(x: usize) -> u64 { x as u64 }
+fn g(x: u64) -> f64 { x as f64 }
+";
+        assert_eq!(rules_hit(src), vec![("P002".to_string(), 2)]);
+    }
+
+    #[test]
+    fn d004_catches_env_reads_and_macros() {
+        let src = "fn f() { let _ = std::env::var(\"HOME\"); }\nfn g() -> &'static str { env!(\"PATH\") }\nfn args() { let _ = std::env::args(); }\n";
+        assert_eq!(
+            rules_hit(src),
+            vec![("D004".to_string(), 1), ("D004".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn allows_suppress_with_reason_and_fail_without() {
+        let with_reason = "fn f(v: Option<u32>) -> u32 {\n    // lpm-lint: allow(P001) documented invariant: v is Some by construction\n    v.unwrap()\n}\n";
+        let out = lint(with_reason);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert_eq!(out.allows.len(), 1);
+        assert_eq!(out.allows[0].target_line, 3);
+
+        let without =
+            "fn f(v: Option<u32>) -> u32 {\n    // lpm-lint: allow(P001)\n    v.unwrap()\n}\n";
+        let out = lint(without);
+        let rules: Vec<&str> = out.findings.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(rules, vec!["A001", "P001"]);
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let src =
+            "fn f(v: Option<u32>) -> u32 { v.unwrap() } // lpm-lint: allow(P001) trailing ok\n";
+        let out = lint(src);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_a001() {
+        let src = "// lpm-lint: allow(Z123) whatever\nfn f() {}\n";
+        let rules: Vec<String> = lint(src).findings.iter().map(|f| f.rule.clone()).collect();
+        assert_eq!(rules, vec!["A001".to_string()]);
+    }
+
+    #[test]
+    fn tests_dir_files_skip_lib_scoped_rules() {
+        let src =
+            "fn helper(v: Option<u32>) -> u32 { v.unwrap() }\nuse std::collections::HashMap;\n";
+        let out = lint_source("tests/x.rs", src, &LintConfig::default(), true);
+        // P001 is lib-scoped (skipped), D001 is all-scoped (fires).
+        let rules: Vec<&str> = out.findings.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(rules, vec!["D001"]);
+    }
+}

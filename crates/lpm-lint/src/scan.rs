@@ -1,0 +1,153 @@
+//! Workspace walking: resolve the configured scan globs to a sorted,
+//! deduplicated list of `.rs` files and lint each one.
+//!
+//! Everything here is deliberately deterministic — directory entries are
+//! sorted before recursion, so the report (and its JSON artifact) is
+//! byte-identical across filesystems and runs. The analyzer practices
+//! what it preaches.
+
+use std::path::{Path, PathBuf};
+
+use crate::config::LintConfig;
+use crate::findings::LintReport;
+use crate::rules::lint_source;
+
+/// Resolve one scan pattern (path segments, where a segment may be `*`)
+/// against `root`, collecting matching directories.
+fn resolve_glob(root: &Path, pattern: &str) -> Vec<PathBuf> {
+    let mut dirs = vec![root.to_path_buf()];
+    for seg in pattern.split('/').filter(|s| !s.is_empty()) {
+        let mut next = Vec::new();
+        for dir in &dirs {
+            if seg == "*" {
+                let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+                    .map(|rd| {
+                        rd.flatten()
+                            .map(|e| e.path())
+                            .filter(|p| p.is_dir())
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                entries.sort();
+                next.extend(entries);
+            } else {
+                let p = dir.join(seg);
+                if p.is_dir() {
+                    next.push(p);
+                }
+            }
+        }
+        dirs = next;
+    }
+    dirs
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| rd.flatten().map(|e| e.path()).collect())
+        .unwrap_or_default();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// The workspace-relative, `/`-separated form of `path`.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Enumerate the files the config selects under `root`, sorted by their
+/// workspace-relative path.
+pub fn enumerate_files(root: &Path, cfg: &LintConfig) -> Vec<(PathBuf, String)> {
+    let mut files: Vec<(PathBuf, String)> = Vec::new();
+    for pattern in &cfg.scan {
+        for dir in resolve_glob(root, pattern) {
+            let mut rs = Vec::new();
+            collect_rs(&dir, &mut rs);
+            for p in rs {
+                let rel = rel_path(root, &p);
+                if !cfg.is_excluded(&rel) {
+                    files.push((p, rel));
+                }
+            }
+        }
+    }
+    files.sort_by(|a, b| a.1.cmp(&b.1));
+    files.dedup_by(|a, b| a.1 == b.1);
+    files
+}
+
+/// Whether a workspace-relative path lives under a `tests/` directory
+/// (integration tests — skipped by `Scope::Lib` rules) or a `benches/`
+/// directory (same treatment: benchmarks are not library paths).
+pub fn is_test_path(rel: &str) -> bool {
+    rel.split('/').any(|seg| seg == "tests" || seg == "benches")
+}
+
+/// Lint every configured file under `root`.
+pub fn lint_tree(root: &Path, cfg: &LintConfig) -> Result<LintReport, String> {
+    let files = enumerate_files(root, cfg);
+    lint_files(root, &files, cfg)
+}
+
+/// Lint an explicit file list (paths must be under `root`).
+pub fn lint_files(
+    root: &Path,
+    files: &[(PathBuf, String)],
+    cfg: &LintConfig,
+) -> Result<LintReport, String> {
+    let _ = root;
+    let mut report = LintReport::default();
+    for (path, rel) in files {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let out = lint_source(rel, &src, cfg, is_test_path(rel));
+        report.findings.extend(out.findings);
+        report.allows.extend(out.allows);
+        report.files_scanned += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_paths_are_recognized() {
+        assert!(is_test_path("tests/crash_safety.rs"));
+        assert!(is_test_path("crates/lpm-harness/tests/x.rs"));
+        assert!(is_test_path("crates/lpm-bench/benches/sweep.rs"));
+        assert!(!is_test_path("crates/lpm-harness/src/engine.rs"));
+        assert!(!is_test_path("crates/lpm-lint/src/testsuite.rs"));
+    }
+
+    #[test]
+    fn enumeration_is_sorted_and_deduplicated() {
+        // Scan the lint crate's own sources twice via overlapping globs.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let cfg = LintConfig {
+            scan: vec!["src".into(), "*/".into(), "src".into()],
+            exclude: Vec::new(),
+            ..LintConfig::default()
+        };
+        let files = enumerate_files(root, &cfg);
+        let rels: Vec<&str> = files.iter().map(|(_, r)| r.as_str()).collect();
+        let mut sorted = rels.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(rels, sorted);
+        assert!(rels.contains(&"src/lexer.rs"));
+    }
+}

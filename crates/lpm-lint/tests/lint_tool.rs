@@ -1,0 +1,254 @@
+//! Integration tests for the lpm-lint analyzer: fixture-driven golden
+//! checks, config overrides, JSON report round-trip (through the
+//! lpm-telemetry parser), CLI exit codes, and the meta-test that keeps
+//! the live workspace lint-clean.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use lpm_lint::{lint_files, LintConfig, LintReport};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lpm-lint lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+/// Lint one fixture file with the given config.
+fn lint_fixture(name: &str, cfg: &LintConfig) -> LintReport {
+    let path = fixture_dir().join(name);
+    let rel = format!("crates/lpm-lint/fixtures/{name}");
+    let files = vec![(path, rel)];
+    lint_files(&workspace_root(), &files, cfg).expect("fixture readable")
+}
+
+/// Extract the expected `(line, rule)` pairs from `// expect: RULE`
+/// markers in a fixture, so the golden data lives next to the code.
+fn expected_markers(name: &str) -> BTreeSet<(usize, String)> {
+    let src = std::fs::read_to_string(fixture_dir().join(name)).expect("fixture readable");
+    let mut out = BTreeSet::new();
+    for (idx, line) in src.lines().enumerate() {
+        if let Some(pos) = line.find("// expect: ") {
+            let rule = line[pos + "// expect: ".len()..].trim();
+            out.insert((idx + 1, rule.to_string()));
+        }
+    }
+    out
+}
+
+#[test]
+fn violating_fixture_matches_expect_markers() {
+    let report = lint_fixture("violating.rs", &LintConfig::default());
+    let got: BTreeSet<(usize, String)> = report
+        .findings
+        .iter()
+        .map(|f| (f.line, f.rule.clone()))
+        .collect();
+    let want = expected_markers("violating.rs");
+    assert!(!want.is_empty(), "fixture must carry expect markers");
+    assert_eq!(got, want);
+    // Every rule in the catalog except the allow meta-rule appears.
+    let rules: BTreeSet<&str> = report.findings.iter().map(|f| f.rule.as_str()).collect();
+    for r in ["D001", "D002", "D003", "D004", "P001", "P002"] {
+        assert!(rules.contains(r), "{r} missing from violating fixture");
+    }
+}
+
+#[test]
+fn clean_fixture_reports_nothing() {
+    let report = lint_fixture("clean.rs", &LintConfig::default());
+    assert_eq!(
+        report.findings,
+        Vec::new(),
+        "clean fixture must produce zero findings"
+    );
+    assert_eq!(report.files_scanned, 1);
+}
+
+#[test]
+fn allowed_fixture_suppresses_and_records_allows() {
+    let report = lint_fixture("allowed.rs", &LintConfig::default());
+    assert_eq!(
+        report.findings,
+        Vec::new(),
+        "every violation in allowed.rs carries a justified allow"
+    );
+    assert_eq!(report.allows.len(), 4);
+    for a in &report.allows {
+        assert!(!a.reason.is_empty(), "allow reasons are mandatory");
+    }
+    // The multi-rule allow is recorded once with both rules.
+    assert!(report
+        .allows
+        .iter()
+        .any(|a| a.rules == vec!["D001".to_string(), "P001".to_string()]));
+    let listing = report.allows_text();
+    assert!(listing.contains("allow(D001,P001)"));
+    assert!(listing.contains("4 allow annotation(s)"));
+}
+
+#[test]
+fn malformed_allows_are_a001_and_do_not_suppress() {
+    let report = lint_fixture("bad_allow.rs", &LintConfig::default());
+    let a001 = report.findings.iter().filter(|f| f.rule == "A001").count();
+    let p001 = report.findings.iter().filter(|f| f.rule == "P001").count();
+    assert_eq!(a001, 3, "missing reason, unknown rule, empty list");
+    assert_eq!(p001, 3, "broken allows must not suppress the violations");
+    assert!(report.allows.is_empty(), "malformed sites are not allows");
+}
+
+#[test]
+fn config_can_disable_rules_and_narrow_paths() {
+    // Disabling P001/P002/D002/D003/D004 leaves only the D001 imports.
+    let cfg = LintConfig::parse(
+        "[rules.P001]\nenabled = false\n[rules.P002]\nenabled = false\n\
+         [rules.D002]\nenabled = false\n[rules.D003]\nenabled = false\n\
+         [rules.D004]\nenabled = false",
+    )
+    .expect("valid config");
+    let report = lint_fixture("violating.rs", &cfg);
+    assert!(report.findings.iter().all(|f| f.rule == "D001"));
+    assert_eq!(report.findings.len(), 2);
+
+    // Restricting P002 to a disjoint path prefix removes the cast finding.
+    let cfg = LintConfig::parse("[rules.P002]\npaths = [\"crates/lpm-model/src\"]")
+        .expect("valid config");
+    let report = lint_fixture("violating.rs", &cfg);
+    assert!(report.findings.iter().all(|f| f.rule != "P002"));
+}
+
+#[test]
+fn lib_scoped_rules_skip_tests_directories() {
+    // The same violating source under a tests/ path: only scope = "all"
+    // rules (D001) remain.
+    let src = std::fs::read_to_string(fixture_dir().join("violating.rs")).expect("readable");
+    let tmp = std::env::temp_dir().join("lpm_lint_fixture_tests_dir");
+    std::fs::create_dir_all(tmp.join("tests")).expect("mkdir");
+    let path = tmp.join("tests").join("violating.rs");
+    std::fs::write(&path, &src).expect("write");
+    let files = vec![(path, "crates/lpm-x/tests/violating.rs".to_string())];
+    let report = lint_files(&tmp, &files, &LintConfig::default()).expect("lintable");
+    assert!(!report.findings.is_empty());
+    assert!(report.findings.iter().all(|f| f.rule == "D001"));
+}
+
+#[test]
+fn json_report_round_trips_through_telemetry_parser() {
+    let report = lint_fixture("violating.rs", &LintConfig::default());
+    let json = report.to_json();
+    let value = lpm_telemetry::json::Value::parse(&json).expect("valid JSON");
+    assert_eq!(value.get("tool").and_then(|v| v.as_str()), Some("lpm-lint"));
+    assert_eq!(value.get("version").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(value.get("files_scanned").and_then(|v| v.as_u64()), Some(1));
+    let findings = value
+        .get("findings")
+        .and_then(|v| v.as_arr())
+        .expect("findings array");
+    assert_eq!(findings.len(), report.findings.len());
+    for (parsed, orig) in findings.iter().zip(&report.findings) {
+        assert_eq!(
+            parsed.get("rule").and_then(|v| v.as_str()),
+            Some(orig.rule.as_str())
+        );
+        assert_eq!(
+            parsed.get("file").and_then(|v| v.as_str()),
+            Some(orig.file.as_str())
+        );
+        assert_eq!(
+            parsed.get("line").and_then(|v| v.as_u64()),
+            Some(orig.line as u64)
+        );
+    }
+    // Determinism: rendering twice is byte-identical.
+    assert_eq!(json, report.to_json());
+}
+
+#[test]
+fn workspace_lints_clean() {
+    // The meta-test: the live tree must satisfy its own analyzer. Any
+    // new violation fails here with the full finding list.
+    let report = lpm_lint::lint_workspace(&workspace_root()).expect("workspace lintable");
+    assert!(
+        report.findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        report.to_text()
+    );
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — scan globs broken?",
+        report.files_scanned
+    );
+    // Every allow in force carries a reason (guaranteed by the parser,
+    // re-checked here because --list-allows is the audit surface).
+    for a in &report.allows {
+        assert!(
+            !a.reason.is_empty(),
+            "{}:{} allow({}) lacks a reason",
+            a.file,
+            a.line,
+            a.rules.join(",")
+        );
+    }
+}
+
+#[test]
+fn cli_exit_codes_and_json_output() {
+    let bin = env!("CARGO_BIN_EXE_lpm-lint");
+    let root = workspace_root();
+
+    // Clean workspace run: exit 0.
+    let out = std::process::Command::new(bin)
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("lpm-lint runs");
+    assert!(
+        out.status.success(),
+        "workspace run failed:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Violating fixture: exit 1 and JSON findings on stdout.
+    let fixture = fixture_dir().join("violating.rs");
+    let out = std::process::Command::new(bin)
+        .arg("--root")
+        .arg(&root)
+        .arg("--format")
+        .arg("json")
+        .arg(&fixture)
+        .output()
+        .expect("lpm-lint runs");
+    assert_eq!(out.status.code(), Some(1));
+    let value = lpm_telemetry::json::Value::parse(&String::from_utf8_lossy(&out.stdout))
+        .expect("valid JSON on stdout");
+    assert!(value
+        .get("findings")
+        .and_then(|v| v.as_arr())
+        .is_some_and(|a| !a.is_empty()));
+
+    // Bad flag: exit 2.
+    let out = std::process::Command::new(bin)
+        .arg("--format")
+        .arg("yaml")
+        .output()
+        .expect("lpm-lint runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    // --list-allows exits 0 even though the fixture has violations.
+    let allowed = fixture_dir().join("allowed.rs");
+    let out = std::process::Command::new(bin)
+        .arg("--root")
+        .arg(&root)
+        .arg("--list-allows")
+        .arg(&allowed)
+        .output()
+        .expect("lpm-lint runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("allow annotation(s)"));
+}

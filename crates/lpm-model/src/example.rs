@@ -59,6 +59,7 @@ pub fn fig1_counters() -> LayerCounters {
 
 /// The five C-AMAT parameters of the Fig. 1 example.
 pub fn fig1_params() -> CamatParams {
+    // lpm-lint: allow(P001) constant parameters from the paper, validated by construction
     CamatParams::new(3.0, 2.5, 0.2, 2.0, 1.0).expect("fig1 parameters are valid")
 }
 

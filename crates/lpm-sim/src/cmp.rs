@@ -167,7 +167,7 @@ impl Cmp {
         seed: u64,
     ) -> Self {
         Self::try_new_with_hierarchy(slots, shared_cfgs, dram, traces, repeats, seed)
-            .unwrap_or_else(|e| panic!("{e}"))
+            .unwrap_or_else(|e| panic!("{e}")) // lpm-lint: allow(P001) documented panicking wrapper; fallible try_ variant is the typed path
     }
 
     /// Like [`Cmp::new_with_hierarchy`], but structural configuration
@@ -449,7 +449,7 @@ impl Cmp {
     /// warmup cycle count.
     pub fn warm_up(&mut self, instructions: u64) -> u64 {
         self.try_warm_up(instructions)
-            .unwrap_or_else(|e| panic!("{e}"))
+            .unwrap_or_else(|e| panic!("{e}")) // lpm-lint: allow(P001) documented panicking wrapper; fallible try_ variant is the typed path
     }
 
     /// Fallible variant of [`Cmp::warm_up`].
@@ -470,7 +470,7 @@ impl Cmp {
     /// cycle count.
     pub fn warm_up_all(&mut self, instructions: u64) -> u64 {
         self.try_warm_up_all(instructions)
-            .unwrap_or_else(|e| panic!("{e}"))
+            .unwrap_or_else(|e| panic!("{e}")) // lpm-lint: allow(P001) documented panicking wrapper; fallible try_ variant is the typed path
     }
 
     /// Fallible variant of [`Cmp::warm_up_all`].
@@ -499,7 +499,7 @@ impl Cmp {
     /// Advance one cycle, panicking if the deadlock watchdog fires. See
     /// [`Cmp::try_step`] for the fallible variant.
     pub fn step(&mut self) {
-        self.try_step().unwrap_or_else(|e| panic!("{e}"));
+        self.try_step().unwrap_or_else(|e| panic!("{e}")); // lpm-lint: allow(P001) documented panicking wrapper; fallible try_ variant is the typed path
     }
 
     /// Advance one cycle. Returns [`SimError::Deadlock`] if no core has
@@ -625,6 +625,7 @@ impl Cmp {
         // 5. DRAM advances; reads fill the last shared level.
         for (id, is_write) in self.dram.step(now) {
             if !is_write {
+                // lpm-lint: allow(P001) constructor rejects empty shared hierarchies, L2 always exists
                 self.shared.last_mut().expect("at least L2").fill(id);
             }
         }
@@ -780,7 +781,7 @@ impl Cmp {
     /// last instruction retires; their fills, evictions and writebacks
     /// complete during the drain). Returns whether all cores finished.
     pub fn run(&mut self, max_cycles: u64) -> bool {
-        self.try_run(max_cycles).unwrap_or_else(|e| panic!("{e}"))
+        self.try_run(max_cycles).unwrap_or_else(|e| panic!("{e}")) // lpm-lint: allow(P001) documented panicking wrapper; fallible try_ variant is the typed path
     }
 
     /// Fallible variant of [`Cmp::run`].
@@ -805,7 +806,7 @@ impl Cmp {
 
     /// Run exactly `cycles` more cycles (finished cores idle).
     pub fn run_for(&mut self, cycles: u64) {
-        self.try_run_for(cycles).unwrap_or_else(|e| panic!("{e}"));
+        self.try_run_for(cycles).unwrap_or_else(|e| panic!("{e}")); // lpm-lint: allow(P001) documented panicking wrapper; fallible try_ variant is the typed path
     }
 
     /// Fallible variant of [`Cmp::run_for`].
@@ -861,7 +862,7 @@ impl Cmp {
     /// scheduling study.
     pub fn run_until_all_retired(&mut self, instructions: u64, max_cycles: u64) -> bool {
         self.try_run_until_all_retired(instructions, max_cycles)
-            .unwrap_or_else(|e| panic!("{e}"))
+            .unwrap_or_else(|e| panic!("{e}")) // lpm-lint: allow(P001) documented panicking wrapper; fallible try_ variant is the typed path
     }
 
     /// Fallible variant of [`Cmp::run_until_all_retired`].

@@ -37,6 +37,7 @@ impl SystemConfig {
     /// Validate all components.
     pub fn validate(&self) {
         if let Err(msg) = self.try_validate() {
+            // lpm-lint: allow(P001) documented panicking wrapper; fallible callers use try_validate
             panic!("{msg}");
         }
     }

@@ -29,6 +29,7 @@ impl System {
     /// (rate-mode). Combine with [`System::measure_steady`] for fully
     /// warmed steady-state measurements.
     pub fn new_looping(cfg: SystemConfig, trace: Trace, repeats: u32, seed: u64) -> Self {
+        // lpm-lint: allow(P001) documented panicking wrapper; fallible try_ variant is the typed path
         Self::try_new_looping(cfg, trace, repeats, seed).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -77,7 +78,7 @@ impl System {
 
     /// `CPIexe` of `trace` on `cfg`'s core with a perfect cache.
     pub fn measure_cpi_exe(cfg: &SystemConfig, trace: &Trace) -> f64 {
-        Self::try_measure_cpi_exe(cfg, trace).unwrap_or_else(|e| panic!("{e}"))
+        Self::try_measure_cpi_exe(cfg, trace).unwrap_or_else(|e| panic!("{e}")) // lpm-lint: allow(P001) documented panicking wrapper; fallible try_ variant is the typed path
     }
 
     /// Fallible variant of [`System::measure_cpi_exe`].

@@ -65,6 +65,7 @@ impl Value {
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Value::Uint(u) => Some(*u),
+            // lpm-lint: allow(P002) guarded: non-negative integral f64, exact below 2^53
             Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
             _ => None,
         }
@@ -170,8 +171,8 @@ fn write_json_string(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
             }
             c => out.push(c),
         }

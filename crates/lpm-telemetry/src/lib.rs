@@ -48,6 +48,14 @@ pub use snapshot::{CycleAccum, CycleSample, Histogram, LayerMetrics, MetricsSnap
 
 use std::collections::VecDeque;
 
+/// Widen a `usize` count to the `u64` wire type. Lossless on every
+/// supported platform (`usize` is at most 64 bits); saturates rather
+/// than wrapping if that ever stops holding — the P002 lint rule bans
+/// the bare `as` cast that would wrap silently.
+pub(crate) fn count_u64(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
 /// Default event-ring capacity (`--trace-events` overrides it).
 pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
 
@@ -138,9 +146,9 @@ impl RingRecorder {
     /// caller supplies run-level totals (health, faults, cycle count);
     /// the event/drop counters are filled in here.
     pub fn into_log(self, mut summary: RunSummary) -> TelemetryLog {
-        summary.events_recorded = self.events.len() as u64;
+        summary.events_recorded = count_u64(self.events.len());
         summary.events_dropped = self.dropped;
-        summary.intervals = self.snapshots.len() as u64;
+        summary.intervals = count_u64(self.snapshots.len());
         if let Some(last) = self.snapshots.last() {
             summary.final_ipc = last.ipc;
         }

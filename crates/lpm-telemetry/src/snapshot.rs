@@ -45,9 +45,9 @@ impl Histogram {
             .buckets
             .iter()
             .enumerate()
-            .map(|(v, &n)| v as u64 * n)
+            .map(|(v, &n)| crate::count_u64(v) * n)
             .sum::<u64>()
-            + self.overflow * HIST_MAX as u64;
+            + self.overflow * crate::count_u64(HIST_MAX);
         sum as f64 / total as f64
     }
 
@@ -309,8 +309,8 @@ impl CycleAccum {
         self.l1_mshr_hist.record(s.l1_mshrs);
         self.shared_mshr_hist.record(s.shared_mshrs);
         self.rob_hist.record(s.rob);
-        self.bank_busy_cycles += s.dram_banks_busy as u64;
-        self.bank_cycles += s.dram_banks_total as u64;
+        self.bank_busy_cycles += crate::count_u64(s.dram_banks_busy);
+        self.bank_cycles += crate::count_u64(s.dram_banks_total);
     }
 
     /// Average fraction of DRAM banks busy over the accumulated cycles.

@@ -132,7 +132,8 @@ mod tests {
         let ws = 1u64 << 14; // 256 lines
         let g = ChaseGen::new(ws, 1.0);
         let t = g.generate(2000, 3);
-        let unique: std::collections::HashSet<u64> = t.iter().filter_map(|i| i.op.addr()).collect();
+        let unique: std::collections::BTreeSet<u64> =
+            t.iter().filter_map(|i| i.op.addr()).collect();
         assert!(
             unique.len() > 100,
             "chase revisits too few lines: {}",

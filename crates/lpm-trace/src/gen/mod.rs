@@ -126,7 +126,7 @@ mod tests {
     #[test]
     fn mix64_is_a_bijection_sample() {
         // Not a full bijection proof; check absence of trivial collisions.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for i in 0..10_000u64 {
             assert!(seen.insert(mix64(i)));
         }

@@ -38,6 +38,7 @@ impl PhasedGen {
             }
             off -= len;
         }
+        // lpm-lint: allow(P001) unreachable by arithmetic: off < period() == sum of phase lengths
         unreachable!("phase_at: offset exceeded period")
     }
 }

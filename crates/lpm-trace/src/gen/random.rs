@@ -108,7 +108,7 @@ mod tests {
         // Uniform access over 128 lines should touch most of them quickly.
         let g = RandomGen::new(128 * 64, 1.0, 0.0);
         let t = g.generate(2000, 6);
-        let unique: std::collections::HashSet<u64> = t
+        let unique: std::collections::BTreeSet<u64> = t
             .iter()
             .filter_map(|i| i.op.addr().map(|a| a / 64))
             .collect();

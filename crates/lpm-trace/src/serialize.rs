@@ -84,7 +84,9 @@ impl Trace {
                 continue;
             }
             let mut parts = body.split_whitespace();
-            let kind = parts.next().expect("non-empty body");
+            // `body` is non-empty, so the iterator yields at least once;
+            // routing through let-else keeps the parser panic-free anyway.
+            let Some(kind) = parts.next() else { continue };
             let err = |message: String| ParseError {
                 line: lineno,
                 message,

@@ -286,11 +286,11 @@ impl std::fmt::Display for SpecWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn suite_has_sixteen_unique_names() {
-        let names: HashSet<&str> = SpecWorkload::ALL.iter().map(|w| w.name()).collect();
+        let names: BTreeSet<&str> = SpecWorkload::ALL.iter().map(|w| w.name()).collect();
         assert_eq!(names.len(), 16);
     }
 

@@ -7,7 +7,7 @@
 //! suite uses reuse distances to validate generator signatures.
 
 use crate::record::Trace;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Summary statistics of a trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,7 +53,7 @@ impl TraceStats {
         // since its previous access. Fenwick tree over access timestamps.
         let mem_count = trace.mem_ops();
         let mut fenwick = Fenwick::new(mem_count + 1);
-        let mut last_seen: HashMap<u64, usize> = HashMap::new();
+        let mut last_seen: BTreeMap<u64, usize> = BTreeMap::new();
         let mut reuse_hist = vec![0usize; REUSE_BUCKETS + 1];
         let mut t = 0usize; // memory-op timestamp
 
@@ -62,7 +62,9 @@ impl TraceStats {
             match i.op {
                 crate::record::Op::Load(_) => loads += 1,
                 crate::record::Op::Store(_) => stores += 1,
-                crate::record::Op::Compute => unreachable!(),
+                // addr() returned Some, so the op carries an address;
+                // skipping is the panic-free way to encode that.
+                crate::record::Op::Compute => continue,
             }
             if i.dep > 0 {
                 dependent_mem += 1;

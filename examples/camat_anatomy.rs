@@ -103,7 +103,10 @@ fn main() {
     println!("pMR  = {:.3}  (paper: 1/5)", got.pmr());
     println!("pAMP = {:.3}  (paper: 2)", got.pamp());
     println!("AMP  = {:.3}, Cm = {:.3}", got.amp(), got.cm_conventional());
-    println!("η1   = {:.3}", got.eta().unwrap().value());
+    println!(
+        "η1   = {:.3}",
+        got.eta().expect("nonzero miss rate").value()
+    );
 
     println!("\n== the punchline ==");
     println!("AMAT   (Eq. 1) = {:.2} cycles/access", got.amat());

@@ -53,13 +53,13 @@ fn main() {
     r.check(1.0).expect("C-AMAT identity holds");
 
     // 4. Layered matching ratios (Eq. 9–11) and thresholds (Eq. 14/15).
-    let lpmrs = r.lpmrs().unwrap();
+    let lpmrs = r.lpmrs().expect("report has all three layers");
     println!("\n== layered performance matching ==");
     println!("LPMR1 = {:.2}", lpmrs.l1.value());
     println!("LPMR2 = {:.2}", lpmrs.l2.value());
     println!("LPMR3 = {:.2}", lpmrs.l3.value());
 
-    let m = LpmMeasurement::from_report(&r, Grain::Coarse).unwrap();
+    let m = LpmMeasurement::from_report(&r, Grain::Coarse).expect("report is complete");
     println!(
         "T1 (coarse, Δ=10%) = {:.3} → L1 {}",
         m.t1,
@@ -80,7 +80,9 @@ fn main() {
     );
 
     // 5. Stall time: Eq. (12) prediction vs simulator ground truth.
-    let predicted = r.predicted_stall_eq12().unwrap();
+    let predicted = r
+        .predicted_stall_eq12()
+        .expect("report has all three layers");
     let measured = r.measured_stall();
     println!("\n== data stall time (cycles/instruction) ==");
     println!("Eq. 12 prediction : {predicted:.3}");

@@ -35,7 +35,7 @@ fn chaotic_spec() -> SweepSpec {
         interval_cycles: 5_000,
         warmup_instructions: 5_000,
         loop_repeats: 50,
-        chaos: ChaosConfig::parse("panic@2,timeout@3").unwrap(),
+        chaos: ChaosConfig::parse("panic@2,timeout@3").expect("valid chaos spec"),
         ..SweepSpec::default()
     }
 }

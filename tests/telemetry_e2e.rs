@@ -30,9 +30,11 @@ fn fresh_run(fault_seed: Option<u64>) -> (System, OnlineLpmController) {
         sys.enable_faults(FaultConfig::all(seed));
     }
     let ctl = if fault_seed.is_some() {
-        OnlineLpmController::new_hardened(HwConfig::A, INTERVAL, Grain::Custom(0.5)).unwrap()
+        OnlineLpmController::new_hardened(HwConfig::A, INTERVAL, Grain::Custom(0.5))
+            .expect("valid controller config")
     } else {
-        OnlineLpmController::new(HwConfig::A, INTERVAL, Grain::Custom(0.5)).unwrap()
+        OnlineLpmController::new(HwConfig::A, INTERVAL, Grain::Custom(0.5))
+            .expect("valid controller config")
     };
     (sys, ctl)
 }
