@@ -1,0 +1,246 @@
+//! Kill-resume soak for the `lpm-serve` daemon.
+//!
+//! Submits a job mix to a freshly spawned server, SIGTERMs it mid-flight
+//! (graceful drain), restarts and SIGKILLs it mid-flight (rude death),
+//! restarts once more and asserts that every resumed report is
+//! **byte-identical** to an uninterrupted single-threaded run of the
+//! same spec. A final overload phase checks that a full queue produces
+//! typed rejections while the connection keeps answering — never a hang.
+//!
+//! ```text
+//! cargo run --release -p lpm-bench --bin repro_serve
+//! ```
+//!
+//! The binary re-executes itself as the server child (`--server DIR`),
+//! so the soak needs no other binaries on disk and each phase gets a
+//! real OS process to signal.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use lpm_harness::{run_sweep_with, SweepOptions, SweepSpec};
+use lpm_serve::{signal, start, Client, ServerConfig};
+use lpm_telemetry::Value;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = if args.first().map(String::as_str) == Some("--server") {
+        match server_mode(&args[1..]) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("repro_serve server: {e}");
+                1
+            }
+        }
+    } else {
+        match soak() {
+            Ok(()) => {
+                println!("repro_serve: PASS");
+                0
+            }
+            Err(e) => {
+                eprintln!("repro_serve: FAIL: {e}");
+                1
+            }
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Child mode: run the daemon on a state directory until signalled.
+fn server_mode(rest: &[String]) -> Result<(), String> {
+    let mut cfg = ServerConfig {
+        state_dir: PathBuf::from(rest.first().ok_or("--server needs a state dir")?),
+        handle_os_signals: true,
+        sweep_jobs: 2,
+        ..ServerConfig::default()
+    };
+    let mut it = rest[1..].iter();
+    while let Some(flag) = it.next() {
+        let val = it
+            .next()
+            .ok_or_else(|| format!("server flag {flag} expects a value"))?;
+        let n: usize = val
+            .parse()
+            .map_err(|_| format!("server flag {flag} expects an integer, got {val:?}"))?;
+        match flag.as_str() {
+            "--runners" => cfg.runners = n,
+            "--queue-capacity" => cfg.queue_capacity = n,
+            other => return Err(format!("unknown server flag {other:?}")),
+        }
+    }
+    let handle = start(cfg)?;
+    handle.join()
+}
+
+/// The job mix: three distinct specs at integration-test scale.
+fn job_mix() -> Vec<SweepSpec> {
+    [100u64, 200, 300]
+        .into_iter()
+        .map(|base| SweepSpec {
+            seeds: vec![base, base + 1, base + 2, base + 3],
+            fault_seeds: vec![None, Some(42)],
+            instructions: 30_000,
+            intervals: 3,
+            interval_cycles: 5_000,
+            warmup_instructions: 5_000,
+            loop_repeats: 50,
+            ..SweepSpec::default()
+        })
+        .collect()
+}
+
+/// Spawn a server child on `state` and wait until it answers a ping.
+fn spawn_server(state: &Path, extra: &[&str]) -> Result<Child, String> {
+    // Remove the stale endpoint file so we never connect to the port a
+    // *previous* (dead) instance had bound.
+    let _ = std::fs::remove_file(state.join("endpoint"));
+    let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
+    let mut cmd = Command::new(exe);
+    cmd.arg("--server")
+        .arg(state)
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit());
+    let child = cmd
+        .spawn()
+        .map_err(|e| format!("cannot spawn server child: {e}"))?;
+    for _ in 0..100 {
+        std::thread::sleep(Duration::from_millis(50));
+        if let Ok(mut c) = Client::connect_state_dir(state) {
+            if c.ping().is_ok() {
+                return Ok(child);
+            }
+        }
+    }
+    Err("server child never answered a ping within 5s".into())
+}
+
+fn field_str(v: &Value, key: &str) -> Result<String, String> {
+    Ok(v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("response has no {key} field: {}", v.to_json()))?
+        .to_string())
+}
+
+fn soak() -> Result<(), String> {
+    let state = std::env::temp_dir().join(format!("lpm-repro-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state);
+    let specs = job_mix();
+
+    // Uninterrupted single-threaded references, computed up front: the
+    // whole point is that no signal below may change a byte of these.
+    println!(
+        "[reference] {} spec(s), serial, uninterrupted ...",
+        specs.len()
+    );
+    let mut references = Vec::new();
+    for spec in &specs {
+        references.push(run_sweep_with(spec, 1, &SweepOptions::default())?.to_jsonl());
+    }
+
+    // Phase 1 — submit the mix, then SIGTERM mid-flight: the server
+    // must drain (journal in-flight rows, requeue) and exit cleanly.
+    println!(
+        "[drain] spawn, submit {} job(s), SIGTERM mid-flight",
+        specs.len()
+    );
+    let mut child = spawn_server(&state, &[])?;
+    let mut client = Client::connect_state_dir(&state)?;
+    let mut ids = Vec::new();
+    for spec in &specs {
+        let resp = client.submit("soak", spec, None, None)?;
+        if resp.get("ok").and_then(Value::as_bool) != Some(true) {
+            return Err(format!("submit rejected: {}", resp.to_json()));
+        }
+        ids.push(field_str(&resp, "id")?);
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    if !signal::send_term(child.id()) {
+        return Err("could not deliver SIGTERM to the server child".into());
+    }
+    let status = child
+        .wait()
+        .map_err(|e| format!("cannot wait for drained server: {e}"))?;
+    if !status.success() {
+        return Err(format!("drained server exited uncleanly: {status}"));
+    }
+
+    // Phase 2 — restart (recovery requeues the survivors), then SIGKILL
+    // mid-flight: the rudest possible death, no drain, no goodbye.
+    println!("[kill] respawn, SIGKILL mid-flight");
+    let mut child = spawn_server(&state, &[])?;
+    std::thread::sleep(Duration::from_millis(250));
+    child
+        .kill()
+        .and_then(|()| child.wait().map(|_| ()))
+        .map_err(|e| format!("cannot SIGKILL server child: {e}"))?;
+
+    // Phase 3 — restart once more and let everything finish; every
+    // report must be byte-identical to its uninterrupted reference.
+    println!("[resume] respawn, wait for completion, byte-compare");
+    let child = spawn_server(&state, &[])?;
+    let mut client = Client::connect_state_dir(&state)?;
+    for (i, id) in ids.iter().enumerate() {
+        let fin = client.wait(id, Duration::from_secs(300))?;
+        let status = field_str(&fin, "status")?;
+        if status != "completed" {
+            return Err(format!("job {id} ended {status}: {}", fin.to_json()));
+        }
+        let report = client.report_text(id)?;
+        if report != references[i] {
+            return Err(format!(
+                "job {id}: resumed report differs from the uninterrupted reference \
+                 ({} vs {} byte(s))",
+                report.len(),
+                references[i].len()
+            ));
+        }
+        println!("  job {id}: byte-identical ({} byte(s))", report.len());
+    }
+    client.shutdown()?;
+    wait_exit(child)?;
+
+    // Phase 4 — overload: an admission-only server (no runners) with a
+    // 2-deep queue must reject the third job typed, instantly, and keep
+    // answering on the same connection.
+    println!("[overload] admission-only server, queue capacity 2");
+    let state2 = std::env::temp_dir().join(format!("lpm-repro-serve-ovl-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state2);
+    let child = spawn_server(&state2, &["--runners", "0", "--queue-capacity", "2"])?;
+    let mut client = Client::connect_state_dir(&state2)?;
+    for spec in &specs[..2] {
+        let resp = client.submit("ovl", spec, None, None)?;
+        if resp.get("ok").and_then(Value::as_bool) != Some(true) {
+            return Err(format!(
+                "overload warm-up submit rejected: {}",
+                resp.to_json()
+            ));
+        }
+    }
+    let resp = client.submit("ovl", &specs[2], None, None)?;
+    if field_str(&resp, "reason")? != "queue-full" {
+        return Err(format!("expected queue-full, got {}", resp.to_json()));
+    }
+    client
+        .ping()
+        .map_err(|e| format!("connection wedged after reject: {e}"))?;
+    println!("  third submit rejected typed (queue-full); connection still live");
+    client.shutdown()?;
+    wait_exit(child)?;
+
+    let _ = std::fs::remove_dir_all(&state);
+    let _ = std::fs::remove_dir_all(&state2);
+    Ok(())
+}
+
+fn wait_exit(mut child: Child) -> Result<(), String> {
+    let status = child
+        .wait()
+        .map_err(|e| format!("cannot wait for server child: {e}"))?;
+    if !status.success() {
+        return Err(format!("server child exited uncleanly: {status}"));
+    }
+    Ok(())
+}

@@ -15,7 +15,7 @@ pub struct Args {
 }
 
 /// Flags that are boolean switches: present or absent, no value.
-const SWITCHES: &[&str] = &["quiet", "keep-going", "resume"];
+const SWITCHES: &[&str] = &["quiet", "keep-going", "resume", "wait", "force"];
 
 /// Parse a raw argument list (excluding the program name).
 pub fn parse(raw: &[String]) -> Result<Args, String> {

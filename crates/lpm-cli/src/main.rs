@@ -68,6 +68,9 @@ fn run(raw: &[String]) -> Result<u8, String> {
         "explore" => cmd_explore(&a).map(|()| 0),
         "online" => cmd_online(&a).map(|()| 0),
         "sweep" => cmd_sweep(&a),
+        "serve" => cmd_serve(&a).map(|()| 0),
+        "client" => cmd_client(&a),
+        "journal" => cmd_journal(&a),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -85,6 +88,10 @@ fn print_help() {
          \x20 explore --workload NAME          LPM-guided design-space exploration from config A\n\
          \x20 online  --workload NAME          online interval-driven adaptation\n\
          \x20 sweep   [--jobs N]               parallel sweep over configs × workloads × seeds\n\
+         \x20 serve   --state DIR              crash-tolerant sweep daemon (JSON over TCP)\n\
+         \x20 client  ACTION [...]             talk to a daemon: submit|status|cancel|report|\n\
+         \x20                                  list|events|ping|shutdown\n\
+         \x20 journal ACTION FILE|DIR...       checkpoint journals: ls|verify|rm\n\
          \n\
          common flags:\n\
          \x20 --instructions N    measurement window (default 60000)\n\
@@ -121,6 +128,8 @@ fn print_help() {
          \x20                     partial report with typed outcomes and exit 3\n\
          \x20 --max-retries N     retry a failing point N times under re-salted seeds\n\
          \x20                     before quarantining it (default 0: first failure is final)\n\
+         \x20 --retry-backoff-cycles M   widen the point-cycle budget by M simulated\n\
+         \x20                     cycles per retry attempt (deterministic backoff)\n\
          \x20 --point-cycle-budget N   per-point simulated-cycle watchdog: a point that\n\
          \x20                     would run past N cycles after warmup fails as timed-out,\n\
          \x20                     at the same cycle on every run and worker count\n\
@@ -128,7 +137,31 @@ fn print_help() {
          \x20 --resume            skip points already in the --checkpoint journal; the\n\
          \x20                     resumed report is byte-identical to an uninterrupted run\n\
          \x20 --chaos SPEC        deterministic failure injection for harness testing:\n\
-         \x20                     panic@I,fail@I,timeout@I,flaky@I:N (see DESIGN.md)"
+         \x20                     panic@I,fail@I,timeout@I,flaky@I:N (see DESIGN.md)\n\
+         \n\
+         serve flags (see DESIGN.md §11 for the failure semantics):\n\
+         \x20 --state DIR         service state: manifests, journals, reports, endpoint\n\
+         \x20 --bind HOST:PORT    listen address (default 127.0.0.1:0; the real port\n\
+         \x20                     lands in DIR/endpoint)\n\
+         \x20 --queue-capacity N  bounded admission queue (default 8; full → typed reject)\n\
+         \x20 --tenant-quota N    max live jobs per tenant (default 4)\n\
+         \x20 --runners N         concurrent sweep runners (default 1)\n\
+         \x20 --jobs N            worker threads per sweep (default 2)\n\
+         \x20 --max-job-retries N job-level retries before a job fails (default 1)\n\
+         \n\
+         client flags:\n\
+         \x20 --state DIR | --addr HOST:PORT   how to find the daemon\n\
+         \x20 --tenant T          tenant for submit (default \"default\")\n\
+         \x20 --deadline-ms N     wall-clock deadline for submit\n\
+         \x20 --wait              submit: block until the job is terminal\n\
+         \x20 --out FILE          submit --wait / report: write the report here\n\
+         \x20 (submit also takes every sweep spec flag above)\n\
+         \n\
+         journal actions:\n\
+         \x20 ls FILE|DIR...      fingerprint, row counts and state of each journal\n\
+         \x20 verify FILE|DIR...  full decode — \"resume would accept this\"; exit 1 on corruption\n\
+         \x20 rm [--force] FILE|DIR...   remove journals; refuses when a live (queued or\n\
+         \x20                     running) job in the sibling jobs/ dir depends on one"
     );
 }
 
@@ -484,18 +517,10 @@ fn cmd_online(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sweep(a: &Args) -> Result<u8, String> {
-    let jobs = a.positive_int_or("jobs", 1)? as usize;
-    let quiet = a.has("quiet");
-    let keep_going = a.has("keep-going");
-    let telemetry_out = a.options.get("telemetry-out").cloned();
-    let format = a.get_or("telemetry-format", "jsonl").to_string();
-    if !matches!(format.as_str(), "jsonl" | "csv") {
-        return Err(format!(
-            "unknown --telemetry-format {format:?}; use jsonl or csv"
-        ));
-    }
-
+/// Build a [`SweepSpec`] from the shared sweep flags (used by `sweep`
+/// and `client submit`, so a spec submitted to the daemon is described
+/// by exactly the same flags as a local sweep).
+fn sweep_spec_from(a: &Args) -> Result<SweepSpec, String> {
     let mut configs = Vec::new();
     for label in a.get_or("configs", "A,C").split(',') {
         let label = label.trim();
@@ -528,7 +553,7 @@ fn cmd_sweep(a: &Args) -> Result<u8, String> {
         Some(_) => Some(a.positive_int_or("point-cycle-budget", 0)?),
         None => None,
     };
-    let spec = SweepSpec {
+    Ok(SweepSpec {
         configs,
         workloads,
         seeds,
@@ -541,10 +566,25 @@ fn cmd_sweep(a: &Args) -> Result<u8, String> {
         warmup_instructions: a.int_or("warmup", 30_000)?,
         event_capacity: a.int_or("trace-events", DEFAULT_EVENT_CAPACITY as u64)? as usize,
         max_retries: a.int_or("max-retries", 0)? as u32,
+        retry_backoff_cycles: a.int_or("retry-backoff-cycles", 0)?,
         point_cycle_budget,
         chaos,
         ..SweepSpec::default()
-    };
+    })
+}
+
+fn cmd_sweep(a: &Args) -> Result<u8, String> {
+    let jobs = a.positive_int_or("jobs", 1)? as usize;
+    let quiet = a.has("quiet");
+    let keep_going = a.has("keep-going");
+    let telemetry_out = a.options.get("telemetry-out").cloned();
+    let format = a.get_or("telemetry-format", "jsonl").to_string();
+    if !matches!(format.as_str(), "jsonl" | "csv") {
+        return Err(format!(
+            "unknown --telemetry-format {format:?}; use jsonl or csv"
+        ));
+    }
+    let spec = sweep_spec_from(a)?;
     if a.has("resume") && !a.has("checkpoint") {
         return Err("--resume needs a checkpoint journal (pass --checkpoint FILE)".into());
     }
@@ -598,6 +638,271 @@ fn cmd_sweep(a: &Args) -> Result<u8, String> {
         return Ok(EXIT_PARTIAL);
     }
     Ok(0)
+}
+
+fn cmd_serve(a: &Args) -> Result<(), String> {
+    let state = a
+        .options
+        .get("state")
+        .ok_or("missing --state DIR for serve")?;
+    let cfg = lpm_serve::ServerConfig {
+        state_dir: std::path::PathBuf::from(state),
+        bind: a.get_or("bind", "127.0.0.1:0").to_string(),
+        queue_capacity: a.positive_int_or("queue-capacity", 8)? as usize,
+        tenant_quota: a.positive_int_or("tenant-quota", 4)? as usize,
+        runners: a.positive_int_or("runners", 1)? as usize,
+        sweep_jobs: a.positive_int_or("jobs", 2)? as usize,
+        max_job_retries: a.int_or("max-job-retries", 1)? as u32,
+        retry_backoff_ms: a.int_or("retry-backoff-ms", 50)?,
+        handle_os_signals: true,
+    };
+    let handle = lpm_serve::start(cfg)?;
+    // The endpoint line goes to stderr so scripted callers can own
+    // stdout; the `endpoint` file in the state dir is the machine API.
+    eprintln!("lpm-serve listening on {} (state {state})", handle.addr());
+    handle.join()
+}
+
+/// Connect a client from `--addr HOST:PORT` or `--state DIR` (reads the
+/// daemon's `endpoint` file, so `--bind 127.0.0.1:0` servers are
+/// reachable without scraping logs).
+fn client_from(a: &Args) -> Result<lpm_serve::Client, String> {
+    if let Some(addr) = a.options.get("addr") {
+        lpm_serve::Client::connect(addr.as_str())
+    } else if let Some(state) = a.options.get("state") {
+        lpm_serve::Client::connect_state_dir(std::path::Path::new(state))
+    } else {
+        Err("missing --addr HOST:PORT or --state DIR for client".into())
+    }
+}
+
+fn cmd_client(a: &Args) -> Result<u8, String> {
+    use lpm_telemetry::Value;
+
+    let action = a.positional.first().map(String::as_str).ok_or(
+        "missing client action; use submit|status|cancel|report|list|events|ping|shutdown",
+    )?;
+    if !matches!(
+        action,
+        "submit" | "status" | "cancel" | "report" | "list" | "events" | "ping" | "shutdown"
+    ) {
+        return Err(format!(
+            "unknown client action {action:?}; use submit|status|cancel|report|list|events|ping|shutdown"
+        ));
+    }
+    let job_id = || -> Result<&str, String> {
+        a.positional
+            .get(1)
+            .map(String::as_str)
+            .ok_or_else(|| format!("client {action} needs a job id"))
+    };
+    let mut client = client_from(a)?;
+    let resp = match action {
+        "submit" => {
+            let spec = sweep_spec_from(a)?;
+            let tenant = a.get_or("tenant", "default");
+            let deadline_ms = match a.options.get("deadline-ms") {
+                Some(_) => Some(a.positive_int_or("deadline-ms", 0)?),
+                None => None,
+            };
+            let jobs = match a.options.get("jobs") {
+                Some(_) => Some(a.positive_int_or("jobs", 0)?),
+                None => None,
+            };
+            let resp = client.submit(tenant, &spec, jobs, deadline_ms)?;
+            if resp.get("ok").and_then(Value::as_bool) == Some(true) && a.has("wait") {
+                let id = resp
+                    .get("id")
+                    .and_then(Value::as_str)
+                    .ok_or("submit response has no id")?
+                    .to_string();
+                let timeout =
+                    std::time::Duration::from_millis(a.int_or("wait-timeout-ms", 600_000)?);
+                let fin = client.wait(&id, timeout)?;
+                if fin.get("status").and_then(Value::as_str) == Some("completed") {
+                    if let Some(out) = a.options.get("out") {
+                        let report = client.report_text(&id)?;
+                        std::fs::write(out, report)
+                            .map_err(|e| format!("cannot write {out}: {e}"))?;
+                    }
+                }
+                fin
+            } else {
+                resp
+            }
+        }
+        "status" => client.status(job_id()?)?,
+        "cancel" => client.cancel(job_id()?)?,
+        "report" => {
+            let report = client.report_text(job_id()?)?;
+            match a.options.get("out") {
+                Some(out) => {
+                    std::fs::write(out, &report).map_err(|e| format!("cannot write {out}: {e}"))?;
+                    eprintln!("wrote report for {} to {out}", job_id()?);
+                    return Ok(0);
+                }
+                None => {
+                    print!("{report}");
+                    return Ok(0);
+                }
+            }
+        }
+        "list" => client.list()?,
+        "events" => client.events()?,
+        "ping" => client.ping()?,
+        _ => client.shutdown()?,
+    };
+    println!("{}", resp.to_json());
+    // Exit codes are scripting surface: 0 = accepted/ok, 1 = typed
+    // rejection or non-completed terminal state.
+    let ok = resp.get("ok").and_then(Value::as_bool) == Some(true);
+    let status = resp.get("status").and_then(Value::as_str).unwrap_or("");
+    if !ok || matches!(status, "failed" | "cancelled") {
+        return Ok(1);
+    }
+    Ok(0)
+}
+
+/// Expand `journal` targets: files stand for themselves, directories
+/// contribute every `*.jsonl` inside (sorted, so output is stable).
+fn journal_targets(a: &Args) -> Result<Vec<std::path::PathBuf>, String> {
+    let mut out = Vec::new();
+    for raw in a.positional.iter().skip(1) {
+        let p = std::path::PathBuf::from(raw);
+        if p.is_dir() {
+            let mut found = Vec::new();
+            let entries = std::fs::read_dir(&p)
+                .map_err(|e| format!("cannot read directory {}: {e}", p.display()))?;
+            for entry in entries {
+                let path = entry
+                    .map_err(|e| format!("cannot list {}: {e}", p.display()))?
+                    .path();
+                if path.extension().and_then(|e| e.to_str()) == Some("jsonl") {
+                    found.push(path);
+                }
+            }
+            found.sort();
+            out.extend(found);
+        } else {
+            out.push(p);
+        }
+    }
+    if out.is_empty() {
+        return Err("journal needs at least one FILE or DIR argument".into());
+    }
+    Ok(out)
+}
+
+/// Whether a journal is *live*: a sibling `jobs/` directory (the serve
+/// state-dir layout) holds a non-terminal manifest with the journal's
+/// fingerprint. Removing such a journal would silently discard the
+/// progress a queued or running job is counting on.
+fn journal_live_job(path: &std::path::Path, fingerprint: u64) -> Option<String> {
+    use lpm_telemetry::Value;
+
+    let jobs_dir = path.parent()?.parent()?.join("jobs");
+    let entries = std::fs::read_dir(jobs_dir).ok()?;
+    let mut manifests: Vec<_> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    manifests.sort();
+    for m in manifests {
+        if m.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&m) else {
+            continue;
+        };
+        let Ok(v) = Value::parse(text.trim()) else {
+            continue;
+        };
+        if v.get("fingerprint").and_then(Value::as_u64) != Some(fingerprint) {
+            continue;
+        }
+        let status = v.get("status").and_then(Value::as_str).unwrap_or("");
+        if matches!(status, "queued" | "running") {
+            return v.get("id").and_then(Value::as_str).map(str::to_string);
+        }
+    }
+    None
+}
+
+fn cmd_journal(a: &Args) -> Result<u8, String> {
+    let action = a
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or("missing journal action; use ls|verify|rm")?;
+    if !matches!(action, "ls" | "verify" | "rm") {
+        return Err(format!(
+            "unknown journal action {action:?}; use ls|verify|rm"
+        ));
+    }
+    let targets = journal_targets(a)?;
+    let mut bad = 0usize;
+    if action == "ls" {
+        println!(
+            "{:<20} {:>7} {:>7} {:<10} path",
+            "fingerprint", "rows", "points", "state"
+        );
+    }
+    for path in &targets {
+        match lpm_harness::inspect_journal(path) {
+            Ok(info) => {
+                let state = if info.complete() {
+                    "complete"
+                } else if info.torn_tail {
+                    "torn-tail"
+                } else {
+                    "partial"
+                };
+                match action {
+                    "ls" => println!(
+                        "{:<20} {:>7} {:>7} {:<10} {}",
+                        format!("{:016x}", info.fingerprint),
+                        info.rows,
+                        info.points,
+                        state,
+                        path.display()
+                    ),
+                    "verify" => println!(
+                        "{}: OK ({} of {} row(s) intact{})",
+                        path.display(),
+                        info.rows,
+                        info.points,
+                        if info.torn_tail { ", torn tail" } else { "" }
+                    ),
+                    _ => {
+                        if let Some(id) = journal_live_job(path, info.fingerprint) {
+                            if !a.has("force") {
+                                eprintln!(
+                                    "{}: refusing to remove — live job {id} depends on it \
+                                     (pass --force to override)",
+                                    path.display()
+                                );
+                                bad += 1;
+                                continue;
+                            }
+                        }
+                        std::fs::remove_file(path)
+                            .map_err(|e| format!("cannot remove {}: {e}", path.display()))?;
+                        println!("removed {}", path.display());
+                    }
+                }
+            }
+            Err(e) => {
+                // `rm --force` may target exactly the corrupt journals
+                // `verify` flags; everything else reports and moves on.
+                if action == "rm" && a.has("force") {
+                    std::fs::remove_file(path)
+                        .map_err(|e| format!("cannot remove {}: {e}", path.display()))?;
+                    println!("removed {} (unreadable: {e})", path.display());
+                } else {
+                    eprintln!("{e}");
+                    bad += 1;
+                }
+            }
+        }
+    }
+    Ok(if bad > 0 { 1 } else { 0 })
 }
 
 #[cfg(test)]
@@ -874,6 +1179,142 @@ mod tests {
         for p in [journal, out_a, out_b] {
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn sweep_bad_retry_backoff_is_a_typed_error() {
+        let e = run(&sv(&["sweep", "--retry-backoff-cycles", "soon"])).unwrap_err();
+        assert!(e.contains("--retry-backoff-cycles"), "{e}");
+        let e = run(&sv(&["sweep", "--max-retries", "lots"])).unwrap_err();
+        assert!(e.contains("--max-retries"), "{e}");
+    }
+
+    #[test]
+    fn client_needs_action_and_endpoint() {
+        let e = run(&sv(&["client"])).unwrap_err();
+        assert!(e.contains("missing client action"), "{e}");
+        let e = run(&sv(&["client", "ping"])).unwrap_err();
+        assert!(e.contains("--addr") && e.contains("--state"), "{e}");
+        let e = run(&sv(&["client", "warp", "--addr", "127.0.0.1:1"])).unwrap_err();
+        assert!(e.contains("unknown client action"), "{e}");
+    }
+
+    #[test]
+    fn serve_needs_a_state_dir() {
+        let e = run(&sv(&["serve"])).unwrap_err();
+        assert!(e.contains("--state"), "{e}");
+    }
+
+    #[test]
+    fn journal_rejects_missing_and_unknown_actions() {
+        let e = run(&sv(&["journal"])).unwrap_err();
+        assert!(e.contains("ls|verify|rm"), "{e}");
+        let e = run(&sv(&["journal", "defrag", "x.jsonl"])).unwrap_err();
+        assert!(e.contains("unknown journal action"), "{e}");
+        let e = run(&sv(&["journal", "ls"])).unwrap_err();
+        assert!(e.contains("at least one"), "{e}");
+    }
+
+    /// Run a tiny journaled sweep into `journal_path` so journal
+    /// subcommand tests have a real, intact journal to chew on.
+    fn write_real_journal(journal_path: &std::path::Path) {
+        run(&sv(&[
+            "sweep",
+            "--configs",
+            "A",
+            "--instructions",
+            "30000",
+            "--intervals",
+            "2",
+            "--interval",
+            "5000",
+            "--warmup",
+            "5000",
+            "--quiet",
+            "--checkpoint",
+            journal_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn journal_ls_verify_and_rm_lifecycle() {
+        let dir = std::env::temp_dir().join(format!("lpm-cli-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("j.jsonl");
+        write_real_journal(&journal);
+        let journal_s = journal.to_str().unwrap().to_string();
+
+        // ls and verify accept both the file and its directory.
+        assert_eq!(run(&sv(&["journal", "ls", &journal_s])).unwrap(), 0);
+        assert_eq!(
+            run(&sv(&["journal", "ls", dir.to_str().unwrap()])).unwrap(),
+            0
+        );
+        assert_eq!(run(&sv(&["journal", "verify", &journal_s])).unwrap(), 0);
+
+        // Interior corruption: verify fails typed, rm --force still clears it.
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.insert(1, "{garbage");
+        let corrupted = format!("{}\n", lines.join("\n"));
+        std::fs::write(&journal, &corrupted).unwrap();
+        assert_eq!(run(&sv(&["journal", "verify", &journal_s])).unwrap(), 1);
+        assert_eq!(run(&sv(&["journal", "rm", &journal_s])).unwrap(), 1);
+        assert!(
+            journal.exists(),
+            "rm must not delete what it cannot inspect"
+        );
+        assert_eq!(
+            run(&sv(&["journal", "rm", "--force", &journal_s])).unwrap(),
+            0
+        );
+        assert!(!journal.exists());
+
+        // A healthy journal rm-s without force.
+        write_real_journal(&journal);
+        assert_eq!(run(&sv(&["journal", "rm", &journal_s])).unwrap(), 0);
+        assert!(!journal.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_rm_refuses_live_specs_until_forced() {
+        // Build a serve-style state dir by hand: journals/ + jobs/ with
+        // a queued manifest pointing at the journal's fingerprint.
+        let state =
+            std::env::temp_dir().join(format!("lpm-cli-journal-live-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&state);
+        std::fs::create_dir_all(state.join("journals")).unwrap();
+        std::fs::create_dir_all(state.join("jobs")).unwrap();
+        let journal = state.join("journals").join("j.jsonl");
+        write_real_journal(&journal);
+        let info = lpm_harness::inspect_journal(&journal).unwrap();
+        let manifest = format!(
+            "{{\"type\":\"job-manifest\",\"id\":\"1-{fp:016x}\",\"fingerprint\":{fp},\
+             \"status\":\"queued\"}}\n",
+            fp = info.fingerprint
+        );
+        std::fs::write(state.join("jobs").join("live.json"), &manifest).unwrap();
+
+        let journal_s = journal.to_str().unwrap().to_string();
+        assert_eq!(run(&sv(&["journal", "rm", &journal_s])).unwrap(), 1);
+        assert!(journal.exists(), "live journal must survive plain rm");
+        // A terminal manifest releases the guard ...
+        let done = manifest.replace("\"queued\"", "\"completed\"");
+        std::fs::write(state.join("jobs").join("live.json"), &done).unwrap();
+        assert_eq!(run(&sv(&["journal", "rm", &journal_s])).unwrap(), 0);
+        assert!(!journal.exists());
+        // ... and --force overrides even a live one.
+        write_real_journal(&journal);
+        std::fs::write(state.join("jobs").join("live.json"), &manifest).unwrap();
+        assert_eq!(
+            run(&sv(&["journal", "rm", "--force", &journal_s])).unwrap(),
+            0
+        );
+        assert!(!journal.exists());
+        let _ = std::fs::remove_dir_all(&state);
     }
 
     #[test]

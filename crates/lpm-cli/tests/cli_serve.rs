@@ -1,0 +1,232 @@
+//! Cross-process serve soak through the real `lpm-cli` binary: SIGTERM
+//! a serving daemon mid-sweep (graceful drain + checkpoint), SIGKILL
+//! its successor (rude death), restart, and assert the resumed report
+//! is byte-identical to an uninterrupted serial `lpm sweep` of the same
+//! flags. The in-process variants of these phases live in
+//! `lpm-serve/tests/serve_e2e.rs`; this test is the one that crosses a
+//! real process boundary with real signals.
+
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use lpm_serve::{signal, Client};
+use lpm_telemetry::Value;
+
+const BIN: &str = env!("CARGO_BIN_EXE_lpm-cli");
+
+/// Spec flags shared by the serial reference run and the submit — both
+/// go through the same `sweep_spec_from`, so the spec is identical by
+/// construction.
+const SPEC_FLAGS: &[&str] = &[
+    "--configs",
+    "A",
+    "--workloads",
+    "bwaves",
+    "--seeds",
+    "7,8,9",
+    "--instructions",
+    "30000",
+    "--intervals",
+    "3",
+    "--interval",
+    "5000",
+    "--warmup",
+    "5000",
+];
+
+fn spawn_serve(state: &Path) -> Child {
+    let _ = std::fs::remove_file(state.join("endpoint"));
+    let mut child = Command::new(BIN)
+        .arg("serve")
+        .arg("--state")
+        .arg(state)
+        .args(["--jobs", "2"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn lpm-cli serve");
+    for _ in 0..200 {
+        std::thread::sleep(Duration::from_millis(50));
+        if let Ok(mut c) = Client::connect_state_dir(state) {
+            if c.ping().is_ok() {
+                return child;
+            }
+        }
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    panic!("lpm-cli serve never answered a ping within 10s");
+}
+
+#[test]
+fn sigterm_then_sigkill_then_resume_is_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("lpm-cli-serve-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let state = dir.join("state");
+    let ref_path = dir.join("ref.jsonl");
+
+    // Uninterrupted serial reference through the CLI itself.
+    let out = Command::new(BIN)
+        .arg("sweep")
+        .args(SPEC_FLAGS)
+        .args(["--jobs", "1", "--quiet", "--telemetry-out"])
+        .arg(&ref_path)
+        .output()
+        .expect("run reference sweep");
+    assert!(
+        out.status.success(),
+        "reference sweep failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let reference = std::fs::read_to_string(&ref_path).unwrap();
+
+    // Server #1: submit through `lpm-cli client`, then SIGTERM it
+    // mid-sweep — it must drain, journal, and exit cleanly.
+    let mut child = spawn_serve(&state);
+    let out = Command::new(BIN)
+        .args(["client", "submit", "--state", state.to_str().unwrap()])
+        .args(SPEC_FLAGS)
+        .output()
+        .expect("run client submit");
+    assert!(
+        out.status.success(),
+        "submit failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let resp = Value::parse(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    assert_eq!(
+        resp.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{resp:?}"
+    );
+    let id = resp.get("id").and_then(Value::as_str).unwrap().to_string();
+
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(signal::send_term(child.id()), "SIGTERM delivery failed");
+    let status = child.wait().unwrap();
+    assert!(
+        status.success(),
+        "drained server exited uncleanly: {status}"
+    );
+
+    // Server #2: recovery requeues the job; SIGKILL it mid-sweep.
+    let mut child = spawn_serve(&state);
+    std::thread::sleep(Duration::from_millis(150));
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // Server #3: the job completes; `client status` sees it terminal,
+    // and the resumed report is byte-identical to the reference.
+    let child = spawn_serve(&state);
+    let mut client = Client::connect_state_dir(&state).unwrap();
+    let fin = client.wait(&id, Duration::from_secs(300)).unwrap();
+    assert_eq!(
+        fin.get("status").and_then(Value::as_str),
+        Some("completed"),
+        "{fin:?}"
+    );
+    let report_path = dir.join("resumed.jsonl");
+    let out = Command::new(BIN)
+        .args([
+            "client",
+            "report",
+            &id,
+            "--state",
+            state.to_str().unwrap(),
+            "--out",
+        ])
+        .arg(&report_path)
+        .output()
+        .expect("run client report");
+    assert!(
+        out.status.success(),
+        "client report failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let resumed = std::fs::read_to_string(&report_path).unwrap();
+    assert_eq!(
+        resumed, reference,
+        "resumed report must be byte-identical to the uninterrupted run"
+    );
+
+    // `client shutdown` drains server #3; it must exit cleanly.
+    let out = Command::new(BIN)
+        .args(["client", "shutdown", "--state", state.to_str().unwrap()])
+        .output()
+        .expect("run client shutdown");
+    assert!(out.status.success());
+    let status = child.wait_with_output().unwrap().status;
+    assert!(status.success(), "server exited uncleanly: {status}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn client_journal_sees_and_guards_the_daemon_state_dir() {
+    let dir = std::env::temp_dir().join(format!("lpm-cli-serve-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let state = dir.join("state");
+
+    // Run one job to completion so the state dir holds a journal plus a
+    // terminal manifest.
+    let child = spawn_serve(&state);
+    let out = Command::new(BIN)
+        .args([
+            "client",
+            "submit",
+            "--state",
+            state.to_str().unwrap(),
+            "--wait",
+        ])
+        .args(SPEC_FLAGS)
+        .output()
+        .expect("run client submit --wait");
+    assert!(
+        out.status.success(),
+        "submit --wait failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let resp = Value::parse(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    assert_eq!(
+        resp.get("status").and_then(Value::as_str),
+        Some("completed")
+    );
+
+    // journal ls/verify over the daemon's journals directory.
+    let journals = state.join("journals");
+    for action in ["ls", "verify"] {
+        let out = Command::new(BIN)
+            .args(["journal", action])
+            .arg(&journals)
+            .output()
+            .expect("run journal subcommand");
+        assert!(
+            out.status.success(),
+            "journal {action} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // The job is terminal, so rm proceeds without --force.
+    let out = Command::new(BIN)
+        .args(["journal", "rm"])
+        .arg(&journals)
+        .output()
+        .expect("run journal rm");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = Command::new(BIN)
+        .args(["client", "shutdown", "--state", state.to_str().unwrap()])
+        .output()
+        .expect("run client shutdown");
+    assert!(out.status.success());
+    let mut child = child;
+    child.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -95,6 +95,120 @@ impl CheckpointJournal {
     }
 }
 
+/// What [`inspect_journal`] learned about a journal without needing the
+/// spec that wrote it: the header stamp plus intact-row accounting.
+/// `lpm-cli journal ls|verify` and the serve daemon's recovery scan are
+/// built on this — discovery must work on journals whose spec this
+/// process has never seen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalInfo {
+    /// Journal format version from the header.
+    pub version: u64,
+    /// Spec fingerprint the journal is stamped with.
+    pub fingerprint: u64,
+    /// Points the journaled sweep enumerates.
+    pub points: u64,
+    /// Distinct point indices with an intact journaled row.
+    pub rows: u64,
+    /// Whether the final line is torn — the residue of a kill mid-write
+    /// (tolerated, exactly as resume tolerates it).
+    pub torn_tail: bool,
+}
+
+impl JournalInfo {
+    /// Whether every point of the journaled sweep has an intact row —
+    /// i.e. resuming from this journal would evaluate nothing.
+    pub fn complete(&self) -> bool {
+        self.rows == self.points
+    }
+}
+
+/// Inspect a journal without a spec: validate the header, fully decode
+/// every row record (so `verify` means "resume would accept this"), and
+/// report the counts. Shares [`load_journal`]'s corruption policy: a
+/// torn *final* line is tolerated (and flagged), interior corruption is
+/// an error.
+pub fn inspect_journal(path: &Path) -> Result<JournalInfo, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read checkpoint journal {}: {e}", path.display()))?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let at = |i: usize, what: &str| {
+        format!(
+            "checkpoint journal {}, line {}: {what}",
+            path.display(),
+            i + 1
+        )
+    };
+
+    let Some(first) = lines.first() else {
+        return Err(format!(
+            "checkpoint journal {} is empty (no header)",
+            path.display()
+        ));
+    };
+    let header = Value::parse(first).map_err(|e| at(0, &format!("unparsable header: {e}")))?;
+    if header.get("type").and_then(Value::as_str) != Some("checkpoint-header") {
+        return Err(at(
+            0,
+            "not a checkpoint journal (missing checkpoint-header)",
+        ));
+    }
+    let version = header.get("version").and_then(Value::as_u64).unwrap_or(0);
+    if version != JOURNAL_VERSION {
+        return Err(at(
+            0,
+            &format!("unsupported journal version {version} (this build writes {JOURNAL_VERSION})"),
+        ));
+    }
+    let fingerprint = header
+        .get("fingerprint")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| at(0, "header has no fingerprint"))?;
+    let points = header
+        .get("points")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| at(0, "header has no point count"))?;
+
+    let mut seen = vec![false; usize::try_from(points).map_err(|_| at(0, "point count overflow"))?];
+    let mut torn_tail = false;
+    for (i, line) in lines.iter().enumerate().skip(1) {
+        let v = match Value::parse(line) {
+            Ok(v) => v,
+            Err(_) if i == lines.len() - 1 => {
+                torn_tail = true;
+                break;
+            }
+            Err(e) => return Err(at(i, &format!("corrupt record: {e}"))),
+        };
+        match v.get("type").and_then(Value::as_str) {
+            Some("checkpoint-row") => {
+                let row = row_from_json(&v).map_err(|e| at(i, &e))?;
+                match seen.get_mut(row.index) {
+                    Some(slot) => *slot = true,
+                    None => {
+                        return Err(at(
+                            i,
+                            &format!(
+                                "row index {} out of range (journal has {points})",
+                                row.index
+                            ),
+                        ))
+                    }
+                }
+            }
+            Some("event") => {}
+            other => return Err(at(i, &format!("unexpected record type {other:?}"))),
+        }
+    }
+    Ok(JournalInfo {
+        version,
+        fingerprint,
+        points,
+        rows: seen.iter().filter(|s| **s).count() as u64,
+        torn_tail,
+    })
+}
+
 /// Load a journal and return its intact rows (any order, at most one per
 /// index — later duplicates win, which makes a crash between the row
 /// write and the process exit harmless).
@@ -197,7 +311,7 @@ pub fn load_journal(
     Ok(slots.into_iter().flatten().collect())
 }
 
-fn hw_json(hw: HwConfig) -> Value {
+pub(crate) fn hw_json(hw: HwConfig) -> Value {
     Value::Obj(vec![
         ("issue_width".into(), Value::Uint(hw.issue_width.into())),
         ("iw_size".into(), Value::Uint(hw.iw_size.into())),
@@ -208,7 +322,7 @@ fn hw_json(hw: HwConfig) -> Value {
     ])
 }
 
-fn hw_from_json(v: &Value) -> Result<HwConfig, String> {
+pub(crate) fn hw_from_json(v: &Value) -> Result<HwConfig, String> {
     let knob = |k: &str| -> Result<u32, String> {
         v.get(k)
             .and_then(Value::as_u64)
@@ -515,6 +629,54 @@ mod tests {
         std::fs::write(&path, lines.join("\n")).unwrap();
         let err = load_journal(&path, spec.fingerprint(), 1).unwrap_err();
         assert!(err.contains("corrupt record"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inspect_reports_counts_and_torn_tails_without_a_spec() {
+        let spec = tiny_spec();
+        let row = evaluate_row(&spec.points()[0], &spec);
+        let path = journal_path("inspect");
+        let mut j = CheckpointJournal::create(&path, spec.fingerprint(), 2).unwrap();
+        j.append(&row).unwrap();
+        drop(j);
+        let info = inspect_journal(&path).unwrap();
+        assert_eq!(info.version, JOURNAL_VERSION);
+        assert_eq!(info.fingerprint, spec.fingerprint());
+        assert_eq!(info.points, 2);
+        assert_eq!(info.rows, 1);
+        assert!(!info.complete());
+        assert!(!info.torn_tail);
+        // A torn tail is flagged, not fatal — the row count stands.
+        let intact = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, format!("{intact}{{\"type\":\"checkpoint-r")).unwrap();
+        let info = inspect_journal(&path).unwrap();
+        assert_eq!(info.rows, 1);
+        assert!(info.torn_tail);
+        // Interior corruption keeps load_journal's strictness.
+        let mut lines: Vec<String> = intact.lines().map(str::to_string).collect();
+        lines.insert(1, "{\"type\":\"checkpoint-r".into());
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        assert!(inspect_journal(&path)
+            .unwrap_err()
+            .contains("corrupt record"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inspect_complete_when_every_point_is_journaled() {
+        let spec = tiny_spec();
+        let row = evaluate_row(&spec.points()[0], &spec);
+        let path = journal_path("inspect-complete");
+        let mut j = CheckpointJournal::create(&path, spec.fingerprint(), 1).unwrap();
+        j.append(&row).unwrap();
+        // A duplicate append (crash between write and exit) still counts
+        // one distinct index.
+        j.append(&row).unwrap();
+        drop(j);
+        let info = inspect_journal(&path).unwrap();
+        assert_eq!(info.rows, 1);
+        assert!(info.complete());
         std::fs::remove_file(&path).ok();
     }
 

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use lpm_core::online::OnlineLpmController;
@@ -141,11 +141,15 @@ fn evaluate_point_attempt(
 
     // The watchdog budget counts simulated cycles from the end of
     // warmup. A chaos-timeout point gets a one-cycle budget, which no
-    // controller interval can fit in.
+    // controller interval can fit in. Retry backoff is budget
+    // *escalation*: attempt `n` gets `n` extra grants of
+    // `retry_backoff_cycles`, so a narrowly-timed-out point can succeed
+    // on retry without any wall-clock sleep entering the outcome.
     let budget = if chaos.times_out(point.index) {
         Some(1)
     } else {
         spec.point_cycle_budget
+            .map(|b| b.saturating_add(u64::from(attempt).saturating_mul(spec.retry_backoff_cycles)))
     };
 
     let trace = point
@@ -320,6 +324,15 @@ pub struct SweepOptions {
     /// on it would break the bytes-identical contract — the enforcing
     /// watchdog is the *simulated-cycle* budget in the spec).
     pub wall_warn: Option<Duration>,
+    /// Cooperative cancellation: when the owner of this flag sets it,
+    /// the engine stops dispatching *new* points. In-flight points run
+    /// to their terminal row and are journaled like any other, then the
+    /// sweep returns a stable `"sweep cancelled: N of M point(s)
+    /// journaled"` error. This is the drain primitive the serve daemon
+    /// builds SIGTERM handling and wall-clock deadlines on: cancelling
+    /// never changes any *row's* bytes, it only bounds how many rows
+    /// this process produces — the rest resume later, byte-identically.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for SweepOptions {
@@ -328,16 +341,28 @@ impl Default for SweepOptions {
             checkpoint: None,
             resume: false,
             wall_warn: Some(Duration::from_secs(30)),
+            cancel: None,
         }
     }
 }
 
 /// Shared state of the wall-clock stall reporter: which points are
-/// in flight and since when.
+/// in flight and since when, plus the indices already warned about.
+struct WallGuardState {
+    stop: bool,
+    active: BTreeMap<usize, (String, Instant)>,
+    warned: Vec<usize>,
+}
+
+/// Shared handle of the wall-clock stall reporter. The condvar lets
+/// [`WallGuard::shutdown`] interrupt the reporter's periodic wait
+/// immediately instead of racing a `sleep` — an early (fail-fast)
+/// engine exit must never leave the thread a window to print behind
+/// the sweep's own error.
 struct WallGuardInner {
-    stop: AtomicBool,
     warn_after: Duration,
-    active: Mutex<BTreeMap<usize, (String, Instant)>>,
+    state: Mutex<WallGuardState>,
+    wake: Condvar,
 }
 
 /// A background thread that periodically scans in-flight points and
@@ -352,32 +377,44 @@ impl WallGuard {
     fn spawn(warn_after: Option<Duration>) -> Option<WallGuard> {
         let warn_after = warn_after?;
         let inner = Arc::new(WallGuardInner {
-            stop: AtomicBool::new(false),
             warn_after,
-            active: Mutex::new(BTreeMap::new()),
+            state: Mutex::new(WallGuardState {
+                stop: false,
+                active: BTreeMap::new(),
+                warned: Vec::new(),
+            }),
+            wake: Condvar::new(),
         });
         let thread_inner = Arc::clone(&inner);
         let handle = std::thread::Builder::new()
             .name("lpm-wall-guard".into())
             .spawn(move || {
-                let mut warned: Vec<usize> = Vec::new();
-                while !thread_inner.stop.load(Ordering::Relaxed) {
-                    std::thread::sleep(Duration::from_millis(100));
-                    let active = thread_inner
-                        .active
-                        .lock()
-                        .unwrap_or_else(|p| p.into_inner());
-                    for (&idx, (label, start)) in active.iter() {
-                        if start.elapsed() >= thread_inner.warn_after && !warned.contains(&idx) {
-                            warned.push(idx);
-                            eprintln!(
-                                "lpm-harness: point {label} still running after {}s of wall time \
-                                 (report is unaffected; set a --point-cycle-budget to bound \
-                                 runaway points deterministically)",
-                                start.elapsed().as_secs()
-                            );
+                let mut state = thread_inner.state.lock().unwrap_or_else(|p| p.into_inner());
+                loop {
+                    if state.stop {
+                        return;
+                    }
+                    let mut overdue: Vec<(usize, String, u64)> = Vec::new();
+                    for (&idx, (label, start)) in state.active.iter() {
+                        if start.elapsed() >= thread_inner.warn_after
+                            && !state.warned.contains(&idx)
+                        {
+                            overdue.push((idx, label.clone(), start.elapsed().as_secs()));
                         }
                     }
+                    for (idx, label, secs) in overdue {
+                        state.warned.push(idx);
+                        eprintln!(
+                            "lpm-harness: point {label} still running after {secs}s of wall time \
+                             (report is unaffected; set a --point-cycle-budget to bound \
+                             runaway points deterministically)"
+                        );
+                    }
+                    let (next, _) = thread_inner
+                        .wake
+                        .wait_timeout(state, Duration::from_millis(100))
+                        .unwrap_or_else(|p| p.into_inner());
+                    state = next;
                 }
             })
             .ok()?;
@@ -389,28 +426,55 @@ impl WallGuard {
 
     fn begin(&self, index: usize, label: &str) {
         self.inner
-            .active
+            .state
             .lock()
             .unwrap_or_else(|p| p.into_inner())
+            .active
             // lpm-lint: allow(D002) stall-warning timestamp, stderr diagnostics only — never in results
             .insert(index, (label.to_string(), Instant::now()));
     }
 
     fn end(&self, index: usize) {
         self.inner
-            .active
+            .state
             .lock()
             .unwrap_or_else(|p| p.into_inner())
+            .active
             .remove(&index);
+    }
+
+    /// Number of stall warnings emitted so far (regression hook: after
+    /// [`WallGuard::shutdown`] this can never grow again).
+    #[cfg(test)]
+    fn warned_len(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .warned
+            .len()
+    }
+
+    /// Stop the reporter and join it. Every engine exit path calls this
+    /// explicitly (the fail-fast path included) so no guard output can
+    /// trail the sweep's return; `Drop` repeats it as a safety net if a
+    /// panic unwinds past the call site. Idempotent.
+    fn shutdown(&mut self) {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .stop = true;
+        self.inner.wake.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
     }
 }
 
 impl Drop for WallGuard {
     fn drop(&mut self) {
-        self.inner.stop.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -428,19 +492,28 @@ fn guarded_row(guard: Option<&WallGuard>, point: &SweepPoint, spec: &SweepSpec) 
 }
 
 /// One worker's loop: pop point indices until the queue is dry, send
-/// each terminal row to the collector. If the collector is gone (its
-/// receiver dropped after a journal write error), the worker *drains*
-/// its reachable queue items before exiting so no sibling spins on work
-/// nobody will collect.
+/// each terminal row to the collector. Two early-exit paths drain the
+/// reachable queue so no sibling spins on work nobody will run: the
+/// collector hanging up (its receiver dropped after a journal write
+/// error), and cooperative cancellation ([`SweepOptions::cancel`]),
+/// which stops *dispatch* while letting the in-flight row finish.
 fn worker_loop(
     me: usize,
     queue: &WorkStealingQueue,
     points: &[SweepPoint],
     spec: &SweepSpec,
     guard: Option<&WallGuard>,
-    tx: &mpsc::Sender<PointRow>,
+    cancel: Option<&AtomicBool>,
+    tx: &mpsc::SyncSender<PointRow>,
 ) {
-    while let Some(i) = queue.pop(me) {
+    loop {
+        if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            // Cancelled: stop dispatching. Draining the queue makes
+            // every sibling's next pop come up empty too.
+            while queue.pop(me).is_some() {}
+            return;
+        }
+        let Some(i) = queue.pop(me) else { return };
         let row = guarded_row(guard, &points[i], spec);
         if tx.send(row).is_err() {
             // Collector is gone; nothing we evaluate can be delivered.
@@ -502,12 +575,17 @@ pub fn run_sweep_with(
         .filter_map(|(i, s)| s.is_none().then_some(i))
         .collect();
     let workers = jobs.min(pending.len());
-    let guard = WallGuard::spawn(opts.wall_warn);
+    let mut guard = WallGuard::spawn(opts.wall_warn);
+    let cancel = opts.cancel.as_deref();
+    let is_cancelled = || cancel.is_some_and(|c| c.load(Ordering::Relaxed));
 
     let mut journal_err: Option<String> = None;
     if workers <= 1 {
         // Serial reference path: evaluate in point order, no threads.
         for &i in &pending {
+            if is_cancelled() {
+                break;
+            }
             let row = guarded_row(guard.as_ref(), &points[i], spec);
             if let Some(j) = journal.as_mut() {
                 if let Err(e) = j.append(&row) {
@@ -519,14 +597,17 @@ pub fn run_sweep_with(
         }
     } else {
         let queue = WorkStealingQueue::deal_indices(&pending, workers);
-        let (tx, rx) = mpsc::channel::<PointRow>();
+        // Bounded channel (lint D005): a small per-worker cushion keeps
+        // workers busy while the collector journals; an unbounded queue
+        // would hide collector stalls as silent memory growth.
+        let (tx, rx) = mpsc::sync_channel::<PointRow>(workers.saturating_mul(2));
         std::thread::scope(|scope| {
             for w in 0..workers {
                 let tx = tx.clone();
                 let queue = &queue;
                 let points = &points;
                 let guard = guard.as_ref();
-                scope.spawn(move || worker_loop(w, queue, points, spec, guard, &tx));
+                scope.spawn(move || worker_loop(w, queue, points, spec, guard, cancel, &tx));
             }
             drop(tx);
             // Arrival order is schedule-dependent; the slot vector
@@ -546,9 +627,23 @@ pub fn run_sweep_with(
             }
         });
     }
-    drop(guard);
+    // Explicit shutdown before any return below: the guard thread is
+    // joined here, so not one byte of stall diagnostics can print after
+    // the engine's own error or report reaches the caller.
+    if let Some(g) = guard.as_mut() {
+        g.shutdown();
+    }
     if let Some(e) = journal_err {
         return Err(e);
+    }
+    if is_cancelled() && slots.iter().any(Option::is_none) {
+        // Stable, parseable shape: the serve daemon's drain/deadline
+        // paths match on the "sweep cancelled" prefix.
+        let done = slots.iter().filter(|s| s.is_some()).count();
+        return Err(format!(
+            "sweep cancelled: {done} of {} point(s) journaled",
+            points.len()
+        ));
     }
 
     // Merge in point-index order; the schedule is invisible from here.
@@ -776,10 +871,144 @@ mod tests {
         let spec = tiny_spec();
         let points = spec.points();
         let queue = WorkStealingQueue::deal_indices(&[0, 1, 2, 3], 1);
-        let (tx, rx) = mpsc::channel::<PointRow>();
+        let (tx, rx) = mpsc::sync_channel::<PointRow>(1);
         drop(rx); // collector dead before the worker starts
-        worker_loop(0, &queue, &points, &spec, None, &tx);
+        worker_loop(0, &queue, &points, &spec, None, None, &tx);
         assert_eq!(queue.remaining(), 0);
+    }
+
+    #[test]
+    fn cancelled_workers_drain_the_queue_without_dispatching() {
+        let spec = tiny_spec();
+        let points = spec.points();
+        let queue = WorkStealingQueue::deal_indices(&[0, 1, 2, 3], 1);
+        let (tx, rx) = mpsc::sync_channel::<PointRow>(4);
+        let cancel = AtomicBool::new(true);
+        worker_loop(0, &queue, &points, &spec, None, Some(&cancel), &tx);
+        drop(tx);
+        assert_eq!(queue.remaining(), 0);
+        assert!(rx.recv().is_err(), "cancelled worker must not emit rows");
+    }
+
+    #[test]
+    fn retry_backoff_escalates_the_cycle_budget_deterministically() {
+        // Attempt 0 runs under a budget too small for three intervals
+        // and times out; the backoff grants attempt 1 enough extra
+        // simulated cycles to finish. No wall clock anywhere.
+        let spec = SweepSpec {
+            point_cycle_budget: Some(7_000), // < 3 intervals × 5_000
+            max_retries: 2,
+            retry_backoff_cycles: 20_000, // attempt 1 budget: 27_000
+            ..tiny_spec()
+        };
+        let a = run_sweep_with(&spec, 1, &SweepOptions::default()).unwrap();
+        for row in &a.rows {
+            assert!(row.is_ok(), "{:?}", row.outcome.kind());
+            assert_eq!(row.attempts, 2);
+            assert_eq!(
+                row.harness_events.first().map(Event::kind),
+                Some("point-failed")
+            );
+        }
+        // Bit-identical across worker counts, like every other outcome.
+        assert_eq!(
+            a,
+            run_sweep_with(&spec, 4, &SweepOptions::default()).unwrap()
+        );
+        // Without backoff the same spec quarantines every point.
+        let no_backoff = SweepSpec {
+            retry_backoff_cycles: 0,
+            ..spec
+        };
+        let b = run_sweep_with(&no_backoff, 1, &SweepOptions::default()).unwrap();
+        assert!(b.rows.iter().all(|r| r.outcome.kind() == "quarantined"));
+    }
+
+    #[test]
+    fn pre_cancelled_sweep_reports_zero_points_journaled() {
+        let cancel = Arc::new(AtomicBool::new(true));
+        let opts = SweepOptions {
+            cancel: Some(Arc::clone(&cancel)),
+            ..SweepOptions::default()
+        };
+        for jobs in [1, 4] {
+            let err = run_sweep_with(&tiny_spec(), jobs, &opts).unwrap_err();
+            assert_eq!(err, "sweep cancelled: 0 of 4 point(s) journaled");
+        }
+    }
+
+    #[test]
+    fn cancelled_sweep_resumes_to_the_uninterrupted_bytes() {
+        let spec = tiny_spec();
+        let mut path = std::env::temp_dir();
+        path.push(format!("lpm-engine-cancel-{}.jsonl", std::process::id()));
+        // First run: cancelled before any dispatch, journal holds the
+        // header only.
+        let cancel = Arc::new(AtomicBool::new(true));
+        let opts = SweepOptions {
+            checkpoint: Some(path.clone()),
+            cancel: Some(Arc::clone(&cancel)),
+            ..SweepOptions::default()
+        };
+        let err = run_sweep_with(&spec, 2, &opts).unwrap_err();
+        assert!(err.starts_with("sweep cancelled:"), "{err}");
+        // Second run: resume with the flag cleared; the report must be
+        // byte-identical to an uninterrupted serial run.
+        cancel.store(false, Ordering::Relaxed);
+        let resumed = run_sweep_with(
+            &spec,
+            2,
+            &SweepOptions {
+                checkpoint: Some(path.clone()),
+                resume: true,
+                cancel: Some(cancel),
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        let reference = run_sweep_with(&spec, 1, &SweepOptions::default()).unwrap();
+        assert_eq!(resumed, reference);
+        assert_eq!(resumed.to_jsonl(), reference.to_jsonl());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wall_guard_shutdown_joins_and_silences_the_reporter() {
+        // Regression for the fail-fast leak: after shutdown() returns,
+        // the reporter thread is joined, so no further stall warnings
+        // can ever be emitted — even for points still marked in flight.
+        let mut g = WallGuard::spawn(Some(Duration::from_millis(1))).unwrap();
+        g.begin(0, "p0");
+        // Wait (bounded) for the first warning to prove the thread ran.
+        for _ in 0..200 {
+            if g.warned_len() >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(g.warned_len(), 1);
+        g.shutdown();
+        assert!(g.handle.is_none(), "reporter must be joined");
+        // A new overdue point after shutdown never produces output.
+        g.begin(1, "p1");
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(g.warned_len(), 1);
+        // Idempotent: Drop will call shutdown() again harmlessly.
+    }
+
+    #[test]
+    fn fail_fast_sweep_exit_leaves_no_guard_thread_behind() {
+        // The fail-fast path (spec validation error) must return with
+        // the guard stopped; since spawn happens after validation, and
+        // every later exit path calls shutdown(), a sweep error implies
+        // a joined guard. Exercise the earliest error return.
+        let mut spec = tiny_spec();
+        spec.interval_cycles = 10;
+        let opts = SweepOptions {
+            wall_warn: Some(Duration::from_millis(1)),
+            ..SweepOptions::default()
+        };
+        assert!(run_sweep_with(&spec, 4, &opts).is_err());
     }
 
     #[test]

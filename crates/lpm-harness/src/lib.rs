@@ -69,8 +69,9 @@ pub mod outcome;
 pub mod point;
 pub mod queue;
 pub mod report;
+pub mod specio;
 
-pub use checkpoint::{load_journal, CheckpointJournal};
+pub use checkpoint::{inspect_journal, load_journal, CheckpointJournal, JournalInfo};
 pub use engine::{evaluate_point, evaluate_row, run_sweep, run_sweep_with, SweepOptions};
 pub use outcome::{PointOutcome, PointRow};
 pub use point::{
@@ -78,3 +79,4 @@ pub use point::{
 };
 pub use queue::WorkStealingQueue;
 pub use report::SweepReport;
+pub use specio::{spec_from_json, spec_to_json, SPEC_WIRE_VERSION};

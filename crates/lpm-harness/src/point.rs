@@ -259,6 +259,15 @@ pub struct SweepSpec {
     /// `0` keeps the classic semantics: the first failure is terminal
     /// and keeps its own classification (failed / panicked / timed-out).
     pub max_retries: u32,
+    /// Deterministic retry backoff, in *simulated* cycles: attempt `n`
+    /// runs with a cycle budget of `point_cycle_budget + n *
+    /// retry_backoff_cycles`, so a point that timed out narrowly gets
+    /// progressively more head-room on retry instead of failing the
+    /// same way forever. Backoff in wall-clock time would make outcomes
+    /// depend on the scheduler; escalating the simulated budget keeps
+    /// every attempt a pure function of `(spec, point, attempt)`. No
+    /// effect when `point_cycle_budget` is `None`.
+    pub retry_backoff_cycles: u64,
     /// Simulated-cycle budget per point attempt (measured from the end
     /// of warmup). A point whose controller run would step past it fails
     /// deterministically as timed-out instead of running away. `None`
@@ -285,6 +294,7 @@ impl Default for SweepSpec {
             loop_repeats: 100,
             event_capacity: lpm_telemetry::DEFAULT_EVENT_CAPACITY,
             max_retries: 0,
+            retry_backoff_cycles: 0,
             point_cycle_budget: None,
             chaos: ChaosConfig::default(),
         }
@@ -493,6 +503,11 @@ mod tests {
             ..SweepSpec::default()
         };
         assert_ne!(spec.fingerprint(), budgeted.fingerprint());
+        let backoff = SweepSpec {
+            retry_backoff_cycles: 5_000,
+            ..SweepSpec::default()
+        };
+        assert_ne!(spec.fingerprint(), backoff.fingerprint());
         let chaotic = SweepSpec {
             chaos: ChaosConfig::parse("panic@0").unwrap(),
             ..SweepSpec::default()

@@ -170,7 +170,7 @@ mod tests {
     fn concurrent_drain_is_exactly_once() {
         use std::sync::mpsc;
         let q = WorkStealingQueue::deal(64, 4);
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = mpsc::sync_channel(64);
         std::thread::scope(|s| {
             for w in 0..4 {
                 let tx = tx.clone();

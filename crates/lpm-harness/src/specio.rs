@@ -1,0 +1,359 @@
+//! Wire codec for [`SweepSpec`]: one JSON object per spec, lossless for
+//! every field that participates in the [fingerprint] — except the base
+//! [`SystemConfig`], which must be the default (the wire format exists
+//! so a *client* can submit a sweep to `lpm-serve`, and the service
+//! contract is "spec in, same-fingerprint spec out"; shipping the whole
+//! hierarchy config would bloat the protocol for a knob nobody sweeps).
+//! Encoding a spec with a non-default base is a typed error, never a
+//! silent drop.
+//!
+//! Round-trip law (tested): `spec_from_json(spec_to_json(s))` yields a
+//! spec with the *same fingerprint* as `s`, so a journal written by the
+//! submitting client is resumable by the server and vice versa.
+//!
+//! [fingerprint]: SweepSpec::fingerprint
+
+use lpm_sim::SystemConfig;
+use lpm_telemetry::Value;
+use lpm_trace::SpecWorkload;
+
+use crate::checkpoint::{hw_from_json, hw_json};
+use crate::point::{ChaosConfig, FaultClass, SweepSpec};
+
+/// Wire format version (bumped on incompatible spec-record changes).
+pub const SPEC_WIRE_VERSION: u64 = 1;
+
+/// Encode a spec as a single JSON object. Fails (typed) when the spec
+/// carries a non-default base system configuration, which the wire
+/// format cannot represent.
+pub fn spec_to_json(spec: &SweepSpec) -> Result<Value, String> {
+    if spec.base != SystemConfig::default() {
+        return Err(
+            "sweep spec carries a non-default base system config, which the wire \
+             format does not carry; submit base-default specs (sweep the HwConfig \
+             knobs instead)"
+                .into(),
+        );
+    }
+    let mut f: Vec<(String, Value)> = vec![
+        ("type".into(), Value::Str("sweep-spec".into())),
+        ("version".into(), Value::Uint(SPEC_WIRE_VERSION)),
+        (
+            "configs".into(),
+            Value::Arr(
+                spec.configs
+                    .iter()
+                    .map(|(label, hw)| {
+                        Value::Obj(vec![
+                            ("label".into(), Value::Str(label.clone())),
+                            ("hw".into(), hw_json(*hw)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "workloads".into(),
+            Value::Arr(
+                spec.workloads
+                    .iter()
+                    .map(|w| Value::Str(w.name().into()))
+                    .collect(),
+            ),
+        ),
+        (
+            "seeds".into(),
+            Value::Arr(spec.seeds.iter().map(|&s| Value::Uint(s)).collect()),
+        ),
+        (
+            "fault_seeds".into(),
+            Value::Arr(
+                spec.fault_seeds
+                    .iter()
+                    .map(|fs| fs.map_or(Value::Null, Value::Uint))
+                    .collect(),
+            ),
+        ),
+        (
+            "fault_class".into(),
+            Value::Str(spec.fault_class.name().into()),
+        ),
+        ("instructions".into(), Value::Uint(spec.instructions as u64)),
+        ("intervals".into(), Value::Uint(spec.intervals as u64)),
+        ("interval_cycles".into(), Value::Uint(spec.interval_cycles)),
+        ("grain".into(), Value::Num(spec.grain)),
+        (
+            "warmup_instructions".into(),
+            Value::Uint(spec.warmup_instructions),
+        ),
+        ("loop_repeats".into(), Value::Uint(spec.loop_repeats.into())),
+        (
+            "event_capacity".into(),
+            Value::Uint(spec.event_capacity as u64),
+        ),
+        ("max_retries".into(), Value::Uint(spec.max_retries.into())),
+        (
+            "retry_backoff_cycles".into(),
+            Value::Uint(spec.retry_backoff_cycles),
+        ),
+    ];
+    if let Some(b) = spec.point_cycle_budget {
+        f.push(("point_cycle_budget".into(), Value::Uint(b)));
+    }
+    if !spec.chaos.is_empty() {
+        f.push(("chaos".into(), chaos_json(&spec.chaos)));
+    }
+    Ok(Value::Obj(f))
+}
+
+fn chaos_json(c: &ChaosConfig) -> Value {
+    let idxs = |v: &[usize]| Value::Arr(v.iter().map(|&i| Value::Uint(i as u64)).collect());
+    Value::Obj(vec![
+        ("panic_at".into(), idxs(&c.panic_at)),
+        ("fail_at".into(), idxs(&c.fail_at)),
+        ("timeout_at".into(), idxs(&c.timeout_at)),
+        (
+            "flaky".into(),
+            Value::Arr(
+                c.flaky
+                    .iter()
+                    .map(|&(i, at)| Value::Arr(vec![Value::Uint(i as u64), Value::Uint(at.into())]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn chaos_from_json(v: &Value) -> Result<ChaosConfig, String> {
+    let idxs = |k: &str| -> Result<Vec<usize>, String> {
+        v.get(k)
+            .and_then(Value::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|i| {
+                i.as_u64()
+                    .and_then(|u| usize::try_from(u).ok())
+                    .ok_or_else(|| format!("chaos {k} has a bad index"))
+            })
+            .collect()
+    };
+    let flaky = v
+        .get("flaky")
+        .and_then(Value::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .map(|pair| {
+            let items = pair.as_arr().unwrap_or(&[]);
+            match items {
+                [i, at] => Ok((
+                    i.as_u64()
+                        .and_then(|u| usize::try_from(u).ok())
+                        .ok_or("chaos flaky has a bad index")?,
+                    at.as_u64()
+                        .and_then(|u| u32::try_from(u).ok())
+                        .ok_or("chaos flaky has a bad attempt")?,
+                )),
+                _ => Err("chaos flaky entries are [index, attempt] pairs".to_string()),
+            }
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(ChaosConfig {
+        panic_at: idxs("panic_at")?,
+        fail_at: idxs("fail_at")?,
+        timeout_at: idxs("timeout_at")?,
+        flaky,
+    })
+}
+
+/// Decode a spec from its wire object. Structural decoding only — run
+/// [`SweepSpec::validate`] on the result before evaluating anything
+/// (the serve daemon does, and rejects with the validation text).
+pub fn spec_from_json(v: &Value) -> Result<SweepSpec, String> {
+    if v.get("type").and_then(Value::as_str) != Some("sweep-spec") {
+        return Err("not a sweep-spec object (missing type)".into());
+    }
+    let version = v.get("version").and_then(Value::as_u64).unwrap_or(0);
+    if version != SPEC_WIRE_VERSION {
+        return Err(format!(
+            "unsupported sweep-spec wire version {version} (this build speaks {SPEC_WIRE_VERSION})"
+        ));
+    }
+    let u = |k: &str| -> Result<u64, String> {
+        v.get(k)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("sweep-spec has no {k}"))
+    };
+    let configs = v
+        .get("configs")
+        .and_then(Value::as_arr)
+        .ok_or("sweep-spec has no configs")?
+        .iter()
+        .map(|c| {
+            Ok((
+                c.get("label")
+                    .and_then(Value::as_str)
+                    .ok_or("config has no label")?
+                    .to_string(),
+                hw_from_json(c.get("hw").ok_or("config has no hw object")?)?,
+            ))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let workloads = v
+        .get("workloads")
+        .and_then(Value::as_arr)
+        .ok_or("sweep-spec has no workloads")?
+        .iter()
+        .map(|w| {
+            let name = w.as_str().ok_or("workload entries are names")?;
+            SpecWorkload::ALL
+                .iter()
+                .find(|sw| sw.name() == name)
+                .copied()
+                .ok_or_else(|| format!("unknown workload {name:?}"))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let seeds = v
+        .get("seeds")
+        .and_then(Value::as_arr)
+        .ok_or("sweep-spec has no seeds")?
+        .iter()
+        .map(|s| s.as_u64().ok_or_else(|| "bad seed".to_string()))
+        .collect::<Result<Vec<_>, String>>()?;
+    let fault_seeds = v
+        .get("fault_seeds")
+        .and_then(Value::as_arr)
+        .ok_or("sweep-spec has no fault_seeds")?
+        .iter()
+        .map(|fs| match fs {
+            Value::Null => Ok(None),
+            other => other
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| "bad fault seed".to_string()),
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let fault_class = FaultClass::parse(
+        v.get("fault_class")
+            .and_then(Value::as_str)
+            .ok_or("sweep-spec has no fault_class")?,
+    )?;
+    let chaos = match v.get("chaos") {
+        Some(c) => chaos_from_json(c)?,
+        None => ChaosConfig::default(),
+    };
+    Ok(SweepSpec {
+        configs,
+        workloads,
+        seeds,
+        fault_seeds,
+        fault_class,
+        instructions: usize::try_from(u("instructions")?)
+            .map_err(|_| "instructions overflow".to_string())?,
+        intervals: usize::try_from(u("intervals")?)
+            .map_err(|_| "intervals overflow".to_string())?,
+        interval_cycles: u("interval_cycles")?,
+        grain: v
+            .get("grain")
+            .and_then(Value::as_num_lossless)
+            .ok_or("sweep-spec has no grain")?,
+        base: SystemConfig::default(),
+        warmup_instructions: u("warmup_instructions")?,
+        loop_repeats: u32::try_from(u("loop_repeats")?)
+            .map_err(|_| "loop_repeats overflow".to_string())?,
+        event_capacity: usize::try_from(u("event_capacity")?)
+            .map_err(|_| "event_capacity overflow".to_string())?,
+        max_retries: u32::try_from(u("max_retries")?)
+            .map_err(|_| "max_retries overflow".to_string())?,
+        retry_backoff_cycles: u("retry_backoff_cycles")?,
+        point_cycle_budget: v.get("point_cycle_budget").and_then(Value::as_u64),
+        chaos,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpm_core::design_space::HwConfig;
+
+    fn rich_spec() -> SweepSpec {
+        SweepSpec {
+            configs: vec![("A".into(), HwConfig::A), ("D".into(), HwConfig::D)],
+            workloads: vec![SpecWorkload::BwavesLike, SpecWorkload::McfLike],
+            seeds: vec![7, 9],
+            fault_seeds: vec![None, Some(42)],
+            fault_class: FaultClass::DramSpike,
+            instructions: 50_000,
+            intervals: 5,
+            interval_cycles: 10_000,
+            grain: 0.75,
+            warmup_instructions: 10_000,
+            loop_repeats: 60,
+            event_capacity: 128,
+            max_retries: 2,
+            retry_backoff_cycles: 5_000,
+            point_cycle_budget: Some(40_000),
+            chaos: ChaosConfig::parse("panic@3,fail@5,timeout@2,flaky@1:2").unwrap(),
+            ..SweepSpec::default()
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_with_equal_fingerprint() {
+        for spec in [SweepSpec::default(), rich_spec()] {
+            let wire = spec_to_json(&spec).unwrap();
+            let back = spec_from_json(&wire).unwrap();
+            assert_eq!(back.fingerprint(), spec.fingerprint());
+            // And the wire bytes themselves are stable.
+            let wire2 = spec_to_json(&back).unwrap();
+            assert_eq!(wire.to_json(), wire2.to_json());
+        }
+    }
+
+    #[test]
+    fn wire_text_round_trips_through_the_parser() {
+        let spec = rich_spec();
+        let text = spec_to_json(&spec).unwrap().to_json();
+        let back = spec_from_json(&Value::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.fingerprint(), spec.fingerprint());
+    }
+
+    #[test]
+    fn non_default_base_is_refused() {
+        let mut spec = SweepSpec::default();
+        spec.base.l2.hit_latency += 1;
+        let err = spec_to_json(&spec).unwrap_err();
+        assert!(err.contains("non-default base"), "{err}");
+    }
+
+    #[test]
+    fn bad_wire_objects_are_typed_errors() {
+        assert!(spec_from_json(&Value::Obj(vec![]))
+            .unwrap_err()
+            .contains("missing type"));
+        let v = Value::Obj(vec![
+            ("type".into(), Value::Str("sweep-spec".into())),
+            ("version".into(), Value::Uint(99)),
+        ]);
+        assert!(spec_from_json(&v).unwrap_err().contains("version 99"));
+        let mut wire = spec_to_json(&SweepSpec::default()).unwrap();
+        if let Value::Obj(fields) = &mut wire {
+            fields.retain(|(k, _)| k != "workloads");
+        }
+        assert!(spec_from_json(&wire).unwrap_err().contains("no workloads"));
+    }
+
+    #[test]
+    fn unknown_workloads_and_fault_classes_are_refused() {
+        let mut wire = spec_to_json(&SweepSpec::default()).unwrap();
+        if let Value::Obj(fields) = &mut wire {
+            for (k, v) in fields.iter_mut() {
+                if k == "workloads" {
+                    *v = Value::Arr(vec![Value::Str("not-a-workload".into())]);
+                }
+            }
+        }
+        assert!(spec_from_json(&wire)
+            .unwrap_err()
+            .contains("unknown workload"));
+    }
+}

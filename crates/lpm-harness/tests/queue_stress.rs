@@ -12,7 +12,7 @@ fn drain(
     workers: usize,
     cost: impl Fn(usize) -> u64 + Sync,
 ) -> Vec<(usize, usize)> {
-    let (tx, rx) = mpsc::channel();
+    let (tx, rx) = mpsc::sync_channel(q.remaining());
     std::thread::scope(|s| {
         for w in 0..workers {
             let tx = tx.clone();

@@ -44,3 +44,8 @@ mod tests {
         let _ = t.elapsed();
     }
 }
+
+/// Decoy: bounded channels are the sanctioned shape (D005 stays quiet).
+pub fn bounded() -> (std::sync::mpsc::SyncSender<u32>, std::sync::mpsc::Receiver<u32>) {
+    std::sync::mpsc::sync_channel(4)
+}

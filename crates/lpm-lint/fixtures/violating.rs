@@ -40,3 +40,9 @@ pub fn boom() {
 pub fn truncate(cycles: u128) -> u64 {
     cycles as u64 // expect: P002
 }
+
+pub fn firehose() -> u64 {
+    let (tx, rx) = std::sync::mpsc::channel(); // expect: D005
+    tx.send(1u64).ok();
+    rx.recv().unwrap_or(0)
+}

@@ -61,6 +61,15 @@ pub fn catalog() -> &'static [Rule] {
             default_allow_fns: &[],
         },
         Rule {
+            id: "D005",
+            summary: "unbounded mpsc channel in long-running service code",
+            hint: "use std::sync::mpsc::sync_channel(capacity): an unbounded channel() turns \
+                   a stalled consumer into unbounded memory growth, while a bounded one \
+                   surfaces overload as backpressure the admission layer can reject typed",
+            default_scope: Scope::All,
+            default_allow_fns: &[],
+        },
+        Rule {
             id: "P001",
             summary: "panicking call in non-test library code",
             hint: "return a typed error (SimError/LpmError/ParseError) instead; if the panic \
@@ -329,6 +338,30 @@ pub fn lint_source(rel: &str, src: &str, cfg: &LintConfig, in_tests_dir: bool) -
                         in_test,
                     );
                 }
+                "channel" if !in_use && (i == 0 || ident_at(i - 1) != Some("fn")) => {
+                    // A call: `channel(` or the turbofish `channel::<T>(`.
+                    let mut j = i + 1;
+                    if punct_at(j, ':') && punct_at(j + 1, ':') && punct_at(j + 2, '<') {
+                        let mut angle = 1usize;
+                        j += 3;
+                        while j < code.len() && angle > 0 {
+                            if punct_at(j, '<') {
+                                angle += 1;
+                            } else if punct_at(j, '>') {
+                                angle -= 1;
+                            }
+                            j += 1;
+                        }
+                    }
+                    if punct_at(j, '(') {
+                        emit(
+                            "D005",
+                            t.line,
+                            "unbounded mpsc::channel() has no backpressure".to_string(),
+                            in_test,
+                        );
+                    }
+                }
                 w if DATE_TYPES.contains(&w) && !in_use => {
                     emit(
                         "D004",
@@ -548,6 +581,29 @@ fn f(x: usize) -> u64 { x as u64 }
 fn g(x: u64) -> f64 { x as f64 }
 ";
         assert_eq!(rules_hit(src), vec![("P002".to_string(), 2)]);
+    }
+
+    #[test]
+    fn d005_fires_on_unbounded_channels_only() {
+        let src = "\
+use std::sync::mpsc;
+fn f() { let (tx, rx) = mpsc::channel::<u64>(); }
+fn g() { let (tx, rx) = mpsc::sync_channel::<u64>(8); }
+fn channel(x: u32) -> u32 { x }
+";
+        // `channel()` fires; `sync_channel`, the `use`, and the local fn
+        // definition do not.
+        assert_eq!(rules_hit(src), vec![("D005".to_string(), 2)]);
+    }
+
+    #[test]
+    fn d005_path_gating_follows_lint_toml() {
+        let cfg = LintConfig::parse("[rules.D005]\npaths = [\"crates/lpm-serve\"]").unwrap();
+        let src = "fn f() { let p = mpsc::channel::<u64>(); }\n";
+        let hit = lint_source("crates/lpm-serve/src/server.rs", src, &cfg, false);
+        assert_eq!(hit.findings.len(), 1, "{:?}", hit.findings);
+        let miss = lint_source("crates/lpm-cli/src/main.rs", src, &cfg, false);
+        assert!(miss.findings.is_empty(), "{:?}", miss.findings);
     }
 
     #[test]

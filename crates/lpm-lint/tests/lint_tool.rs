@@ -55,7 +55,7 @@ fn violating_fixture_matches_expect_markers() {
     assert_eq!(got, want);
     // Every rule in the catalog except the allow meta-rule appears.
     let rules: BTreeSet<&str> = report.findings.iter().map(|f| f.rule.as_str()).collect();
-    for r in ["D001", "D002", "D003", "D004", "P001", "P002"] {
+    for r in ["D001", "D002", "D003", "D004", "D005", "P001", "P002"] {
         assert!(rules.contains(r), "{r} missing from violating fixture");
     }
 }
@@ -109,7 +109,7 @@ fn config_can_disable_rules_and_narrow_paths() {
     let cfg = LintConfig::parse(
         "[rules.P001]\nenabled = false\n[rules.P002]\nenabled = false\n\
          [rules.D002]\nenabled = false\n[rules.D003]\nenabled = false\n\
-         [rules.D004]\nenabled = false",
+         [rules.D004]\nenabled = false\n[rules.D005]\nenabled = false",
     )
     .expect("valid config");
     let report = lint_fixture("violating.rs", &cfg);
@@ -135,7 +135,11 @@ fn lib_scoped_rules_skip_tests_directories() {
     let files = vec![(path, "crates/lpm-x/tests/violating.rs".to_string())];
     let report = lint_files(&tmp, &files, &LintConfig::default()).expect("lintable");
     assert!(!report.findings.is_empty());
-    assert!(report.findings.iter().all(|f| f.rule == "D001"));
+    // D001 and D005 are scope = "all"; everything lib-scoped vanishes.
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| f.rule == "D001" || f.rule == "D005"));
 }
 
 #[test]

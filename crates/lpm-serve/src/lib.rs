@@ -1,0 +1,58 @@
+//! Crash-tolerant sweep service for the LPM reproduction.
+//!
+//! The paper's workflow is batch-shaped: a design-space sweep (Table I ×
+//! SPEC CPU2006) is submitted, runs for a long time, and must survive
+//! the machinery around it — full queues, stuck points, operator
+//! restarts, and outright `SIGKILL`. `lpm-serve` wraps the
+//! [`lpm_harness`] sweep engine in a long-running daemon with exactly
+//! those robustness properties:
+//!
+//! - **Typed admission control.** The job queue is *bounded*; a full
+//!   queue or an over-quota tenant gets an immediate typed rejection
+//!   (`queue-full`, `tenant-quota`, `invalid-spec`, `shutting-down`) —
+//!   the server never blocks a client waiting for capacity. Sizing
+//!   rationale is derived in DESIGN.md §11 from the M/M/1 queueing
+//!   model the paper's C-AMAT analysis itself leans on.
+//! - **Deadlines.** A per-job wall-clock deadline raises the job's
+//!   cooperative cancel flag; in-flight points finish and are
+//!   journaled, then the job fails with a typed `deadline` detail. The
+//!   *deterministic* watchdog stays the simulated-cycle budget inside
+//!   the spec ([`lpm_harness::SweepSpec::point_cycle_budget`]); wall
+//!   deadlines only bound how long this server works on a job, never
+//!   what any row contains.
+//! - **Drain on SIGTERM.** Termination stops admission, cancels
+//!   in-flight sweeps cooperatively, journals their finished rows,
+//!   requeues them as `queued` manifests and exits cleanly.
+//! - **Kill-resume.** Every job's progress lives in an fsynced
+//!   checkpoint journal keyed by the spec
+//!   [fingerprint](lpm_harness::SweepSpec::fingerprint) plus an
+//!   atomically-replaced job manifest. A `SIGKILL`ed server restarted
+//!   on the same state directory re-enqueues every unfinished job and
+//!   produces the same report **byte for byte** as a server that was
+//!   never killed — the engine's determinism contract extends across
+//!   process death.
+//! - **Report cache.** A re-submitted spec whose fingerprint matches a
+//!   completed job is served from the cached report instead of being
+//!   recomputed; a spec matching a live job joins it instead of
+//!   duplicating work.
+//!
+//! The wire protocol is line-delimited JSON over TCP (one request
+//! object per line, one response object per line) using the in-repo
+//! [`lpm_telemetry::Value`] codec — no async runtime, no external
+//! dependencies, plain threads throughout (shim-crate policy).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod signal;
+pub mod state;
+
+pub use admission::{Admitted, Rejection};
+pub use client::{read_endpoint, Client};
+pub use proto::Request;
+pub use server::{start, ServerConfig, ServerHandle};
+pub use state::{CancelCause, JobStatus, StateDir};

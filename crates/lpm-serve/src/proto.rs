@@ -1,0 +1,201 @@
+//! Wire protocol: line-delimited JSON requests and responses.
+//!
+//! One JSON object per line in each direction. Every response carries
+//! `"ok": true|false`; failures carry a stable machine-readable
+//! `"reason"` (the admission reject taxonomy plus `bad-request` and
+//! `unknown-job`) and a human `"detail"`. The codec is the in-repo
+//! [`lpm_telemetry::Value`]; integers ride the exact `Uint` variant so
+//! fingerprints and counters round-trip losslessly.
+
+use lpm_telemetry::Value;
+
+/// Build a JSON object from `(key, value)` pairs, preserving order.
+pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// An `"ok": true` response with extra fields appended.
+pub fn ok(fields: Vec<(&str, Value)>) -> Value {
+    let mut all = vec![("ok", Value::Bool(true))];
+    all.extend(fields);
+    obj(all)
+}
+
+/// An `"ok": false` response with a typed reason and human detail.
+pub fn err(reason: &str, detail: &str) -> Value {
+    obj(vec![
+        ("ok", Value::Bool(false)),
+        ("reason", Value::Str(reason.to_string())),
+        ("detail", Value::Str(detail.to_string())),
+    ])
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a sweep job: a spec (wire form, see
+    /// [`lpm_harness::spec_from_json`]), the submitting tenant, and
+    /// optional worker-count / deadline overrides.
+    Submit {
+        /// Tenant the job is accounted against for quota purposes.
+        tenant: String,
+        /// The sweep spec in wire form (decoded by the server so
+        /// invalid specs become typed `invalid-spec` rejections).
+        spec: Value,
+        /// Worker threads for this sweep (`None` = server default).
+        jobs: Option<u64>,
+        /// Wall-clock deadline in milliseconds (`None` = no deadline).
+        deadline_ms: Option<u64>,
+    },
+    /// Query one job's status.
+    Status {
+        /// Job id as returned by submit.
+        id: String,
+    },
+    /// Cancel a queued or running job.
+    Cancel {
+        /// Job id as returned by submit.
+        id: String,
+    },
+    /// Fetch a completed job's report (JSONL text).
+    Report {
+        /// Job id as returned by submit.
+        id: String,
+    },
+    /// List every known job.
+    List,
+    /// Fetch recent job-lifecycle telemetry events.
+    Events,
+    /// Liveness probe; also reports whether the server is draining.
+    Ping,
+    /// Ask the server to drain and exit (same path as SIGTERM).
+    Shutdown,
+}
+
+impl Request {
+    /// Parse a request object. Errors are protocol-level (`bad-request`
+    /// material): unknown type, missing fields, wrong field types.
+    pub fn from_json(v: &Value) -> Result<Request, String> {
+        let ty = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or("request has no type field")?;
+        let id = |v: &Value| -> Result<String, String> {
+            Ok(v.get("id")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{ty} request has no id field"))?
+                .to_string())
+        };
+        match ty {
+            "submit" => {
+                let tenant = v
+                    .get("tenant")
+                    .and_then(Value::as_str)
+                    .unwrap_or("default")
+                    .to_string();
+                let spec = v.get("spec").cloned().ok_or("submit has no spec field")?;
+                let jobs = v.get("jobs").map(|j| {
+                    j.as_u64()
+                        .ok_or_else(|| "submit jobs field is not an integer".to_string())
+                });
+                let jobs = jobs.transpose()?;
+                let deadline_ms = v
+                    .get("deadline_ms")
+                    .filter(|d| **d != Value::Null)
+                    .map(|d| {
+                        d.as_u64()
+                            .ok_or_else(|| "submit deadline_ms is not an integer".to_string())
+                    })
+                    .transpose()?;
+                Ok(Request::Submit {
+                    tenant,
+                    spec,
+                    jobs,
+                    deadline_ms,
+                })
+            }
+            "status" => Ok(Request::Status { id: id(v)? }),
+            "cancel" => Ok(Request::Cancel { id: id(v)? }),
+            "report" => Ok(Request::Report { id: id(v)? }),
+            "list" => Ok(Request::List),
+            "events" => Ok(Request::Events),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown request type {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse_and_reject_malformed_input() {
+        let v = Value::parse(r#"{"type":"status","id":"3-abc"}"#).unwrap();
+        assert_eq!(
+            Request::from_json(&v).unwrap(),
+            Request::Status { id: "3-abc".into() }
+        );
+        let v = Value::parse(r#"{"type":"ping"}"#).unwrap();
+        assert_eq!(Request::from_json(&v).unwrap(), Request::Ping);
+        let v = Value::parse(r#"{"type":"submit"}"#).unwrap();
+        assert!(Request::from_json(&v).unwrap_err().contains("spec"));
+        let v = Value::parse(r#"{"type":"warp"}"#).unwrap();
+        assert!(Request::from_json(&v)
+            .unwrap_err()
+            .contains("unknown request type"));
+        let v = Value::parse(r#"{"id":"x"}"#).unwrap();
+        assert!(Request::from_json(&v).unwrap_err().contains("no type"));
+    }
+
+    #[test]
+    fn submit_accepts_optional_fields() {
+        let v =
+            Value::parse(r#"{"type":"submit","tenant":"t1","spec":{},"jobs":4,"deadline_ms":500}"#)
+                .unwrap();
+        let Request::Submit {
+            tenant,
+            jobs,
+            deadline_ms,
+            ..
+        } = Request::from_json(&v).unwrap()
+        else {
+            panic!("not a submit");
+        };
+        assert_eq!(tenant, "t1");
+        assert_eq!(jobs, Some(4));
+        assert_eq!(deadline_ms, Some(500));
+
+        let v = Value::parse(r#"{"type":"submit","spec":{}}"#).unwrap();
+        let Request::Submit {
+            tenant,
+            jobs,
+            deadline_ms,
+            ..
+        } = Request::from_json(&v).unwrap()
+        else {
+            panic!("not a submit");
+        };
+        assert_eq!(tenant, "default");
+        assert_eq!(jobs, None);
+        assert_eq!(deadline_ms, None);
+    }
+
+    #[test]
+    fn response_builders_round_trip() {
+        let r = ok(vec![("id", Value::Str("1-ff".into()))]);
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(r.get("id").and_then(Value::as_str), Some("1-ff"));
+        let e = err("queue-full", "queue full (8 queued, capacity 8)");
+        assert_eq!(e.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(e.get("reason").and_then(Value::as_str), Some("queue-full"));
+        let text = e.to_json();
+        assert_eq!(Value::parse(&text).unwrap(), e);
+    }
+}

@@ -1,0 +1,102 @@
+//! SIGTERM / SIGINT → drain-flag bridge.
+//!
+//! The only thing a signal handler may safely do is flip an atomic;
+//! everything else (drain, checkpoint, requeue) happens in the accept
+//! loop, which polls [`term_requested`] between accepts. The handler is
+//! installed with the C `signal(2)` binding so the crate stays free of
+//! external dependencies; this is the one module allowed to contain
+//! `unsafe` (the crate root denies it everywhere else).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler; read by the accept loop.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" fn on_term(_signum: i32) {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+#[allow(unsafe_code)]
+mod ffi {
+    extern "C" {
+        pub fn signal(signum: i32, handler: usize) -> usize;
+        pub fn kill(pid: i32, signum: i32) -> i32;
+    }
+
+    /// Install `handler` for `signum` via libc `signal(2)`.
+    pub fn install(signum: i32, handler: extern "C" fn(i32)) {
+        // SAFETY: `signal` with a plain function pointer is the
+        // async-signal-safe minimum; the handler only stores to an
+        // AtomicBool, which is signal-safe.
+        unsafe {
+            signal(signum, handler as usize);
+        }
+    }
+
+    /// Send `signum` to `pid` via libc `kill(2)`.
+    pub fn send(pid: i32, signum: i32) -> i32 {
+        // SAFETY: kill() with a valid pid/signal pair has no memory
+        // safety preconditions; a bad pid simply returns -1.
+        unsafe { kill(pid, signum) }
+    }
+}
+
+/// Install the SIGTERM/SIGINT handlers that raise the drain flag.
+/// Idempotent; call once per process before serving.
+pub fn install_term_handlers() {
+    ffi::install(SIGTERM, on_term);
+    ffi::install(SIGINT, on_term);
+}
+
+/// Whether a termination signal has been delivered to this process.
+pub fn term_requested() -> bool {
+    TERM.load(Ordering::SeqCst)
+}
+
+/// Raise the same flag the signals set (shutdown requests and tests
+/// share the drain path with SIGTERM by design).
+pub fn request_term() {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+/// Clear the flag (tests that start several servers in one process).
+pub fn reset_term() {
+    TERM.store(false, Ordering::SeqCst);
+}
+
+/// Send SIGTERM to another process — the graceful half of the
+/// kill-resume soak (the rude half is `Child::kill`, i.e. SIGKILL).
+/// Returns `false` if the signal could not be delivered.
+pub fn send_term(pid: u32) -> bool {
+    match i32::try_from(pid) {
+        Ok(pid) => ffi::send(pid, SIGTERM) == 0,
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_set_and_reset_round_trip() {
+        reset_term();
+        assert!(!term_requested());
+        request_term();
+        assert!(term_requested());
+        reset_term();
+        assert!(!term_requested());
+    }
+
+    #[test]
+    fn handlers_install_without_error() {
+        install_term_handlers();
+        // Deliver-and-observe is exercised by the cli_serve integration
+        // test with a real child process; here we only prove install
+        // does not corrupt the process.
+        assert!(!term_requested() || term_requested());
+    }
+}

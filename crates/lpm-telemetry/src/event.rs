@@ -69,6 +69,88 @@ impl SkipReason {
     }
 }
 
+/// Lifecycle boundary a serve-daemon job crossed. The phase names give
+/// the JSONL event kinds (`job-admitted`, `job-rejected`, ...) their
+/// suffix, so a stream consumer can follow a job through admission →
+/// start → terminal state (or rejection) by kind alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// The job passed admission control and entered the bounded queue.
+    Admitted,
+    /// Admission control refused the job (queue full, quota exceeded,
+    /// invalid spec, ...) — the detail carries the typed reason.
+    Rejected,
+    /// A runner picked the job up and began evaluating.
+    Started,
+    /// The job's wall-clock deadline expired; its sweep was cancelled
+    /// (checkpointed rows survive for resume).
+    DeadlineExceeded,
+    /// The job failed and was re-queued for another bounded attempt.
+    Retried,
+    /// Graceful shutdown drained the job: in-flight work checkpointed,
+    /// job re-queued for the next process.
+    Drained,
+    /// A restarted server picked the job back up from its journal.
+    Resumed,
+    /// The client cancelled the job.
+    Cancelled,
+    /// The job's report is complete and cached.
+    Completed,
+    /// The job failed terminally (retry budget exhausted).
+    Failed,
+}
+
+impl JobPhase {
+    /// Stable phase label: the part after `job-` in the event kind.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobPhase::Admitted => "admitted",
+            JobPhase::Rejected => "rejected",
+            JobPhase::Started => "started",
+            JobPhase::DeadlineExceeded => "deadline-exceeded",
+            JobPhase::Retried => "retried",
+            JobPhase::Drained => "drained",
+            JobPhase::Resumed => "resumed",
+            JobPhase::Cancelled => "cancelled",
+            JobPhase::Completed => "completed",
+            JobPhase::Failed => "failed",
+        }
+    }
+
+    /// Inverse of [`JobPhase::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "admitted" => Some(JobPhase::Admitted),
+            "rejected" => Some(JobPhase::Rejected),
+            "started" => Some(JobPhase::Started),
+            "deadline-exceeded" => Some(JobPhase::DeadlineExceeded),
+            "retried" => Some(JobPhase::Retried),
+            "drained" => Some(JobPhase::Drained),
+            "resumed" => Some(JobPhase::Resumed),
+            "cancelled" => Some(JobPhase::Cancelled),
+            "completed" => Some(JobPhase::Completed),
+            "failed" => Some(JobPhase::Failed),
+            _ => None,
+        }
+    }
+
+    /// The event kind tag for this phase (`job-` + label).
+    pub fn kind(self) -> &'static str {
+        match self {
+            JobPhase::Admitted => "job-admitted",
+            JobPhase::Rejected => "job-rejected",
+            JobPhase::Started => "job-started",
+            JobPhase::DeadlineExceeded => "job-deadline-exceeded",
+            JobPhase::Retried => "job-retried",
+            JobPhase::Drained => "job-drained",
+            JobPhase::Resumed => "job-resumed",
+            JobPhase::Cancelled => "job-cancelled",
+            JobPhase::Completed => "job-completed",
+            JobPhase::Failed => "job-failed",
+        }
+    }
+}
+
 /// One typed entry in the bounded event log.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -195,6 +277,20 @@ pub enum Event {
         /// Rows in the journal after this write.
         rows: u64,
     },
+    /// A serve-daemon job crossed a lifecycle boundary (service-level
+    /// event; `cycle` is 0 — job lifecycle is not tied to a simulated
+    /// cycle).
+    Job {
+        /// Always 0 for service events.
+        cycle: u64,
+        /// Stable job id (admission sequence number + spec fingerprint).
+        job: String,
+        /// Which boundary was crossed.
+        phase: JobPhase,
+        /// Phase detail: the typed rejection reason, the deadline text,
+        /// resume row counts, ... Empty when the phase needs none.
+        detail: String,
+    },
 }
 
 impl Event {
@@ -212,6 +308,7 @@ impl Event {
             Event::PointRetried { .. } => "point-retried",
             Event::PointQuarantined { .. } => "point-quarantined",
             Event::CheckpointWritten { .. } => "checkpoint-written",
+            Event::Job { phase, .. } => phase.kind(),
         }
     }
 
@@ -228,7 +325,8 @@ impl Event {
             | Event::PointFailed { cycle, .. }
             | Event::PointRetried { cycle, .. }
             | Event::PointQuarantined { cycle, .. }
-            | Event::CheckpointWritten { cycle, .. } => *cycle,
+            | Event::CheckpointWritten { cycle, .. }
+            | Event::Job { cycle, .. } => *cycle,
         }
     }
 
@@ -321,6 +419,12 @@ impl Event {
             Event::CheckpointWritten { index, rows, .. } => {
                 f.push(("index".into(), Value::Uint(*index)));
                 f.push(("rows".into(), Value::Uint(*rows)));
+            }
+            Event::Job { job, detail, .. } => {
+                // The phase rides in the kind tag; only the payload is
+                // written here.
+                f.push(("job".into(), Value::Str(job.clone())));
+                f.push(("detail".into(), Value::Str(detail.clone())));
             }
         }
         Value::Obj(f)
@@ -442,7 +546,23 @@ impl Event {
                 index: u("index")?,
                 rows: u("rows")?,
             }),
-            other => Err(format!("unknown event kind {other:?}")),
+            other => match other.strip_prefix("job-").and_then(JobPhase::from_label) {
+                Some(phase) => Ok(Event::Job {
+                    cycle,
+                    job: v
+                        .get("job")
+                        .and_then(Value::as_str)
+                        .ok_or("job event missing job id")?
+                        .to_string(),
+                    phase,
+                    detail: v
+                        .get("detail")
+                        .and_then(Value::as_str)
+                        .ok_or("job event missing detail")?
+                        .to_string(),
+                }),
+                None => Err(format!("unknown event kind {other:?}")),
+            },
         }
     }
 }
@@ -532,6 +652,18 @@ mod tests {
                 index: 5,
                 rows: 6,
             },
+            Event::Job {
+                cycle: 0,
+                job: "1-00deadbeef00cafe".into(),
+                phase: JobPhase::Rejected,
+                detail: "queue full (8 queued, capacity 8)".into(),
+            },
+            Event::Job {
+                cycle: 0,
+                job: "1-00deadbeef00cafe".into(),
+                phase: JobPhase::Resumed,
+                detail: "3 of 8 row(s) already journaled".into(),
+            },
         ]
     }
 
@@ -555,6 +687,29 @@ mod tests {
         assert_eq!(evs[9].kind(), "point-quarantined");
         assert_eq!(evs[10].kind(), "checkpoint-written");
         assert_eq!(evs[10].cycle(), 0);
+        assert_eq!(evs[11].kind(), "job-rejected");
+        assert_eq!(evs[12].kind(), "job-resumed");
+        assert_eq!(evs[12].cycle(), 0);
+    }
+
+    #[test]
+    fn job_phase_labels_and_kinds_invert() {
+        for phase in [
+            JobPhase::Admitted,
+            JobPhase::Rejected,
+            JobPhase::Started,
+            JobPhase::DeadlineExceeded,
+            JobPhase::Retried,
+            JobPhase::Drained,
+            JobPhase::Resumed,
+            JobPhase::Cancelled,
+            JobPhase::Completed,
+            JobPhase::Failed,
+        ] {
+            assert_eq!(JobPhase::from_label(phase.label()), Some(phase));
+            assert_eq!(phase.kind().strip_prefix("job-"), Some(phase.label()));
+        }
+        assert_eq!(JobPhase::from_label("paused"), None);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod export;
 pub mod json;
 pub mod snapshot;
 
-pub use event::{DecisionCase, Event, SkipReason};
+pub use event::{DecisionCase, Event, JobPhase, SkipReason};
 pub use export::{FaultTotals, HealthCounters, RunSummary, TelemetryLog};
 pub use json::Value;
 pub use snapshot::{CycleAccum, CycleSample, Histogram, LayerMetrics, MetricsSnapshot};
