@@ -39,6 +39,9 @@ pub const JOURNAL_VERSION: u64 = 1;
 pub struct CheckpointJournal {
     file: File,
     rows: u64,
+    /// Test hook: fail `append` once this many rows have been written.
+    #[cfg(test)]
+    fail_after: Option<u64>,
 }
 
 impl CheckpointJournal {
@@ -55,7 +58,12 @@ impl CheckpointJournal {
         file.write_all(format!("{}\n", header.to_json()).as_bytes())
             .and_then(|()| file.sync_data())
             .map_err(|e| format!("cannot write checkpoint header to {}: {e}", path.display()))?;
-        Ok(CheckpointJournal { file, rows: 0 })
+        Ok(CheckpointJournal {
+            file,
+            rows: 0,
+            #[cfg(test)]
+            fail_after: None,
+        })
     }
 
     /// Reopen an existing journal for appending, after
@@ -65,7 +73,12 @@ impl CheckpointJournal {
             .append(true)
             .open(path)
             .map_err(|e| format!("cannot reopen checkpoint journal {}: {e}", path.display()))?;
-        Ok(CheckpointJournal { file, rows })
+        Ok(CheckpointJournal {
+            file,
+            rows,
+            #[cfg(test)]
+            fail_after: None,
+        })
     }
 
     /// Rows appended so far (including rows loaded at resume).
@@ -73,10 +86,25 @@ impl CheckpointJournal {
         self.rows
     }
 
+    /// Test hook: make `append` fail once `rows` rows have been written
+    /// (regression: collector error paths must wind workers down, not
+    /// strand them on the bounded channel).
+    #[cfg(test)]
+    pub(crate) fn fail_after(&mut self, rows: u64) {
+        self.fail_after = Some(rows);
+    }
+
     /// Append one terminal row (and a `checkpoint-written` marker event)
     /// and flush to disk. Returns the journal's row count after the
     /// write.
     pub fn append(&mut self, row: &PointRow) -> Result<u64, String> {
+        #[cfg(test)]
+        if self.fail_after.is_some_and(|n| self.rows >= n) {
+            return Err(format!(
+                "cannot append checkpoint row {}: injected journal fault",
+                row.index
+            ));
+        }
         self.rows += 1;
         let marker = Event::CheckpointWritten {
             cycle: 0,
@@ -169,7 +197,11 @@ pub fn inspect_journal(path: &Path) -> Result<JournalInfo, String> {
         .and_then(Value::as_u64)
         .ok_or_else(|| at(0, "header has no point count"))?;
 
-    let mut seen = vec![false; usize::try_from(points).map_err(|_| at(0, "point count overflow"))?];
+    // The point count is untrusted (a corrupt header can claim any
+    // number); track seen indices in a set sized by the rows actually
+    // present, never by the header's claim — `vec![false; points]` on a
+    // bogus count would be an attacker-sized allocation.
+    let mut seen = std::collections::BTreeSet::new();
     let mut torn_tail = false;
     for (i, line) in lines.iter().enumerate().skip(1) {
         let v = match Value::parse(line) {
@@ -183,18 +215,16 @@ pub fn inspect_journal(path: &Path) -> Result<JournalInfo, String> {
         match v.get("type").and_then(Value::as_str) {
             Some("checkpoint-row") => {
                 let row = row_from_json(&v).map_err(|e| at(i, &e))?;
-                match seen.get_mut(row.index) {
-                    Some(slot) => *slot = true,
-                    None => {
-                        return Err(at(
-                            i,
-                            &format!(
-                                "row index {} out of range (journal has {points})",
-                                row.index
-                            ),
-                        ))
-                    }
+                if u64::try_from(row.index).map_or(true, |ix| ix >= points) {
+                    return Err(at(
+                        i,
+                        &format!(
+                            "row index {} out of range (journal has {points})",
+                            row.index
+                        ),
+                    ));
                 }
+                seen.insert(row.index);
             }
             Some("event") => {}
             other => return Err(at(i, &format!("unexpected record type {other:?}"))),
@@ -204,7 +234,7 @@ pub fn inspect_journal(path: &Path) -> Result<JournalInfo, String> {
         version,
         fingerprint,
         points,
-        rows: seen.iter().filter(|s| **s).count() as u64,
+        rows: seen.len() as u64,
         torn_tail,
     })
 }
@@ -660,6 +690,26 @@ mod tests {
         assert!(inspect_journal(&path)
             .unwrap_err()
             .contains("corrupt record"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inspect_survives_an_implausible_header_point_count() {
+        // Regression: the header's point count is untrusted; a corrupt
+        // journal claiming 10^18 points must not drive an allocation
+        // sized by the claim (which would abort the process during
+        // serve-daemon recovery).
+        let path = journal_path("huge-points");
+        std::fs::write(
+            &path,
+            "{\"type\":\"checkpoint-header\",\"version\":1,\
+             \"fingerprint\":7,\"points\":1000000000000000000}\n",
+        )
+        .unwrap();
+        let info = inspect_journal(&path).unwrap();
+        assert_eq!(info.points, 1_000_000_000_000_000_000);
+        assert_eq!(info.rows, 0);
+        assert!(!info.complete());
         std::fs::remove_file(&path).ok();
     }
 

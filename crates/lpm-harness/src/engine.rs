@@ -525,6 +525,15 @@ fn worker_loop(
     }
 }
 
+#[cfg(test)]
+thread_local! {
+    /// Test hook: make this thread's next sweep journal fail its append
+    /// once N rows have been written (regression: a journal error in
+    /// the collector must wind the workers down, not strand them
+    /// blocked on the bounded channel).
+    static JOURNAL_FAIL_AFTER: std::cell::Cell<Option<u64>> = std::cell::Cell::new(None);
+}
+
 /// Run a sweep with `jobs` worker threads under explicit crash-safety
 /// options, and return the full typed report — one [`PointRow`] per
 /// point, ok or not. The caller chooses the merge policy: fail fast on
@@ -568,6 +577,10 @@ pub fn run_sweep_with(
         }
         Some(path) => Some(CheckpointJournal::create(path, fingerprint, points.len())?),
     };
+    #[cfg(test)]
+    if let (Some(j), Some(n)) = (journal.as_mut(), JOURNAL_FAIL_AFTER.with(std::cell::Cell::get)) {
+        j.fail_after(n);
+    }
 
     let pending: Vec<usize> = slots
         .iter()
@@ -610,6 +623,12 @@ pub fn run_sweep_with(
                 scope.spawn(move || worker_loop(w, queue, points, spec, guard, cancel, &tx));
             }
             drop(tx);
+            // Move the receiver into the scope so the error path below
+            // can drop it *before* the scope joins the workers; with the
+            // channel bounded, a receiver that merely stopped receiving
+            // would leave workers blocked in `send` forever and the join
+            // would deadlock.
+            let rx = rx;
             // Arrival order is schedule-dependent; the slot vector
             // erases it before anything downstream can observe it.
             while let Ok(row) = rx.recv() {
@@ -619,6 +638,7 @@ pub fn run_sweep_with(
                         // Dropping the receiver makes every worker's
                         // next send fail, which triggers their drain
                         // path and winds the sweep down.
+                        drop(rx);
                         break;
                     }
                 }
@@ -969,6 +989,31 @@ mod tests {
         let reference = run_sweep_with(&spec, 1, &SweepOptions::default()).unwrap();
         assert_eq!(resumed, reference);
         assert_eq!(resumed.to_jsonl(), reference.to_jsonl());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journal_error_mid_sweep_returns_instead_of_deadlocking_workers() {
+        // Regression: a journal append error in the collector must drop
+        // the receiver *inside* the thread scope. With more points than
+        // the bounded channel's cushion, a receiver that merely stopped
+        // receiving would leave workers blocked in send and the scope
+        // join would never return.
+        let spec = SweepSpec {
+            seeds: (0..8).collect(),
+            ..tiny_spec()
+        };
+        assert!(spec.points().len() > 4 * 2 + 1, "must overflow the cushion");
+        let mut path = std::env::temp_dir();
+        path.push(format!("lpm-engine-jfail-{}.jsonl", std::process::id()));
+        let opts = SweepOptions {
+            checkpoint: Some(path.clone()),
+            ..SweepOptions::default()
+        };
+        JOURNAL_FAIL_AFTER.with(|c| c.set(Some(1)));
+        let err = run_sweep_with(&spec, 4, &opts).unwrap_err();
+        JOURNAL_FAIL_AFTER.with(|c| c.set(None));
+        assert!(err.contains("injected journal fault"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

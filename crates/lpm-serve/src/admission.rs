@@ -39,6 +39,9 @@ pub enum Rejection {
     InvalidSpec(String),
     /// The server is draining and admits nothing new.
     ShuttingDown,
+    /// A server-side fault (e.g. persisting the manifest failed); the
+    /// submission itself was fine and may be retried.
+    Internal(String),
 }
 
 impl Rejection {
@@ -49,6 +52,7 @@ impl Rejection {
             Rejection::TenantQuota { .. } => "tenant-quota",
             Rejection::InvalidSpec(_) => "invalid-spec",
             Rejection::ShuttingDown => "shutting-down",
+            Rejection::Internal(_) => "internal-error",
         }
     }
 
@@ -63,6 +67,7 @@ impl Rejection {
             }
             Rejection::InvalidSpec(e) => format!("invalid spec: {e}"),
             Rejection::ShuttingDown => "server is draining; resubmit to the next instance".into(),
+            Rejection::Internal(e) => format!("internal error: {e}"),
         }
     }
 }
@@ -164,8 +169,9 @@ pub fn admit(
         cancel: Arc::new(AtomicBool::new(false)),
         cancel_cause: None,
         started: None,
+        not_before: None,
     };
-    persist_manifest(dir, &job).map_err(Rejection::InvalidSpec)?;
+    persist_manifest(dir, &job).map_err(Rejection::Internal)?;
     state.active_by_fp.insert(fingerprint, id.clone());
     state.jobs.insert(id.clone(), job);
     state.queue.push_back(id.clone());
@@ -367,5 +373,30 @@ mod tests {
     fn invalid_wire_specs_get_typed_rejections() {
         let rej = decode_spec(&Value::Str("nope".into())).unwrap_err();
         assert_eq!(rej.reason(), "invalid-spec");
+    }
+
+    #[test]
+    fn persistence_failures_reject_internal_error_not_invalid_spec() {
+        // A state dir that was never created: persist_manifest cannot
+        // write, which is a server-side fault — the spec is fine.
+        let dir = StateDir::new(tmpdir("no-such-dir"));
+        let mut state = ServeState::default();
+        let config = ServerConfig::default();
+        let rej = admit(
+            &mut state,
+            &dir,
+            &config,
+            "t",
+            spec_with_seed(1),
+            None,
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(rej.reason(), "internal-error");
+        assert!(rej.detail().starts_with("internal error:"), "{rej:?}");
+        // The failed admission must not leave registry residue.
+        assert!(state.jobs.is_empty());
+        assert!(state.queue.is_empty());
+        assert!(state.active_by_fp.is_empty());
     }
 }

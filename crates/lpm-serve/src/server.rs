@@ -328,13 +328,24 @@ struct JobRun {
 }
 
 /// Block until a job is available (or the server drains — `None`).
+///
+/// A requeued-for-retry job carries a `not_before` gate; it stays in
+/// the queue (any runner may pick it up later) but no runner starts it
+/// before its backoff elapses — ready jobs behind it are not blocked.
 fn next_job(shared: &Shared) -> Option<JobRun> {
     let mut st = shared.locked();
     loop {
         if st.draining {
             return None;
         }
-        let Some(id) = st.queue.pop_front() else {
+        // lpm-lint: allow(D002) retry-backoff gate; decides when an attempt may start, never reaches any report byte
+        let now = Instant::now();
+        let ready = st.queue.iter().position(|id| {
+            st.jobs
+                .get(id)
+                .map_or(true, |j| j.not_before.map_or(true, |t| t <= now))
+        });
+        let Some(pos) = ready else {
             st = shared
                 .work
                 .wait_timeout(st, Duration::from_millis(200))
@@ -342,11 +353,15 @@ fn next_job(shared: &Shared) -> Option<JobRun> {
                 .0;
             continue;
         };
+        let Some(id) = st.queue.remove(pos) else {
+            continue;
+        };
         let Some(job) = st.jobs.get_mut(&id) else {
             continue;
         };
         job.status = JobStatus::Running;
         job.detail = "evaluating".into();
+        job.not_before = None;
         // lpm-lint: allow(D002) service-level deadline clock; bounds wall time only, never reaches any report byte
         job.started = Some(Instant::now());
         let run = JobRun {
@@ -478,10 +493,27 @@ fn fail_or_retry(shared: &Shared, run: &JobRun, error: String) {
         job.retries_left -= 1;
         job.status = JobStatus::Queued;
         job.detail = format!("retrying after error: {error}");
+        // Fresh cancel state for the next attempt: a deadline or client
+        // cancel raised during *this* attempt (when the sweep failed
+        // with a non-cancel error that took precedence) must not make
+        // the retry return "sweep cancelled: 0 of N" without working.
+        job.cancel = Arc::new(AtomicBool::new(false));
+        job.cancel_cause = None;
+        job.started = None;
         let attempt = shared
             .config
             .max_job_retries
             .saturating_sub(job.retries_left);
+        // The backoff is a not-before gate on the *job*, enforced in
+        // next_job — sleeping here would only stall this runner while
+        // any idle peer picked the job right back up.
+        // lpm-lint: allow(D002) retry backoff clock; gates when the retry may start, never reaches any report byte
+        let now = Instant::now();
+        let backoff = shared
+            .config
+            .retry_backoff_ms
+            .saturating_mul(u64::from(attempt));
+        job.not_before = Some(now + Duration::from_millis(backoff));
         if let Err(pe) = persist_manifest(&shared.dir, job) {
             eprintln!("lpm-serve: cannot persist manifest for {}: {pe}", run.id);
         }
@@ -492,13 +524,6 @@ fn fail_or_retry(shared: &Shared, run: &JobRun, error: String) {
             &run.id,
             &format!("attempt {attempt} failed: {error}"),
         );
-        thread::sleep(Duration::from_millis(
-            shared
-                .config
-                .retry_backoff_ms
-                .saturating_mul(u64::from(attempt)),
-        ));
-        shared.work.notify_one();
     } else {
         job.status = JobStatus::Failed;
         job.detail = error.clone();

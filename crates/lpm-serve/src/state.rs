@@ -129,6 +129,10 @@ pub struct Job {
     /// When the current attempt started (deadline accounting only;
     /// never serialized, never in any report).
     pub started: Option<Instant>,
+    /// Retry backoff gate: runners skip the job until this instant.
+    /// Process-local like `started` — a restart retries immediately,
+    /// which is exactly what recovery wants.
+    pub not_before: Option<Instant>,
 }
 
 /// The mutable registry a running server guards behind its mutex:
@@ -331,6 +335,7 @@ pub fn manifest_from_json(v: &Value) -> Result<Job, String> {
         cancel: Arc::new(AtomicBool::new(false)),
         cancel_cause: None,
         started: None,
+        not_before: None,
     })
 }
 
@@ -373,6 +378,7 @@ mod tests {
             cancel: Arc::new(AtomicBool::new(false)),
             cancel_cause: None,
             started: None,
+            not_before: None,
         }
     }
 
