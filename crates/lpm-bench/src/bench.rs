@@ -1,0 +1,668 @@
+//! `lpm bench` — the perf-trajectory harness.
+//!
+//! Runs a fixed suite of micro and macro benchmarks spanning every
+//! performance-critical crate (trace generation, the cycle-level
+//! simulator, the analytic C-AMAT/LPMR model, the parallel sweep engine
+//! and its checkpoint journal) and emits one `BENCH_<tag>.json` record:
+//! a single JSON line built with the in-repo [`lpm_telemetry::Value`]
+//! codec, validated by `telemetry_check --bench-json`, and committed at
+//! the repo root per PR so the performance trajectory of the codebase is
+//! diffable in review.
+//!
+//! Wall-clock numbers are *side-channel only*: they live in this file
+//! and on stderr, never in deterministic exports. All timing goes
+//! through [`lpm_telemetry::wall_now`], the one sanctioned clock entry
+//! point (lint rule D002), and the simulator runs of the suite are
+//! profiled with [`Profiled<NullRecorder>`](lpm_telemetry::Profiled) so
+//! every record also carries a deterministic cycle-attribution
+//! breakdown next to the nondeterministic rates.
+
+use std::path::PathBuf;
+
+use lpm_core::design_space::HwConfig;
+use lpm_harness::{load_journal, run_sweep_profiled, run_sweep_with, SweepOptions, SweepSpec};
+use lpm_model::{CamatParams, Eta, LayerRecursion, Lpmr};
+use lpm_sim::{System, SystemConfig};
+use lpm_telemetry::{wall_now, CycleAttribution, NullRecorder, Profiled, Value, WallProfile};
+use lpm_trace::{Generator, SpecWorkload};
+
+use crate::SEED;
+
+/// Version stamp of the `BENCH_*.json` schema; bump on breaking change.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// One suite entry: a named measurement with its primary rate metric,
+/// the wall time it took, and free-form extra fields (deterministic
+/// counts, attribution breakdowns).
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Stable suite-entry name (`sim-step-loop`, `sweep-jobs1`, ...).
+    pub name: String,
+    /// Crate the entry exercises (`lpm-sim`, `lpm-harness`, ...).
+    pub krate: String,
+    /// What `value` measures (`cycles_per_sec`, `points_per_sec`, ...).
+    pub metric: String,
+    /// The measured rate (nondeterministic; side-channel material).
+    pub value: f64,
+    /// Wall nanoseconds the measured region took.
+    pub wall_ns: u64,
+    /// Extra fields appended to the entry's JSON object.
+    pub extra: Vec<(String, Value)>,
+}
+
+impl BenchEntry {
+    fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("crate".to_string(), Value::Str(self.krate.clone())),
+            ("metric".to_string(), Value::Str(self.metric.clone())),
+            ("value".to_string(), Value::Num(self.value)),
+            ("wall_ns".to_string(), Value::Uint(self.wall_ns)),
+        ];
+        fields.extend(self.extra.iter().cloned());
+        Value::Obj(fields)
+    }
+}
+
+/// A full bench run: the suite plus roll-up totals and the wall-clock
+/// span profile of the run itself.
+#[derive(Debug)]
+pub struct BenchReport {
+    /// Tag the record is filed under (`BENCH_<tag>.json`).
+    pub tag: String,
+    /// Whether the suite ran at reduced `--quick` scale.
+    pub quick: bool,
+    /// The suite entries in execution order.
+    pub entries: Vec<BenchEntry>,
+    /// Sweep-engine throughput (points/sec at the parallel worker count).
+    pub points_per_sec: f64,
+    /// Simulator throughput (simulated cycles/sec, single core).
+    pub cycles_per_sec: f64,
+    /// Merged cycle attribution across every profiled simulator run.
+    pub attribution: CycleAttribution,
+    /// `WallProfile::to_json` snapshot of the run's phase spans.
+    pub spans: Value,
+}
+
+impl BenchReport {
+    /// The single-line JSON record (`telemetry_check --bench-json`
+    /// validates exactly this shape).
+    pub fn to_json(&self) -> Value {
+        let cpus = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Value::Obj(vec![
+            ("type".to_string(), Value::Str("bench".to_string())),
+            (
+                "schema_version".to_string(),
+                Value::Uint(BENCH_SCHEMA_VERSION),
+            ),
+            ("tag".to_string(), Value::Str(self.tag.clone())),
+            ("quick".to_string(), Value::Bool(self.quick)),
+            (
+                "host".to_string(),
+                Value::Obj(vec![
+                    (
+                        "os".to_string(),
+                        Value::Str(std::env::consts::OS.to_string()),
+                    ),
+                    (
+                        "arch".to_string(),
+                        Value::Str(std::env::consts::ARCH.to_string()),
+                    ),
+                    ("cpus".to_string(), Value::Uint(cpus as u64)),
+                ]),
+            ),
+            (
+                "suite".to_string(),
+                Value::Arr(self.entries.iter().map(BenchEntry::to_json).collect()),
+            ),
+            (
+                "totals".to_string(),
+                Value::Obj(vec![
+                    (
+                        "points_per_sec".to_string(),
+                        Value::Num(self.points_per_sec),
+                    ),
+                    (
+                        "cycles_per_sec".to_string(),
+                        Value::Num(self.cycles_per_sec),
+                    ),
+                ]),
+            ),
+            ("attribution".to_string(), self.attribution.to_json()),
+            ("spans".to_string(), self.spans.clone()),
+        ])
+    }
+}
+
+/// The comparable subset of an earlier `BENCH_*.json` (for
+/// `--compare`): per-entry rates plus the roll-up totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSnapshot {
+    /// The record's tag.
+    pub tag: String,
+    /// `(name, metric, value)` per suite entry.
+    pub entries: Vec<(String, String, f64)>,
+    /// Roll-up sweep throughput.
+    pub points_per_sec: f64,
+    /// Roll-up simulator throughput.
+    pub cycles_per_sec: f64,
+}
+
+/// Strictly parse a `BENCH_*.json` record into its comparable subset.
+pub fn parse_snapshot(text: &str) -> Result<BenchSnapshot, String> {
+    let v = Value::parse(text.trim()).map_err(|e| format!("bench json: {e}"))?;
+    if v.get("type").and_then(Value::as_str) != Some("bench") {
+        return Err("bench json: type is not \"bench\"".to_string());
+    }
+    let tag = v
+        .get("tag")
+        .and_then(Value::as_str)
+        .ok_or("bench json: missing tag")?
+        .to_string();
+    let suite = v
+        .get("suite")
+        .and_then(Value::as_arr)
+        .ok_or("bench json: missing suite array")?;
+    let mut entries = Vec::new();
+    for (i, e) in suite.iter().enumerate() {
+        let name = e
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("bench json: suite[{i}] has no name"))?;
+        let metric = e
+            .get("metric")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("bench json: suite[{i}] has no metric"))?;
+        let value = e
+            .get("value")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("bench json: suite[{i}] has no value"))?;
+        entries.push((name.to_string(), metric.to_string(), value));
+    }
+    let totals = v.get("totals").ok_or("bench json: missing totals")?;
+    let total = |key: &str| -> Result<f64, String> {
+        totals
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("bench json: totals has no {key}"))
+    };
+    Ok(BenchSnapshot {
+        tag,
+        entries,
+        points_per_sec: total("points_per_sec")?,
+        cycles_per_sec: total("cycles_per_sec")?,
+    })
+}
+
+/// Render an advisory comparison table (`new` vs `old`). Deltas are
+/// informational only — wall-clock rates are machine- and load-
+/// dependent, so regressions here flag "look closer", never "fail CI".
+pub fn render_compare(old: &BenchSnapshot, new: &BenchSnapshot) -> String {
+    let mut out = format!(
+        "bench compare: {} (new) vs {} (old) — advisory, wall-clock rates\n{:<18} {:<18} {:>14} {:>14} {:>8}\n",
+        new.tag, old.tag, "entry", "metric", "old", "new", "delta"
+    );
+    for (name, metric, value) in &new.entries {
+        let line = match old
+            .entries
+            .iter()
+            .find(|(n, m, _)| n == name && m == metric)
+        {
+            Some((_, _, old_value)) if *old_value > 0.0 => {
+                let delta = 100.0 * (value - old_value) / old_value;
+                format!("{name:<18} {metric:<18} {old_value:>14.1} {value:>14.1} {delta:>+7.1}%\n")
+            }
+            _ => format!(
+                "{name:<18} {metric:<18} {:>14} {value:>14.1} {:>8}\n",
+                "-", "new"
+            ),
+        };
+        out.push_str(&line);
+    }
+    let total = |label: &str, o: f64, n: f64| -> String {
+        if o > 0.0 {
+            format!(
+                "{label:<37} {o:>14.1} {n:>14.1} {:>+7.1}%\n",
+                100.0 * (n - o) / o
+            )
+        } else {
+            format!("{label:<37} {:>14} {n:>14.1} {:>8}\n", "-", "new")
+        }
+    };
+    out.push_str(&total(
+        "totals.points_per_sec",
+        old.points_per_sec,
+        new.points_per_sec,
+    ));
+    out.push_str(&total(
+        "totals.cycles_per_sec",
+        old.cycles_per_sec,
+        new.cycles_per_sec,
+    ));
+    out
+}
+
+fn elapsed_ns(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn rate(count: u64, wall_ns: u64) -> f64 {
+    count as f64 / (wall_ns.max(1) as f64 / 1e9)
+}
+
+/// The sweep spec the macro benches run: 2 configs × (1|2) workloads,
+/// the same shape the golden sweep snapshot pins.
+fn bench_spec(quick: bool) -> SweepSpec {
+    SweepSpec {
+        configs: vec![
+            ("A".to_string(), HwConfig::A),
+            ("C".to_string(), HwConfig::C),
+        ],
+        workloads: if quick {
+            vec![SpecWorkload::BwavesLike]
+        } else {
+            vec![SpecWorkload::BwavesLike, SpecWorkload::McfLike]
+        },
+        seeds: vec![SEED],
+        instructions: if quick { 12_000 } else { 30_000 },
+        intervals: 3,
+        interval_cycles: 5_000,
+        warmup_instructions: if quick { 2_000 } else { 5_000 },
+        loop_repeats: 50,
+        ..SweepSpec::default()
+    }
+}
+
+fn bench_trace_generation(quick: bool, prof: &WallProfile) -> BenchEntry {
+    let instructions = if quick { 50_000 } else { 200_000 };
+    let _span = prof.span("trace-generation");
+    let t0 = wall_now();
+    let trace = SpecWorkload::McfLike
+        .generator()
+        .generate(instructions, SEED);
+    let wall_ns = elapsed_ns(t0);
+    BenchEntry {
+        name: "trace-generation".to_string(),
+        krate: "lpm-trace".to_string(),
+        metric: "instructions_per_sec".to_string(),
+        value: rate(instructions as u64, wall_ns),
+        wall_ns,
+        extra: vec![("instructions".to_string(), Value::Uint(trace.len() as u64))],
+    }
+}
+
+fn bench_sim_step_loop(
+    quick: bool,
+    prof: &WallProfile,
+) -> Result<(BenchEntry, CycleAttribution), String> {
+    let instructions = if quick { 8_000 } else { 20_000 };
+    let cycles: u64 = if quick { 20_000 } else { 100_000 };
+    let _span = prof.span("sim-step-loop");
+    let trace = SpecWorkload::BwavesLike
+        .generator()
+        .generate(instructions, SEED);
+    let mut sys = System::try_new_looping(SystemConfig::default(), trace, 1_000, SEED)
+        .map_err(|e| format!("sim-step-loop: {e}"))?;
+    sys.cmp_mut()
+        .try_warm_up(2_000)
+        .map_err(|e| format!("sim-step-loop warmup: {e}"))?;
+    let mut rec = Profiled::new(NullRecorder);
+    let start_cycle = sys.now();
+    let t0 = wall_now();
+    sys.try_run_for_with(cycles, &mut rec)
+        .map_err(|e| format!("sim-step-loop run: {e}"))?;
+    let wall_ns = elapsed_ns(t0);
+    let ran = sys.now().saturating_sub(start_cycle);
+    let (_, attr) = rec.into_parts();
+    let entry = BenchEntry {
+        name: "sim-step-loop".to_string(),
+        krate: "lpm-sim".to_string(),
+        metric: "cycles_per_sec".to_string(),
+        value: rate(ran, wall_ns),
+        wall_ns,
+        extra: vec![
+            ("cycles".to_string(), Value::Uint(ran)),
+            ("attribution".to_string(), attr.to_json()),
+        ],
+    };
+    Ok((entry, attr))
+}
+
+fn bench_model_evaluation(quick: bool, prof: &WallProfile) -> Result<BenchEntry, String> {
+    let iters: u64 = if quick { 100_000 } else { 500_000 };
+    let _span = prof.span("model-evaluation");
+    let upper = CamatParams::new(2.0, 1.8, 0.05, 40.0, 4.0).map_err(|e| e.to_string())?;
+    let eta = Eta::new(40.0, 30.0, 3.0, 4.0).map_err(|e| e.to_string())?;
+    let rec = LayerRecursion { upper, eta };
+    let mut acc = 0.0f64;
+    let t0 = wall_now();
+    for i in 0..iters {
+        let camat2 = 8.0 + (i % 16) as f64 * 0.25;
+        let camat1 = rec.camat1(camat2).map_err(|e| e.to_string())?;
+        acc += Lpmr::layer1(camat1, 0.4, 0.9)
+            .map_err(|e| e.to_string())?
+            .value();
+    }
+    let wall_ns = elapsed_ns(t0);
+    Ok(BenchEntry {
+        name: "model-evaluation".to_string(),
+        krate: "lpm-model".to_string(),
+        metric: "evals_per_sec".to_string(),
+        value: rate(iters, wall_ns),
+        wall_ns,
+        // The checksum keeps the loop live and pins the model's output.
+        extra: vec![("checksum".to_string(), Value::Num(acc))],
+    })
+}
+
+/// Run the full suite. Returns the report plus human-readable
+/// side-channel text (span profile + attribution breakdown) the caller
+/// should route to stderr.
+pub fn run_suite(tag: &str, quick: bool) -> Result<(BenchReport, String), String> {
+    let prof = WallProfile::new();
+    let mut entries = Vec::new();
+    let mut attribution = CycleAttribution::default();
+
+    entries.push(bench_trace_generation(quick, &prof));
+    let (sim_entry, sim_attr) = bench_sim_step_loop(quick, &prof)?;
+    let cycles_per_sec = sim_entry.value;
+    attribution.merge(&sim_attr);
+    entries.push(sim_entry);
+    entries.push(bench_model_evaluation(quick, &prof)?);
+
+    // Macro benches: the sweep engine at jobs=1 (journaling, so the
+    // replay bench below has a real journal) and at the parallel worker
+    // count (profiled), then a checkpoint-journal replay.
+    let spec = bench_spec(quick);
+    let points = spec.configs.len() * spec.workloads.len() * spec.seeds.len();
+    let scratch = std::env::temp_dir().join(format!("lpm-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch)
+        .map_err(|e| format!("cannot create {}: {e}", scratch.display()))?;
+    let journal = scratch.join("bench_journal.jsonl");
+    let _ = std::fs::remove_file(&journal);
+
+    {
+        let _span = prof.span("sweep-jobs1");
+        let opts = SweepOptions {
+            checkpoint: Some(journal.clone()),
+            wall_warn: None,
+            ..SweepOptions::default()
+        };
+        let t0 = wall_now();
+        let report = run_sweep_with(&spec, 1, &opts)?;
+        let wall_ns = elapsed_ns(t0);
+        entries.push(BenchEntry {
+            name: "sweep-jobs1".to_string(),
+            krate: "lpm-harness".to_string(),
+            metric: "points_per_sec".to_string(),
+            value: rate(report.len() as u64, wall_ns),
+            wall_ns,
+            extra: vec![
+                ("points".to_string(), Value::Uint(report.len() as u64)),
+                ("jobs".to_string(), Value::Uint(1)),
+            ],
+        });
+    }
+
+    let jobs = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(2)
+        .clamp(2, 8);
+    let points_per_sec;
+    {
+        let _span = prof.span("sweep-jobsN");
+        let opts = SweepOptions {
+            wall_warn: None,
+            ..SweepOptions::default()
+        };
+        let t0 = wall_now();
+        let profiled = run_sweep_profiled(&spec, jobs, &opts)?;
+        let wall_ns = elapsed_ns(t0);
+        points_per_sec = rate(profiled.report.len() as u64, wall_ns);
+        attribution.merge(&profiled.total);
+        entries.push(BenchEntry {
+            name: "sweep-jobsN".to_string(),
+            krate: "lpm-harness".to_string(),
+            metric: "points_per_sec".to_string(),
+            value: points_per_sec,
+            wall_ns,
+            extra: vec![
+                (
+                    "points".to_string(),
+                    Value::Uint(profiled.report.len() as u64),
+                ),
+                ("jobs".to_string(), Value::Uint(jobs as u64)),
+                ("attribution".to_string(), profiled.total.to_json()),
+            ],
+        });
+    }
+
+    {
+        let _span = prof.span("journal-replay");
+        let reps: u64 = if quick { 10 } else { 50 };
+        let t0 = wall_now();
+        let mut rows = 0u64;
+        for _ in 0..reps {
+            rows += load_journal(&journal, spec.fingerprint(), points)?.len() as u64;
+        }
+        let wall_ns = elapsed_ns(t0);
+        entries.push(BenchEntry {
+            name: "journal-replay".to_string(),
+            krate: "lpm-harness".to_string(),
+            metric: "rows_per_sec".to_string(),
+            value: rate(rows, wall_ns),
+            wall_ns,
+            extra: vec![("rows".to_string(), Value::Uint(rows))],
+        });
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let side_channel = format!(
+        "{}cycle attribution (merged over profiled runs):\n{}",
+        prof.report(),
+        attribution.to_text()
+    );
+    let report = BenchReport {
+        tag: tag.to_string(),
+        quick,
+        entries,
+        points_per_sec,
+        cycles_per_sec,
+        attribution,
+        spans: prof.to_json(),
+    };
+    Ok((report, side_channel))
+}
+
+/// Parsed `bench` command-line flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArgs {
+    /// `--tag T` (default `local`): names the output record.
+    pub tag: String,
+    /// `--quick`: reduced-scale suite for CI smoke runs.
+    pub quick: bool,
+    /// `--out PATH` (default `BENCH_<tag>.json`).
+    pub out: PathBuf,
+    /// `--compare PATH`: print an advisory delta table vs this record.
+    pub compare: Option<PathBuf>,
+}
+
+/// Parse `bench` flags from raw arguments (everything after `bench`).
+pub fn parse_args(raw: &[String]) -> Result<BenchArgs, String> {
+    let mut tag = "local".to_string();
+    let mut quick = false;
+    let mut out = None;
+    let mut compare = None;
+    let mut it = raw.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("bench {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--tag" => tag = value("--tag")?,
+            "--quick" => quick = true,
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--compare" => compare = Some(PathBuf::from(value("--compare")?)),
+            other => return Err(format!("unknown bench flag {other:?}")),
+        }
+    }
+    if tag.is_empty()
+        || !tag
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        return Err(format!(
+            "bad --tag {tag:?}: use ascii letters, digits, - or _"
+        ));
+    }
+    let out = out.unwrap_or_else(|| PathBuf::from(format!("BENCH_{tag}.json")));
+    Ok(BenchArgs {
+        tag,
+        quick,
+        out,
+        compare,
+    })
+}
+
+/// The `bench` subcommand: run the suite, write `BENCH_<tag>.json`,
+/// print a summary (and the advisory `--compare` table) to stdout and
+/// the side-channel profile to stderr. Shared by the `bench` binary and
+/// `lpm-cli bench`.
+pub fn cli_run(raw: &[String]) -> Result<u8, String> {
+    let args = parse_args(raw)?;
+    let (report, side_channel) = run_suite(&args.tag, args.quick)?;
+    eprint!("{side_channel}");
+    let mut line = report.to_json().to_json();
+    line.push('\n');
+    std::fs::write(&args.out, &line)
+        .map_err(|e| format!("cannot write {}: {e}", args.out.display()))?;
+    println!(
+        "bench {}{}: {} suite entries -> {}",
+        report.tag,
+        if report.quick { " (quick)" } else { "" },
+        report.entries.len(),
+        args.out.display()
+    );
+    for e in &report.entries {
+        println!("  {:<18} {:>14.1} {}", e.name, e.value, e.metric);
+    }
+    println!(
+        "  totals: {:.1} points/sec (sweep), {:.1} simulated cycles/sec",
+        report.points_per_sec, report.cycles_per_sec
+    );
+    if let Some(old_path) = &args.compare {
+        let old_text = std::fs::read_to_string(old_path)
+            .map_err(|e| format!("cannot read {}: {e}", old_path.display()))?;
+        let old = parse_snapshot(&old_text)?;
+        let new = parse_snapshot(&line)?;
+        print!("{}", render_compare(&old, &new));
+    }
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_emits_a_schema_valid_round_tripping_record() {
+        let (report, side_channel) = run_suite("test", true).unwrap();
+        assert!(report.points_per_sec > 0.0 && report.cycles_per_sec > 0.0);
+        assert!(report.attribution.cycles > 0);
+        assert!(side_channel.contains("wall-clock phase spans"));
+
+        let text = report.to_json().to_json();
+        assert!(!text.contains('\n'), "record must be a single line");
+        // Round-trip through the strict parser and the comparable view.
+        let v = Value::parse(&text).unwrap();
+        assert_eq!(v.get("type").and_then(Value::as_str), Some("bench"));
+        assert_eq!(
+            v.get("schema_version").and_then(Value::as_u64),
+            Some(BENCH_SCHEMA_VERSION)
+        );
+        let host = v.get("host").unwrap();
+        assert!(host.get("os").and_then(Value::as_str).is_some());
+        assert!(host.get("arch").and_then(Value::as_str).is_some());
+        let snap = parse_snapshot(&text).unwrap();
+        assert_eq!(snap.tag, "test");
+        assert_eq!(snap.entries.len(), report.entries.len());
+        let names: Vec<&str> = snap.entries.iter().map(|(n, _, _)| n.as_str()).collect();
+        for expected in [
+            "trace-generation",
+            "sim-step-loop",
+            "model-evaluation",
+            "sweep-jobs1",
+            "sweep-jobsN",
+            "journal-replay",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+        assert!(snap.entries.iter().all(|(_, _, v)| *v > 0.0));
+
+        // Self-compare renders a zero-delta advisory table.
+        let table = render_compare(&snap, &snap);
+        assert!(table.contains("advisory"));
+        assert!(table.contains("+0.0%"));
+    }
+
+    #[test]
+    fn snapshot_parser_rejects_malformed_records() {
+        assert!(parse_snapshot("{").is_err());
+        assert!(parse_snapshot(r#"{"type":"sweep"}"#).is_err());
+        let no_totals =
+            r#"{"type":"bench","tag":"t","suite":[{"name":"a","metric":"m","value":1.0}]}"#;
+        assert!(parse_snapshot(no_totals).unwrap_err().contains("totals"));
+        let bad_entry = r#"{"type":"bench","tag":"t","suite":[{"metric":"m"}],"totals":{}}"#;
+        assert!(parse_snapshot(bad_entry).unwrap_err().contains("name"));
+    }
+
+    #[test]
+    fn bench_args_parse_and_validate() {
+        let sv = |items: &[&str]| -> Vec<String> { items.iter().map(|s| s.to_string()).collect() };
+        let a = parse_args(&sv(&["--tag", "pr7", "--quick"])).unwrap();
+        assert_eq!(a.tag, "pr7");
+        assert!(a.quick);
+        assert_eq!(a.out, PathBuf::from("BENCH_pr7.json"));
+        assert_eq!(a.compare, None);
+
+        let a = parse_args(&sv(&["--out", "x.json", "--compare", "old.json"])).unwrap();
+        assert_eq!(a.tag, "local");
+        assert_eq!(a.out, PathBuf::from("x.json"));
+        assert_eq!(a.compare, Some(PathBuf::from("old.json")));
+
+        assert!(parse_args(&sv(&["--tag"])).unwrap_err().contains("--tag"));
+        assert!(parse_args(&sv(&["--tag", "no/slash"]))
+            .unwrap_err()
+            .contains("--tag"));
+        assert!(parse_args(&sv(&["--frob"]))
+            .unwrap_err()
+            .contains("unknown bench flag"));
+    }
+
+    #[test]
+    fn compare_handles_missing_and_new_entries() {
+        let old = BenchSnapshot {
+            tag: "old".to_string(),
+            entries: vec![("a".to_string(), "m".to_string(), 100.0)],
+            points_per_sec: 10.0,
+            cycles_per_sec: 0.0,
+        };
+        let new = BenchSnapshot {
+            tag: "new".to_string(),
+            entries: vec![
+                ("a".to_string(), "m".to_string(), 150.0),
+                ("b".to_string(), "m".to_string(), 5.0),
+            ],
+            points_per_sec: 12.0,
+            cycles_per_sec: 7.0,
+        };
+        let table = render_compare(&old, &new);
+        assert!(table.contains("+50.0%"), "{table}");
+        assert!(table.contains("new"), "{table}");
+        assert!(table.contains("+20.0%"), "{table}");
+    }
+}

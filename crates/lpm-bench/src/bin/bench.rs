@@ -1,0 +1,17 @@
+//! `bench` — emit a `BENCH_<tag>.json` perf-trajectory record.
+//!
+//! Thin wrapper over [`lpm_bench::bench::cli_run`]; `lpm-cli bench`
+//! drives the same code, so the two entry points cannot drift.
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let code = match lpm_bench::bench::cli_run(&raw) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: bench [--tag T] [--quick] [--out FILE] [--compare FILE]");
+            1
+        }
+    };
+    std::process::exit(code.into());
+}

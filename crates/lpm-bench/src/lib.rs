@@ -3,6 +3,8 @@
 //! results; the Criterion benches time them at reduced scale; and
 //! EXPERIMENTS.md records the paper-vs-measured comparison.
 
+pub mod bench;
+
 use lpm_core::burst::{BurstStudy, DetectionResult};
 use lpm_core::design_space::{measure_config, HwConfig, TableIRow};
 use lpm_core::profile::{profile_suite, WorkloadProfile, FIG5_L1_SIZES};

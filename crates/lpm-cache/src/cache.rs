@@ -401,6 +401,13 @@ impl Cache {
         self.mshr.in_use()
     }
 
+    /// Effective MSHR capacity — the configured entries minus any fault
+    /// reservation (for cycle-attribution profiling: an MSHR file at
+    /// this occupancy is a structural stall).
+    pub fn mshr_capacity(&self) -> usize {
+        self.effective_mshrs()
+    }
+
     /// Misses deferred on MSHR structural hazards (diagnostics).
     pub fn deferred_misses(&self) -> usize {
         self.deferred.len()

@@ -71,6 +71,7 @@ fn run(raw: &[String]) -> Result<u8, String> {
         "serve" => cmd_serve(&a).map(|()| 0),
         "client" => cmd_client(&a),
         "journal" => cmd_journal(&a),
+        "bench" => lpm_bench::bench::cli_run(&raw[1..]),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -90,8 +91,10 @@ fn print_help() {
          \x20 sweep   [--jobs N]               parallel sweep over configs × workloads × seeds\n\
          \x20 serve   --state DIR              crash-tolerant sweep daemon (JSON over TCP)\n\
          \x20 client  ACTION [...]             talk to a daemon: submit|status|cancel|report|\n\
-         \x20                                  list|events|ping|shutdown\n\
+         \x20                                  list|events|metrics|ping|shutdown\n\
          \x20 journal ACTION FILE|DIR...       checkpoint journals: ls|verify|rm\n\
+         \x20 bench   [--tag T] [--quick]      run the perf suite, write BENCH_<tag>.json\n\
+         \x20         [--out F] [--compare F]  (--compare prints advisory deltas vs F)\n\
          \n\
          common flags:\n\
          \x20 --instructions N    measurement window (default 60000)\n\
@@ -155,6 +158,7 @@ fn print_help() {
          \x20 --deadline-ms N     wall-clock deadline for submit\n\
          \x20 --wait              submit: block until the job is terminal\n\
          \x20 --out FILE          submit --wait / report: write the report here\n\
+         \x20 --format F          metrics: json (default) or prometheus\n\
          \x20 (submit also takes every sweep spec flag above)\n\
          \n\
          journal actions:\n\
@@ -680,14 +684,22 @@ fn cmd_client(a: &Args) -> Result<u8, String> {
     use lpm_telemetry::Value;
 
     let action = a.positional.first().map(String::as_str).ok_or(
-        "missing client action; use submit|status|cancel|report|list|events|ping|shutdown",
+        "missing client action; use submit|status|cancel|report|list|events|metrics|ping|shutdown",
     )?;
     if !matches!(
         action,
-        "submit" | "status" | "cancel" | "report" | "list" | "events" | "ping" | "shutdown"
+        "submit"
+            | "status"
+            | "cancel"
+            | "report"
+            | "list"
+            | "events"
+            | "metrics"
+            | "ping"
+            | "shutdown"
     ) {
         return Err(format!(
-            "unknown client action {action:?}; use submit|status|cancel|report|list|events|ping|shutdown"
+            "unknown client action {action:?}; use submit|status|cancel|report|list|events|metrics|ping|shutdown"
         ));
     }
     let job_id = || -> Result<&str, String> {
@@ -749,6 +761,20 @@ fn cmd_client(a: &Args) -> Result<u8, String> {
         }
         "list" => client.list()?,
         "events" => client.events()?,
+        "metrics" => {
+            let format = a.get_or("format", "json");
+            let resp = client.metrics(format)?;
+            // Prometheus exposition is a text format: print it raw so
+            // the output can be scraped or piped as-is.
+            if format == "prometheus" && resp.get("ok").and_then(Value::as_bool) == Some(true) {
+                print!(
+                    "{}",
+                    resp.get("metrics").and_then(Value::as_str).unwrap_or("")
+                );
+                return Ok(0);
+            }
+            resp
+        }
         "ping" => client.ping()?,
         _ => client.shutdown()?,
     };

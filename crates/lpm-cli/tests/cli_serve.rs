@@ -163,6 +163,151 @@ fn sigterm_then_sigkill_then_resume_is_byte_identical() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Live `metrics` counters must agree with the admission decisions the
+/// daemon actually made: one fresh admission that completed, one
+/// dedupe cache hit, one typed invalid-spec rejection — and the
+/// Prometheus rendering of the same numbers scrapes through the CLI.
+#[test]
+fn metrics_counters_match_admission_decisions() {
+    use lpm_serve::proto::obj;
+
+    let dir = std::env::temp_dir().join(format!("lpm-cli-serve-metrics-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let state = dir.join("state");
+    let child = spawn_serve(&state);
+    let mut client = Client::connect_state_dir(&state).unwrap();
+
+    // A fresh server answers with all-zero counters.
+    let resp = client.metrics("json").unwrap();
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(resp.get("format").and_then(Value::as_str), Some("json"));
+    let m = resp.get("metrics").cloned().unwrap();
+    for key in ["admitted", "cache_hits", "completed", "queue_depth"] {
+        assert_eq!(m.get(key).and_then(Value::as_u64), Some(0), "{key}");
+    }
+
+    // Decision 1: a fresh admission, run to completion.
+    let out = Command::new(BIN)
+        .args([
+            "client",
+            "submit",
+            "--state",
+            state.to_str().unwrap(),
+            "--wait",
+        ])
+        .args(SPEC_FLAGS)
+        .output()
+        .expect("run client submit --wait");
+    assert!(
+        out.status.success(),
+        "submit --wait failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let resp = Value::parse(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    assert_eq!(
+        resp.get("status").and_then(Value::as_str),
+        Some("completed")
+    );
+
+    // Decision 2: the identical spec again — a dedupe cache hit.
+    let resp = {
+        let out = Command::new(BIN)
+            .args(["client", "submit", "--state", state.to_str().unwrap()])
+            .args(SPEC_FLAGS)
+            .output()
+            .expect("run duplicate submit");
+        assert!(out.status.success());
+        Value::parse(String::from_utf8_lossy(&out.stdout).trim()).unwrap()
+    };
+    assert_eq!(resp.get("cached").and_then(Value::as_bool), Some(true));
+
+    // Decision 3: a malformed spec — a typed invalid-spec rejection.
+    let rej = client
+        .request(&obj(vec![
+            ("type", Value::Str("submit".into())),
+            ("tenant", Value::Str("t".into())),
+            ("spec", Value::Obj(vec![("garbage".into(), Value::Uint(1))])),
+        ]))
+        .unwrap();
+    assert_eq!(rej.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        rej.get("reason").and_then(Value::as_str),
+        Some("invalid-spec")
+    );
+
+    // The counters must reflect exactly those three decisions.
+    let resp = client.metrics("json").unwrap();
+    let m = resp.get("metrics").cloned().unwrap();
+    assert_eq!(m.get("admitted").and_then(Value::as_u64), Some(1));
+    assert_eq!(m.get("cache_hits").and_then(Value::as_u64), Some(1));
+    assert_eq!(m.get("completed").and_then(Value::as_u64), Some(1));
+    assert_eq!(
+        m.get("rejected")
+            .and_then(|r| r.get("invalid-spec"))
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        m.get("jobs")
+            .and_then(|j| j.get("completed"))
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+    // SPEC_FLAGS sweeps 3 seeds × 1 config × 1 workload = 3 points.
+    assert_eq!(m.get("points_done").and_then(Value::as_u64), Some(3));
+    assert!(m.get("busy_ns").and_then(Value::as_u64).unwrap() > 0);
+    assert!(m.get("points_per_sec").and_then(Value::as_f64).unwrap() > 0.0);
+
+    // Prometheus text exposition carries the same numbers, raw on
+    // stdout via the CLI so scrapers can pipe it.
+    let out = Command::new(BIN)
+        .args([
+            "client",
+            "metrics",
+            "--format",
+            "prometheus",
+            "--state",
+            state.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run client metrics --format prometheus");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("# TYPE lpm_serve_admitted_total counter"),
+        "{text}"
+    );
+    assert!(text.contains("lpm_serve_admitted_total 1"), "{text}");
+    assert!(text.contains("lpm_serve_cache_hits_total 1"), "{text}");
+    assert!(
+        text.contains("lpm_serve_rejected_total{reason=\"invalid-spec\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("lpm_serve_jobs{state=\"completed\"} 1"),
+        "{text}"
+    );
+    assert!(text.contains("lpm_serve_points_total 3"), "{text}");
+
+    // An unknown format is a typed bad-request, not a hangup.
+    let bad = client.metrics("xml").unwrap();
+    assert_eq!(bad.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        bad.get("reason").and_then(Value::as_str),
+        Some("bad-request")
+    );
+
+    let out = Command::new(BIN)
+        .args(["client", "shutdown", "--state", state.to_str().unwrap()])
+        .output()
+        .expect("run client shutdown");
+    assert!(out.status.success());
+    let mut child = child;
+    child.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn client_journal_sees_and_guards_the_daemon_state_dir() {
     let dir = std::env::temp_dir().join(format!("lpm-cli-serve-journal-{}", std::process::id()));

@@ -354,9 +354,10 @@ impl OnlineLpmController {
         let mut log = Vec::with_capacity(intervals);
         // Threshold-crossing state: (LPMR1 > T1, LPMR2 > T2) last interval.
         let mut prev_cross: Option<(bool, bool)> = None;
-        // Wall-clock anchor for sim-throughput reporting.
-        // lpm-lint: allow(D002) wall-throughput diagnostic only; gated by R::ENABLED and excluded from deterministic comparisons
-        let mut last_wall = R::ENABLED.then(std::time::Instant::now);
+        // Wall-clock anchor for sim-throughput reporting, read through
+        // the sanctioned lpm-prof entry point; gated by R::ENABLED and
+        // excluded from deterministic comparisons.
+        let mut last_wall = R::ENABLED.then(lpm_telemetry::wall_now);
         for _ in 0..intervals {
             step(sys, self.interval_cycles, rec)?;
             let report = sys.report();
@@ -371,7 +372,7 @@ impl OnlineLpmController {
                     });
                     // Discard the window's occupancy accumulator.
                     let _ = rec.take_interval();
-                    last_wall = Some(std::time::Instant::now()); // lpm-lint: allow(D002) wall-throughput diagnostic only; gated by R::ENABLED and excluded from deterministic comparisons
+                    last_wall = Some(lpm_telemetry::wall_now());
                 }
                 sys.cmp_mut().reset_measurement();
                 if sys.finished() {
@@ -391,7 +392,7 @@ impl OnlineLpmController {
                             reason: SkipReason::SensorFault,
                         });
                         let _ = rec.take_interval();
-                        last_wall = Some(std::time::Instant::now()); // lpm-lint: allow(D002) wall-throughput diagnostic only; gated by R::ENABLED and excluded from deterministic comparisons
+                        last_wall = Some(lpm_telemetry::wall_now());
                     }
                     sys.cmp_mut().reset_measurement();
                     if sys.finished() {
@@ -526,7 +527,7 @@ impl OnlineLpmController {
             });
             if R::ENABLED {
                 let acc = rec.take_interval();
-                let now_wall = std::time::Instant::now(); // lpm-lint: allow(D002) wall-throughput diagnostic only; gated by R::ENABLED and excluded from deterministic comparisons
+                let now_wall = lpm_telemetry::wall_now();
                 let elapsed = last_wall
                     .map(|t| now_wall.duration_since(t).as_secs_f64())
                     .unwrap_or(0.0);

@@ -262,6 +262,12 @@ impl Core {
         self.rob.len()
     }
 
+    /// Configured ROB capacity (for cycle-attribution profiling: a full
+    /// ROB is a dispatch stall).
+    pub fn rob_capacity(&self) -> usize {
+        self.cfg.rob_size as usize
+    }
+
     /// Debug summary of the ROB head: (seq, state description, outstanding
     /// memory accesses). For deadlock diagnostics.
     pub fn head_debug(&self) -> String {

@@ -17,7 +17,7 @@ use lpm_core::online::OnlineLpmController;
 use lpm_core::LpmError;
 use lpm_model::Grain;
 use lpm_sim::{SimError, System};
-use lpm_telemetry::{Event, RingRecorder, RunSummary};
+use lpm_telemetry::{CycleAttribution, Event, Profiled, RingRecorder, RunSummary};
 
 use crate::checkpoint::{load_journal, CheckpointJournal};
 use crate::outcome::{PointOutcome, PointRow};
@@ -98,7 +98,8 @@ fn evaluate_point_attempt(
     point: &SweepPoint,
     spec: &SweepSpec,
     attempt: u32,
-) -> Result<PointResult, AttemptFailure> {
+    profile: bool,
+) -> Result<(PointResult, Option<Box<CycleAttribution>>), AttemptFailure> {
     let label = point.label();
     let fail = |what: &str, e: &dyn std::fmt::Display| {
         AttemptFailure::Failed(format!("point {label}: {what}: {e}"))
@@ -176,17 +177,32 @@ fn evaluate_point_attempt(
     // The budget is relative to the end of warmup; the simulator wants
     // the absolute cap. `saturating_add` so a huge budget means "never".
     let cap = budget.map(|b| sys.now().saturating_add(b));
-    let log = ctl
-        .try_run_recorded_budgeted(&mut sys, spec.intervals, &mut rec, cap)
-        .map_err(|e| match (&e, budget) {
-            (LpmError::Sim(SimError::CycleBudgetExceeded { now, .. }), Some(b)) => {
-                AttemptFailure::TimedOut {
-                    budget: b,
-                    cycles: *now,
-                }
+    let classify = |e: LpmError| match (&e, budget) {
+        (LpmError::Sim(SimError::CycleBudgetExceeded { now, .. }), Some(b)) => {
+            AttemptFailure::TimedOut {
+                budget: b,
+                cycles: *now,
             }
-            _ => fail("run failed", &e),
-        })?;
+        }
+        _ => fail("run failed", &e),
+    };
+    // Profiling wraps the same recorder in `Profiled`, which adds
+    // cycle-attribution accumulation while delegating every telemetry
+    // emission unchanged — the inner recorder (and so the exported
+    // bytes) cannot tell the difference.
+    let (log, rec, attribution) = if profile {
+        let mut prec = Profiled::new(rec);
+        let log = ctl
+            .try_run_recorded_budgeted(&mut sys, spec.intervals, &mut prec, cap)
+            .map_err(classify)?;
+        let (inner, attr) = prec.into_parts();
+        (log, inner, Some(Box::new(attr)))
+    } else {
+        let log = ctl
+            .try_run_recorded_budgeted(&mut sys, spec.intervals, &mut rec, cap)
+            .map_err(classify)?;
+        (log, rec, None)
+    };
 
     let summary = RunSummary {
         total_cycles: sys.now(),
@@ -205,20 +221,23 @@ fn evaluate_point_attempt(
 
     let first = log.first();
     let last = log.last();
-    Ok(PointResult {
-        index: point.index,
-        label,
-        point: point.clone(),
-        intervals_run: log.len(),
-        ipc_first: first.map_or(0.0, |r| r.ipc),
-        ipc_last: last.map_or(0.0, |r| r.ipc),
-        lpmr1_first: first.map_or(0.0, |r| r.measurement.lpmr1),
-        lpmr1_last: last.map_or(0.0, |r| r.measurement.lpmr1),
-        budget_met: log.iter().filter(|r| r.stall_budget_met).count(),
-        final_hw: ctl.hw,
-        total_cycles: sys.now(),
-        telemetry,
-    })
+    Ok((
+        PointResult {
+            index: point.index,
+            label,
+            point: point.clone(),
+            intervals_run: log.len(),
+            ipc_first: first.map_or(0.0, |r| r.ipc),
+            ipc_last: last.map_or(0.0, |r| r.ipc),
+            lpmr1_first: first.map_or(0.0, |r| r.measurement.lpmr1),
+            lpmr1_last: last.map_or(0.0, |r| r.measurement.lpmr1),
+            budget_met: log.iter().filter(|r| r.stall_budget_met).count(),
+            final_hw: ctl.hw,
+            total_cycles: sys.now(),
+            telemetry,
+        },
+        attribution,
+    ))
 }
 
 /// Evaluate one sweep point (single attempt, no retry/chaos driver) and
@@ -231,7 +250,9 @@ fn evaluate_point_attempt(
 /// wall-clock-derived telemetry field (`wall_cycles_per_sec`) is zeroed
 /// before the log leaves this function.
 pub fn evaluate_point(point: &SweepPoint, spec: &SweepSpec) -> Result<PointResult, String> {
-    evaluate_point_attempt(point, spec, 0).map_err(|f| f.describe(&point.label()))
+    evaluate_point_attempt(point, spec, 0, false)
+        .map(|(result, _)| result)
+        .map_err(|f| f.describe(&point.label()))
 }
 
 /// Evaluate one point to a *terminal row*: isolate panics with
@@ -243,24 +264,40 @@ pub fn evaluate_point(point: &SweepPoint, spec: &SweepSpec) -> Result<PointResul
 /// `(spec, point)`, and the row's `harness_events` record each failure
 /// and retry in order.
 pub fn evaluate_row(point: &SweepPoint, spec: &SweepSpec) -> PointRow {
+    evaluate_row_profiled(point, spec, false).0
+}
+
+/// [`evaluate_row`] with optional cycle attribution. The attribution is
+/// a side channel: it rides *next to* the row, never inside it, so a
+/// profiled sweep's serialized rows stay byte-identical to an
+/// unprofiled one. Only a successful terminal attempt yields
+/// attribution; failed/quarantined rows return `None`.
+pub fn evaluate_row_profiled(
+    point: &SweepPoint,
+    spec: &SweepSpec,
+    profile: bool,
+) -> (PointRow, Option<Box<CycleAttribution>>) {
     let label = point.label();
     let index = point.index as u64;
     let mut events: Vec<Event> = Vec::new();
     let mut attempt: u32 = 0;
     loop {
         let caught = catch_unwind(AssertUnwindSafe(|| {
-            evaluate_point_attempt(point, spec, attempt)
+            evaluate_point_attempt(point, spec, attempt, profile)
         }));
         let failure = match caught {
-            Ok(Ok(result)) => {
-                return PointRow {
-                    index: point.index,
-                    label,
-                    point: point.clone(),
-                    attempts: attempt + 1,
-                    outcome: PointOutcome::Ok(Box::new(result)),
-                    harness_events: events,
-                };
+            Ok(Ok((result, attr))) => {
+                return (
+                    PointRow {
+                        index: point.index,
+                        label,
+                        point: point.clone(),
+                        attempts: attempt + 1,
+                        outcome: PointOutcome::Ok(Box::new(result)),
+                        harness_events: events,
+                    },
+                    attr,
+                );
             }
             Ok(Err(failure)) => failure,
             Err(payload) => AttemptFailure::Panicked(panic_message(payload)),
@@ -289,14 +326,17 @@ pub fn evaluate_row(point: &SweepPoint, spec: &SweepSpec) -> PointRow {
                     last_error: failure.describe(&label),
                 }
             };
-            return PointRow {
-                index: point.index,
-                label,
-                point: point.clone(),
-                attempts: attempt + 1,
-                outcome,
-                harness_events: events,
-            };
+            return (
+                PointRow {
+                    index: point.index,
+                    label,
+                    point: point.clone(),
+                    attempts: attempt + 1,
+                    outcome,
+                    harness_events: events,
+                },
+                None,
+            );
         }
         attempt += 1;
         events.push(Event::PointRetried {
@@ -430,8 +470,7 @@ impl WallGuard {
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .active
-            // lpm-lint: allow(D002) stall-warning timestamp, stderr diagnostics only — never in results
-            .insert(index, (label.to_string(), Instant::now()));
+            .insert(index, (label.to_string(), lpm_telemetry::wall_now()));
     }
 
     fn end(&self, index: usize) {
@@ -480,15 +519,20 @@ impl Drop for WallGuard {
 
 /// Evaluate a row with the (optional) wall-clock guard marking it
 /// in flight.
-fn guarded_row(guard: Option<&WallGuard>, point: &SweepPoint, spec: &SweepSpec) -> PointRow {
+fn guarded_row(
+    guard: Option<&WallGuard>,
+    point: &SweepPoint,
+    spec: &SweepSpec,
+    profile: bool,
+) -> (PointRow, Option<Box<CycleAttribution>>) {
     if let Some(g) = guard {
         g.begin(point.index, &point.label());
     }
-    let row = evaluate_row(point, spec);
+    let out = evaluate_row_profiled(point, spec, profile);
     if let Some(g) = guard {
         g.end(point.index);
     }
-    row
+    out
 }
 
 /// One worker's loop: pop point indices until the queue is dry, send
@@ -497,6 +541,7 @@ fn guarded_row(guard: Option<&WallGuard>, point: &SweepPoint, spec: &SweepSpec) 
 /// collector hanging up (its receiver dropped after a journal write
 /// error), and cooperative cancellation ([`SweepOptions::cancel`]),
 /// which stops *dispatch* while letting the in-flight row finish.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     me: usize,
     queue: &WorkStealingQueue,
@@ -504,7 +549,8 @@ fn worker_loop(
     spec: &SweepSpec,
     guard: Option<&WallGuard>,
     cancel: Option<&AtomicBool>,
-    tx: &mpsc::SyncSender<PointRow>,
+    profile: bool,
+    tx: &mpsc::SyncSender<(PointRow, Option<Box<CycleAttribution>>)>,
 ) {
     loop {
         if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
@@ -514,7 +560,7 @@ fn worker_loop(
             return;
         }
         let Some(i) = queue.pop(me) else { return };
-        let row = guarded_row(guard, &points[i], spec);
+        let row = guarded_row(guard, &points[i], spec, profile);
         if tx.send(row).is_err() {
             // Collector is gone; nothing we evaluate can be delivered.
             // Drain the queue so every worker stops promptly instead of
@@ -531,7 +577,7 @@ thread_local! {
     /// once N rows have been written (regression: a journal error in
     /// the collector must wind the workers down, not strand them
     /// blocked on the bounded channel).
-    static JOURNAL_FAIL_AFTER: std::cell::Cell<Option<u64>> = std::cell::Cell::new(None);
+    static JOURNAL_FAIL_AFTER: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
 }
 
 /// Run a sweep with `jobs` worker threads under explicit crash-safety
@@ -549,6 +595,80 @@ pub fn run_sweep_with(
     jobs: usize,
     opts: &SweepOptions,
 ) -> Result<SweepReport, String> {
+    run_sweep_inner(spec, jobs, opts, false).map(|(report, _)| report)
+}
+
+/// A sweep report plus its deterministic cycle attribution — what
+/// [`run_sweep_profiled`] returns. `per_point` is indexed like
+/// `report.rows`; entries are `None` for rows that were loaded from a
+/// resume journal (not re-simulated this run) or did not complete
+/// successfully. `total` merges every `Some` entry in index order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepProfile {
+    /// The sweep report, byte-identical to an unprofiled run's.
+    pub report: SweepReport,
+    /// Per-point attribution, indexed like `report.rows`.
+    pub per_point: Vec<Option<CycleAttribution>>,
+    /// Merge of every `Some` entry of `per_point`, in index order.
+    pub total: CycleAttribution,
+}
+
+impl SweepProfile {
+    /// Stable, goldenable text rendering: one attribution block per
+    /// profiled point (in index order), then the merged total. Contains
+    /// only simulated-cycle counters — no wall-clock data — so it is
+    /// byte-identical across `jobs` values and across runs.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (row, attr) in self.report.rows.iter().zip(&self.per_point) {
+            let Some(a) = attr else { continue };
+            out.push_str(&format!("point {} {}\n", row.index, row.label));
+            for line in a.to_text().lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out.push_str("total\n");
+        for line in self.total.to_text().lines() {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// [`run_sweep_with`] with deterministic cycle attribution collected
+/// alongside the report. The report itself is **byte-identical** to an
+/// unprofiled run — attribution never enters a row, the CSV, or the
+/// JSONL export — and the attribution counters themselves depend only
+/// on simulated cycles, so they too are identical for every `jobs`
+/// value.
+pub fn run_sweep_profiled(
+    spec: &SweepSpec,
+    jobs: usize,
+    opts: &SweepOptions,
+) -> Result<SweepProfile, String> {
+    let (report, per_point) = run_sweep_inner(spec, jobs, opts, true)?;
+    let mut total = CycleAttribution::default();
+    for attr in per_point.iter().flatten() {
+        total.merge(attr);
+    }
+    Ok(SweepProfile {
+        report,
+        per_point,
+        total,
+    })
+}
+
+#[allow(clippy::type_complexity)]
+fn run_sweep_inner(
+    spec: &SweepSpec,
+    jobs: usize,
+    opts: &SweepOptions,
+    profile: bool,
+) -> Result<(SweepReport, Vec<Option<CycleAttribution>>), String> {
     if jobs == 0 {
         return Err("jobs must be at least 1".into());
     }
@@ -561,6 +681,9 @@ pub fn run_sweep_with(
 
     let mut slots: Vec<Option<PointRow>> = Vec::new();
     slots.resize_with(points.len(), || None);
+    // Attribution rides in a parallel slot vector, never in a row:
+    // journaled/resumed rows keep `None` (they were not re-simulated).
+    let mut attrs: Vec<Option<CycleAttribution>> = vec![None; points.len()];
 
     // Open the journal: resume loads intact rows first and reopens for
     // append; a fresh run truncates.
@@ -578,7 +701,10 @@ pub fn run_sweep_with(
         Some(path) => Some(CheckpointJournal::create(path, fingerprint, points.len())?),
     };
     #[cfg(test)]
-    if let (Some(j), Some(n)) = (journal.as_mut(), JOURNAL_FAIL_AFTER.with(std::cell::Cell::get)) {
+    if let (Some(j), Some(n)) = (
+        journal.as_mut(),
+        JOURNAL_FAIL_AFTER.with(std::cell::Cell::get),
+    ) {
         j.fail_after(n);
     }
 
@@ -599,7 +725,7 @@ pub fn run_sweep_with(
             if is_cancelled() {
                 break;
             }
-            let row = guarded_row(guard.as_ref(), &points[i], spec);
+            let (row, attr) = guarded_row(guard.as_ref(), &points[i], spec, profile);
             if let Some(j) = journal.as_mut() {
                 if let Err(e) = j.append(&row) {
                     journal_err = Some(e);
@@ -607,20 +733,25 @@ pub fn run_sweep_with(
                 }
             }
             slots[i] = Some(row);
+            attrs[i] = attr.map(|b| *b);
         }
     } else {
         let queue = WorkStealingQueue::deal_indices(&pending, workers);
         // Bounded channel (lint D005): a small per-worker cushion keeps
         // workers busy while the collector journals; an unbounded queue
         // would hide collector stalls as silent memory growth.
-        let (tx, rx) = mpsc::sync_channel::<PointRow>(workers.saturating_mul(2));
+        let (tx, rx) = mpsc::sync_channel::<(PointRow, Option<Box<CycleAttribution>>)>(
+            workers.saturating_mul(2),
+        );
         std::thread::scope(|scope| {
             for w in 0..workers {
                 let tx = tx.clone();
                 let queue = &queue;
                 let points = &points;
                 let guard = guard.as_ref();
-                scope.spawn(move || worker_loop(w, queue, points, spec, guard, cancel, &tx));
+                scope.spawn(move || {
+                    worker_loop(w, queue, points, spec, guard, cancel, profile, &tx);
+                });
             }
             drop(tx);
             // Move the receiver into the scope so the error path below
@@ -631,7 +762,7 @@ pub fn run_sweep_with(
             let rx = rx;
             // Arrival order is schedule-dependent; the slot vector
             // erases it before anything downstream can observe it.
-            while let Ok(row) = rx.recv() {
+            while let Ok((row, attr)) = rx.recv() {
                 if let Some(j) = journal.as_mut() {
                     if let Err(e) = j.append(&row) {
                         journal_err = Some(e);
@@ -644,6 +775,7 @@ pub fn run_sweep_with(
                 }
                 let idx = row.index;
                 slots[idx] = Some(row);
+                attrs[idx] = attr.map(|b| *b);
             }
         });
     }
@@ -674,7 +806,7 @@ pub fn run_sweep_with(
             None => return Err(format!("point {i}: worker died before reporting")),
         }
     }
-    Ok(SweepReport { rows })
+    Ok((SweepReport { rows }, attrs))
 }
 
 /// Run a sweep with `jobs` worker threads and return the merged report,
@@ -875,11 +1007,11 @@ mod tests {
         // just repeat identically and retries would be pointless).
         let spec = tiny_spec();
         let p = &spec.points()[0];
-        let a0 = evaluate_point_attempt(p, &spec, 0).ok().unwrap();
-        let a1 = evaluate_point_attempt(p, &spec, 1).ok().unwrap();
+        let (a0, _) = evaluate_point_attempt(p, &spec, 0, false).ok().unwrap();
+        let (a1, _) = evaluate_point_attempt(p, &spec, 1, false).ok().unwrap();
         assert_ne!(a0.telemetry, a1.telemetry);
         // And each attempt is itself reproducible.
-        let a1b = evaluate_point_attempt(p, &spec, 1).ok().unwrap();
+        let (a1b, _) = evaluate_point_attempt(p, &spec, 1, false).ok().unwrap();
         assert_eq!(a1, a1b);
     }
 
@@ -891,9 +1023,9 @@ mod tests {
         let spec = tiny_spec();
         let points = spec.points();
         let queue = WorkStealingQueue::deal_indices(&[0, 1, 2, 3], 1);
-        let (tx, rx) = mpsc::sync_channel::<PointRow>(1);
+        let (tx, rx) = mpsc::sync_channel::<(PointRow, Option<Box<CycleAttribution>>)>(1);
         drop(rx); // collector dead before the worker starts
-        worker_loop(0, &queue, &points, &spec, None, None, &tx);
+        worker_loop(0, &queue, &points, &spec, None, None, false, &tx);
         assert_eq!(queue.remaining(), 0);
     }
 
@@ -902,9 +1034,9 @@ mod tests {
         let spec = tiny_spec();
         let points = spec.points();
         let queue = WorkStealingQueue::deal_indices(&[0, 1, 2, 3], 1);
-        let (tx, rx) = mpsc::sync_channel::<PointRow>(4);
+        let (tx, rx) = mpsc::sync_channel::<(PointRow, Option<Box<CycleAttribution>>)>(4);
         let cancel = AtomicBool::new(true);
-        worker_loop(0, &queue, &points, &spec, None, Some(&cancel), &tx);
+        worker_loop(0, &queue, &points, &spec, None, Some(&cancel), false, &tx);
         drop(tx);
         assert_eq!(queue.remaining(), 0);
         assert!(rx.recv().is_err(), "cancelled worker must not emit rows");

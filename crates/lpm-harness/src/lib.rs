@@ -72,7 +72,10 @@ pub mod report;
 pub mod specio;
 
 pub use checkpoint::{inspect_journal, load_journal, CheckpointJournal, JournalInfo};
-pub use engine::{evaluate_point, evaluate_row, run_sweep, run_sweep_with, SweepOptions};
+pub use engine::{
+    evaluate_point, evaluate_row, evaluate_row_profiled, run_sweep, run_sweep_profiled,
+    run_sweep_with, SweepOptions, SweepProfile,
+};
 pub use outcome::{PointOutcome, PointRow};
 pub use point::{
     derive_stream, ChaosConfig, FaultClass, PointResult, SweepPoint, SweepSpec, SALT_RETRY,

@@ -12,11 +12,15 @@
 use std::path::PathBuf;
 
 use lpm_core::design_space::HwConfig;
-use lpm_harness::{run_sweep, SweepSpec};
+use lpm_harness::{run_sweep, run_sweep_profiled, SweepOptions, SweepSpec};
 use lpm_trace::SpecWorkload;
 
 fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/sweep_small.csv")
+}
+
+fn profile_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/profile_small.txt")
 }
 
 /// A 4-point spec (2 configs × 2 workloads) sized for debug-mode runs.
@@ -64,6 +68,67 @@ fn sweep_csv_matches_snapshot_for_all_worker_counts() {
         assert!(
             parallel.to_csv() == csv,
             "CSV bytes diverged between jobs=1 and jobs={jobs}"
+        );
+    }
+}
+
+/// Cycle attribution is deterministic telemetry, so it is pinned the
+/// same way: the text rendering must be byte-identical across worker
+/// counts *and* across time, and turning profiling on must not perturb
+/// a single byte of the sweep's own export.
+#[test]
+fn profiled_sweep_attribution_matches_snapshot_for_all_worker_counts() {
+    let spec = small_spec();
+    let opts = SweepOptions {
+        wall_warn: None,
+        ..SweepOptions::default()
+    };
+    let profiled = run_sweep_profiled(&spec, 1, &opts).expect("profiled sweep runs");
+    let text = profiled.to_text();
+
+    // Profiling rides next to the report, never inside it: the CSV of a
+    // profiled sweep is byte-identical to the unprofiled golden.
+    let csv_golden = std::fs::read_to_string(golden_path()).expect("sweep_small.csv exists");
+    assert!(
+        profiled.report.to_csv() == csv_golden,
+        "profiling perturbed the sweep CSV export"
+    );
+
+    // Every point profiled, counters non-trivial, totals consistent.
+    assert!(profiled.per_point.iter().all(Option::is_some));
+    assert!(profiled.total.cycles > 0 && profiled.total.retired > 0);
+    assert_eq!(
+        profiled.total.cycles,
+        profiled.total.retire_cycles + profiled.total.stall_cycles
+    );
+
+    let path = profile_golden_path();
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::write(&path, &text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    } else {
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden file {} ({e}); generate it with UPDATE_GOLDEN=1",
+                path.display()
+            )
+        });
+        assert!(
+            expected == text,
+            "cycle attribution drifted from its golden snapshot.\n\
+             If the change is intended, regenerate with UPDATE_GOLDEN=1.\n\
+             --- expected ---\n{expected}\n--- actual ---\n{text}"
+        );
+    }
+
+    for jobs in [4usize, 8] {
+        let parallel = run_sweep_profiled(&spec, jobs, &opts).expect("profiled sweep runs");
+        assert!(
+            parallel.to_text() == text,
+            "attribution bytes diverged between jobs=1 and jobs={jobs}"
+        );
+        assert!(
+            parallel.report.to_csv() == csv_golden,
+            "profiled CSV diverged between jobs=1 and jobs={jobs}"
         );
     }
 }

@@ -31,6 +31,12 @@ pub fn salted_rng(seed: u64, salt: u64) -> SmallRng {
     SmallRng::seed_from_u64(seed ^ salt)
 }
 
+/// The sanctioned wall-clock entry point shape: a raw clock read inside
+/// `wall_now` is exempt from D002 by the default allow_fns list.
+pub fn wall_now() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
 #[cfg(test)]
 mod tests {
     // Note: D001 is scope = "all", so even tests must use BTreeMap; only

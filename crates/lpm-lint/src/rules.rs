@@ -38,11 +38,11 @@ pub fn catalog() -> &'static [Rule] {
         Rule {
             id: "D002",
             summary: "wall-clock read in result-affecting code",
-            hint: "derive timing from simulated cycles; wall time may only feed the stderr \
-                   stall guard and the zeroed-on-export cycles/sec field (annotate those \
-                   sites with an allow + reason)",
+            hint: "read wall time through lpm_telemetry::wall_now (the one sanctioned, \
+                   allow-annotated entry point); it may only feed stderr diagnostics, \
+                   profiling side channels and the zeroed-on-export cycles/sec field",
             default_scope: Scope::Lib,
-            default_allow_fns: &[],
+            default_allow_fns: &["wall_now"],
         },
         Rule {
             id: "D003",
@@ -286,20 +286,37 @@ pub fn lint_source(rel: &str, src: &str, cfg: &LintConfig, in_tests_dir: bool) -
                         && punct_at(i + 2, ':')
                         && ident_at(i + 3) == Some("now") =>
                 {
-                    emit(
-                        "D002",
-                        t.line,
-                        "Instant::now() reads the wall clock".to_string(),
-                        in_test,
-                    );
+                    // The sanctioned-entry-point escape: a constructor
+                    // inside an allow_fns function (lpm-prof's
+                    // `wall_now`) is the one legal raw clock read.
+                    let in_allowed_fn = rule_cfg("D002").is_some_and(|rc: &RuleConfig| {
+                        fn_stack
+                            .iter()
+                            .any(|(_, f)| rc.allow_fns.iter().any(|a| a == f))
+                    });
+                    if !in_allowed_fn {
+                        emit(
+                            "D002",
+                            t.line,
+                            "Instant::now() reads the wall clock".to_string(),
+                            in_test,
+                        );
+                    }
                 }
                 "SystemTime" if !in_use => {
-                    emit(
-                        "D002",
-                        t.line,
-                        "SystemTime reads the wall clock".to_string(),
-                        in_test,
-                    );
+                    let in_allowed_fn = rule_cfg("D002").is_some_and(|rc: &RuleConfig| {
+                        fn_stack
+                            .iter()
+                            .any(|(_, f)| rc.allow_fns.iter().any(|a| a == f))
+                    });
+                    if !in_allowed_fn {
+                        emit(
+                            "D002",
+                            t.line,
+                            "SystemTime reads the wall clock".to_string(),
+                            in_test,
+                        );
+                    }
                 }
                 w if RNG_CONSTRUCTORS.contains(&w) && !in_use => {
                     let is_definition = i > 0 && ident_at(i - 1) == Some("fn");
@@ -562,6 +579,16 @@ mod tests {
         let src =
             "use std::time::{Duration, Instant};\nfn f() { let t = Instant::now(); let _ = t; }\n";
         assert_eq!(rules_hit(src), vec![("D002".to_string(), 2)]);
+    }
+
+    #[test]
+    fn d002_respects_the_sanctioned_wall_now_fn() {
+        let src = "\
+use std::time::Instant;
+fn wall_now() -> Instant { Instant::now() }
+fn rogue() -> Instant { Instant::now() }
+";
+        assert_eq!(rules_hit(src), vec![("D002".to_string(), 3)]);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use std::io::{BufRead as _, BufReader, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::path::Path;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use lpm_harness::{spec_to_json, SweepSpec};
 use lpm_telemetry::Value;
@@ -143,6 +143,15 @@ impl Client {
         self.request(&obj(vec![("type", Value::Str("events".into()))]))
     }
 
+    /// Fetch live service counters. `format` is `"json"` or
+    /// `"prometheus"`; the server validates it.
+    pub fn metrics(&mut self, format: &str) -> Result<Value, String> {
+        self.request(&obj(vec![
+            ("type", Value::Str("metrics".into())),
+            ("format", Value::Str(format.into())),
+        ]))
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<Value, String> {
         self.request(&obj(vec![("type", Value::Str("ping".into()))]))
@@ -156,8 +165,7 @@ impl Client {
     /// Poll a job until it reaches a terminal status or `timeout`
     /// elapses. Returns the final status response.
     pub fn wait(&mut self, id: &str, timeout: Duration) -> Result<Value, String> {
-        // lpm-lint: allow(D002) client-side poll timeout; wall time never reaches any report byte
-        let start = Instant::now();
+        let start = lpm_telemetry::wall_now();
         loop {
             let resp = self.status(id)?;
             let status = resp.get("status").and_then(Value::as_str).unwrap_or("");

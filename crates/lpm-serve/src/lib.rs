@@ -46,6 +46,7 @@
 
 pub mod admission;
 pub mod client;
+pub mod metrics;
 pub mod proto;
 pub mod server;
 pub mod signal;
@@ -53,6 +54,7 @@ pub mod state;
 
 pub use admission::{Admitted, Rejection};
 pub use client::{read_endpoint, Client};
-pub use proto::Request;
+pub use metrics::{MetricsReport, ServeMetrics};
+pub use proto::{MetricsFormat, Request};
 pub use server::{start, ServerConfig, ServerHandle};
 pub use state::{CancelCause, JobStatus, StateDir};

@@ -1,0 +1,372 @@
+//! Live service counters and their two wire renderings.
+//!
+//! The daemon keeps one [`ServeMetrics`] inside its state mutex and
+//! bumps it at every lifecycle transition (admission, rejection,
+//! completion, retry, deadline trip, recovery resume). The `metrics`
+//! request snapshots the counters together with the live job registry
+//! into a [`MetricsReport`] and renders it either as JSON (for
+//! programmatic clients and the CLI) or as Prometheus text exposition
+//! (for scrapers).
+//!
+//! Everything here is *observability*, not results: the counters are
+//! process-local, reset on restart, and never touch a report byte —
+//! the only wall-clock reads feeding them go through the sanctioned
+//! [`lpm_telemetry::wall_now`] entry point at the call sites.
+
+use std::collections::BTreeMap;
+
+use lpm_telemetry::Value;
+
+use crate::proto::obj;
+use crate::state::{JobStatus, ServeState};
+
+/// Cumulative lifecycle counters of one server process. All counters
+/// are monotonic for the life of the process; `rejected` is keyed by
+/// the stable [`crate::admission::Rejection`] reason strings.
+#[derive(Debug, Clone, Default)]
+pub struct ServeMetrics {
+    /// Fresh admissions (a new job was minted and enqueued).
+    pub admitted: u64,
+    /// Submissions answered from the completed-report dedupe cache or
+    /// coalesced onto a live identical job.
+    pub cache_hits: u64,
+    /// Rejected submissions by rejection reason.
+    pub rejected: BTreeMap<String, u64>,
+    /// Jobs that reached `completed`.
+    pub completed: u64,
+    /// Jobs that reached `failed` (deadline failures included).
+    pub failed: u64,
+    /// Jobs cancelled by a client.
+    pub cancelled: u64,
+    /// Jobs requeued by the drain path (SIGTERM / shutdown).
+    pub drained: u64,
+    /// Job-level retry attempts scheduled.
+    pub retries: u64,
+    /// Wall-clock deadline trips raised by the deadline scanner.
+    pub deadline_trips: u64,
+    /// Interrupted jobs re-enqueued by crash recovery at startup.
+    pub resumes: u64,
+    /// Quarantined points across all completed reports.
+    pub quarantined_points: u64,
+    /// Sweep points in completed reports (cumulative).
+    pub points_done: u64,
+    /// Wall nanoseconds runners spent evaluating jobs (cumulative).
+    pub busy_ns: u64,
+}
+
+impl ServeMetrics {
+    /// Count one rejected submission under its reason string.
+    pub fn reject(&mut self, reason: &str) {
+        *self.rejected.entry(reason.to_string()).or_insert(0) += 1;
+    }
+
+    /// Cumulative evaluated points per second of runner busy time.
+    /// Zero until a job has completed.
+    pub fn points_per_sec(&self) -> f64 {
+        if self.busy_ns == 0 {
+            return 0.0;
+        }
+        self.points_done as f64 / (self.busy_ns as f64 / 1e9)
+    }
+}
+
+/// A point-in-time snapshot answering one `metrics` request: the
+/// cumulative counters plus the live registry gauges.
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    /// Jobs known to the registry, by lifecycle state label (all five
+    /// states always present, zero or not, so scrape series never
+    /// appear and disappear).
+    pub jobs_by_state: Vec<(&'static str, u64)>,
+    /// Current bounded-queue depth.
+    pub queue_depth: u64,
+    /// Whether the server is draining.
+    pub draining: bool,
+    /// The cumulative counters.
+    pub counters: ServeMetrics,
+}
+
+impl MetricsReport {
+    /// Snapshot the registry and counters under the state lock.
+    pub fn collect(st: &ServeState, draining: bool) -> MetricsReport {
+        let states = [
+            JobStatus::Queued,
+            JobStatus::Running,
+            JobStatus::Completed,
+            JobStatus::Failed,
+            JobStatus::Cancelled,
+        ];
+        let jobs_by_state = states
+            .iter()
+            .map(|s| {
+                let n = st.jobs.values().filter(|j| j.status == *s).count();
+                (s.label(), crate::state::count_u64(n))
+            })
+            .collect();
+        MetricsReport {
+            jobs_by_state,
+            queue_depth: crate::state::count_u64(st.queue.len()),
+            draining: draining || st.draining,
+            counters: st.metrics.clone(),
+        }
+    }
+
+    /// JSON rendering (the `metrics` field of the JSON-format reply).
+    pub fn to_json(&self) -> Value {
+        let jobs = self
+            .jobs_by_state
+            .iter()
+            .map(|(label, n)| ((*label).to_string(), Value::Uint(*n)))
+            .collect();
+        let rejected = self
+            .counters
+            .rejected
+            .iter()
+            .map(|(reason, n)| (reason.clone(), Value::Uint(*n)))
+            .collect();
+        obj(vec![
+            ("jobs", Value::Obj(jobs)),
+            ("queue_depth", Value::Uint(self.queue_depth)),
+            ("draining", Value::Bool(self.draining)),
+            ("admitted", Value::Uint(self.counters.admitted)),
+            ("cache_hits", Value::Uint(self.counters.cache_hits)),
+            ("rejected", Value::Obj(rejected)),
+            ("completed", Value::Uint(self.counters.completed)),
+            ("failed", Value::Uint(self.counters.failed)),
+            ("cancelled", Value::Uint(self.counters.cancelled)),
+            ("drained", Value::Uint(self.counters.drained)),
+            ("retries", Value::Uint(self.counters.retries)),
+            ("deadline_trips", Value::Uint(self.counters.deadline_trips)),
+            ("resumes", Value::Uint(self.counters.resumes)),
+            (
+                "quarantined_points",
+                Value::Uint(self.counters.quarantined_points),
+            ),
+            ("points_done", Value::Uint(self.counters.points_done)),
+            ("busy_ns", Value::Uint(self.counters.busy_ns)),
+            ("points_per_sec", Value::Num(self.counters.points_per_sec())),
+        ])
+    }
+
+    /// Prometheus text exposition (format version 0.0.4): `# HELP` and
+    /// `# TYPE` per family, `lpm_serve_*` names, label syntax for the
+    /// per-state and per-reason families.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        header(&mut out, "lpm_serve_jobs", "gauge", JOBS_HELP);
+        for (label, n) in &self.jobs_by_state {
+            out.push_str(&format!("lpm_serve_jobs{{state=\"{label}\"}} {n}\n"));
+        }
+        scalar(
+            &mut out,
+            "lpm_serve_queue_depth",
+            "gauge",
+            "Current bounded-queue depth.",
+            &self.queue_depth.to_string(),
+        );
+        scalar(
+            &mut out,
+            "lpm_serve_draining",
+            "gauge",
+            "1 while the server is draining.",
+            &u64::from(self.draining).to_string(),
+        );
+        let c = &self.counters;
+        scalar(
+            &mut out,
+            "lpm_serve_admitted_total",
+            "counter",
+            "Fresh admissions.",
+            &c.admitted.to_string(),
+        );
+        scalar(
+            &mut out,
+            "lpm_serve_cache_hits_total",
+            "counter",
+            "Submissions deduplicated against a cached or live identical spec.",
+            &c.cache_hits.to_string(),
+        );
+        header(
+            &mut out,
+            "lpm_serve_rejected_total",
+            "counter",
+            "Rejected submissions by reason.",
+        );
+        for (reason, n) in &c.rejected {
+            out.push_str(&format!(
+                "lpm_serve_rejected_total{{reason=\"{reason}\"}} {n}\n"
+            ));
+        }
+        scalar(
+            &mut out,
+            "lpm_serve_completed_total",
+            "counter",
+            "Jobs completed.",
+            &c.completed.to_string(),
+        );
+        scalar(
+            &mut out,
+            "lpm_serve_failed_total",
+            "counter",
+            "Jobs terminally failed.",
+            &c.failed.to_string(),
+        );
+        scalar(
+            &mut out,
+            "lpm_serve_cancelled_total",
+            "counter",
+            "Jobs cancelled by clients.",
+            &c.cancelled.to_string(),
+        );
+        scalar(
+            &mut out,
+            "lpm_serve_drained_total",
+            "counter",
+            "Jobs requeued by drain.",
+            &c.drained.to_string(),
+        );
+        scalar(
+            &mut out,
+            "lpm_serve_retries_total",
+            "counter",
+            "Job-level retry attempts.",
+            &c.retries.to_string(),
+        );
+        scalar(
+            &mut out,
+            "lpm_serve_deadline_trips_total",
+            "counter",
+            "Wall-clock deadline trips.",
+            &c.deadline_trips.to_string(),
+        );
+        scalar(
+            &mut out,
+            "lpm_serve_resumes_total",
+            "counter",
+            "Interrupted jobs re-enqueued by crash recovery.",
+            &c.resumes.to_string(),
+        );
+        scalar(
+            &mut out,
+            "lpm_serve_quarantined_points_total",
+            "counter",
+            "Quarantined points across completed reports.",
+            &c.quarantined_points.to_string(),
+        );
+        scalar(
+            &mut out,
+            "lpm_serve_points_total",
+            "counter",
+            "Sweep points in completed reports.",
+            &c.points_done.to_string(),
+        );
+        scalar(
+            &mut out,
+            "lpm_serve_busy_seconds_total",
+            "counter",
+            "Runner wall time spent evaluating jobs.",
+            &format!("{:.9}", c.busy_ns as f64 / 1e9),
+        );
+        scalar(
+            &mut out,
+            "lpm_serve_points_per_second",
+            "gauge",
+            "Cumulative evaluated points per second of runner busy time.",
+            &format!("{:.6}", c.points_per_sec()),
+        );
+        out
+    }
+}
+
+const JOBS_HELP: &str = "Jobs known to the registry by lifecycle state.";
+
+/// Emit a family's `# HELP` / `# TYPE` preamble.
+fn header(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+/// Emit a complete single-sample (label-free) family.
+fn scalar(out: &mut String, name: &str, kind: &str, help: &str, value: &str) {
+    header(out, name, kind, help);
+    out.push_str(&format!("{name} {value}\n"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsReport {
+        let mut counters = ServeMetrics {
+            admitted: 3,
+            cache_hits: 2,
+            completed: 2,
+            failed: 1,
+            retries: 1,
+            deadline_trips: 1,
+            points_done: 8,
+            busy_ns: 2_000_000_000,
+            ..ServeMetrics::default()
+        };
+        counters.reject("queue-full");
+        counters.reject("queue-full");
+        counters.reject("tenant-quota");
+        MetricsReport {
+            jobs_by_state: vec![
+                ("queued", 1),
+                ("running", 0),
+                ("completed", 2),
+                ("failed", 1),
+                ("cancelled", 0),
+            ],
+            queue_depth: 1,
+            draining: false,
+            counters,
+        }
+    }
+
+    #[test]
+    fn json_rendering_round_trips_and_carries_counters() {
+        let v = sample().to_json();
+        let text = v.to_json();
+        let back = Value::parse(&text).unwrap();
+        assert_eq!(back.get("admitted").and_then(Value::as_u64), Some(3));
+        assert_eq!(back.get("queue_depth").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            back.get("rejected")
+                .and_then(|r| r.get("queue-full"))
+                .and_then(Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            back.get("jobs")
+                .and_then(|j| j.get("completed"))
+                .and_then(Value::as_u64),
+            Some(2)
+        );
+        let pps = back.get("points_per_sec").and_then(Value::as_f64).unwrap();
+        assert!((pps - 4.0).abs() < 1e-9, "{pps}");
+    }
+
+    #[test]
+    fn prometheus_rendering_has_help_type_and_labels() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# HELP lpm_serve_jobs "));
+        assert!(text.contains("# TYPE lpm_serve_jobs gauge"));
+        assert!(text.contains("lpm_serve_jobs{state=\"queued\"} 1"));
+        assert!(text.contains("lpm_serve_rejected_total{reason=\"queue-full\"} 2"));
+        assert!(text.contains("# TYPE lpm_serve_admitted_total counter"));
+        assert!(text.contains("lpm_serve_admitted_total 3"));
+        assert!(text.contains("lpm_serve_points_per_second 4.000000"));
+        assert!(text.contains("lpm_serve_busy_seconds_total 2.000000000"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "bad exposition line: {line}");
+        }
+    }
+
+    #[test]
+    fn points_per_sec_is_zero_without_busy_time() {
+        let m = ServeMetrics::default();
+        assert_eq!(m.points_per_sec(), 0.0);
+    }
+}

@@ -35,6 +35,15 @@ pub fn err(reason: &str, detail: &str) -> Value {
     ])
 }
 
+/// Which rendering a `metrics` request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Structured JSON object (default).
+    Json,
+    /// Prometheus text exposition, returned as one string field.
+    Prometheus,
+}
+
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -71,6 +80,12 @@ pub enum Request {
     List,
     /// Fetch recent job-lifecycle telemetry events.
     Events,
+    /// Fetch live service counters.
+    Metrics {
+        /// Rendering: `"json"` (default) or `"prometheus"` (text
+        /// exposition, returned as a string field).
+        format: MetricsFormat,
+    },
     /// Liveness probe; also reports whether the server is draining.
     Ping,
     /// Ask the server to drain and exit (same path as SIGTERM).
@@ -124,6 +139,20 @@ impl Request {
             "report" => Ok(Request::Report { id: id(v)? }),
             "list" => Ok(Request::List),
             "events" => Ok(Request::Events),
+            "metrics" => {
+                let format = match v.get("format").map(Value::as_str) {
+                    None => MetricsFormat::Json,
+                    Some(Some("json")) => MetricsFormat::Json,
+                    Some(Some("prometheus")) => MetricsFormat::Prometheus,
+                    Some(Some(other)) => {
+                        return Err(format!(
+                            "unknown metrics format {other:?} (expected json or prometheus)"
+                        ))
+                    }
+                    Some(None) => return Err("metrics format field is not a string".into()),
+                };
+                Ok(Request::Metrics { format })
+            }
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request type {other:?}")),
@@ -185,6 +214,30 @@ mod tests {
         assert_eq!(tenant, "default");
         assert_eq!(jobs, None);
         assert_eq!(deadline_ms, None);
+    }
+
+    #[test]
+    fn metrics_request_parses_formats_and_rejects_unknown_ones() {
+        let v = Value::parse(r#"{"type":"metrics"}"#).unwrap();
+        assert_eq!(
+            Request::from_json(&v).unwrap(),
+            Request::Metrics {
+                format: MetricsFormat::Json
+            }
+        );
+        let v = Value::parse(r#"{"type":"metrics","format":"prometheus"}"#).unwrap();
+        assert_eq!(
+            Request::from_json(&v).unwrap(),
+            Request::Metrics {
+                format: MetricsFormat::Prometheus
+            }
+        );
+        let v = Value::parse(r#"{"type":"metrics","format":"xml"}"#).unwrap();
+        assert!(Request::from_json(&v)
+            .unwrap_err()
+            .contains("unknown metrics format"));
+        let v = Value::parse(r#"{"type":"metrics","format":7}"#).unwrap();
+        assert!(Request::from_json(&v).unwrap_err().contains("not a string"));
     }
 
     #[test]

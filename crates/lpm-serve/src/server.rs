@@ -25,13 +25,16 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use lpm_harness::{inspect_journal, run_sweep_with, SweepOptions, SweepReport, SweepSpec};
+use lpm_harness::{
+    inspect_journal, run_sweep_with, PointOutcome, SweepOptions, SweepReport, SweepSpec,
+};
 use lpm_telemetry::{Event, JobPhase, Value};
 
 use crate::admission::{admit, decode_spec};
-use crate::proto::{self, obj, Request};
+use crate::metrics::MetricsReport;
+use crate::proto::{self, obj, MetricsFormat, Request};
 use crate::signal;
 use crate::state::{
     atomic_write, manifest_from_json, persist_manifest, CancelCause, Job, JobStatus, ServeState,
@@ -100,6 +103,12 @@ struct Shared {
 struct EventSink {
     file: fs::File,
     recent: VecDeque<Value>,
+    /// Stream position of the next event. Stamped into every emitted
+    /// event as `seq` so subscribers (and `telemetry_check --strict`)
+    /// can detect drops; initialized past whatever an existing
+    /// `events.jsonl` already holds so the on-disk stream stays
+    /// gap-free across restarts.
+    next_seq: u64,
 }
 
 impl Shared {
@@ -122,8 +131,12 @@ impl Shared {
             phase,
             detail: detail.to_string(),
         };
-        let v = ev.to_json();
+        let mut v = ev.to_json();
         let mut sink = self.events.lock().unwrap_or_else(|p| p.into_inner());
+        if let Value::Obj(fields) = &mut v {
+            fields.push(("seq".to_string(), Value::Uint(sink.next_seq)));
+        }
+        sink.next_seq = sink.next_seq.saturating_add(1);
         let mut line = v.to_json();
         line.push('\n');
         if let Err(e) = sink
@@ -179,6 +192,26 @@ impl ServerHandle {
 pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
     let dir = StateDir::new(&config.state_dir);
     dir.create()?;
+    // Resume the event stream's seq numbering where the last process
+    // left it: one past the highest stamped seq, or (for pre-seq
+    // streams) the line count, so seq keeps equalling stream position.
+    let next_seq = match fs::read_to_string(dir.events_path()) {
+        Ok(text) => text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .fold(0u64, |acc, l| {
+                let stamped = Value::parse(l)
+                    .ok()
+                    .and_then(|v| v.get("seq").and_then(Value::as_u64));
+                match stamped {
+                    // A stamped line pins the stream position exactly;
+                    Some(s) => s.saturating_add(1),
+                    // a pre-seq line just advances it by one.
+                    None => acc.saturating_add(1),
+                }
+            }),
+        Err(_) => 0,
+    };
     let events_file = fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -205,6 +238,7 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
         events: Mutex::new(EventSink {
             file: events_file,
             recent: VecDeque::new(),
+            next_seq,
         }),
     });
     recover(&shared)?;
@@ -305,6 +339,7 @@ fn recover(shared: &Shared) -> Result<(), String> {
                 requeue.push((job.seq, job.id.clone()));
                 let (id, detail) = (job.id.clone(), job.detail.clone());
                 st.jobs.insert(job.id.clone(), job);
+                st.metrics.resumes += 1;
                 drop(st);
                 shared.emit(JobPhase::Resumed, &id, &detail);
                 st = shared.locked();
@@ -338,12 +373,13 @@ fn next_job(shared: &Shared) -> Option<JobRun> {
         if st.draining {
             return None;
         }
-        // lpm-lint: allow(D002) retry-backoff gate; decides when an attempt may start, never reaches any report byte
-        let now = Instant::now();
+        // Backoff gate clock via the sanctioned lpm-prof entry point;
+        // decides when an attempt may start, never reaches report bytes.
+        let now = lpm_telemetry::wall_now();
         let ready = st.queue.iter().position(|id| {
             st.jobs
                 .get(id)
-                .map_or(true, |j| j.not_before.map_or(true, |t| t <= now))
+                .is_none_or(|j| j.not_before.is_none_or(|t| t <= now))
         });
         let Some(pos) = ready else {
             st = shared
@@ -362,8 +398,7 @@ fn next_job(shared: &Shared) -> Option<JobRun> {
         job.status = JobStatus::Running;
         job.detail = "evaluating".into();
         job.not_before = None;
-        // lpm-lint: allow(D002) service-level deadline clock; bounds wall time only, never reaches any report byte
-        job.started = Some(Instant::now());
+        job.started = Some(lpm_telemetry::wall_now());
         let run = JobRun {
             id: id.clone(),
             spec: job.spec.clone(),
@@ -392,7 +427,15 @@ fn runner_loop(shared: &Shared) {
             wall_warn: Some(Duration::from_secs(30)),
             cancel: Some(Arc::clone(&run.cancel)),
         };
+        // Busy time via the sanctioned lpm-prof entry point: feeds the
+        // cumulative points/sec gauge only, never any report byte.
+        let t0 = lpm_telemetry::wall_now();
         let result = run_sweep_with(&run.spec, run.jobs, &opts);
+        let busy = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        {
+            let mut st = shared.locked();
+            st.metrics.busy_ns = st.metrics.busy_ns.saturating_add(busy);
+        }
         finish_job(shared, &run, result);
     }
 }
@@ -409,7 +452,21 @@ fn finish_job(shared: &Shared, run: &JobRun, result: Result<SweepReport, String>
                 return fail_or_retry(shared, run, format!("cannot write report: {e}"));
             }
             let detail = format!("{} point(s), {} failed", report.len(), report.failed_len());
+            let quarantined = report
+                .rows
+                .iter()
+                .filter(|r| matches!(r.outcome, PointOutcome::Quarantined { .. }))
+                .count();
             let mut st = shared.locked();
+            st.metrics.completed += 1;
+            st.metrics.points_done = st
+                .metrics
+                .points_done
+                .saturating_add(crate::state::count_u64(report.len()));
+            st.metrics.quarantined_points = st
+                .metrics
+                .quarantined_points
+                .saturating_add(crate::state::count_u64(quarantined));
             st.active_by_fp.remove(&run.fingerprint);
             st.completed_by_fp.insert(run.fingerprint, run.id.clone());
             if let Some(job) = st.jobs.get_mut(&run.id) {
@@ -439,11 +496,13 @@ fn finish_job(shared: &Shared, run: &JobRun, result: Result<SweepReport, String>
                             eprintln!("lpm-serve: cannot persist manifest for {}: {pe}", run.id);
                         }
                     }
+                    st.metrics.drained += 1;
                     st.queue.push_back(run.id.clone());
                     drop(st);
                     shared.emit(JobPhase::Drained, &run.id, &e);
                 }
                 CancelCause::Client => {
+                    st.metrics.cancelled += 1;
                     st.active_by_fp.remove(&run.fingerprint);
                     if let Some(job) = st.jobs.get_mut(&run.id) {
                         job.status = JobStatus::Cancelled;
@@ -456,6 +515,7 @@ fn finish_job(shared: &Shared, run: &JobRun, result: Result<SweepReport, String>
                     shared.emit(JobPhase::Cancelled, &run.id, &e);
                 }
                 CancelCause::Deadline => {
+                    st.metrics.failed += 1;
                     st.active_by_fp.remove(&run.fingerprint);
                     let detail = {
                         let deadline = st
@@ -507,8 +567,7 @@ fn fail_or_retry(shared: &Shared, run: &JobRun, error: String) {
         // The backoff is a not-before gate on the *job*, enforced in
         // next_job — sleeping here would only stall this runner while
         // any idle peer picked the job right back up.
-        // lpm-lint: allow(D002) retry backoff clock; gates when the retry may start, never reaches any report byte
-        let now = Instant::now();
+        let now = lpm_telemetry::wall_now();
         let backoff = shared
             .config
             .retry_backoff_ms
@@ -517,6 +576,7 @@ fn fail_or_retry(shared: &Shared, run: &JobRun, error: String) {
         if let Err(pe) = persist_manifest(&shared.dir, job) {
             eprintln!("lpm-serve: cannot persist manifest for {}: {pe}", run.id);
         }
+        st.metrics.retries += 1;
         st.queue.push_back(run.id.clone());
         drop(st);
         shared.emit(
@@ -530,6 +590,7 @@ fn fail_or_retry(shared: &Shared, run: &JobRun, error: String) {
         if let Err(pe) = persist_manifest(&shared.dir, job) {
             eprintln!("lpm-serve: cannot persist manifest for {}: {pe}", run.id);
         }
+        st.metrics.failed += 1;
         st.active_by_fp.remove(&run.fingerprint);
         drop(st);
         shared.emit(JobPhase::Failed, &run.id, &error);
@@ -565,6 +626,10 @@ fn deadline_loop(shared: &Shared) {
                     hit.push((id.clone(), deadline));
                 }
             }
+            st.metrics.deadline_trips = st
+                .metrics
+                .deadline_trips
+                .saturating_add(crate::state::count_u64(hit.len()));
         }
         for (id, deadline) in hit {
             shared.emit(
@@ -669,13 +734,14 @@ fn handle_request(shared: &Shared, v: &Value) -> Value {
             let spec = match decode_spec(&spec) {
                 Ok(s) => s,
                 Err(rej) => {
+                    shared.locked().metrics.reject(rej.reason());
                     shared.emit(JobPhase::Rejected, "-", &rej.detail());
                     return proto::err(rej.reason(), &rej.detail());
                 }
             };
             let decision = {
                 let mut st = shared.locked();
-                admit(
+                let d = admit(
                     &mut st,
                     &shared.dir,
                     &shared.config,
@@ -683,7 +749,13 @@ fn handle_request(shared: &Shared, v: &Value) -> Value {
                     spec,
                     jobs,
                     deadline_ms,
-                )
+                );
+                match &d {
+                    Ok(adm) if adm.cached => st.metrics.cache_hits += 1,
+                    Ok(_) => st.metrics.admitted += 1,
+                    Err(rej) => st.metrics.reject(rej.reason()),
+                }
+                d
             };
             match decision {
                 Ok(adm) => {
@@ -793,6 +865,22 @@ fn handle_request(shared: &Shared, v: &Value) -> Value {
                 "events",
                 Value::Arr(sink.recent.iter().cloned().collect()),
             )])
+        }
+        Request::Metrics { format } => {
+            let report = {
+                let st = shared.locked();
+                MetricsReport::collect(&st, shared.stopping())
+            };
+            match format {
+                MetricsFormat::Json => proto::ok(vec![
+                    ("format", Value::Str("json".into())),
+                    ("metrics", report.to_json()),
+                ]),
+                MetricsFormat::Prometheus => proto::ok(vec![
+                    ("format", Value::Str("prometheus".into())),
+                    ("metrics", Value::Str(report.to_prometheus())),
+                ]),
+            }
         }
         Request::Ping => {
             let draining = shared.locked().draining || shared.stopping();

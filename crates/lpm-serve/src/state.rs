@@ -155,6 +155,8 @@ pub struct ServeState {
     pub draining: bool,
     /// Next admission sequence number.
     pub next_seq: u64,
+    /// Live observability counters (process-local; reset on restart).
+    pub metrics: crate::metrics::ServeMetrics,
 }
 
 /// Paths of the service state directory.

@@ -27,7 +27,7 @@ use lpm_cache::{AccessId, AccessResponse, Cache, CacheConfig};
 use lpm_cpu::{Core, CoreConfig, CoreStats, MemoryPort};
 use lpm_dram::{Dram, DramConfig, DramRequest};
 use lpm_model::LayerCounters;
-use lpm_telemetry::{CycleSample, Event, NullRecorder, Recorder};
+use lpm_telemetry::{AttrSample, CycleSample, Event, NullRecorder, Recorder};
 use lpm_trace::Trace;
 
 use crate::analyzer::{CacheAnalyzer, DramAnalyzer};
@@ -707,6 +707,26 @@ impl Cmp {
         // Watchdog: a simulator deadlock manifests as no retirement
         // anywhere for a very long time.
         let retired_total: u64 = self.cores.iter().map(|c| c.stats().retired).sum();
+
+        // Cycle attribution: occupancies against capacities at the end
+        // of the cycle, plus this cycle's retirement delta. A pure
+        // function of the deterministic simulation — byte-identical
+        // across worker counts — and compiled out unless the recorder
+        // opts in via `R::PROFILED`.
+        if R::PROFILED {
+            rec.attr_sample(&AttrSample {
+                retired_delta: retired_total.saturating_sub(self.last_retired_total),
+                rob: self.cores.iter().map(|c| c.rob_occupancy()).sum(),
+                rob_capacity: self.cores.iter().map(|c| c.rob_capacity()).sum(),
+                l1_mshrs: self.l1s.iter().map(|c| c.mshrs_in_use()).sum(),
+                l1_mshr_capacity: self.l1s.iter().map(|c| c.mshr_capacity()).sum(),
+                shared_mshrs: self.shared.iter().map(|c| c.mshrs_in_use()).sum(),
+                shared_mshr_capacity: self.shared.iter().map(|c| c.mshr_capacity()).sum(),
+                dram_banks_busy: self.dram.banks_busy(now),
+                dram_banks_total: self.dram.banks_total(),
+            });
+        }
+
         if retired_total > self.last_retired_total {
             self.last_retired_total = retired_total;
             self.last_progress_cycle = now;

@@ -17,12 +17,20 @@
 //! not `"ok"` legitimately has no telemetry segment and is accepted
 //! empty.
 //!
+//! Two further shapes ride on the same dispatch: a bench trajectory
+//! point (`{"type":"bench",...}` — what `lpm-bench`'s `bench` binary
+//! writes to `BENCH_<tag>.json`) is schema-validated, and a bare event
+//! stream (event records with no summary — what `lpm-serve` appends to
+//! `events.jsonl`) is parsed event by event.
+//!
 //! Dropped events (the `RingRecorder` overflow counter) are always
 //! reported; with `--strict` any drop is a failure, because a CI
 //! artifact that silently lost telemetry is not a trustworthy
-//! regression baseline.
+//! regression baseline. Event lines carry monotonically increasing
+//! `seq` numbers; `--strict` also fails on any mid-stream gap, the
+//! signature of a subscriber that silently lost records.
 
-use lpm_telemetry::{TelemetryLog, Value};
+use lpm_telemetry::{Event, TelemetryLog, Value};
 use std::process::ExitCode;
 
 /// What one validated file contained, for the summary line and the
@@ -190,6 +198,127 @@ fn check_checkpoint_jsonl(text: &str) -> Result<Checked, String> {
     })
 }
 
+/// Schema-validate one `BENCH_<tag>.json` trajectory point. The file
+/// is a single JSON object written through the strict [`Value`] codec;
+/// the perf-trajectory contract is that `totals` carries nonzero
+/// points/sec and cycles/sec, so a broken bench cannot silently commit
+/// a zero baseline.
+fn check_bench_json(text: &str) -> Result<Checked, String> {
+    let v = Value::parse(text.trim()).map_err(|e| format!("bench json: {e}"))?;
+    if v.get("type").and_then(Value::as_str) != Some("bench") {
+        return Err("bench json: type is not \"bench\"".into());
+    }
+    if v.get("schema_version").and_then(Value::as_u64).is_none() {
+        return Err("bench json: missing schema_version".into());
+    }
+    let tag = v
+        .get("tag")
+        .and_then(Value::as_str)
+        .ok_or("bench json: missing tag")?;
+    let host = v.get("host").ok_or("bench json: missing host")?;
+    for key in ["os", "arch"] {
+        if host.get(key).and_then(Value::as_str).is_none() {
+            return Err(format!("bench json: host has no {key}"));
+        }
+    }
+    let suite = v
+        .get("suite")
+        .and_then(Value::as_arr)
+        .ok_or("bench json: missing suite array")?;
+    if suite.is_empty() {
+        return Err("bench json: suite is empty".into());
+    }
+    for (i, entry) in suite.iter().enumerate() {
+        for key in ["name", "metric"] {
+            if entry.get(key).and_then(Value::as_str).is_none() {
+                return Err(format!("bench json: suite[{i}] has no {key}"));
+            }
+        }
+        for key in ["value", "wall_ns"] {
+            if entry.get(key).and_then(Value::as_f64).is_none() {
+                return Err(format!("bench json: suite[{i}] has no {key}"));
+            }
+        }
+    }
+    let totals = v.get("totals").ok_or("bench json: missing totals")?;
+    for key in ["points_per_sec", "cycles_per_sec"] {
+        let rate = totals
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("bench json: totals has no {key}"))?;
+        // NaN must fail too, so test is_finite rather than negating `>`.
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(format!("bench json: totals.{key} is not positive ({rate})"));
+        }
+    }
+    Ok(Checked {
+        what: format!("bench {tag}: {} suite entries", suite.len()),
+        snapshots: usize::MAX,
+        events_dropped: 0,
+    })
+}
+
+/// Validate a bare event stream (`lpm-serve`'s `events.jsonl`): every
+/// line must be a parsable typed event. There is no summary record, so
+/// drop detection rides entirely on the `seq` numbers.
+fn check_event_stream(text: &str) -> Result<Checked, String> {
+    let mut events = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Value::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if v.get("type").and_then(Value::as_str) != Some("event") {
+            return Err(format!("line {}: event stream holds a non-event", i + 1));
+        }
+        Event::from_json(&v).map_err(|e| format!("line {}: {e}", i + 1))?;
+        events += 1;
+    }
+    if events == 0 {
+        return Err("event stream is empty".into());
+    }
+    Ok(Checked {
+        what: format!("event stream: {events} events"),
+        snapshots: usize::MAX,
+        events_dropped: 0,
+    })
+}
+
+/// Find mid-stream `seq` gaps. Event `seq` numbers are contiguous
+/// within one emission stream; any record of another type (summary,
+/// point header, checkpoint row, snapshot) ends the stream and resets
+/// the expectation. Events without a `seq` (legacy exports) reset it
+/// too, so old artifacts keep validating.
+fn seq_gaps(text: &str) -> Vec<String> {
+    let mut gaps = Vec::new();
+    let mut prev: Option<u64> = None;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(v) = Value::parse(line) else {
+            prev = None;
+            continue;
+        };
+        if v.get("type").and_then(Value::as_str) != Some("event") {
+            prev = None;
+            continue;
+        }
+        match v.get("seq").and_then(Value::as_u64) {
+            Some(seq) => {
+                if let Some(p) = prev {
+                    if seq != p + 1 {
+                        gaps.push(format!("line {}: event seq jumps from {p} to {seq}", i + 1));
+                    }
+                }
+                prev = Some(seq);
+            }
+            None => prev = None,
+        }
+    }
+    gaps
+}
+
 fn check(path: &str, text: &str) -> Result<Checked, String> {
     if path.ends_with(".csv") {
         let log = TelemetryLog::from_csv(text)?;
@@ -211,6 +340,8 @@ fn check(path: &str, text: &str) -> Result<Checked, String> {
     match first_type.as_deref() {
         Some("point") => check_sweep_jsonl(text),
         Some("checkpoint-header") => check_checkpoint_jsonl(text),
+        Some("bench") => check_bench_json(text),
+        Some("event") => check_event_stream(text),
         _ => {
             let log = TelemetryLog::from_jsonl(text)?;
             Ok(Checked {
@@ -253,6 +384,19 @@ fn main() -> ExitCode {
             if c.snapshots == 0 {
                 eprintln!("telemetry_check: {path} contains no snapshots");
                 return ExitCode::FAILURE;
+            }
+            if !path.ends_with(".csv") {
+                let gaps = seq_gaps(&text);
+                for g in &gaps {
+                    eprintln!("telemetry_check: {path}: {g}");
+                }
+                if strict && !gaps.is_empty() {
+                    eprintln!(
+                        "telemetry_check: {path}: {} seq gap(s) (--strict: failing)",
+                        gaps.len()
+                    );
+                    return ExitCode::FAILURE;
+                }
             }
             if c.events_dropped > 0 {
                 eprintln!(

@@ -215,14 +215,29 @@ pub struct TelemetryLog {
 impl TelemetryLog {
     /// Serialize to JSON-lines: one object per snapshot, per event, and
     /// a final summary line.
+    ///
+    /// Every event line carries a monotonically increasing `seq`
+    /// number. The ring recorder drops oldest-first, so the retained
+    /// events are the tail of the emission stream: numbering starts at
+    /// `summary.events_dropped` and a stream subscriber can detect
+    /// drops as the gap before the first retained event — and any
+    /// mid-stream gap as corruption (`telemetry_check --strict`
+    /// verifies both).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for s in &self.snapshots {
             out.push_str(&s.to_json().to_json());
             out.push('\n');
         }
-        for e in &self.events {
-            out.push_str(&e.to_json().to_json());
+        for (i, e) in self.events.iter().enumerate() {
+            let mut v = e.to_json();
+            if let Value::Obj(fields) = &mut v {
+                fields.push((
+                    "seq".into(),
+                    Value::Uint(self.summary.events_dropped + crate::count_u64(i)),
+                ));
+            }
+            out.push_str(&v.to_json());
             out.push('\n');
         }
         out.push_str(&self.summary.to_json().to_json());

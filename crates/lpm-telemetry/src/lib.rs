@@ -39,11 +39,13 @@
 pub mod event;
 pub mod export;
 pub mod json;
+pub mod prof;
 pub mod snapshot;
 
 pub use event::{DecisionCase, Event, JobPhase, SkipReason};
 pub use export::{FaultTotals, HealthCounters, RunSummary, TelemetryLog};
 pub use json::Value;
+pub use prof::{wall_now, AttrSample, CycleAttribution, Profiled, WallProfile, WallSpan};
 pub use snapshot::{CycleAccum, CycleSample, Histogram, LayerMetrics, MetricsSnapshot};
 
 use std::collections::VecDeque;
@@ -69,11 +71,24 @@ pub trait Recorder {
     /// guard emissions (and any work to *construct* them) with this.
     const ENABLED: bool;
 
+    /// Whether this recorder consumes cycle-attribution samples
+    /// ([`AttrSample`]). Independent of `ENABLED` so a
+    /// [`Profiled<NullRecorder>`](prof::Profiled) profiles without
+    /// paying for event/snapshot capture; call sites guard
+    /// `attr_sample` emissions (and the work to construct them) with
+    /// this constant.
+    const PROFILED: bool = false;
+
     /// Append a typed event to the log.
     fn event(&mut self, ev: Event);
 
     /// Observe one cycle's occupancy sample.
     fn cycle_sample(&mut self, s: &CycleSample);
+
+    /// Observe one cycle's attribution sample (occupancies against
+    /// capacities plus the retirement delta). Default: discard.
+    #[inline]
+    fn attr_sample(&mut self, _s: &AttrSample) {}
 
     /// Drain the occupancy accumulator at an interval boundary.
     fn take_interval(&mut self) -> CycleAccum {
