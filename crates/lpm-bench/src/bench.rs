@@ -31,6 +31,21 @@ use crate::SEED;
 /// Version stamp of the `BENCH_*.json` schema; bump on breaking change.
 pub const BENCH_SCHEMA_VERSION: u64 = 1;
 
+/// Timed repetitions per suite entry. Each entry reports its
+/// least-contended (minimum-wall) repetition: wall-clock noise on a
+/// shared machine is strictly additive, so the minimum is the closest
+/// observation to the code's true cost and run-to-run deltas reflect
+/// the code, not the neighbours.
+pub const BENCH_REPS: u32 = 3;
+
+/// `--compare` gate: fail when a roll-up total regresses by more than
+/// this percentage. Per-entry deltas stay advisory (micro entries are
+/// too noisy to gate), but the two totals — sweep points/sec and
+/// simulated cycles/sec — are the repo's headline throughput numbers
+/// and are measured best-of-[`BENCH_REPS`], so a double-digit drop is a
+/// real regression, not scheduler luck.
+pub const GATE_REGRESSION_PCT: f64 = 10.0;
+
 /// One suite entry: a named measurement with its primary rate metric,
 /// the wall time it took, and free-form extra fields (deterministic
 /// counts, attribution breakdowns).
@@ -196,12 +211,13 @@ pub fn parse_snapshot(text: &str) -> Result<BenchSnapshot, String> {
     })
 }
 
-/// Render an advisory comparison table (`new` vs `old`). Deltas are
-/// informational only — wall-clock rates are machine- and load-
-/// dependent, so regressions here flag "look closer", never "fail CI".
+/// Render a comparison table (`new` vs `old`). Per-entry deltas are
+/// advisory — micro entries are machine- and load-dependent — but the
+/// roll-up totals at the bottom are gated: [`gate_failures`] fails the
+/// run when either regresses past [`GATE_REGRESSION_PCT`].
 pub fn render_compare(old: &BenchSnapshot, new: &BenchSnapshot) -> String {
     let mut out = format!(
-        "bench compare: {} (new) vs {} (old) — advisory, wall-clock rates\n{:<18} {:<18} {:>14} {:>14} {:>8}\n",
+        "bench compare: {} (new) vs {} (old) — per-entry advisory, totals gated\n{:<18} {:<18} {:>14} {:>14} {:>8}\n",
         new.tag, old.tag, "entry", "metric", "old", "new", "delta"
     );
     for (name, metric, value) in &new.entries {
@@ -244,6 +260,35 @@ pub fn render_compare(old: &BenchSnapshot, new: &BenchSnapshot) -> String {
     out
 }
 
+/// The `--compare` gate: every roll-up total that regressed by more
+/// than [`GATE_REGRESSION_PCT`] vs `old`, rendered as one failure line
+/// each. Empty means the gate passes. Missing or zero old totals never
+/// fail (first record, or a schema that predates a total).
+pub fn gate_failures(old: &BenchSnapshot, new: &BenchSnapshot) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut check = |label: &str, o: f64, n: f64| {
+        if o > 0.0 {
+            let delta = 100.0 * (n - o) / o;
+            if delta < -GATE_REGRESSION_PCT {
+                failures.push(format!(
+                    "{label}: {o:.1} -> {n:.1} ({delta:+.1}%, gate is -{GATE_REGRESSION_PCT:.0}%)"
+                ));
+            }
+        }
+    };
+    check(
+        "totals.points_per_sec",
+        old.points_per_sec,
+        new.points_per_sec,
+    );
+    check(
+        "totals.cycles_per_sec",
+        old.cycles_per_sec,
+        new.cycles_per_sec,
+    );
+    failures
+}
+
 fn elapsed_ns(start: std::time::Instant) -> u64 {
     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
@@ -278,18 +323,27 @@ fn bench_spec(quick: bool) -> SweepSpec {
 fn bench_trace_generation(quick: bool, prof: &WallProfile) -> BenchEntry {
     let instructions = if quick { 50_000 } else { 200_000 };
     let _span = prof.span("trace-generation");
-    let t0 = wall_now();
-    let trace = SpecWorkload::McfLike
-        .generator()
-        .generate(instructions, SEED);
-    let wall_ns = elapsed_ns(t0);
+    let mut best_wall = u64::MAX;
+    let mut len = 0u64;
+    for _ in 0..BENCH_REPS {
+        let t0 = wall_now();
+        let trace = SpecWorkload::McfLike
+            .generator()
+            .generate(instructions, SEED);
+        let wall_ns = elapsed_ns(t0);
+        best_wall = best_wall.min(wall_ns);
+        len = trace.len() as u64;
+    }
     BenchEntry {
         name: "trace-generation".to_string(),
         krate: "lpm-trace".to_string(),
         metric: "instructions_per_sec".to_string(),
-        value: rate(instructions as u64, wall_ns),
-        wall_ns,
-        extra: vec![("instructions".to_string(), Value::Uint(trace.len() as u64))],
+        value: rate(instructions as u64, best_wall),
+        wall_ns: best_wall,
+        extra: vec![
+            ("instructions".to_string(), Value::Uint(len)),
+            ("reps".to_string(), Value::Uint(BENCH_REPS as u64)),
+        ],
     }
 }
 
@@ -303,19 +357,30 @@ fn bench_sim_step_loop(
     let trace = SpecWorkload::BwavesLike
         .generator()
         .generate(instructions, SEED);
-    let mut sys = System::try_new_looping(SystemConfig::default(), trace, 1_000, SEED)
-        .map_err(|e| format!("sim-step-loop: {e}"))?;
-    sys.cmp_mut()
-        .try_warm_up(2_000)
-        .map_err(|e| format!("sim-step-loop warmup: {e}"))?;
-    let mut rec = Profiled::new(NullRecorder);
-    let start_cycle = sys.now();
-    let t0 = wall_now();
-    sys.try_run_for_with(cycles, &mut rec)
-        .map_err(|e| format!("sim-step-loop run: {e}"))?;
-    let wall_ns = elapsed_ns(t0);
-    let ran = sys.now().saturating_sub(start_cycle);
-    let (_, attr) = rec.into_parts();
+    // Each repetition simulates the identical deterministic run (same
+    // trace, same seed), so the attribution is byte-identical across
+    // reps and only the wall clock differs — keep the fastest.
+    let mut best: Option<(u64, u64, CycleAttribution)> = None;
+    for _ in 0..BENCH_REPS {
+        let mut sys = System::try_new_looping(SystemConfig::default(), trace.clone(), 1_000, SEED)
+            .map_err(|e| format!("sim-step-loop: {e}"))?;
+        sys.cmp_mut()
+            .try_warm_up(2_000)
+            .map_err(|e| format!("sim-step-loop warmup: {e}"))?;
+        let mut rec = Profiled::new(NullRecorder);
+        let start_cycle = sys.now();
+        let t0 = wall_now();
+        sys.try_run_for_with(cycles, &mut rec)
+            .map_err(|e| format!("sim-step-loop run: {e}"))?;
+        let wall_ns = elapsed_ns(t0);
+        let ran = sys.now().saturating_sub(start_cycle);
+        let (_, attr) = rec.into_parts();
+        if best.as_ref().is_none_or(|(w, _, _)| wall_ns < *w) {
+            best = Some((wall_ns, ran, attr));
+        }
+    }
+    // lpm-lint: allow(P001) BENCH_REPS >= 1, the loop always sets `best`
+    let (wall_ns, ran, attr) = best.expect("at least one rep");
     let entry = BenchEntry {
         name: "sim-step-loop".to_string(),
         krate: "lpm-sim".to_string(),
@@ -324,6 +389,7 @@ fn bench_sim_step_loop(
         wall_ns,
         extra: vec![
             ("cycles".to_string(), Value::Uint(ran)),
+            ("reps".to_string(), Value::Uint(BENCH_REPS as u64)),
             ("attribution".to_string(), attr.to_json()),
         ],
     };
@@ -336,24 +402,31 @@ fn bench_model_evaluation(quick: bool, prof: &WallProfile) -> Result<BenchEntry,
     let upper = CamatParams::new(2.0, 1.8, 0.05, 40.0, 4.0).map_err(|e| e.to_string())?;
     let eta = Eta::new(40.0, 30.0, 3.0, 4.0).map_err(|e| e.to_string())?;
     let rec = LayerRecursion { upper, eta };
+    let mut best_wall = u64::MAX;
     let mut acc = 0.0f64;
-    let t0 = wall_now();
-    for i in 0..iters {
-        let camat2 = 8.0 + (i % 16) as f64 * 0.25;
-        let camat1 = rec.camat1(camat2).map_err(|e| e.to_string())?;
-        acc += Lpmr::layer1(camat1, 0.4, 0.9)
-            .map_err(|e| e.to_string())?
-            .value();
+    for _ in 0..BENCH_REPS {
+        acc = 0.0;
+        let t0 = wall_now();
+        for i in 0..iters {
+            let camat2 = 8.0 + (i % 16) as f64 * 0.25;
+            let camat1 = rec.camat1(camat2).map_err(|e| e.to_string())?;
+            acc += Lpmr::layer1(camat1, 0.4, 0.9)
+                .map_err(|e| e.to_string())?
+                .value();
+        }
+        best_wall = best_wall.min(elapsed_ns(t0));
     }
-    let wall_ns = elapsed_ns(t0);
     Ok(BenchEntry {
         name: "model-evaluation".to_string(),
         krate: "lpm-model".to_string(),
         metric: "evals_per_sec".to_string(),
-        value: rate(iters, wall_ns),
-        wall_ns,
+        value: rate(iters, best_wall),
+        wall_ns: best_wall,
         // The checksum keeps the loop live and pins the model's output.
-        extra: vec![("checksum".to_string(), Value::Num(acc))],
+        extra: vec![
+            ("checksum".to_string(), Value::Num(acc)),
+            ("reps".to_string(), Value::Uint(BENCH_REPS as u64)),
+        ],
     })
 }
 
@@ -390,18 +463,27 @@ pub fn run_suite(tag: &str, quick: bool) -> Result<(BenchReport, String), String
             wall_warn: None,
             ..SweepOptions::default()
         };
-        let t0 = wall_now();
-        let report = run_sweep_with(&spec, 1, &opts)?;
-        let wall_ns = elapsed_ns(t0);
+        let mut best_wall = u64::MAX;
+        let mut rows = 0u64;
+        for _ in 0..BENCH_REPS {
+            // A surviving journal would let the next rep resume instead
+            // of sweeping; the last rep's journal feeds journal-replay.
+            let _ = std::fs::remove_file(&journal);
+            let t0 = wall_now();
+            let report = run_sweep_with(&spec, 1, &opts)?;
+            best_wall = best_wall.min(elapsed_ns(t0));
+            rows = report.len() as u64;
+        }
         entries.push(BenchEntry {
             name: "sweep-jobs1".to_string(),
             krate: "lpm-harness".to_string(),
             metric: "points_per_sec".to_string(),
-            value: rate(report.len() as u64, wall_ns),
-            wall_ns,
+            value: rate(rows, best_wall),
+            wall_ns: best_wall,
             extra: vec![
-                ("points".to_string(), Value::Uint(report.len() as u64)),
+                ("points".to_string(), Value::Uint(rows)),
                 ("jobs".to_string(), Value::Uint(1)),
+                ("reps".to_string(), Value::Uint(BENCH_REPS as u64)),
             ],
         });
     }
@@ -417,11 +499,21 @@ pub fn run_suite(tag: &str, quick: bool) -> Result<(BenchReport, String), String
             wall_warn: None,
             ..SweepOptions::default()
         };
-        let t0 = wall_now();
-        let profiled = run_sweep_profiled(&spec, jobs, &opts)?;
-        let wall_ns = elapsed_ns(t0);
-        points_per_sec = rate(profiled.report.len() as u64, wall_ns);
-        attribution.merge(&profiled.total);
+        // The sweep is deterministic, so every rep's attribution is
+        // identical — merge only the fastest rep's into the roll-up.
+        let mut best: Option<(u64, u64, CycleAttribution)> = None;
+        for _ in 0..BENCH_REPS {
+            let t0 = wall_now();
+            let profiled = run_sweep_profiled(&spec, jobs, &opts)?;
+            let wall_ns = elapsed_ns(t0);
+            if best.as_ref().is_none_or(|(w, _, _)| wall_ns < *w) {
+                best = Some((wall_ns, profiled.report.len() as u64, profiled.total));
+            }
+        }
+        // lpm-lint: allow(P001) BENCH_REPS >= 1, the loop always sets `best`
+        let (wall_ns, rows, total) = best.expect("at least one rep");
+        points_per_sec = rate(rows, wall_ns);
+        attribution.merge(&total);
         entries.push(BenchEntry {
             name: "sweep-jobsN".to_string(),
             krate: "lpm-harness".to_string(),
@@ -429,12 +521,10 @@ pub fn run_suite(tag: &str, quick: bool) -> Result<(BenchReport, String), String
             value: points_per_sec,
             wall_ns,
             extra: vec![
-                (
-                    "points".to_string(),
-                    Value::Uint(profiled.report.len() as u64),
-                ),
+                ("points".to_string(), Value::Uint(rows)),
                 ("jobs".to_string(), Value::Uint(jobs as u64)),
-                ("attribution".to_string(), profiled.total.to_json()),
+                ("reps".to_string(), Value::Uint(BENCH_REPS as u64)),
+                ("attribution".to_string(), total.to_json()),
             ],
         });
     }
@@ -485,7 +575,8 @@ pub struct BenchArgs {
     pub quick: bool,
     /// `--out PATH` (default `BENCH_<tag>.json`).
     pub out: PathBuf,
-    /// `--compare PATH`: print an advisory delta table vs this record.
+    /// `--compare PATH`: print a delta table vs this record and gate
+    /// the roll-up totals ([`GATE_REGRESSION_PCT`]).
     pub compare: Option<PathBuf>,
 }
 
@@ -529,9 +620,10 @@ pub fn parse_args(raw: &[String]) -> Result<BenchArgs, String> {
 }
 
 /// The `bench` subcommand: run the suite, write `BENCH_<tag>.json`,
-/// print a summary (and the advisory `--compare` table) to stdout and
-/// the side-channel profile to stderr. Shared by the `bench` binary and
-/// `lpm-cli bench`.
+/// print a summary to stdout and the side-channel profile to stderr.
+/// With `--compare`, also print the delta table and gate the roll-up
+/// totals: exit 1 when either regressed past [`GATE_REGRESSION_PCT`].
+/// Shared by the `bench` binary and `lpm-cli bench`.
 pub fn cli_run(raw: &[String]) -> Result<u8, String> {
     let args = parse_args(raw)?;
     let (report, side_channel) = run_suite(&args.tag, args.quick)?;
@@ -560,6 +652,17 @@ pub fn cli_run(raw: &[String]) -> Result<u8, String> {
         let old = parse_snapshot(&old_text)?;
         let new = parse_snapshot(&line)?;
         print!("{}", render_compare(&old, &new));
+        let failures = gate_failures(&old, &new);
+        if !failures.is_empty() {
+            for f in &failures {
+                println!("bench gate FAIL {f}");
+            }
+            return Ok(1);
+        }
+        println!(
+            "bench gate OK (totals within -{GATE_REGRESSION_PCT:.0}% of {})",
+            old.tag
+        );
     }
     Ok(0)
 }
@@ -641,6 +744,29 @@ mod tests {
         assert!(parse_args(&sv(&["--frob"]))
             .unwrap_err()
             .contains("unknown bench flag"));
+    }
+
+    #[test]
+    fn gate_fails_only_on_total_regressions_past_threshold() {
+        let snap = |points: f64, cycles: f64| BenchSnapshot {
+            tag: "t".to_string(),
+            entries: vec![],
+            points_per_sec: points,
+            cycles_per_sec: cycles,
+        };
+        let old = snap(100.0, 1_000_000.0);
+        // Within threshold (−10% exactly is allowed), improvements pass.
+        assert!(gate_failures(&old, &snap(90.0, 1_000_000.0)).is_empty());
+        assert!(gate_failures(&old, &snap(150.0, 2_000_000.0)).is_empty());
+        // Either total past the threshold fails, and says which.
+        let f = gate_failures(&old, &snap(80.0, 1_000_000.0));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].contains("points_per_sec"), "{f:?}");
+        let f = gate_failures(&old, &snap(80.0, 500_000.0));
+        assert_eq!(f.len(), 2);
+        assert!(f[1].contains("cycles_per_sec"), "{f:?}");
+        // A zero/missing old total never gates (first record).
+        assert!(gate_failures(&snap(0.0, 0.0), &snap(1.0, 1.0)).is_empty());
     }
 
     #[test]

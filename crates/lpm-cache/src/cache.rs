@@ -110,6 +110,20 @@ pub struct Cache {
     /// MSHR-exhaustion burst). Effective capacity never drops below one.
     fault_reserved_mshrs: u32,
     stats: CacheStats,
+    /// Reusable buffers ping-ponged with `pending_fills` / `deferred`
+    /// each `step`, so the per-cycle take-and-refill pattern never
+    /// reallocates.
+    fills_scratch: Vec<u64>,
+    deferred_scratch: Vec<DeferredMiss>,
+    /// Every entry in `deferred` has failed an MSHR allocation against
+    /// the current state. Until a fill is applied or the capacity knob
+    /// moves, each per-cycle retry round is provably `mshr_rejects +=
+    /// deferred.len()` and the walk is skipped.
+    deferred_blocked: bool,
+    /// Soonest `end` among in-flight lookups (`u64::MAX` when none) —
+    /// maintained at push and resolution, so the per-cycle "anything
+    /// due?" checks in [`Cache::can_act`] and `step` are O(1).
+    lookup_min_end: u64,
 }
 
 impl Cache {
@@ -132,6 +146,10 @@ impl Cache {
             fault_stalled: false,
             fault_reserved_mshrs: 0,
             stats: CacheStats::default(),
+            fills_scratch: Vec::new(),
+            deferred_scratch: Vec::new(),
+            deferred_blocked: false,
+            lookup_min_end: u64::MAX,
             cfg,
         }
     }
@@ -179,11 +197,13 @@ impl Cache {
         };
         self.bank_last_used[bank] = now;
         self.stats.accesses += 1;
+        let end = now + self.cfg.hit_latency - 1;
+        self.lookup_min_end = self.lookup_min_end.min(end);
         self.lookups.push(Lookup {
             id,
             line: self.cfg.line_of(addr),
             is_store,
-            end: now + self.cfg.hit_latency - 1,
+            end,
         });
         AccessResponse::Accepted
     }
@@ -219,8 +239,17 @@ impl Cache {
     }
 
     /// Number of accesses currently in their hit phase (cycle `now`).
+    ///
+    /// Callers observe before `step(now)` runs, and a lookup leaves
+    /// `lookups` during the step of its `end` cycle — so every in-flight
+    /// entry satisfies `end >= now` and the count is simply the number
+    /// in flight (asserted in debug builds rather than rescanned).
     pub fn hit_phase_count(&self, now: u64) -> u64 {
-        self.lookups.iter().filter(|l| l.end >= now).count() as u64
+        debug_assert!(
+            self.lookups.iter().all(|l| l.end >= now),
+            "hit_phase_count observed after step({now}) resolved lookups"
+        );
+        self.lookups.len() as u64
     }
 
     /// Number of demand accesses currently in their miss phase.
@@ -252,10 +281,24 @@ impl Cache {
     /// misses, apply fills.
     pub fn step(&mut self, now: u64) -> StepOutput {
         let mut out = StepOutput::default();
+        self.step_into(now, &mut out);
+        out
+    }
 
-        // 1. Apply fills: install lines, complete waiters.
-        let fills = std::mem::take(&mut self.pending_fills);
-        for line in fills {
+    /// [`Cache::step`] writing into a caller-owned buffer (cleared
+    /// first), so per-cycle drivers can reuse one allocation.
+    pub fn step_into(&mut self, now: u64, out: &mut StepOutput) {
+        out.completions.clear();
+        out.outgoing_misses.clear();
+        out.writebacks.clear();
+
+        // 1. Apply fills: install lines, complete waiters. (Swapped
+        // through a scratch buffer: `fill` pushes between steps keep
+        // their capacity, and the scratch is stable during the loop.)
+        std::mem::swap(&mut self.pending_fills, &mut self.fills_scratch);
+        let had_fills = !self.fills_scratch.is_empty();
+        for fi in 0..self.fills_scratch.len() {
+            let line = self.fills_scratch[fi];
             let entry = self.mshr.complete(line);
             let mut dirty = false;
             let mut useful_prefetch = false;
@@ -274,6 +317,7 @@ impl Cache {
                         pure_miss: t.pure,
                     });
                 }
+                self.mshr.recycle(e.targets);
             }
             self.stats.fills += 1;
             if useful_prefetch {
@@ -296,14 +340,45 @@ impl Cache {
             }
         }
 
+        self.fills_scratch.clear();
+
         // 2. Retry deferred misses (FIFO) now that fills may have freed
-        // MSHR slots or installed their line.
-        let deferred = std::mem::take(&mut self.deferred);
-        for d in deferred {
-            self.resolve_miss(d, &mut out);
+        // MSHR slots or installed their line. Same scratch ping-pong:
+        // re-deferred entries land back in `deferred` with its previous
+        // capacity. A retry round whose every entry already failed
+        // against unchanged state (no fill applied, no capacity change)
+        // re-fails identically, so it collapses to its counter delta.
+        if !self.deferred.is_empty() {
+            if had_fills || !self.deferred_blocked {
+                std::mem::swap(&mut self.deferred, &mut self.deferred_scratch);
+                for di in 0..self.deferred_scratch.len() {
+                    let d = self.deferred_scratch[di];
+                    self.resolve_miss(d, out);
+                }
+                self.deferred_scratch.clear();
+            } else {
+                self.stats.mshr_rejects += self.deferred.len() as u64;
+            }
+        }
+        // Anything still (or newly) deferred below has failed against
+        // the state this step leaves behind.
+        self.deferred_blocked = true;
+
+        // 3. Resolve lookups whose hit phase ends this cycle. The
+        // maintained minimum deadline skips the walk wholesale on the
+        // (common) cycles where nothing is due.
+        if self.lookup_min_end <= now {
+            self.resolve_due_lookups(now, out);
         }
 
-        // 3. Resolve lookups whose hit phase ends this cycle.
+        // 4. Emit any prefetch requests generated this cycle.
+        out.outgoing_misses
+            .append(&mut self.pending_outgoing_prefetch);
+    }
+
+    /// Resolve every lookup whose hit phase ends at `now` and recompute
+    /// the minimum deadline over the survivors.
+    fn resolve_due_lookups(&mut self, now: u64, out: &mut StepOutput) {
         let mut i = 0;
         while i < self.lookups.len() {
             if self.lookups[i].end == now {
@@ -330,19 +405,14 @@ impl Cache {
                             is_store: l.is_store,
                             pure: false,
                         },
-                        &mut out,
+                        out,
                     );
                 }
             } else {
                 i += 1;
             }
         }
-
-        // 4. Emit any prefetch requests generated this cycle.
-        out.outgoing_misses
-            .append(&mut self.pending_outgoing_prefetch);
-
-        out
+        self.lookup_min_end = self.lookups.iter().map(|l| l.end).min().unwrap_or(u64::MAX);
     }
 
     /// Try to place a resolved miss into the MSHR file, deferring on
@@ -390,6 +460,71 @@ impl Cache {
         self.mshr.set_pure(line, id);
     }
 
+    /// Whether a `step(now)` could mutate any state beyond the
+    /// deterministic per-cycle deferred-retry counter: a pending fill
+    /// to apply, a staged prefetch to emit, or a lookup resolving at or
+    /// before `now`.
+    ///
+    /// *Blocked* deferred misses deliberately do **not** make the cache
+    /// busy. Once every entry in `deferred` has failed an MSHR
+    /// allocation against the current state (`deferred_blocked`),
+    /// nothing can change that outcome without an event this predicate
+    /// (or the surrounding hierarchy) already reports: a retry only
+    /// starts to succeed after a fill frees an MSHR slot or installs
+    /// the line, and capacity-knob moves (fault reservation changes,
+    /// reconfiguration) clear the flag and force a real retry round. So
+    /// across an idle span the retry loop provably re-fails every
+    /// cycle, mutating exactly `mshr_rejects += deferred.len()` per
+    /// cycle — which [`Cache::skip_idle_span`] applies in one batch.
+    pub fn can_act(&self, now: u64) -> bool {
+        debug_assert_eq!(
+            self.lookup_min_end,
+            self.lookups.iter().map(|l| l.end).min().unwrap_or(u64::MAX),
+            "lookup_min_end out of sync"
+        );
+        !self.pending_fills.is_empty()
+            || (!self.deferred.is_empty() && !self.deferred_blocked)
+            || !self.pending_outgoing_prefetch.is_empty()
+            || self.lookup_min_end <= now
+    }
+
+    /// Apply the statistic deltas of `k` consecutive cycles in which
+    /// [`Cache::can_act`] is false: each cycle's `step` would retry
+    /// every deferred miss and re-fail, bumping `mshr_rejects` once per
+    /// entry. State (MSHR file, array, deferred order) is untouched,
+    /// exactly as `k` failing retries leave it.
+    pub fn skip_idle_span(&mut self, k: u64) {
+        debug_assert!(
+            self.deferred.is_empty() || self.deferred_blocked,
+            "skipping with an unproven deferred retry round"
+        );
+        self.stats.mshr_rejects += k * self.deferred.len() as u64;
+    }
+
+    /// Earliest future cycle at which this cache changes state on its
+    /// own: the soonest lookup resolution (`step(end)` turns it into a
+    /// hit completion or a miss). Fills arrive from outside and end the
+    /// idle span at the hierarchy level. `None` when nothing is staged.
+    pub fn next_event(&self) -> Option<u64> {
+        if self.lookup_min_end == u64::MAX {
+            None
+        } else {
+            Some(self.lookup_min_end)
+        }
+    }
+
+    /// Which [`Cache::can_act`] clauses hold at `now`, in check order:
+    /// `[pending_fills, deferred, outgoing_prefetch, lookup_due]`.
+    /// Diagnostic companion for understanding span coalescing.
+    pub fn busy_breakdown(&self, now: u64) -> [bool; 4] {
+        [
+            !self.pending_fills.is_empty(),
+            !self.deferred.is_empty() && !self.deferred_blocked,
+            !self.pending_outgoing_prefetch.is_empty(),
+            self.lookup_min_end <= now,
+        ]
+    }
+
     /// Whether the line containing `addr` is currently present
     /// (functional probe for tests).
     pub fn probe(&self, addr: u64) -> bool {
@@ -433,6 +568,7 @@ impl Cache {
         self.port_free_at.resize(ports as usize, 0);
         self.bank_last_used.resize(banks as usize, u64::MAX);
         self.mshr.set_capacity(self.effective_mshrs());
+        self.deferred_blocked = false;
     }
 
     /// Set (or clear) the injected fault state for this cycle: `stalled`
@@ -446,6 +582,7 @@ impl Cache {
         if reserved_mshrs != self.fault_reserved_mshrs {
             self.fault_reserved_mshrs = reserved_mshrs;
             self.mshr.set_capacity(self.effective_mshrs());
+            self.deferred_blocked = false;
         }
     }
 
@@ -698,6 +835,72 @@ mod tests {
         assert_eq!(out.completions.len(), 1);
         assert!(out.completions[0].pure_miss);
         assert_eq!(c.miss_phase_count(), 1);
+    }
+
+    /// Event-horizon contract: `can_act` is false exactly on the cycles
+    /// where `step` provably mutates nothing, and `next_event` names
+    /// the cycle the next lookup resolves.
+    #[test]
+    fn can_act_and_next_event_bracket_idle_cycles() {
+        let mut c = Cache::new(cfg(4, 2, 1, 4), 0);
+        assert!(!c.can_act(0));
+        assert_eq!(c.next_event(), None);
+        // Lookup accepted at 0 with H=4 resolves in step(3).
+        assert_eq!(c.access(0, AccessId(1), 0, false), AccessResponse::Accepted);
+        assert_eq!(c.next_event(), Some(3));
+        for now in 0..3 {
+            assert!(!c.can_act(now), "hit phase cycle {now} is inert");
+            let out = c.step(now);
+            assert!(out.completions.is_empty() && out.outgoing_misses.is_empty());
+        }
+        assert!(c.can_act(3), "resolution cycle must act");
+        let out = c.step(3);
+        assert_eq!(out.outgoing_misses, vec![0], "cold miss goes downstream");
+        // Miss phase: nothing staged, nothing to do until the fill.
+        assert!(!c.can_act(4));
+        assert_eq!(c.next_event(), None);
+        c.fill(0);
+        assert!(c.can_act(4), "pending fill must be applied");
+        let out = c.step(4);
+        assert_eq!(out.completions.len(), 1);
+        assert!(!c.can_act(5));
+    }
+
+    #[test]
+    fn deferred_miss_retries_are_batchable() {
+        // MSHR=1: the second distinct-line miss defers. Every retry
+        // re-fails until the fill, mutating exactly mshr_rejects — so
+        // the cache reports not-busy and skip_idle_span(k) must land on
+        // the same statistics as k per-cycle failing retries.
+        let mk = || {
+            let mut c = Cache::new(cfg(1, 2, 1, 1), 0);
+            c.access(0, AccessId(1), 0, false);
+            c.access(0, AccessId(2), 64, false);
+            c.step(0); // both resolve: one allocates, one defers
+            c
+        };
+        let mut stepped = mk();
+        let mut skipped = mk();
+        assert_eq!(stepped.deferred_misses(), 1);
+        assert!(
+            !stepped.can_act(1),
+            "a stalled deferred queue must not force per-cycle stepping"
+        );
+        for now in 1..=5 {
+            let out = stepped.step(now);
+            assert!(out.completions.is_empty() && out.outgoing_misses.is_empty());
+        }
+        skipped.skip_idle_span(5);
+        assert_eq!(stepped.stats(), skipped.stats());
+        assert_eq!(stepped.deferred_misses(), skipped.deferred_misses());
+        // The fill ends the span; from there both sides act again.
+        stepped.fill(0);
+        skipped.fill(0);
+        assert!(stepped.can_act(6) && skipped.can_act(6));
+        let a = stepped.step(6);
+        let b = skipped.step(6);
+        assert_eq!(a.completions.len(), b.completions.len());
+        assert_eq!(a.outgoing_misses, b.outgoing_misses);
     }
 
     #[test]

@@ -62,6 +62,17 @@ pub struct MshrFile {
     capacity: usize,
     targets_per_entry: usize,
     entries: BTreeMap<u64, MshrEntry>,
+    /// Demand targets currently waiting, across all entries (incremental
+    /// mirror of the sum the analyzer samples every cycle).
+    waiting: u64,
+    /// Waiting targets whose pure flag is still `false` — lets
+    /// [`MshrFile::mark_all_pure`] return without touching any entry on
+    /// the (common) cycles where everything is already marked.
+    unpure: u64,
+    /// Retired target lists kept for reuse ([`MshrFile::recycle`]): a
+    /// primary miss pops one instead of allocating, so steady-state miss
+    /// traffic stays off the heap.
+    spare_targets: Vec<Vec<Target>>,
 }
 
 impl MshrFile {
@@ -74,6 +85,9 @@ impl MshrFile {
             // Ordered by line address: iteration (diagnostics, pure-miss
             // marking) is deterministic regardless of allocation order.
             entries: BTreeMap::new(),
+            waiting: 0,
+            unpure: 0,
+            spare_targets: Vec::new(),
         }
     }
 
@@ -111,24 +125,30 @@ impl MshrFile {
                 pure: false,
             });
             e.prefetch_only = false;
+            self.waiting += 1;
+            self.unpure += 1;
             return Ok(MshrAccept::Secondary);
         }
         if self.entries.len() >= self.capacity {
             return Err(MshrReject::Full);
         }
+        let mut targets = self.spare_targets.pop().unwrap_or_default();
+        targets.push(Target {
+            id,
+            is_store,
+            pure: false,
+        });
         self.entries.insert(
             line_addr,
             MshrEntry {
                 line_addr,
-                targets: vec![Target {
-                    id,
-                    is_store,
-                    pure: false,
-                }],
+                targets,
                 prefetch_only: false,
                 started_as_prefetch: false,
             },
         );
+        self.waiting += 1;
+        self.unpure += 1;
         Ok(MshrAccept::Primary)
     }
 
@@ -146,7 +166,7 @@ impl MshrFile {
             line_addr,
             MshrEntry {
                 line_addr,
-                targets: Vec::new(),
+                targets: self.spare_targets.pop().unwrap_or_default(),
                 prefetch_only: true,
                 started_as_prefetch: true,
             },
@@ -156,7 +176,20 @@ impl MshrFile {
 
     /// Complete a fill: remove and return the entry for `line_addr`.
     pub fn complete(&mut self, line_addr: u64) -> Option<MshrEntry> {
-        self.entries.remove(&line_addr)
+        let e = self.entries.remove(&line_addr)?;
+        self.waiting -= e.targets.len() as u64;
+        self.unpure -= e.targets.iter().filter(|t| !t.pure).count() as u64;
+        Some(e)
+    }
+
+    /// Return a completed entry's target list for reuse by a future
+    /// allocation (capacity retained, contents discarded). Purely an
+    /// allocation optimization — dropping the list instead is equivalent.
+    pub fn recycle(&mut self, mut targets: Vec<Target>) {
+        if self.spare_targets.len() < self.capacity {
+            targets.clear();
+            self.spare_targets.push(targets);
+        }
     }
 
     /// Iterate over every waiting demand access (for analyzer sampling).
@@ -167,6 +200,9 @@ impl MshrFile {
     /// Mark every currently waiting access as pure; returns how many flags
     /// flipped from false to true (newly discovered pure misses).
     pub fn mark_all_pure(&mut self) -> u64 {
+        if self.unpure == 0 {
+            return 0;
+        }
         let mut newly = 0;
         for e in self.entries.values_mut() {
             for t in &mut e.targets {
@@ -176,12 +212,21 @@ impl MshrFile {
                 }
             }
         }
+        debug_assert_eq!(newly, self.unpure);
+        self.unpure = 0;
         newly
     }
 
     /// Total demand accesses currently waiting.
     pub fn waiting_count(&self) -> u64 {
-        self.entries.values().map(|e| e.targets.len() as u64).sum()
+        debug_assert_eq!(
+            self.waiting,
+            self.entries
+                .values()
+                .map(|e| e.targets.len() as u64)
+                .sum::<u64>()
+        );
+        self.waiting
     }
 
     /// The line addresses of all outstanding entries (diagnostics).
@@ -193,8 +238,9 @@ impl MshrFile {
     pub fn set_pure(&mut self, line_addr: u64, id: AccessId) {
         if let Some(e) = self.entries.get_mut(&line_addr) {
             for t in &mut e.targets {
-                if t.id == id {
+                if t.id == id && !t.pure {
                     t.pure = true;
+                    self.unpure -= 1;
                 }
             }
         }

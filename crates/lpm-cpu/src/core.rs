@@ -174,18 +174,47 @@ pub struct Core {
     cfg: CoreConfig,
     trace: Trace,
     next_dispatch: usize,
+    /// `next_dispatch % trace.len()`, maintained incrementally so the
+    /// dispatch loop never divides.
+    trace_cursor: usize,
     /// Total instructions to execute: `trace.len() × repeats`.
     total_instructions: usize,
     rob: VecDeque<RobEntry>,
     /// Outstanding memory accesses (issued, not yet completed).
     outstanding_mem: u64,
-    /// Ids of posted stores whose writes are still in flight (bounded by
-    /// `cfg.store_buffer`).
-    posted_stores: std::collections::BTreeSet<u64>,
+    /// Ids of posted stores whose writes are still in flight. Bounded by
+    /// `cfg.store_buffer` (small), so a plain vector with linear
+    /// membership tests beats a tree and never reallocates once warm.
+    posted_stores: Vec<u64>,
     stats: CoreStats,
     /// Non-memory instructions that finished execution this cycle
     /// (overlap bookkeeping).
     compute_done_this_cycle: bool,
+    /// `(done_at, seq)` of every `Executing` ROB entry — a small mirror
+    /// so per-cycle completion checks touch only in-flight computes
+    /// instead of scanning the whole ROB.
+    executing: Vec<(u64, u64)>,
+    /// Earliest `done_at` across `executing` (`u64::MAX` when none are
+    /// in flight). Updated at issue, recomputed when completions drain —
+    /// turns the per-cycle "anything due?" checks into one comparison.
+    exec_min_done: u64,
+    /// ROB entries currently in `State::Waiting` (incremental count;
+    /// bounds the issue scan and replaces the per-cycle recount).
+    waiting: u32,
+    /// Cursor: no ROB entry with a sequence number below this is
+    /// `Waiting`, so issue scans start here instead of at the head. A
+    /// lower bound, maintained at issue and dispatch.
+    first_waiting_seq: u64,
+    /// Memoized idle verdict: `true` means the *state-based* clauses of
+    /// [`Core::can_act`] (retirable head, issuable Waiting entry,
+    /// dispatch room) were checked and found false, and no state has
+    /// changed since. Those clauses do not depend on the cycle number,
+    /// so the verdict stays valid until an event mutates the core: a
+    /// compute completion, retirement, issue attempt, dispatch, an
+    /// external [`Core::complete_mem`], or a [`Core::reconfigure`] —
+    /// each of which clears the flag. Only the time-based
+    /// executing-completion clause is rechecked while the flag is set.
+    idle_memo: std::cell::Cell<bool>,
 }
 
 impl Core {
@@ -207,12 +236,18 @@ impl Core {
             cfg,
             trace,
             next_dispatch: 0,
+            trace_cursor: 0,
             total_instructions,
             rob: VecDeque::with_capacity(cfg.rob_size as usize),
             outstanding_mem: 0,
-            posted_stores: std::collections::BTreeSet::new(),
+            posted_stores: Vec::new(),
             stats: CoreStats::default(),
             compute_done_this_cycle: false,
+            executing: Vec::new(),
+            exec_min_done: u64::MAX,
+            waiting: 0,
+            first_waiting_seq: 0,
+            idle_memo: std::cell::Cell::new(false),
         }
     }
 
@@ -243,6 +278,9 @@ impl Core {
     pub fn reconfigure(&mut self, cfg: CoreConfig) {
         cfg.validate();
         self.cfg = cfg;
+        // Grown structures (ROB, issue window, store buffer) can make a
+        // previously inert core actionable again.
+        self.idle_memo.set(false);
     }
 
     /// Whether the whole trace (all repeats) has been dispatched and
@@ -284,10 +322,14 @@ impl Core {
     /// number passed to the port). Unknown ids (e.g. posted stores already
     /// retired) are ignored.
     pub fn complete_mem(&mut self, id: u64) {
+        // A completion can ready a dependent or free a store-buffer
+        // slot: any cached idle verdict is stale.
+        self.idle_memo.set(false);
         if self.outstanding_mem > 0 {
             self.outstanding_mem -= 1;
         }
-        if self.posted_stores.remove(&id) {
+        if let Some(i) = self.posted_stores.iter().position(|&p| p == id) {
+            self.posted_stores.swap_remove(i);
             return; // a posted store's write landed; nothing waits on it
         }
         if let Some(head_seq) = self.rob.front().map(|e| e.seq) {
@@ -302,11 +344,12 @@ impl Core {
         }
     }
 
-    /// Whether a dependence on `seq` is satisfied.
-    fn dep_ready(&self, dep_seq: u64) -> bool {
-        let Some(head_seq) = self.rob.front().map(|e| e.seq) else {
-            return true; // empty ROB: producer long retired
-        };
+    /// Whether a dependence on `dep_seq` is satisfied, given the current
+    /// ROB head sequence number (the issue scan re-checks dependences
+    /// for up to `iw_size` entries per cycle; taking the head as an
+    /// argument hoists its lookup out of that loop).
+    #[inline]
+    fn dep_ready_at(&self, dep_seq: u64, head_seq: u64) -> bool {
         if dep_seq < head_seq {
             return true; // retired
         }
@@ -317,23 +360,149 @@ impl Core {
         }
     }
 
+    /// Whether [`Core::cycle`] at `now` could do anything beyond the
+    /// per-cycle stall bookkeeping: complete an executing op, retire,
+    /// issue (or even *attempt* the memory port — a rejection mutates
+    /// `mem_rejects`), or dispatch. When this is `false` the cycle is
+    /// provably inert and may be coalesced into a span whose stats are
+    /// applied by [`Core::skip_idle_span`].
+    ///
+    /// The one deliberate exclusion mirrors the issue loop: a ready
+    /// store blocked on a full store buffer is skipped there without
+    /// touching any persistent state, so it does not make a cycle
+    /// actionable (and the buffer cannot drain without an external
+    /// completion, which ends the span at the CMP level anyway).
+    pub fn can_act(&self, now: u64) -> bool {
+        // Step 1/2: an executing op completing, or a retirable head.
+        if self.exec_min_done <= now {
+            return true;
+        }
+        if self.idle_memo.get() {
+            // State-based clauses were false and nothing has changed
+            // since; only the (just-checked) time clause could differ.
+            return false;
+        }
+        if matches!(self.rob.front(), Some(e) if e.state == State::Done) {
+            return true;
+        }
+        // Step 3: mirror the issue scan. Any ready Waiting entry that
+        // would issue a compute or attempt the port acts this cycle.
+        // Starts at the first-Waiting cursor and stops once every
+        // Waiting entry has been considered — the entries skipped either
+        // way are non-Waiting, so the considered set is identical to a
+        // full head-to-tail scan.
+        if self.waiting > 0 {
+            let head_seq = self.rob.front().map_or(0, |e| e.seq);
+            let mut idx = self.first_waiting_seq.saturating_sub(head_seq) as usize;
+            let mut considered = 0u32;
+            let mut remaining = self.waiting;
+            while idx < self.rob.len() && considered < self.cfg.iw_size && remaining > 0 {
+                let e = &self.rob[idx];
+                idx += 1;
+                if e.state != State::Waiting {
+                    continue;
+                }
+                remaining -= 1;
+                considered += 1;
+                if !e.dep_seq.is_none_or(|d| self.dep_ready_at(d, head_seq)) {
+                    continue;
+                }
+                match e.op {
+                    Op::Compute | Op::Load(_) => return true,
+                    Op::Store(_) => {
+                        if self.posted_stores.len() < self.cfg.store_buffer as usize {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        // Step 4: dispatch possible.
+        let dispatchable = self.rob.len() < self.cfg.rob_size as usize
+            && self.cfg.iw_size.saturating_sub(self.waiting) > 0
+            && self.next_dispatch < self.total_instructions;
+        if !dispatchable {
+            // Every state-based clause is false: cache the verdict so
+            // repeated polls while other components stay busy are O(1).
+            self.idle_memo.set(true);
+        }
+        dispatchable
+    }
+
+    /// Earliest future cycle at which this core changes state on its
+    /// own: the soonest `Executing` completion. Memory completions are
+    /// external events the caller tracks separately. `None` when the
+    /// core is waiting purely on outside input.
+    pub fn next_event(&self) -> Option<u64> {
+        if self.exec_min_done == u64::MAX {
+            None
+        } else {
+            Some(self.exec_min_done)
+        }
+    }
+
+    /// Apply the stats of `k` provably-inert cycles (each a cycle where
+    /// [`Core::can_act`] was `false`) in one shot — exactly what `k`
+    /// calls to [`Core::cycle`] would have recorded: no retirement, no
+    /// compute completion (so never an overlap cycle), just the stall
+    /// and memory-busy bookkeeping.
+    pub fn skip_idle_span(&mut self, k: u64) {
+        self.stats.cycles += k;
+        if self
+            .rob
+            .front()
+            .is_some_and(|e| e.state == State::WaitingMem)
+        {
+            self.stats.data_stall_cycles += k;
+        }
+        if self.outstanding_mem > 0 {
+            self.stats.mem_busy_cycles += k;
+        }
+    }
+
     /// Run one cycle: retire, complete, issue, dispatch.
     ///
     /// `mem` is the memory the core issues loads/stores into; completions
     /// must be delivered through [`Core::complete_mem`] by the caller
     /// (before or after `cycle`, consistently).
     pub fn cycle(&mut self, now: u64, mem: &mut dyn MemoryPort) {
+        // Inert-cycle short circuit: a cached idle verdict (set by
+        // [`Core::can_act`], cleared by any event) plus no executing op
+        // due means this cycle is provably a no-op beyond the stall
+        // bookkeeping — the same proof the span skipper relies on,
+        // applied one cycle at a time. Never taken under reference
+        // stepping, which polls no verdicts and so keeps the memo
+        // false and every cycle fully simulated.
+        if self.idle_memo.get() && self.exec_min_done > now {
+            self.compute_done_this_cycle = false;
+            self.skip_idle_span(1);
+            return;
+        }
         self.stats.cycles += 1;
         self.compute_done_this_cycle = false;
 
-        // 1. Complete executing compute ops.
-        for e in self.rob.iter_mut() {
-            if let State::Executing(done_at) = e.state {
+        // 1. Complete executing compute ops (tracked in the small
+        // `executing` mirror; entries in it never retire before they
+        // complete, so their seq→index mapping stays valid).
+        if self.exec_min_done <= now {
+            let head_seq = self.rob.front().map_or(0, |e| e.seq);
+            let mut i = 0;
+            while i < self.executing.len() {
+                let (done_at, seq) = self.executing[i];
                 if done_at <= now {
-                    e.state = State::Done;
+                    self.rob[(seq - head_seq) as usize].state = State::Done;
                     self.compute_done_this_cycle = true;
+                    self.executing.swap_remove(i);
+                } else {
+                    i += 1;
                 }
             }
+            self.exec_min_done = self
+                .executing
+                .iter()
+                .map(|&(done_at, _)| done_at)
+                .min()
+                .unwrap_or(u64::MAX);
         }
 
         // 2. Retire in order.
@@ -352,22 +521,36 @@ impl Core {
 
         // 3. Issue: scan the first `iw_size` un-issued entries in ROB
         // order; issue up to `issue_width` whose dependences are ready.
+        // The scan starts at the first-Waiting cursor and stops once
+        // every Waiting entry has been seen — identical decisions to a
+        // head-to-tail scan, without walking the issued prefix.
         let mut issued = 0u32;
         let mut considered = 0u32;
-        let mut idx = 0usize;
-        while idx < self.rob.len() && issued < self.cfg.issue_width && considered < self.cfg.iw_size
+        let head_seq = self.rob.front().map_or(0, |e| e.seq);
+        let mut idx = self.first_waiting_seq.saturating_sub(head_seq) as usize;
+        let mut remaining = self.waiting;
+        let mut still_waiting: Option<u64> = None;
+        while idx < self.rob.len()
+            && issued < self.cfg.issue_width
+            && considered < self.cfg.iw_size
+            && remaining > 0
         {
             let (seq, op, dep_seq, state) = {
                 let e = &self.rob[idx];
                 (e.seq, e.op, e.dep_seq, e.state)
             };
             if state == State::Waiting {
+                remaining -= 1;
                 considered += 1;
-                let ready = dep_seq.is_none_or(|d| self.dep_ready(d));
+                let ready = dep_seq.is_none_or(|d| self.dep_ready_at(d, head_seq));
                 if ready {
                     match op {
                         Op::Compute => {
                             self.rob[idx].state = State::Executing(now + self.cfg.compute_latency);
+                            self.executing.push((now + self.cfg.compute_latency, seq));
+                            self.exec_min_done =
+                                self.exec_min_done.min(now + self.cfg.compute_latency);
+                            self.waiting -= 1;
                             issued += 1;
                         }
                         Op::Load(addr) | Op::Store(addr) => {
@@ -377,6 +560,9 @@ impl Core {
                             {
                                 // Store buffer full: structural stall, the
                                 // store waits without consuming the slot.
+                                if still_waiting.is_none() {
+                                    still_waiting = Some(seq);
+                                }
                                 idx += 1;
                                 continue;
                             }
@@ -385,39 +571,47 @@ impl Core {
                                 // write buffer and never block retirement.
                                 // Loads wait for their data.
                                 self.rob[idx].state = if is_store {
-                                    self.posted_stores.insert(seq);
+                                    self.posted_stores.push(seq);
                                     State::Done
                                 } else {
                                     State::WaitingMem
                                 };
+                                self.waiting -= 1;
                                 self.outstanding_mem += 1;
                                 self.stats.mem_issued += 1;
                             } else {
                                 self.stats.mem_rejects += 1;
+                                if still_waiting.is_none() {
+                                    still_waiting = Some(seq);
+                                }
                             }
                             // Accepted or not, the attempt used a slot.
                             issued += 1;
                         }
                     }
+                } else if still_waiting.is_none() {
+                    still_waiting = Some(seq);
                 }
             }
             idx += 1;
         }
+        // Entries before `idx` that stayed Waiting are tracked in
+        // `still_waiting`; anything at or past `idx` was not examined.
+        self.first_waiting_seq = still_waiting.unwrap_or(head_seq + idx as u64);
 
         // 4. Dispatch from the trace.
         let mut dispatched = 0u32;
-        let unissued = self
-            .rob
-            .iter()
-            .filter(|e| e.state == State::Waiting)
-            .count() as u32;
-        let mut iw_free = self.cfg.iw_size.saturating_sub(unissued);
+        let mut iw_free = self.cfg.iw_size.saturating_sub(self.waiting);
         while dispatched < self.cfg.issue_width
             && self.rob.len() < self.cfg.rob_size as usize
             && iw_free > 0
             && self.next_dispatch < self.total_instructions
         {
-            let i = self.trace.instrs()[self.next_dispatch % self.trace.len()];
+            let i = self.trace.instrs()[self.trace_cursor];
+            self.trace_cursor += 1;
+            if self.trace_cursor == self.trace.len() {
+                self.trace_cursor = 0;
+            }
             let seq = self.next_dispatch as u64;
             let dep_seq = if i.dep > 0 && (i.dep as u64) <= seq {
                 Some(seq - i.dep as u64)
@@ -430,9 +624,20 @@ impl Core {
                 dep_seq,
                 state: State::Waiting,
             });
+            if self.waiting == 0 {
+                // First Waiting entry again: the cursor is exact.
+                self.first_waiting_seq = seq;
+            }
+            self.waiting += 1;
             self.next_dispatch += 1;
             dispatched += 1;
             iw_free -= 1;
+        }
+
+        // The events above are exactly what can invalidate a cached
+        // idle verdict; an eventless cycle leaves it untouched.
+        if self.compute_done_this_cycle || retired_this_cycle > 0 || issued > 0 || dispatched > 0 {
+            self.idle_memo.set(false);
         }
 
         // 5. Stall and overlap bookkeeping.
@@ -688,6 +893,60 @@ mod tests {
         assert!(core.finished());
         assert_eq!(core.stats().mem_rejects, 3);
         assert_eq!(core.stats().mem_issued, 1);
+    }
+
+    /// Differential check for the event-driven fast path: a core stuck
+    /// behind a long-latency load reports `can_act == false`, and
+    /// skipping the idle span in one shot leaves it in a state
+    /// indistinguishable (stats now and forever after) from stepping
+    /// the same span cycle by cycle.
+    #[test]
+    fn idle_span_skip_matches_per_cycle_stepping() {
+        let make = || {
+            let trace: Trace = (0..8)
+                .map(|i| {
+                    if i == 0 {
+                        Instr::load(0)
+                    } else {
+                        Instr::compute().depending_on(1)
+                    }
+                })
+                .collect();
+            Core::new(CoreConfig::small(), trace)
+        };
+        let mut per_cycle = make();
+        let mut skipped = make();
+        let mut mem = PerfectMemory::new(1_000_000); // never completes on its own
+                                                     // Warm both cores identically until the load is in flight and
+                                                     // everything else is dependence-blocked.
+        let mut now = 0u64;
+        while per_cycle.can_act(now) {
+            per_cycle.cycle(now, &mut mem);
+            skipped.cycle(now, &mut mem);
+            now += 1;
+            assert!(now < 100, "core never went idle");
+        }
+        assert!(!skipped.can_act(now));
+        assert_eq!(per_cycle.next_event(), None, "waiting purely on memory");
+        // 500 idle cycles: reference steps them, fast path leaps them.
+        for t in now..now + 500 {
+            per_cycle.cycle(t, &mut mem);
+        }
+        skipped.skip_idle_span(500);
+        now += 500;
+        assert_eq!(per_cycle.stats(), skipped.stats());
+        assert!(per_cycle.stats().data_stall_cycles >= 500);
+        // Deliver the completion and run both to the end in lockstep.
+        per_cycle.complete_mem(0);
+        skipped.complete_mem(0);
+        while !per_cycle.finished() || !skipped.finished() {
+            per_cycle.cycle(now, &mut mem);
+            skipped.cycle(now, &mut mem);
+            assert_eq!(per_cycle.stats(), skipped.stats());
+            now += 1;
+            assert!(now < 10_000, "cores did not finish");
+        }
+        assert_eq!(per_cycle.stats(), skipped.stats());
     }
 
     #[test]

@@ -162,10 +162,64 @@ impl Dram {
         self.channels.iter().map(|c| c.banks.len()).sum()
     }
 
+    /// Whether a `step(now)` could mutate any state or statistic beyond
+    /// the busy-cycle counter: an in-flight transfer completing, or —
+    /// unless a refresh storm blocks command issue — a queued request
+    /// whose bank is free and could therefore be scheduled. When
+    /// `false`, the cycle only ticks `busy_cycles`, which
+    /// [`Dram::skip_idle_span`] batches.
+    pub fn can_act(&self, now: u64) -> bool {
+        self.channels.iter().any(|c| {
+            c.in_flight.iter().any(|f| f.done_at <= now)
+                || (!self.fault_blocked
+                    && c.queue
+                        .iter()
+                        .any(|q| c.banks[q.bank as usize].busy_until <= now))
+        })
+    }
+
+    /// Earliest future cycle at which this controller changes state on
+    /// its own: the soonest in-flight completion, or (when issue is not
+    /// fault-blocked) the soonest bank-free time of a queued request.
+    /// The data bus never gates *issue* (it only shifts the transfer
+    /// slot), so `bus_free_at` contributes no event. `None` when fully
+    /// drained (or blocked with nothing in flight).
+    pub fn next_event(&self) -> Option<u64> {
+        self.channels
+            .iter()
+            .flat_map(|c| {
+                let completions = c.in_flight.iter().map(|f| f.done_at);
+                let issues = c
+                    .queue
+                    .iter()
+                    .filter(|_| !self.fault_blocked)
+                    .map(|q| c.banks[q.bank as usize].busy_until);
+                completions.chain(issues)
+            })
+            .min()
+    }
+
+    /// Apply the stats of `k` provably-inert cycles (each a cycle where
+    /// [`Dram::can_act`] was `false`) in one shot — exactly what `k`
+    /// calls to [`Dram::step`] would have recorded.
+    pub fn skip_idle_span(&mut self, k: u64) {
+        if self.outstanding() > 0 {
+            self.stats.busy_cycles += k;
+        }
+    }
+
     /// Advance one cycle: schedule at most one request per channel and
     /// collect completions. Returns `(id, is_write)` pairs.
     pub fn step(&mut self, now: u64) -> Vec<(u64, bool)> {
         let mut completions = Vec::new();
+        self.step_into(now, &mut completions);
+        completions
+    }
+
+    /// [`Dram::step`] writing completions into a caller-owned buffer
+    /// (cleared first), so per-cycle drivers can reuse one allocation.
+    pub fn step_into(&mut self, now: u64, completions: &mut Vec<(u64, bool)>) {
+        completions.clear();
         if self.outstanding() > 0 {
             self.stats.busy_cycles += 1;
         }
@@ -256,7 +310,6 @@ impl Dram {
                 done_at: done,
             });
         }
-        completions
     }
 }
 
@@ -422,6 +475,50 @@ mod tests {
         assert!(saw);
         assert_eq!(d.stats().writes, 1);
         assert_eq!(d.stats().reads, 0);
+    }
+
+    /// Event-horizon contract: during a bank's array access no step
+    /// mutates anything, `next_event` names the completion cycle, and
+    /// skipping the span leaves stats identical to stepping it.
+    #[test]
+    fn idle_span_skip_matches_per_cycle_stepping() {
+        let mut per_cycle = dram();
+        let mut skipped = dram();
+        per_cycle.enqueue(0, read(1, 0));
+        skipped.enqueue(0, read(1, 0));
+        // Cycle 0 issues the command on both.
+        assert!(per_cycle.can_act(0));
+        assert!(per_cycle.step(0).is_empty());
+        assert!(skipped.step(0).is_empty());
+        // tRCD + tCAS + burst = 56: cycles 1..=55 are provably inert.
+        let done = skipped.next_event().expect("one request in flight");
+        assert_eq!(done, 56);
+        for t in 1..done {
+            assert!(!per_cycle.can_act(t), "cycle {t} must be inert");
+            assert!(per_cycle.step(t).is_empty());
+        }
+        skipped.skip_idle_span(done - 1);
+        assert_eq!(per_cycle.stats(), skipped.stats());
+        assert_eq!(per_cycle.step(done), skipped.step(done));
+        assert_eq!(per_cycle.stats(), skipped.stats());
+        assert_eq!(skipped.next_event(), None);
+        assert!(!skipped.can_act(done + 1));
+    }
+
+    #[test]
+    fn fault_block_suppresses_issue_events_but_not_completions() {
+        let mut d = dram();
+        d.enqueue(0, read(1, 0));
+        d.set_fault(0, true);
+        // Blocked with nothing in flight: no event, not actionable.
+        assert!(!d.can_act(0));
+        assert_eq!(d.next_event(), None);
+        d.set_fault(0, false);
+        assert!(d.can_act(0), "free bank + queued request must issue");
+        d.step(0);
+        d.set_fault(0, true);
+        // In-flight completion still an event while blocked.
+        assert_eq!(d.next_event(), Some(56));
     }
 
     #[test]

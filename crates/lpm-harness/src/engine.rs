@@ -98,8 +98,9 @@ fn evaluate_point_attempt(
     point: &SweepPoint,
     spec: &SweepSpec,
     attempt: u32,
-    profile: bool,
+    mode: EvalMode,
 ) -> Result<(PointResult, Option<Box<CycleAttribution>>), AttemptFailure> {
+    let profile = mode.profile;
     let label = point.label();
     let fail = |what: &str, e: &dyn std::fmt::Display| {
         AttemptFailure::Failed(format!("point {label}: {what}: {e}"))
@@ -160,6 +161,10 @@ fn evaluate_point_attempt(
     let cfg = point.hw.apply(&spec.base);
     let mut sys = System::try_new_looping(cfg, trace, spec.loop_repeats, sim_seed)
         .map_err(|e| fail("cannot build system", &e))?;
+    // Differential-test hook: force the per-cycle reference loop before
+    // a single cycle (including warmup) runs. The default is the
+    // event-driven fast path, whose output is bit-identical.
+    sys.set_reference_stepping(mode.reference);
     sys.cmp_mut().warm_up(spec.warmup_instructions);
     if let Some(fs) = fault_seed {
         sys.enable_faults(spec.fault_class.config(fs));
@@ -250,9 +255,20 @@ fn evaluate_point_attempt(
 /// wall-clock-derived telemetry field (`wall_cycles_per_sec`) is zeroed
 /// before the log leaves this function.
 pub fn evaluate_point(point: &SweepPoint, spec: &SweepSpec) -> Result<PointResult, String> {
-    evaluate_point_attempt(point, spec, 0, false)
+    evaluate_point_attempt(point, spec, 0, EvalMode::default())
         .map(|(result, _)| result)
         .map_err(|f| f.describe(&point.label()))
+}
+
+/// How one point evaluation runs: whether cycle attribution is
+/// collected, and whether the simulator's per-cycle reference loop is
+/// forced instead of the (default, bit-identical) event-driven fast
+/// path. Neither knob may change a single exported byte — that is
+/// precisely the contract the differential tests pin by flipping them.
+#[derive(Debug, Clone, Copy, Default)]
+struct EvalMode {
+    profile: bool,
+    reference: bool,
 }
 
 /// Evaluate one point to a *terminal row*: isolate panics with
@@ -277,13 +293,31 @@ pub fn evaluate_row_profiled(
     spec: &SweepSpec,
     profile: bool,
 ) -> (PointRow, Option<Box<CycleAttribution>>) {
+    evaluate_row_mode(
+        point,
+        spec,
+        EvalMode {
+            profile,
+            reference: false,
+        },
+    )
+}
+
+/// [`evaluate_row_profiled`] with the full [`EvalMode`] (crate-internal:
+/// the reference-stepping knob reaches here from
+/// [`SweepOptions::reference_stepping`]).
+fn evaluate_row_mode(
+    point: &SweepPoint,
+    spec: &SweepSpec,
+    mode: EvalMode,
+) -> (PointRow, Option<Box<CycleAttribution>>) {
     let label = point.label();
     let index = point.index as u64;
     let mut events: Vec<Event> = Vec::new();
     let mut attempt: u32 = 0;
     loop {
         let caught = catch_unwind(AssertUnwindSafe(|| {
-            evaluate_point_attempt(point, spec, attempt, profile)
+            evaluate_point_attempt(point, spec, attempt, mode)
         }));
         let failure = match caught {
             Ok(Ok((result, attr))) => {
@@ -373,6 +407,14 @@ pub struct SweepOptions {
     /// never changes any *row's* bytes, it only bounds how many rows
     /// this process produces — the rest resume later, byte-identically.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Force the simulator's strict per-cycle reference loop instead of
+    /// the (default) event-driven fast path. Output bytes are identical
+    /// either way — that equivalence is exactly what the differential
+    /// tests pin by running the same spec with both values. Lives here,
+    /// not in [`SweepSpec`]: the spec's fingerprint hashes its fields,
+    /// and a knob that cannot change any byte must not invalidate
+    /// checkpoint journals.
+    pub reference_stepping: bool,
 }
 
 impl Default for SweepOptions {
@@ -382,6 +424,7 @@ impl Default for SweepOptions {
             resume: false,
             wall_warn: Some(Duration::from_secs(30)),
             cancel: None,
+            reference_stepping: false,
         }
     }
 }
@@ -523,12 +566,12 @@ fn guarded_row(
     guard: Option<&WallGuard>,
     point: &SweepPoint,
     spec: &SweepSpec,
-    profile: bool,
+    mode: EvalMode,
 ) -> (PointRow, Option<Box<CycleAttribution>>) {
     if let Some(g) = guard {
         g.begin(point.index, &point.label());
     }
-    let out = evaluate_row_profiled(point, spec, profile);
+    let out = evaluate_row_mode(point, spec, mode);
     if let Some(g) = guard {
         g.end(point.index);
     }
@@ -549,7 +592,7 @@ fn worker_loop(
     spec: &SweepSpec,
     guard: Option<&WallGuard>,
     cancel: Option<&AtomicBool>,
-    profile: bool,
+    mode: EvalMode,
     tx: &mpsc::SyncSender<(PointRow, Option<Box<CycleAttribution>>)>,
 ) {
     loop {
@@ -560,7 +603,7 @@ fn worker_loop(
             return;
         }
         let Some(i) = queue.pop(me) else { return };
-        let row = guarded_row(guard, &points[i], spec, profile);
+        let row = guarded_row(guard, &points[i], spec, mode);
         if tx.send(row).is_err() {
             // Collector is gone; nothing we evaluate can be delivered.
             // Drain the queue so every worker stops promptly instead of
@@ -678,6 +721,10 @@ fn run_sweep_inner(
     }
     let points = spec.points();
     let fingerprint = spec.fingerprint();
+    let mode = EvalMode {
+        profile,
+        reference: opts.reference_stepping,
+    };
 
     let mut slots: Vec<Option<PointRow>> = Vec::new();
     slots.resize_with(points.len(), || None);
@@ -725,7 +772,7 @@ fn run_sweep_inner(
             if is_cancelled() {
                 break;
             }
-            let (row, attr) = guarded_row(guard.as_ref(), &points[i], spec, profile);
+            let (row, attr) = guarded_row(guard.as_ref(), &points[i], spec, mode);
             if let Some(j) = journal.as_mut() {
                 if let Err(e) = j.append(&row) {
                     journal_err = Some(e);
@@ -750,7 +797,7 @@ fn run_sweep_inner(
                 let points = &points;
                 let guard = guard.as_ref();
                 scope.spawn(move || {
-                    worker_loop(w, queue, points, spec, guard, cancel, profile, &tx);
+                    worker_loop(w, queue, points, spec, guard, cancel, mode, &tx);
                 });
             }
             drop(tx);
@@ -1007,11 +1054,17 @@ mod tests {
         // just repeat identically and retries would be pointless).
         let spec = tiny_spec();
         let p = &spec.points()[0];
-        let (a0, _) = evaluate_point_attempt(p, &spec, 0, false).ok().unwrap();
-        let (a1, _) = evaluate_point_attempt(p, &spec, 1, false).ok().unwrap();
+        let (a0, _) = evaluate_point_attempt(p, &spec, 0, EvalMode::default())
+            .ok()
+            .unwrap();
+        let (a1, _) = evaluate_point_attempt(p, &spec, 1, EvalMode::default())
+            .ok()
+            .unwrap();
         assert_ne!(a0.telemetry, a1.telemetry);
         // And each attempt is itself reproducible.
-        let (a1b, _) = evaluate_point_attempt(p, &spec, 1, false).ok().unwrap();
+        let (a1b, _) = evaluate_point_attempt(p, &spec, 1, EvalMode::default())
+            .ok()
+            .unwrap();
         assert_eq!(a1, a1b);
     }
 
@@ -1025,7 +1078,16 @@ mod tests {
         let queue = WorkStealingQueue::deal_indices(&[0, 1, 2, 3], 1);
         let (tx, rx) = mpsc::sync_channel::<(PointRow, Option<Box<CycleAttribution>>)>(1);
         drop(rx); // collector dead before the worker starts
-        worker_loop(0, &queue, &points, &spec, None, None, false, &tx);
+        worker_loop(
+            0,
+            &queue,
+            &points,
+            &spec,
+            None,
+            None,
+            EvalMode::default(),
+            &tx,
+        );
         assert_eq!(queue.remaining(), 0);
     }
 
@@ -1036,7 +1098,16 @@ mod tests {
         let queue = WorkStealingQueue::deal_indices(&[0, 1, 2, 3], 1);
         let (tx, rx) = mpsc::sync_channel::<(PointRow, Option<Box<CycleAttribution>>)>(4);
         let cancel = AtomicBool::new(true);
-        worker_loop(0, &queue, &points, &spec, None, Some(&cancel), false, &tx);
+        worker_loop(
+            0,
+            &queue,
+            &points,
+            &spec,
+            None,
+            Some(&cancel),
+            EvalMode::default(),
+            &tx,
+        );
         drop(tx);
         assert_eq!(queue.remaining(), 0);
         assert!(rx.recv().is_err(), "cancelled worker must not emit rows");

@@ -12,7 +12,7 @@
 use std::path::PathBuf;
 
 use lpm_core::design_space::HwConfig;
-use lpm_harness::{run_sweep, run_sweep_profiled, SweepOptions, SweepSpec};
+use lpm_harness::{run_sweep, run_sweep_profiled, run_sweep_with, SweepOptions, SweepSpec};
 use lpm_trace::SpecWorkload;
 
 fn golden_path() -> PathBuf {
@@ -62,13 +62,24 @@ fn sweep_csv_matches_snapshot_for_all_worker_counts() {
         );
     }
 
-    // The same bytes must come out of every worker count.
-    for jobs in [4usize, 8] {
-        let parallel = run_sweep(&spec, jobs).expect("parallel sweep runs");
-        assert!(
-            parallel.to_csv() == csv,
-            "CSV bytes diverged between jobs=1 and jobs={jobs}"
-        );
+    // The same bytes must come out of every worker count, with the
+    // event-driven fast path (the default) *and* with the per-cycle
+    // reference loop forced — the golden file is the arbiter for both
+    // stepping modes, so neither may ever be regenerated to "fix" a
+    // divergence between them.
+    for reference_stepping in [false, true] {
+        let opts = SweepOptions {
+            reference_stepping,
+            ..SweepOptions::default()
+        };
+        for jobs in [1usize, 4, 8] {
+            let parallel = run_sweep_with(&spec, jobs, &opts).expect("sweep runs");
+            assert!(
+                parallel.to_csv() == csv,
+                "CSV bytes diverged from golden at jobs={jobs}, \
+                 reference_stepping={reference_stepping}"
+            );
+        }
     }
 }
 
@@ -120,15 +131,27 @@ fn profiled_sweep_attribution_matches_snapshot_for_all_worker_counts() {
         );
     }
 
-    for jobs in [4usize, 8] {
-        let parallel = run_sweep_profiled(&spec, jobs, &opts).expect("profiled sweep runs");
-        assert!(
-            parallel.to_text() == text,
-            "attribution bytes diverged between jobs=1 and jobs={jobs}"
-        );
-        assert!(
-            parallel.report.to_csv() == csv_golden,
-            "profiled CSV diverged between jobs=1 and jobs={jobs}"
-        );
+    // Attribution too is pinned for both stepping modes at every worker
+    // count: span-weighted samples from the fast path must fold to the
+    // same counters the reference loop accumulates cycle by cycle.
+    for reference_stepping in [false, true] {
+        let opts = SweepOptions {
+            wall_warn: None,
+            reference_stepping,
+            ..SweepOptions::default()
+        };
+        for jobs in [1usize, 4, 8] {
+            let parallel = run_sweep_profiled(&spec, jobs, &opts).expect("profiled sweep runs");
+            assert!(
+                parallel.to_text() == text,
+                "attribution bytes diverged at jobs={jobs}, \
+                 reference_stepping={reference_stepping}"
+            );
+            assert!(
+                parallel.report.to_csv() == csv_golden,
+                "profiled CSV diverged at jobs={jobs}, \
+                 reference_stepping={reference_stepping}"
+            );
+        }
     }
 }

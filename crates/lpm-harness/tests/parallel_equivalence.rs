@@ -156,6 +156,67 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The event-driven fast path (the default) and the forced
+    /// per-cycle reference loop ([`SweepOptions::reference_stepping`])
+    /// export identical bytes at every worker count: report structs,
+    /// JSONL, CSV, text — and, at `jobs = 1`, where append order is
+    /// deterministic, the checkpoint journal file itself.
+    #[test]
+    fn fast_and_reference_stepping_export_identical_bytes(
+        seed in 0u64..10_000,
+        fault_seed in 0u64..10_000,
+        class_ix in 0usize..4,
+        jobs_ix in 0usize..3,
+    ) {
+        let jobs = [1usize, 4, 8][jobs_ix];
+        let spec = spec_for(seed, fault_seed, FAULT_CLASSES[class_ix]);
+        let journal_for = |tag: &str| std::env::temp_dir().join(format!(
+            "lpm-stepping-prop-{tag}-{seed}-{fault_seed}-{class_ix}-{jobs}-{}.jsonl",
+            std::process::id()
+        ));
+        let run = |reference_stepping: bool, jobs: usize, path: &std::path::Path| {
+            run_sweep_with(&spec, jobs, &SweepOptions {
+                checkpoint: Some(path.to_path_buf()),
+                reference_stepping,
+                ..SweepOptions::default()
+            })
+        };
+        let fast_journal_path = journal_for("fast");
+        let ref_journal_path = journal_for("ref");
+        let fast = run(false, jobs, &fast_journal_path).map_err(|e| e.to_string())?;
+        let reference = run(true, 1, &ref_journal_path).map_err(|e| e.to_string())?;
+        let fast_journal = std::fs::read(&fast_journal_path).map_err(|e| e.to_string())?;
+        let ref_journal = std::fs::read(&ref_journal_path).map_err(|e| e.to_string())?;
+        std::fs::remove_file(&fast_journal_path).ok();
+        std::fs::remove_file(&ref_journal_path).ok();
+        prop_assert_eq!(
+            &fast, &reference,
+            "fast (jobs={}) and reference reports diverged", jobs
+        );
+        prop_assert!(
+            fast.to_jsonl() == reference.to_jsonl(),
+            "fast/reference JSONL bytes diverged at jobs={}", jobs
+        );
+        prop_assert!(
+            fast.to_csv() == reference.to_csv(),
+            "fast/reference CSV bytes diverged at jobs={}", jobs
+        );
+        prop_assert!(
+            fast.to_text() == reference.to_text(),
+            "fast/reference report text diverged at jobs={}", jobs
+        );
+        if jobs == 1 {
+            prop_assert!(
+                fast_journal == ref_journal,
+                "fast/reference checkpoint journal bytes diverged at jobs=1"
+            );
+        }
+    }
+}
+
 /// The CI job matrix runs this test with `LPM_SWEEP_JOBS` set to each
 /// matrix entry; every entry must serialize identically to the serial
 /// reference (and therefore to every other entry).

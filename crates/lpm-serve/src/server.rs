@@ -426,6 +426,7 @@ fn runner_loop(shared: &Shared) {
             resume: journal.exists(),
             wall_warn: Some(Duration::from_secs(30)),
             cancel: Some(Arc::clone(&run.cancel)),
+            ..SweepOptions::default()
         };
         // Busy time via the sanctioned lpm-prof entry point: feeds the
         // cumulative points/sec gauge only, never any report byte.

@@ -1,0 +1,108 @@
+//! Diagnostic: skip rate and wall-clock speedup of the event-driven
+//! fast path, on the same scenario as the `sim-step-loop` bench entry.
+//!
+//! ```text
+//! cargo run --release -p lpm-sim --example skip_rate
+//! ```
+
+use std::time::Instant;
+
+use lpm_sim::{System, SystemConfig};
+use lpm_telemetry::{NullRecorder, Profiled};
+use lpm_trace::{Generator, SpecWorkload};
+
+fn run(reference: bool, cycles: u64) -> (u64, u64, u64, f64) {
+    let trace = SpecWorkload::BwavesLike.generator().generate(20_000, 42);
+    let mut sys = System::try_new_looping(SystemConfig::default(), trace, 1_000, 42)
+        .expect("default config is valid");
+    sys.set_reference_stepping(reference);
+    sys.cmp_mut()
+        .try_warm_up(2_000)
+        .expect("warm-up within budget");
+    // Attribution-profiled like the `sim-step-loop` bench entry, so the
+    // timings here predict the bench's.
+    let mut rec = Profiled::new(NullRecorder);
+    let t0 = Instant::now();
+    sys.cmp_mut()
+        .try_run_for_with(cycles, &mut rec)
+        .expect("run within budget");
+    let secs = t0.elapsed().as_secs_f64();
+    let (spans, skipped) = sys.cmp().skipped();
+    (sys.now(), spans, skipped, secs)
+}
+
+/// Walk the reference loop cycle by cycle and tally which busy
+/// condition holds each cycle, to see what blocks span coalescing.
+fn busy_census(cycles: u64) {
+    let trace = SpecWorkload::BwavesLike.generator().generate(20_000, 42);
+    let mut sys = System::try_new_looping(SystemConfig::default(), trace, 1_000, 42)
+        .expect("default config is valid");
+    sys.set_reference_stepping(true);
+    sys.cmp_mut()
+        .try_warm_up(2_000)
+        .expect("warm-up within budget");
+    let mut counts = [0u64; 7];
+    let mut l1_counts = [0u64; 4];
+    let mut busy_total = 0u64;
+    let names = [
+        "level queues",
+        "to_dram",
+        "completions",
+        "dram",
+        "l1s",
+        "shared",
+        "cores",
+    ];
+    let l1_names = ["fills", "deferred", "prefetch", "lookup due"];
+    for _ in 0..cycles {
+        let b = sys.cmp().busy_breakdown();
+        if b.iter().any(|&x| x) {
+            busy_total += 1;
+        }
+        for (c, &x) in counts.iter_mut().zip(b.iter()) {
+            *c += u64::from(x);
+        }
+        for (c, x) in l1_counts.iter_mut().zip(sys.cmp().l1_busy_breakdown()) {
+            *c += u64::from(x);
+        }
+        sys.cmp_mut().try_run_for(1).expect("run within budget");
+    }
+    println!("busy cycles     : {busy_total} of {cycles}");
+    for (name, c) in names.iter().zip(counts.iter()) {
+        println!(
+            "  {name:<12}: {c:>7} ({:.1}%)",
+            100.0 * *c as f64 / cycles as f64
+        );
+    }
+    println!("l1 clause census:");
+    for (name, c) in l1_names.iter().zip(l1_counts.iter()) {
+        println!(
+            "  {name:<12}: {c:>7} ({:.1}%)",
+            100.0 * *c as f64 / cycles as f64
+        );
+    }
+}
+
+fn main() {
+    let cycles = 500_000;
+    if std::env::var("SKIP_RATE_CENSUS").is_ok() {
+        busy_census(cycles);
+        return;
+    }
+    let (_, _, _, ref_secs) = run(true, cycles);
+    let (now, spans, skipped, fast_secs) = run(false, cycles);
+    println!("cycles run      : {cycles}");
+    println!("final now       : {now}");
+    println!("spans coalesced : {spans}");
+    println!(
+        "cycles skipped  : {skipped} ({:.1}% of run)",
+        100.0 * skipped as f64 / cycles as f64
+    );
+    println!(
+        "mean span       : {:.1} cycles",
+        skipped as f64 / spans.max(1) as f64
+    );
+    println!("reference       : {ref_secs:.3}s");
+    println!("fast            : {fast_secs:.3}s");
+    println!("speedup         : {:.2}x", ref_secs / fast_secs);
+}

@@ -75,6 +75,35 @@ impl CacheAnalyzer {
         self.counters.misses = cache.stats().misses - self.base_misses;
     }
 
+    /// Sample `n` consecutive cycles whose hit/miss phase populations
+    /// are provably constant (a coalesced idle span from the
+    /// event-driven fast path): exactly what `n` calls to
+    /// [`CacheAnalyzer::sample`] would accumulate. `mark_all_pure` is
+    /// idempotent, so one call stands in for `n` — only the first cycle
+    /// of a pure-miss span flags anything new.
+    pub fn sample_span(&mut self, now: u64, cache: &mut Cache, n: u64) {
+        let h = cache.hit_phase_count(now);
+        let m = cache.miss_phase_count();
+        if h > 0 {
+            self.counters.hit_cycles += n;
+            self.counters.hit_access_cycles += h * n;
+        }
+        if m > 0 {
+            self.counters.miss_cycles += n;
+            self.counters.miss_access_cycles += m * n;
+            if h == 0 {
+                self.counters.pure_miss_cycles += n;
+                self.counters.pure_miss_access_cycles += m * n;
+                self.counters.pure_misses += cache.mark_all_pure();
+            }
+        }
+        if h > 0 || m > 0 {
+            self.counters.active_cycles += n;
+        }
+        self.counters.accesses = cache.stats().accesses - self.base_accesses;
+        self.counters.misses = cache.stats().misses - self.base_misses;
+    }
+
     /// The counters accumulated so far.
     pub fn counters(&self) -> LayerCounters {
         self.counters
@@ -105,6 +134,16 @@ impl DramAnalyzer {
     pub fn sample(&mut self, dram: &lpm_dram::Dram) {
         if dram.outstanding() > 0 {
             self.active_cycles += 1;
+        }
+        self.accesses = dram.stats().accepted - self.base_accesses;
+    }
+
+    /// Sample `n` consecutive cycles with provably constant occupancy (a
+    /// coalesced idle span): exactly what `n` calls to
+    /// [`DramAnalyzer::sample`] would accumulate.
+    pub fn sample_span(&mut self, dram: &lpm_dram::Dram, n: u64) {
+        if dram.outstanding() > 0 {
+            self.active_cycles += n;
         }
         self.accesses = dram.stats().accepted - self.base_accesses;
     }
@@ -278,6 +317,74 @@ mod tests {
         assert_eq!(c.pure_miss_cycles, 10);
         assert_eq!(c.pamp(), 10.0);
         c.check_identity(0.0).unwrap();
+    }
+
+    /// Span sampling must accumulate exactly what per-cycle sampling
+    /// does over a window where the phase populations are constant
+    /// (here: one access waiting out its miss phase).
+    #[test]
+    fn span_sampling_matches_per_cycle_sampling() {
+        let run = |span: bool| -> LayerCounters {
+            let mut cache = fig1_cache();
+            let mut analyzer = CacheAnalyzer::new(3);
+            cache.access(0, AccessId(1), 0, false);
+            // Cycles 0..=2: hit phase; resolve at step(2); cycles 3..=11:
+            // pure miss phase (constant m=1); fill at 12.
+            for now in 0..3u64 {
+                analyzer.sample(now, &mut cache);
+                cache.step(now);
+            }
+            if span {
+                analyzer.sample_span(3, &mut cache, 9);
+                for now in 3..12u64 {
+                    cache.step(now);
+                }
+            } else {
+                for now in 3..12u64 {
+                    analyzer.sample(now, &mut cache);
+                    cache.step(now);
+                }
+            }
+            cache.fill(0);
+            analyzer.sample(12, &mut cache);
+            cache.step(12);
+            analyzer.counters()
+        };
+        let per_cycle = run(false);
+        let spanned = run(true);
+        assert_eq!(per_cycle, spanned);
+        assert_eq!(spanned.pure_misses, 1, "pure flag set exactly once");
+        assert_eq!(spanned.pure_miss_cycles, 10);
+    }
+
+    #[test]
+    fn dram_span_sampling_matches_per_cycle_sampling() {
+        let run = |span: bool| -> (u64, u64) {
+            let mut dram = lpm_dram::Dram::new(lpm_dram::DramConfig::ddr3_default());
+            let mut an = DramAnalyzer::default();
+            dram.enqueue(
+                0,
+                lpm_dram::DramRequest {
+                    id: 1,
+                    addr: 0,
+                    is_write: false,
+                },
+            );
+            an.sample(&dram);
+            dram.step(0);
+            if span {
+                an.sample_span(&dram, 55);
+            } else {
+                for _ in 1..56u64 {
+                    an.sample(&dram);
+                }
+            }
+            for now in 1..56u64 {
+                dram.step(now);
+            }
+            (an.active_cycles, an.accesses)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

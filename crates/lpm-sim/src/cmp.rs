@@ -23,7 +23,7 @@
 
 use std::collections::VecDeque;
 
-use lpm_cache::{AccessId, AccessResponse, Cache, CacheConfig};
+use lpm_cache::{AccessId, AccessResponse, Cache, CacheConfig, StepOutput};
 use lpm_cpu::{Core, CoreConfig, CoreStats, MemoryPort};
 use lpm_dram::{Dram, DramConfig, DramRequest};
 use lpm_model::LayerCounters;
@@ -32,7 +32,7 @@ use lpm_trace::Trace;
 
 use crate::analyzer::{CacheAnalyzer, DramAnalyzer};
 use crate::error::SimError;
-use crate::fault::{FaultConfig, FaultInjector, FaultStats};
+use crate::fault::{FaultActions, FaultConfig, FaultInjector, FaultStats};
 use crate::report::SystemReport;
 
 /// Per-core configuration slot (heterogeneous L1s are the point of case
@@ -69,6 +69,12 @@ struct LevelReq {
 /// reports it as [`SimError::Deadlock`]; the legacy [`Cmp::step`] panics.
 const WATCHDOG_CYCLES: u64 = 500_000;
 
+/// Shortest idle span worth batching. Below this, the per-span
+/// bookkeeping in [`Cmp::apply_idle_span`] (analyzer span samples,
+/// per-component skip calls, horizon bounds) costs more than simply
+/// real-stepping the idle cycles, which is equally bit-identical.
+const MIN_SKIP_SPAN: u64 = 8;
+
 /// The N-core chip multiprocessor. The shared side of the hierarchy is a
 /// chain of one or more levels (L2 [, L3, …]) ending at DRAM — "the
 /// extension to additional cache levels is straightforward" (§III).
@@ -96,6 +102,26 @@ pub struct Cmp {
     /// Optional fault injector (robustness testing); `None` leaves the
     /// simulation bit-for-bit identical to a clean run.
     fault: Option<FaultInjector>,
+    /// When `true`, every run loop advances strictly cycle-by-cycle (the
+    /// reference loop). The event-driven fast path is the default; this
+    /// switch exists so differential tests can pin the reference
+    /// behaviour and prove the fast path bit-identical to it.
+    reference_stepping: bool,
+    /// The [`FaultActions`] applied to the hardware at the most recent
+    /// real step — the baseline a skipped span is checked against.
+    last_fault_act: FaultActions,
+    /// Actions pre-drawn by a span scan for the cycle that truncated the
+    /// span. The next real step consumes them instead of re-ticking the
+    /// injector, so the RNG stream sees exactly one draw set per cycle.
+    pending_fault_act: Option<FaultActions>,
+    /// Fast-path effectiveness counters: idle spans coalesced and the
+    /// cycles they covered. Diagnostics only — never part of a report.
+    skipped_spans: u64,
+    skipped_cycles: u64,
+    /// Reusable per-cycle output buffers (cache step and DRAM
+    /// completions), so the hot loop never allocates.
+    step_out: StepOutput,
+    dram_out: Vec<(u64, bool)>,
     now: u64,
     last_retired_total: u64,
     last_progress_cycle: u64,
@@ -260,6 +286,13 @@ impl Cmp {
             mlp_quota: None,
             l2_outstanding: vec![0; n],
             fault: None,
+            reference_stepping: false,
+            last_fault_act: FaultActions::default(),
+            pending_fault_act: None,
+            skipped_spans: 0,
+            skipped_cycles: 0,
+            step_out: StepOutput::default(),
+            dram_out: Vec::new(),
             now: 0,
             last_retired_total: 0,
             last_progress_cycle: 0,
@@ -276,7 +309,9 @@ impl Cmp {
             for c in self.l1s.iter_mut().chain(self.shared.iter_mut()) {
                 c.set_fault(false, 0);
             }
+            self.last_fault_act = FaultActions::default();
         }
+        self.pending_fault_act = None;
         self.fault = inj;
     }
 
@@ -300,6 +335,58 @@ impl Cmp {
             assert!(q >= 1, "quota must allow at least one outstanding fill");
         }
         self.mlp_quota = quota;
+    }
+
+    /// Force (or with `false` lift) strict per-cycle stepping. The
+    /// event-driven fast path — skipping provably idle spans in one jump
+    /// — is the default and is bit-identical to the reference loop; this
+    /// switch exists so differential tests can run both sides of that
+    /// contract against each other.
+    pub fn set_reference_stepping(&mut self, on: bool) {
+        self.reference_stepping = on;
+    }
+
+    /// Whether the strict per-cycle reference loop is forced.
+    pub fn reference_stepping(&self) -> bool {
+        self.reference_stepping
+    }
+
+    /// Fast-path effectiveness: `(spans, cycles)` coalesced so far.
+    /// Diagnostics only (skip rate = cycles / `now`); the counters are
+    /// not part of any report or export.
+    pub fn skipped(&self) -> (u64, u64) {
+        (self.skipped_spans, self.skipped_cycles)
+    }
+
+    /// Union of [`lpm_cache::Cache::busy_breakdown`] across the private
+    /// L1s (diagnostic companion to [`Cmp::busy_breakdown`]).
+    pub fn l1_busy_breakdown(&self) -> [bool; 4] {
+        let mut out = [false; 4];
+        for c in &self.l1s {
+            for (o, b) in out.iter_mut().zip(c.busy_breakdown(self.now)) {
+                *o |= b;
+            }
+        }
+        out
+    }
+
+    /// Which busy conditions hold at the current cycle, in the order
+    /// [`Cmp::busy_now`] checks them: `[queues, to_dram, completions,
+    /// dram, l1s, shared, cores]`. Diagnostic companion to
+    /// [`Cmp::skipped`] for understanding why a workload's cycles do or
+    /// do not coalesce.
+    pub fn busy_breakdown(&self) -> [bool; 7] {
+        [
+            self.level_queues.iter().any(|q| !q.is_empty()),
+            !self.to_dram.is_empty(),
+            self.core_completions.iter().any(|c| !c.is_empty()),
+            self.dram.can_act(self.now),
+            self.l1s.iter().any(|c| c.can_act(self.now)),
+            self.shared.iter().any(|c| c.can_act(self.now)),
+            self.cores
+                .iter()
+                .any(|c| !c.finished() && c.can_act(self.now)),
+        ]
     }
 
     /// Number of cores.
@@ -456,7 +543,9 @@ impl Cmp {
     pub fn try_warm_up(&mut self, instructions: u64) -> Result<u64, SimError> {
         let target = self.cores[0].retired() + instructions;
         while self.cores[0].retired() < target && !self.all_finished() {
-            self.try_step()?;
+            // No explicit cap: the watchdog horizon bounds every span
+            // while any core is unfinished (the loop guard guarantees).
+            self.advance_with(&mut NullRecorder, u64::MAX)?;
         }
         let warmup_cycles = self.now;
         self.reset_measurement();
@@ -489,7 +578,7 @@ impl Cmp {
             if !behind {
                 break;
             }
-            self.try_step()?;
+            self.advance_with(&mut NullRecorder, u64::MAX)?;
         }
         let warmup_cycles = self.now;
         self.reset_measurement();
@@ -518,12 +607,20 @@ impl Cmp {
         let now = self.now;
 
         // 0. Fault injection: decide what misbehaves this cycle and push
-        // it into the hardware before anything advances.
+        // it into the hardware before anything advances. A span scan may
+        // already have ticked the injector for this cycle (the draw that
+        // truncated the span); consume that result instead of re-ticking
+        // so the RNG stream advances exactly once per cycle.
+        let predrawn = self.pending_fault_act.take();
         if let Some(inj) = &mut self.fault {
             if R::ENABLED {
                 inj.set_onset_logging(true);
             }
-            let act = inj.tick(now);
+            let act = match predrawn {
+                Some(a) => a,
+                None => inj.tick(now),
+            };
+            self.last_fault_act = act;
             self.dram
                 .set_fault(act.dram_extra_latency, act.dram_blocked);
             for c in self.l1s.iter_mut().chain(self.shared.iter_mut()) {
@@ -547,9 +644,9 @@ impl Cmp {
             if self.cores[i].finished() {
                 continue;
             }
-            let comps = std::mem::take(&mut self.core_completions[i]);
-            for id in comps {
-                self.cores[i].complete_mem(id);
+            let (cores, comps) = (&mut self.cores, &mut self.core_completions);
+            for id in comps[i].drain(..) {
+                cores[i].complete_mem(id);
             }
             let core = &mut self.cores[i];
             let l1 = &mut self.l1s[i];
@@ -623,18 +720,22 @@ impl Cmp {
         }
 
         // 5. DRAM advances; reads fill the last shared level.
-        for (id, is_write) in self.dram.step(now) {
+        let mut dram_out = std::mem::take(&mut self.dram_out);
+        self.dram.step_into(now, &mut dram_out);
+        for &(id, is_write) in &dram_out {
             if !is_write {
                 // lpm-lint: allow(P001) constructor rejects empty shared hierarchies, L2 always exists
                 self.shared.last_mut().expect("at least L2").fill(id);
             }
         }
+        self.dram_out = dram_out;
 
         // 6. Shared levels advance, deepest first, so a fill produced by
         // level j reaches level j−1 within the same cycle's step.
+        let mut out = std::mem::take(&mut self.step_out);
         for j in (0..self.shared.len()).rev() {
-            let out = self.shared[j].step(now);
-            for c in out.completions {
+            self.shared[j].step_into(now, &mut out);
+            for c in out.completions.drain(..) {
                 let tag = c.id.0 >> TAG_SHIFT;
                 let line = c.id.0 & LINE_MASK;
                 if tag >= 1 && tag <= self.cores.len() as u64 {
@@ -649,14 +750,14 @@ impl Cmp {
                 // WRITEBACK_TAG completions are posted writes: dropped.
             }
             if j + 1 < self.shared.len() {
-                for line in out.outgoing_misses {
+                for line in out.outgoing_misses.drain(..) {
                     self.level_queues[j + 1].push_back(LevelReq {
                         id: line | ((SHARED_TAG_BASE + j as u64) << TAG_SHIFT),
                         line,
                         is_store: false,
                     });
                 }
-                for line in out.writebacks {
+                for line in out.writebacks.drain(..) {
                     self.level_queues[j + 1].push_back(LevelReq {
                         id: line | (WRITEBACK_TAG << TAG_SHIFT),
                         line,
@@ -664,14 +765,14 @@ impl Cmp {
                     });
                 }
             } else {
-                for line in out.outgoing_misses {
+                for line in out.outgoing_misses.drain(..) {
                     self.to_dram.push_back(DramRequest {
                         id: line,
                         addr: line,
                         is_write: false,
                     });
                 }
-                for line in out.writebacks {
+                for line in out.writebacks.drain(..) {
                     self.to_dram.push_back(DramRequest {
                         id: line | (1 << 63),
                         addr: line,
@@ -683,11 +784,11 @@ impl Cmp {
 
         // 7. L1s advance.
         for i in 0..self.l1s.len() {
-            let out = self.l1s[i].step(now);
-            for c in out.completions {
+            self.l1s[i].step_into(now, &mut out);
+            for c in out.completions.drain(..) {
                 self.core_completions[i].push(c.id.0);
             }
-            for line in out.outgoing_misses {
+            for line in out.outgoing_misses.drain(..) {
                 debug_assert_eq!(line & !LINE_MASK, 0);
                 self.level_queues[0].push_back(LevelReq {
                     id: line | ((i as u64 + 1) << TAG_SHIFT),
@@ -695,7 +796,7 @@ impl Cmp {
                     is_store: false,
                 });
             }
-            for line in out.writebacks {
+            for line in out.writebacks.drain(..) {
                 self.level_queues[0].push_back(LevelReq {
                     id: line | (WRITEBACK_TAG << TAG_SHIFT),
                     line,
@@ -703,6 +804,7 @@ impl Cmp {
                 });
             }
         }
+        self.step_out = out;
 
         // Watchdog: a simulator deadlock manifests as no retirement
         // anywhere for a very long time.
@@ -714,17 +816,43 @@ impl Cmp {
         // across worker counts — and compiled out unless the recorder
         // opts in via `R::PROFILED`.
         if R::PROFILED {
-            rec.attr_sample(&AttrSample {
-                retired_delta: retired_total.saturating_sub(self.last_retired_total),
-                rob: self.cores.iter().map(|c| c.rob_occupancy()).sum(),
-                rob_capacity: self.cores.iter().map(|c| c.rob_capacity()).sum(),
-                l1_mshrs: self.l1s.iter().map(|c| c.mshrs_in_use()).sum(),
-                l1_mshr_capacity: self.l1s.iter().map(|c| c.mshr_capacity()).sum(),
-                shared_mshrs: self.shared.iter().map(|c| c.mshrs_in_use()).sum(),
-                shared_mshr_capacity: self.shared.iter().map(|c| c.mshr_capacity()).sum(),
-                dram_banks_busy: self.dram.banks_busy(now),
-                dram_banks_total: self.dram.banks_total(),
-            });
+            // The sample is built lazily by classification tier:
+            // [`CycleAttribution::observe`] reads nothing past
+            // `retired_delta` on a retire cycle, and nothing past the
+            // ROB fields on a rob-full stall (the first branch of its
+            // priority order) — together the overwhelming share of
+            // cycles. Only the rare remainder pays for the MSHR sums
+            // and the DRAM bank scan. Unread fields stay zero.
+            let retired_delta = retired_total.saturating_sub(self.last_retired_total);
+            if retired_delta > 0 {
+                rec.attr_sample(&AttrSample {
+                    retired_delta,
+                    ..AttrSample::default()
+                });
+            } else {
+                let rob = self.cores.iter().map(|c| c.rob_occupancy()).sum();
+                let rob_capacity = self.cores.iter().map(|c| c.rob_capacity()).sum();
+                if rob_capacity > 0 && rob >= rob_capacity {
+                    rec.attr_sample(&AttrSample {
+                        retired_delta: 0,
+                        rob,
+                        rob_capacity,
+                        ..AttrSample::default()
+                    });
+                } else {
+                    rec.attr_sample(&AttrSample {
+                        retired_delta: 0,
+                        rob,
+                        rob_capacity,
+                        l1_mshrs: self.l1s.iter().map(|c| c.mshrs_in_use()).sum(),
+                        l1_mshr_capacity: self.l1s.iter().map(|c| c.mshr_capacity()).sum(),
+                        shared_mshrs: self.shared.iter().map(|c| c.mshrs_in_use()).sum(),
+                        shared_mshr_capacity: self.shared.iter().map(|c| c.mshr_capacity()).sum(),
+                        dram_banks_busy: self.dram.banks_busy(now),
+                        dram_banks_total: self.dram.banks_total(),
+                    });
+                }
+            }
         }
 
         if retired_total > self.last_retired_total {
@@ -796,6 +924,196 @@ impl Cmp {
                 .all(|c| c.miss_phase_count() == 0 && c.hit_phase_count(self.now) == 0)
     }
 
+    /// Whether any component can change state at the current cycle — the
+    /// gate of the event-driven fast path. `true` forces a real step:
+    /// work is queued between layers, a completion is deliverable, or
+    /// some core, cache or the DRAM controller can act right now.
+    fn busy_now(&self) -> bool {
+        self.level_queues.iter().any(|q| !q.is_empty())
+            || !self.to_dram.is_empty()
+            || self.core_completions.iter().any(|c| !c.is_empty())
+            || self.dram.can_act(self.now)
+            || self
+                .l1s
+                .iter()
+                .chain(self.shared.iter())
+                .any(|c| c.can_act(self.now))
+            || self
+                .cores
+                .iter()
+                .any(|c| !c.finished() && c.can_act(self.now))
+    }
+
+    /// The earliest future cycle at which any component can change state:
+    /// the next instruction-execution completion, cache lookup
+    /// resolution, DRAM completion or issue opportunity — or the cycle
+    /// at which the deadlock watchdog would fire. `u64::MAX` when no
+    /// component holds a future event (every core finished and the
+    /// memory system drained). Fault-schedule transitions are *not*
+    /// folded in here; the span scan in [`Cmp::skip_span_with`] ticks
+    /// the injector cycle-by-cycle and truncates the span itself.
+    pub fn next_event_horizon(&self) -> u64 {
+        let mut h = u64::MAX;
+        for c in &self.cores {
+            if !c.finished() {
+                if let Some(e) = c.next_event() {
+                    h = h.min(e);
+                }
+            }
+        }
+        for c in self.l1s.iter().chain(self.shared.iter()) {
+            if let Some(e) = c.next_event() {
+                h = h.min(e);
+            }
+        }
+        if let Some(e) = self.dram.next_event() {
+            h = h.min(e);
+        }
+        if !self.all_finished() {
+            // First cycle at which `try_step_with`'s watchdog could
+            // fire: progress checks must not be skipped past it.
+            h = h.min(self.last_progress_cycle + WATCHDOG_CYCLES + 1);
+        }
+        h
+    }
+
+    /// Advance by one fast-path quantum, never past cycle `cap`: a
+    /// single real step when something can act this cycle (or the
+    /// reference loop is forced), otherwise one idle-span jump to the
+    /// event horizon. Callers loop on their own condition; everything a
+    /// loop condition can observe (retirement, `all_finished`,
+    /// `memory_idle`) only changes at real steps, so checking it per
+    /// quantum is equivalent to checking it per cycle.
+    fn advance_with<R: Recorder>(&mut self, rec: &mut R, cap: u64) -> Result<(), SimError> {
+        if self.reference_stepping || self.busy_now() {
+            return self.try_step_with(rec);
+        }
+        let span_end = self.next_event_horizon().min(cap);
+        debug_assert!(span_end > self.now, "idle span must make progress");
+        if span_end - self.now < MIN_SKIP_SPAN {
+            // A real step through an idle cycle records exactly what the
+            // span batch would (that is the bit-identity contract), so
+            // for spans too short to amortise the batch bookkeeping it
+            // is cheaper to just step.
+            return self.try_step_with(rec);
+        }
+        self.skip_span_with(rec, span_end)
+    }
+
+    /// Skip the provably idle cycles `[now, span_end)` in one jump. The
+    /// fault injector is still ticked once per skipped cycle — the RNG
+    /// stream and `FaultStats` are part of the bit-identity contract —
+    /// and the span is truncated at the first cycle whose actions differ
+    /// from the span's baseline (or that logs an onset, which must be
+    /// emitted from its own cycle): that cycle becomes a real step
+    /// consuming the already-drawn actions.
+    fn skip_span_with<R: Recorder>(
+        &mut self,
+        rec: &mut R,
+        mut span_end: u64,
+    ) -> Result<(), SimError> {
+        if let Some(inj) = &mut self.fault {
+            if R::ENABLED {
+                inj.set_onset_logging(true);
+            }
+            let base = self.last_fault_act;
+            for c in self.now..span_end {
+                let logged = if R::ENABLED { inj.pending_onsets() } else { 0 };
+                let act = inj.tick(c);
+                if act != base || (R::ENABLED && inj.pending_onsets() != logged) {
+                    self.pending_fault_act = Some(act);
+                    span_end = c;
+                    break;
+                }
+            }
+        }
+        let k = span_end - self.now;
+        if k > 0 {
+            self.apply_idle_span(rec, k);
+        }
+        if self.pending_fault_act.is_some() {
+            // The truncating cycle is a real step; `try_step_with`
+            // consumes the pre-drawn actions instead of re-ticking.
+            return self.try_step_with(rec);
+        }
+        Ok(())
+    }
+
+    /// Apply `k` cycles' worth of idle-span bookkeeping in one batch:
+    /// exactly what `k` reference steps would have recorded, exploiting
+    /// that every sampled quantity is constant across a span in which no
+    /// component acts. Occupancy histograms and attribution samples are
+    /// weighted by the span length; the retirement delta of every
+    /// skipped cycle is zero by construction.
+    fn apply_idle_span<R: Recorder>(&mut self, rec: &mut R, k: u64) {
+        self.skipped_spans += 1;
+        self.skipped_cycles += k;
+        let now = self.now;
+        for core in &mut self.cores {
+            if !core.finished() {
+                core.skip_idle_span(k);
+            }
+        }
+        for (an, l1) in self.l1_analyzers.iter_mut().zip(self.l1s.iter_mut()) {
+            an.sample_span(now, l1, k);
+        }
+        for (an, c) in self.shared_analyzers.iter_mut().zip(self.shared.iter_mut()) {
+            an.sample_span(now, c, k);
+        }
+        self.dram_analyzer.sample_span(&self.dram, k);
+        if R::ENABLED {
+            rec.cycle_sample_n(
+                &CycleSample {
+                    l1_mshrs: self.l1s.iter().map(|c| c.mshrs_in_use()).sum(),
+                    shared_mshrs: self.shared.iter().map(|c| c.mshrs_in_use()).sum(),
+                    rob: self.cores.iter().map(|c| c.rob_occupancy()).sum(),
+                    dram_banks_busy: self.dram.banks_busy(now),
+                    dram_banks_total: self.dram.banks_total(),
+                },
+                k,
+            );
+        }
+        self.dram.skip_idle_span(k);
+        for c in self.l1s.iter_mut().chain(self.shared.iter_mut()) {
+            // k failing retries of any stalled deferred misses.
+            c.skip_idle_span(k);
+        }
+        if R::PROFILED {
+            // Same lazily-tiered sample construction as the per-cycle
+            // path in `try_step_with` (a skipped cycle never retires),
+            // so fast and reference emit byte-identical sample streams.
+            let rob = self.cores.iter().map(|c| c.rob_occupancy()).sum();
+            let rob_capacity = self.cores.iter().map(|c| c.rob_capacity()).sum();
+            if rob_capacity > 0 && rob >= rob_capacity {
+                rec.attr_sample_n(
+                    &AttrSample {
+                        retired_delta: 0,
+                        rob,
+                        rob_capacity,
+                        ..AttrSample::default()
+                    },
+                    k,
+                );
+            } else {
+                rec.attr_sample_n(
+                    &AttrSample {
+                        retired_delta: 0,
+                        rob,
+                        rob_capacity,
+                        l1_mshrs: self.l1s.iter().map(|c| c.mshrs_in_use()).sum(),
+                        l1_mshr_capacity: self.l1s.iter().map(|c| c.mshr_capacity()).sum(),
+                        shared_mshrs: self.shared.iter().map(|c| c.mshrs_in_use()).sum(),
+                        shared_mshr_capacity: self.shared.iter().map(|c| c.mshr_capacity()).sum(),
+                        dram_banks_busy: self.dram.banks_busy(now),
+                        dram_banks_total: self.dram.banks_total(),
+                    },
+                    k,
+                );
+            }
+        }
+        self.now += k;
+    }
+
     /// Run until every core finishes or `max_cycles` elapse, then drain
     /// the memory system (posted stores may still be in flight when the
     /// last instruction retires; their fills, evictions and writebacks
@@ -810,16 +1128,17 @@ impl Cmp {
             if self.all_finished() {
                 break;
             }
-            self.try_step()?;
+            self.advance_with(&mut NullRecorder, max_cycles)?;
         }
         if !self.all_finished() {
             return Ok(false);
         }
         // Bounded drain: every in-flight access resolves within a DRAM
-        // round trip plus queueing.
+        // round trip plus queueing. The fast path leaps the dead cycles
+        // between DRAM events instead of ticking them one by one.
         let drain_budget = self.now + 1_000_000;
         while self.now < drain_budget && !self.memory_idle() {
-            self.try_step()?;
+            self.advance_with(&mut NullRecorder, drain_budget)?;
         }
         Ok(true)
     }
@@ -831,11 +1150,7 @@ impl Cmp {
 
     /// Fallible variant of [`Cmp::run_for`].
     pub fn try_run_for(&mut self, cycles: u64) -> Result<(), SimError> {
-        let end = self.now + cycles;
-        while self.now < end {
-            self.try_step()?;
-        }
-        Ok(())
+        self.try_run_for_with(cycles, &mut NullRecorder)
     }
 
     /// Recorder-aware variant of [`Cmp::try_run_for`].
@@ -846,7 +1161,7 @@ impl Cmp {
     ) -> Result<(), SimError> {
         let end = self.now + cycles;
         while self.now < end {
-            self.try_step_with(rec)?;
+            self.advance_with(rec, end)?;
         }
         Ok(())
     }
@@ -871,7 +1186,9 @@ impl Cmp {
                     now: self.now,
                 });
             }
-            self.try_step_with(rec)?;
+            // Idle spans are capped at the budget too, so the error
+            // fires at the same simulated cycle as the reference loop.
+            self.advance_with(rec, end.min(budget))?;
         }
         Ok(())
     }
@@ -905,7 +1222,7 @@ impl Cmp {
             if !behind {
                 return Ok(true);
             }
-            self.try_step()?;
+            self.advance_with(&mut NullRecorder, max_cycles)?;
         }
         Ok(false)
     }
@@ -1061,6 +1378,43 @@ mod tests {
         );
         cmp.run_for(500);
         assert_eq!(cmp.now(), 500);
+    }
+
+    #[test]
+    fn event_driven_run_and_drain_match_reference_cycle_for_cycle() {
+        // Store-heavy stream far past cache capacity: writebacks and
+        // fills are still in flight when the last instruction retires,
+        // so `try_run`'s drain phase does real work. The drain used to
+        // tick `memory_idle()` cycle-by-cycle; it now leaps between
+        // events — the cycle count at which the memory system quiesces
+        // must not move.
+        let build = || {
+            Cmp::new(
+                vec![slot(4)],
+                CacheConfig::l2_default(),
+                DramConfig::ddr3_default(),
+                vec![lpm_trace::gen::StrideGen::new(4, 64, 8 << 20, 0.5).generate(20_000, 3)],
+                7,
+            )
+        };
+        let mut fast = build();
+        let mut reference = build();
+        reference.set_reference_stepping(true);
+        assert!(fast.run(5_000_000));
+        assert!(reference.run(5_000_000));
+        assert_eq!(
+            fast.now(),
+            reference.now(),
+            "drain cycle counts diverged between fast and reference stepping"
+        );
+        assert!(fast.memory_idle() && reference.memory_idle());
+        assert_eq!(
+            format!("{:?}", fast.report_for(0, 0.3)),
+            format!("{:?}", reference.report_for(0, 0.3)),
+        );
+        assert_eq!(fast.l1_stats(0), reference.l1_stats(0));
+        assert_eq!(fast.l2_stats(), reference.l2_stats());
+        assert_eq!(fast.dram_stats(), reference.dram_stats());
     }
 
     #[test]

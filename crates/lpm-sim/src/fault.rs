@@ -384,6 +384,15 @@ impl FaultInjector {
         std::mem::take(&mut self.onset_log)
     }
 
+    /// Number of onsets recorded but not yet drained. The event-driven
+    /// stepper compares this across a [`FaultInjector::tick`] to detect
+    /// an onset whose [`FaultActions`] happen to equal the span's — the
+    /// onset event must still be emitted at its own cycle, so the span
+    /// is truncated there.
+    pub fn pending_onsets(&self) -> usize {
+        self.onset_log.len()
+    }
+
     /// The configuration driving this injector.
     pub fn config(&self) -> &FaultConfig {
         &self.cfg

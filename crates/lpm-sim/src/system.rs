@@ -189,6 +189,13 @@ impl System {
         self.cmp.report_for(0, self.cpi_exe)
     }
 
+    /// Force (or lift) strict per-cycle stepping on the underlying CMP;
+    /// see [`Cmp::set_reference_stepping`]. The event-driven fast path
+    /// is the default.
+    pub fn set_reference_stepping(&mut self, on: bool) {
+        self.cmp.set_reference_stepping(on);
+    }
+
     /// Direct access to the underlying CMP (e.g. for cache stats).
     pub fn cmp(&self) -> &Cmp {
         &self.cmp

@@ -85,10 +85,33 @@ pub trait Recorder {
     /// Observe one cycle's occupancy sample.
     fn cycle_sample(&mut self, s: &CycleSample);
 
+    /// Observe `n` consecutive cycles sharing one occupancy sample — a
+    /// coalesced idle span from the event-driven fast path. The default
+    /// replays the per-cycle method `n` times so every third-party
+    /// recorder stays byte-identical without opting in; the built-in
+    /// recorders override with O(1) weighted folds.
+    #[inline]
+    fn cycle_sample_n(&mut self, s: &CycleSample, n: u64) {
+        for _ in 0..n {
+            self.cycle_sample(s);
+        }
+    }
+
     /// Observe one cycle's attribution sample (occupancies against
     /// capacities plus the retirement delta). Default: discard.
     #[inline]
     fn attr_sample(&mut self, _s: &AttrSample) {}
+
+    /// Observe `n` consecutive cycles sharing one attribution sample (a
+    /// coalesced idle span; `retired_delta` is zero by construction).
+    /// Default replays per-cycle for byte-identity; [`Profiled`]
+    /// overrides with a classify-once weighted fold.
+    #[inline]
+    fn attr_sample_n(&mut self, s: &AttrSample, n: u64) {
+        for _ in 0..n {
+            self.attr_sample(s);
+        }
+    }
 
     /// Drain the occupancy accumulator at an interval boundary.
     fn take_interval(&mut self) -> CycleAccum {
@@ -112,6 +135,12 @@ impl Recorder for NullRecorder {
 
     #[inline(always)]
     fn cycle_sample(&mut self, _s: &CycleSample) {}
+
+    #[inline(always)]
+    fn cycle_sample_n(&mut self, _s: &CycleSample, _n: u64) {}
+
+    #[inline(always)]
+    fn attr_sample_n(&mut self, _s: &AttrSample, _n: u64) {}
 
     #[inline(always)]
     fn snapshot(&mut self, _snap: MetricsSnapshot) {}
@@ -200,6 +229,10 @@ impl Recorder for RingRecorder {
         self.accum.record(s);
     }
 
+    fn cycle_sample_n(&mut self, s: &CycleSample, n: u64) {
+        self.accum.record_n(s, n);
+    }
+
     fn take_interval(&mut self) -> CycleAccum {
         self.accum.take()
     }
@@ -259,6 +292,31 @@ mod tests {
         assert_eq!(acc.cycles, 1);
         assert!((acc.bank_util() - 0.5).abs() < 1e-12);
         assert_eq!(r.take_interval().cycles, 0);
+    }
+
+    #[test]
+    fn ring_span_sampling_matches_per_cycle_sampling() {
+        let s = CycleSample {
+            l1_mshrs: 2,
+            shared_mshrs: 1,
+            rob: 17,
+            dram_banks_busy: 3,
+            dram_banks_total: 8,
+        };
+        let mut per_cycle = RingRecorder::default();
+        for _ in 0..1000 {
+            per_cycle.cycle_sample(&s);
+        }
+        let mut span = RingRecorder::default();
+        span.cycle_sample_n(&s, 1000);
+        let a = per_cycle.take_interval();
+        let b = span.take_interval();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.rob_hist, b.rob_hist);
+        assert_eq!(a.l1_mshr_hist, b.l1_mshr_hist);
+        assert_eq!(a.shared_mshr_hist, b.shared_mshr_hist);
+        assert_eq!(a.bank_busy_cycles, b.bank_busy_cycles);
+        assert_eq!(a.bank_cycles, b.bank_cycles);
     }
 
     #[test]

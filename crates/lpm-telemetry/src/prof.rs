@@ -113,6 +113,36 @@ impl CycleAttribution {
         }
     }
 
+    /// Fold `n` cycles sharing one observation in — the span-weighted
+    /// form for coalesced idle spans (classification runs once, the
+    /// chosen counter advances by `n`). Equivalent to calling
+    /// [`CycleAttribution::observe`] `n` times with the same sample.
+    pub fn observe_n(&mut self, s: &AttrSample, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.cycles += n;
+        self.retired += s.retired_delta * n;
+        if s.retired_delta > 0 {
+            self.retire_cycles += n;
+            return;
+        }
+        self.stall_cycles += n;
+        if s.rob_capacity > 0 && s.rob >= s.rob_capacity {
+            self.stall_rob_full += n;
+        } else if s.l1_mshr_capacity > 0 && s.l1_mshrs >= s.l1_mshr_capacity {
+            self.stall_l1_mshr_full += n;
+        } else if s.shared_mshr_capacity > 0 && s.shared_mshrs >= s.shared_mshr_capacity {
+            self.stall_shared_mshr_full += n;
+        } else if s.dram_banks_total > 0 && s.dram_banks_busy >= s.dram_banks_total {
+            self.stall_dram_saturated += n;
+        } else if s.dram_banks_busy > 0 {
+            self.stall_dram_busy += n;
+        } else {
+            self.stall_other += n;
+        }
+    }
+
     /// Fold another attribution in (point-merge in index order).
     pub fn merge(&mut self, other: &CycleAttribution) {
         self.cycles += other.cycles;
@@ -266,6 +296,11 @@ impl<R: Recorder> Recorder for Profiled<R> {
     }
 
     #[inline]
+    fn cycle_sample_n(&mut self, s: &CycleSample, n: u64) {
+        self.inner.cycle_sample_n(s, n);
+    }
+
+    #[inline]
     fn take_interval(&mut self) -> CycleAccum {
         self.inner.take_interval()
     }
@@ -278,6 +313,11 @@ impl<R: Recorder> Recorder for Profiled<R> {
     #[inline]
     fn attr_sample(&mut self, s: &AttrSample) {
         self.attr.observe(s);
+    }
+
+    #[inline]
+    fn attr_sample_n(&mut self, s: &AttrSample, n: u64) {
+        self.attr.observe_n(s, n);
     }
 }
 
@@ -484,6 +524,27 @@ mod tests {
         assert_eq!(a.stall_other, 1);
         let total: u64 = a.stall_breakdown().iter().map(|(_, n)| n).sum();
         assert_eq!(total, a.stall_cycles);
+    }
+
+    #[test]
+    fn span_observation_matches_repeated_observation() {
+        let samples = [
+            sample(0, 8, 4), // ROB full
+            sample(0, 0, 4), // DRAM saturated
+            sample(0, 0, 1), // DRAM busy
+            sample(0, 0, 0), // other
+            sample(3, 2, 1), // retirement (never coalesced, still equal)
+        ];
+        for s in &samples {
+            let mut per_cycle = CycleAttribution::default();
+            for _ in 0..1000 {
+                per_cycle.observe(s);
+            }
+            let mut span = CycleAttribution::default();
+            span.observe_n(s, 1000);
+            span.observe_n(s, 0); // zero span is a no-op
+            assert_eq!(span, per_cycle, "span fold diverged for {s:?}");
+        }
     }
 
     #[test]

@@ -20,14 +20,25 @@ pub struct Histogram {
 impl Histogram {
     /// Record one observation.
     pub fn record(&mut self, value: usize) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` observations of the same value in one shot — the
+    /// span-weighted form used when the simulator coalesces a provably
+    /// idle span of `n` cycles whose occupancy is constant. Equivalent
+    /// to calling [`Histogram::record`] `n` times.
+    pub fn record_n(&mut self, value: usize, n: u64) {
+        if n == 0 {
+            return;
+        }
         if value > HIST_MAX {
-            self.overflow += 1;
+            self.overflow += n;
             return;
         }
         if self.buckets.len() <= value {
             self.buckets.resize(value + 1, 0);
         }
-        self.buckets[value] += 1;
+        self.buckets[value] += n;
     }
 
     /// Total number of observations.
@@ -305,12 +316,19 @@ pub struct CycleAccum {
 impl CycleAccum {
     /// Fold one cycle's observation in.
     pub fn record(&mut self, s: &CycleSample) {
-        self.cycles += 1;
-        self.l1_mshr_hist.record(s.l1_mshrs);
-        self.shared_mshr_hist.record(s.shared_mshrs);
-        self.rob_hist.record(s.rob);
-        self.bank_busy_cycles += crate::count_u64(s.dram_banks_busy);
-        self.bank_cycles += crate::count_u64(s.dram_banks_total);
+        self.record_n(s, 1);
+    }
+
+    /// Fold in `n` cycles sharing one observation (a coalesced idle
+    /// span with constant occupancy). Equivalent to calling
+    /// [`CycleAccum::record`] `n` times with the same sample.
+    pub fn record_n(&mut self, s: &CycleSample, n: u64) {
+        self.cycles += n;
+        self.l1_mshr_hist.record_n(s.l1_mshrs, n);
+        self.shared_mshr_hist.record_n(s.shared_mshrs, n);
+        self.rob_hist.record_n(s.rob, n);
+        self.bank_busy_cycles += crate::count_u64(s.dram_banks_busy) * n;
+        self.bank_cycles += crate::count_u64(s.dram_banks_total) * n;
     }
 
     /// Average fraction of DRAM banks busy over the accumulated cycles.
@@ -529,6 +547,53 @@ mod tests {
         let taken = acc.take();
         assert_eq!(taken.cycles, 2);
         assert_eq!(acc.cycles, 0);
+    }
+
+    /// Satellite contract for event-driven stepping: a 1000-cycle
+    /// coalesced span and 1000 individual per-cycle samples must build
+    /// byte-identical histograms and accumulator state.
+    #[test]
+    fn span_weighted_recording_matches_per_cycle_recording() {
+        let s = CycleSample {
+            l1_mshrs: 3,
+            shared_mshrs: 7,
+            rob: 42,
+            dram_banks_busy: 2,
+            dram_banks_total: 8,
+        };
+        let mut per_cycle = CycleAccum::default();
+        for _ in 0..1000 {
+            per_cycle.record(&s);
+        }
+        let mut span = CycleAccum::default();
+        span.record_n(&s, 1000);
+        assert_eq!(span.cycles, per_cycle.cycles);
+        assert_eq!(span.l1_mshr_hist, per_cycle.l1_mshr_hist);
+        assert_eq!(span.shared_mshr_hist, per_cycle.shared_mshr_hist);
+        assert_eq!(span.rob_hist, per_cycle.rob_hist);
+        assert_eq!(span.bank_busy_cycles, per_cycle.bank_busy_cycles);
+        assert_eq!(span.bank_cycles, per_cycle.bank_cycles);
+        assert_eq!(
+            span.rob_hist.to_compact(),
+            per_cycle.rob_hist.to_compact(),
+            "compact CSV cells must match too"
+        );
+    }
+
+    #[test]
+    fn histogram_record_n_matches_repeated_record() {
+        let mut many = Histogram::default();
+        for _ in 0..1000 {
+            many.record(5);
+        }
+        many.record(HIST_MAX + 3);
+        many.record(HIST_MAX + 3);
+        let mut once = Histogram::default();
+        once.record_n(5, 1000);
+        once.record_n(HIST_MAX + 3, 2);
+        once.record_n(9, 0); // zero-length span is a no-op
+        assert_eq!(once, many);
+        assert_eq!(once.total(), 1002);
     }
 
     fn sample_snapshot() -> MetricsSnapshot {
