@@ -141,6 +141,11 @@ fn print_help() {
          \x20                     resumed report is byte-identical to an uninterrupted run\n\
          \x20 --chaos SPEC        deterministic failure injection for harness testing:\n\
          \x20                     panic@I,fail@I,timeout@I,flaky@I:N (see DESIGN.md)\n\
+         \x20 --chaos-io SPEC     deterministic *storage*-fault injection on the\n\
+         \x20                     checkpoint journal (part of the spec fingerprint):\n\
+         \x20                     fail-fsync@N,torn-write@N:K,fail-rename@N,\n\
+         \x20                     enospc-after@B,eio-read@N,power-cut@N,auto@SEED:K\n\
+         \x20                     (see DESIGN.md §14)\n\
          \n\
          serve flags (see DESIGN.md §11 for the failure semantics):\n\
          \x20 --state DIR         service state: manifests, journals, reports, endpoint\n\
@@ -151,6 +156,10 @@ fn print_help() {
          \x20 --runners N         concurrent sweep runners (default 1)\n\
          \x20 --jobs N            worker threads per sweep (default 2)\n\
          \x20 --max-job-retries N job-level retries before a job fails (default 1)\n\
+         \x20 --chaos-io SPEC     daemon-level storage-fault injection on the state\n\
+         \x20                     dir (manifests, reports, events); not part of any\n\
+         \x20                     spec fingerprint — a clean restart resumes the\n\
+         \x20                     same journals (see DESIGN.md §14)\n\
          \n\
          client flags:\n\
          \x20 --state DIR | --addr HOST:PORT   how to find the daemon\n\
@@ -553,6 +562,12 @@ fn sweep_spec_from(a: &Args) -> Result<SweepSpec, String> {
         Some(s) => ChaosConfig::parse(s).map_err(|e| format!("bad --chaos: {e}"))?,
         None => ChaosConfig::default(),
     };
+    let chaos_io = match a.options.get("chaos-io") {
+        Some(s) => {
+            lpm_harness::IoChaosConfig::parse(s).map_err(|e| format!("bad --chaos-io: {e}"))?
+        }
+        None => lpm_harness::IoChaosConfig::default(),
+    };
     let point_cycle_budget = match a.options.get("point-cycle-budget") {
         Some(_) => Some(a.positive_int_or("point-cycle-budget", 0)?),
         None => None,
@@ -573,6 +588,7 @@ fn sweep_spec_from(a: &Args) -> Result<SweepSpec, String> {
         retry_backoff_cycles: a.int_or("retry-backoff-cycles", 0)?,
         point_cycle_budget,
         chaos,
+        chaos_io,
         ..SweepSpec::default()
     })
 }
@@ -658,6 +674,12 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
         sweep_jobs: a.positive_int_or("jobs", 2)? as usize,
         max_job_retries: a.int_or("max-job-retries", 1)? as u32,
         retry_backoff_ms: a.int_or("retry-backoff-ms", 50)?,
+        chaos_io: match a.options.get("chaos-io") {
+            Some(s) => {
+                lpm_harness::IoChaosConfig::parse(s).map_err(|e| format!("bad --chaos-io: {e}"))?
+            }
+            None => lpm_harness::IoChaosConfig::default(),
+        },
         handle_os_signals: true,
     };
     let handle = lpm_serve::start(cfg)?;
@@ -1155,6 +1177,8 @@ mod tests {
     fn sweep_bad_chaos_and_zero_budget_are_rejected() {
         let e = run(&sv(&["sweep", "--chaos", "meteor@1"])).unwrap_err();
         assert!(e.contains("--chaos"), "{e}");
+        let e = run(&sv(&["sweep", "--chaos-io", "meteor@1"])).unwrap_err();
+        assert!(e.contains("--chaos-io"), "{e}");
         let e = run(&sv(&["sweep", "--point-cycle-budget", "0"])).unwrap_err();
         assert!(e.contains("positive"), "{e}");
     }

@@ -20,13 +20,12 @@
 //! embedded via its own lossless JSONL form), so a resumed sweep's
 //! report is byte-for-byte identical to an uninterrupted run's.
 
-use std::fs::{File, OpenOptions};
-use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use lpm_core::design_space::HwConfig;
 use lpm_telemetry::{Event, TelemetryLog, Value};
 use lpm_trace::SpecWorkload;
+use lpm_vfs::{Vfs, VfsFile};
 
 use crate::outcome::{PointOutcome, PointRow};
 use crate::point::{PointResult, SweepPoint};
@@ -34,10 +33,18 @@ use crate::point::{PointResult, SweepPoint};
 /// Journal format version (bumped on incompatible record changes).
 pub const JOURNAL_VERSION: u64 = 1;
 
+/// The directory whose entry must be fsynced for `path` to be durable.
+fn journal_parent(path: &Path) -> PathBuf {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    }
+}
+
 /// An open, append-mode checkpoint journal.
 #[derive(Debug)]
 pub struct CheckpointJournal {
-    file: File,
+    file: VfsFile,
     rows: u64,
     /// Test hook: fail `append` once this many rows have been written.
     #[cfg(test)]
@@ -45,9 +52,25 @@ pub struct CheckpointJournal {
 }
 
 impl CheckpointJournal {
-    /// Create (or truncate) a journal and write its header.
+    /// Create (or truncate) a journal and write its header, on the real
+    /// filesystem.
     pub fn create(path: &Path, fingerprint: u64, points: usize) -> Result<Self, String> {
-        let mut file = File::create(path)
+        Self::create_with(&Vfs::real(), path, fingerprint, points)
+    }
+
+    /// Create (or truncate) a journal and write its header through
+    /// `vfs`. The header is fsynced *and so is the parent directory* —
+    /// without the directory fsync a power cut can lose the whole
+    /// journal even though its contents were durable (the bug class the
+    /// crash-consistency oracle pins).
+    pub fn create_with(
+        vfs: &Vfs,
+        path: &Path,
+        fingerprint: u64,
+        points: usize,
+    ) -> Result<Self, String> {
+        let mut file = vfs
+            .create(path)
             .map_err(|e| format!("cannot create checkpoint journal {}: {e}", path.display()))?;
         let header = Value::Obj(vec![
             ("type".into(), Value::Str("checkpoint-header".into())),
@@ -58,6 +81,12 @@ impl CheckpointJournal {
         file.write_all(format!("{}\n", header.to_json()).as_bytes())
             .and_then(|()| file.sync_data())
             .map_err(|e| format!("cannot write checkpoint header to {}: {e}", path.display()))?;
+        vfs.sync_dir(&journal_parent(path)).map_err(|e| {
+            format!(
+                "cannot sync checkpoint directory for {}: {e}",
+                path.display()
+            )
+        })?;
         Ok(CheckpointJournal {
             file,
             rows: 0,
@@ -69,9 +98,31 @@ impl CheckpointJournal {
     /// Reopen an existing journal for appending, after
     /// [`load_journal`] validated it and counted `rows` intact rows.
     pub fn open_append(path: &Path, rows: u64) -> Result<Self, String> {
-        let file = OpenOptions::new()
-            .append(true)
-            .open(path)
+        Self::open_append_with(&Vfs::real(), path, rows, None)
+    }
+
+    /// Reopen a journal for appending through `vfs`. `truncate_to` is
+    /// the intact byte length reported by [`load_journal_for_resume`]:
+    /// when given, the file is truncated there first, so a torn tail
+    /// (the residue of a kill mid-write) is dropped *before* new rows
+    /// are appended — appending after the torn bytes would corrupt an
+    /// interior line and make every later resume refuse the journal.
+    pub fn open_append_with(
+        vfs: &Vfs,
+        path: &Path,
+        rows: u64,
+        truncate_to: Option<u64>,
+    ) -> Result<Self, String> {
+        if let Some(len) = truncate_to {
+            vfs.truncate(path, len).map_err(|e| {
+                format!(
+                    "cannot drop torn checkpoint tail of {}: {e}",
+                    path.display()
+                )
+            })?;
+        }
+        let file = vfs
+            .append(path)
             .map_err(|e| format!("cannot reopen checkpoint journal {}: {e}", path.display()))?;
         Ok(CheckpointJournal {
             file,
@@ -157,7 +208,14 @@ impl JournalInfo {
 /// torn *final* line is tolerated (and flagged), interior corruption is
 /// an error.
 pub fn inspect_journal(path: &Path) -> Result<JournalInfo, String> {
-    let text = std::fs::read_to_string(path)
+    inspect_journal_with(&Vfs::real(), path)
+}
+
+/// [`inspect_journal`] through an explicit [`Vfs`] (so the serve
+/// daemon's recovery scan shares the daemon's fault schedule).
+pub fn inspect_journal_with(vfs: &Vfs, path: &Path) -> Result<JournalInfo, String> {
+    let text = vfs
+        .read_to_string(path)
         .map_err(|e| format!("cannot read checkpoint journal {}: {e}", path.display()))?;
     let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
     let at = |i: usize, what: &str| {
@@ -251,9 +309,46 @@ pub fn load_journal(
     expect_fingerprint: u64,
     expect_points: usize,
 ) -> Result<Vec<PointRow>, String> {
-    let text = std::fs::read_to_string(path)
+    Ok(load_journal_for_resume(&Vfs::real(), path, expect_fingerprint, expect_points)?.0)
+}
+
+/// [`load_journal`] through an explicit [`Vfs`].
+pub fn load_journal_with(
+    vfs: &Vfs,
+    path: &Path,
+    expect_fingerprint: u64,
+    expect_points: usize,
+) -> Result<Vec<PointRow>, String> {
+    Ok(load_journal_for_resume(vfs, path, expect_fingerprint, expect_points)?.0)
+}
+
+/// Load a journal for resumption: the intact rows plus the byte length
+/// of the journal's valid prefix (everything past it is a torn tail).
+/// Resume passes that length to [`CheckpointJournal::open_append_with`]
+/// so new rows are appended after the last *intact* line, never after
+/// torn residue.
+pub fn load_journal_for_resume(
+    vfs: &Vfs,
+    path: &Path,
+    expect_fingerprint: u64,
+    expect_points: usize,
+) -> Result<(Vec<PointRow>, u64), String> {
+    let text = vfs
+        .read_to_string(path)
         .map_err(|e| format!("cannot read checkpoint journal {}: {e}", path.display()))?;
-    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    // Lines paired with the byte offset just past each line (newline
+    // included), so the caller can truncate a torn tail away exactly.
+    let mut lines: Vec<&str> = Vec::new();
+    let mut line_ends: Vec<u64> = Vec::new();
+    let mut offset = 0u64;
+    for raw in text.split_inclusive('\n') {
+        offset += raw.len() as u64;
+        let line = raw.trim_end_matches(['\n', '\r']);
+        if !line.trim().is_empty() {
+            lines.push(line);
+            line_ends.push(offset);
+        }
+    }
     let at = |i: usize, what: &str| {
         format!(
             "checkpoint journal {}, line {}: {what}",
@@ -309,6 +404,7 @@ pub fn load_journal(
 
     let mut slots: Vec<Option<PointRow>> = Vec::new();
     slots.resize_with(expect_points, || None);
+    let mut valid_end = line_ends.first().copied().unwrap_or(0);
     for (i, line) in lines.iter().enumerate().skip(1) {
         let v = match Value::parse(line) {
             Ok(v) => v,
@@ -337,8 +433,9 @@ pub fn load_journal(
             Some("event") => {}
             other => return Err(at(i, &format!("unexpected record type {other:?}"))),
         }
+        valid_end = line_ends[i];
     }
-    Ok(slots.into_iter().flatten().collect())
+    Ok((slots.into_iter().flatten().collect(), valid_end))
 }
 
 pub(crate) fn hw_json(hw: HwConfig) -> Value {

@@ -19,13 +19,14 @@ use lpm_model::Grain;
 use lpm_sim::{SimError, System};
 use lpm_telemetry::{CycleAttribution, Event, Profiled, RingRecorder, RunSummary};
 
-use crate::checkpoint::{load_journal, CheckpointJournal};
+use crate::checkpoint::{load_journal_for_resume, CheckpointJournal};
 use crate::outcome::{PointOutcome, PointRow};
 use crate::point::{
     derive_stream, PointResult, SweepPoint, SweepSpec, SALT_FAULT, SALT_RETRY, SALT_SIM, SALT_TRACE,
 };
 use crate::queue::WorkStealingQueue;
 use crate::report::SweepReport;
+use lpm_vfs::Vfs;
 
 /// How one evaluation *attempt* failed. Internal to the retry driver;
 /// terminal failures surface as [`PointOutcome`] variants.
@@ -734,18 +735,29 @@ fn run_sweep_inner(
 
     // Open the journal: resume loads intact rows first and reopens for
     // append; a fresh run truncates.
+    let vfs = Vfs::for_schedule(&spec.chaos_io);
     let mut journal: Option<CheckpointJournal> = match &opts.checkpoint {
         None => None,
         Some(path) if opts.resume && path.exists() => {
-            let rows = load_journal(path, fingerprint, points.len())?;
+            let (rows, valid_len) = load_journal_for_resume(&vfs, path, fingerprint, points.len())?;
             let n = rows.len() as u64;
             for row in rows {
                 let idx = row.index;
                 slots[idx] = Some(row);
             }
-            Some(CheckpointJournal::open_append(path, n)?)
+            Some(CheckpointJournal::open_append_with(
+                &vfs,
+                path,
+                n,
+                Some(valid_len),
+            )?)
         }
-        Some(path) => Some(CheckpointJournal::create(path, fingerprint, points.len())?),
+        Some(path) => Some(CheckpointJournal::create_with(
+            &vfs,
+            path,
+            fingerprint,
+            points.len(),
+        )?),
     };
     #[cfg(test)]
     if let (Some(j), Some(n)) = (

@@ -71,11 +71,15 @@ pub mod queue;
 pub mod report;
 pub mod specio;
 
-pub use checkpoint::{inspect_journal, load_journal, CheckpointJournal, JournalInfo};
+pub use checkpoint::{
+    inspect_journal, inspect_journal_with, load_journal, load_journal_for_resume,
+    load_journal_with, CheckpointJournal, JournalInfo,
+};
 pub use engine::{
     evaluate_point, evaluate_row, evaluate_row_profiled, run_sweep, run_sweep_profiled,
     run_sweep_with, SweepOptions, SweepProfile,
 };
+pub use lpm_vfs::{IoChaosConfig, Vfs, VfsError, VfsErrorKind, VfsFile};
 pub use outcome::{PointOutcome, PointRow};
 pub use point::{
     derive_stream, ChaosConfig, FaultClass, PointResult, SweepPoint, SweepSpec, SALT_RETRY,

@@ -275,6 +275,12 @@ pub struct SweepSpec {
     pub point_cycle_budget: Option<u64>,
     /// Deterministic failure injection for crash-safety tests.
     pub chaos: ChaosConfig,
+    /// Deterministic *storage*-fault injection for the checkpoint
+    /// journal (fsync/torn-write/rename/ENOSPC/EIO/power-cut schedules;
+    /// see [`lpm_vfs::IoChaosConfig`]). Part of the spec — and therefore
+    /// the fingerprint — because a journal written under injected
+    /// storage faults is not interchangeable with a clean one.
+    pub chaos_io: lpm_vfs::IoChaosConfig,
 }
 
 impl Default for SweepSpec {
@@ -297,6 +303,7 @@ impl Default for SweepSpec {
             retry_backoff_cycles: 0,
             point_cycle_budget: None,
             chaos: ChaosConfig::default(),
+            chaos_io: lpm_vfs::IoChaosConfig::default(),
         }
     }
 }
@@ -513,6 +520,14 @@ mod tests {
             ..SweepSpec::default()
         };
         assert_ne!(spec.fingerprint(), chaotic.fingerprint());
+        // A storage-fault schedule is part of the spec too: a journal
+        // written under injected IO faults must never be resumed by a
+        // clean spec (or vice versa).
+        let io_chaotic = SweepSpec {
+            chaos_io: lpm_vfs::IoChaosConfig::parse("fail-fsync@1").unwrap(),
+            ..SweepSpec::default()
+        };
+        assert_ne!(spec.fingerprint(), io_chaotic.fingerprint());
     }
 
     #[test]

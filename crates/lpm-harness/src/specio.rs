@@ -103,6 +103,12 @@ pub fn spec_to_json(spec: &SweepSpec) -> Result<Value, String> {
     if !spec.chaos.is_empty() {
         f.push(("chaos".into(), chaos_json(&spec.chaos)));
     }
+    // The storage-fault schedule rides as its canonical directive
+    // string (`parse(to_spec(c)) == c`), and — like `chaos` — only when
+    // non-empty, so pre-existing specs keep their exact wire bytes.
+    if !spec.chaos_io.is_empty() {
+        f.push(("chaos_io".into(), Value::Str(spec.chaos_io.to_spec())));
+    }
     Ok(Value::Obj(f))
 }
 
@@ -241,6 +247,12 @@ pub fn spec_from_json(v: &Value) -> Result<SweepSpec, String> {
         Some(c) => chaos_from_json(c)?,
         None => ChaosConfig::default(),
     };
+    let chaos_io = match v.get("chaos_io") {
+        Some(c) => lpm_vfs::IoChaosConfig::parse(
+            c.as_str().ok_or("sweep-spec chaos_io must be a string")?,
+        )?,
+        None => lpm_vfs::IoChaosConfig::default(),
+    };
     Ok(SweepSpec {
         configs,
         workloads,
@@ -267,6 +279,7 @@ pub fn spec_from_json(v: &Value) -> Result<SweepSpec, String> {
         retry_backoff_cycles: u("retry_backoff_cycles")?,
         point_cycle_budget: v.get("point_cycle_budget").and_then(Value::as_u64),
         chaos,
+        chaos_io,
     })
 }
 
@@ -293,6 +306,8 @@ mod tests {
             retry_backoff_cycles: 5_000,
             point_cycle_budget: Some(40_000),
             chaos: ChaosConfig::parse("panic@3,fail@5,timeout@2,flaky@1:2").unwrap(),
+            chaos_io: lpm_vfs::IoChaosConfig::parse("fail-fsync@2,torn-write@3:10,power-cut@9")
+                .unwrap(),
             ..SweepSpec::default()
         }
     }

@@ -1,0 +1,413 @@
+//! Crash-consistency oracle for the checkpoint-journal write path.
+//!
+//! For every fault schedule in an enumerated set — failed fsyncs, torn
+//! writes, ENOSPC, injected read errors, power cuts that freeze the
+//! journal at its fsynced prefix — the sweep either recovers to a
+//! report **byte-identical** to the uninterrupted run, or refuses with
+//! a typed error. Never a panic, never a silently divergent export.
+//!
+//! The oracle's teeth are proven by a seeded-bug canary: a tampered
+//! journal row *does* diverge the resumed report, so the byte compares
+//! here would catch a real corruption bug, not just pass vacuously.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use lpm_core::design_space::HwConfig;
+use lpm_harness::{
+    evaluate_row, load_journal, run_sweep_with, CheckpointJournal, IoChaosConfig, PointRow,
+    SweepOptions, SweepSpec, Vfs,
+};
+use lpm_trace::SpecWorkload;
+use proptest::prelude::*;
+
+/// A 4-point spec (2 configs × {clean, faulted}) sized for debug-mode
+/// test runs, matching the parallel-equivalence suite.
+fn base_spec() -> SweepSpec {
+    SweepSpec {
+        configs: vec![("A".into(), HwConfig::A), ("C".into(), HwConfig::C)],
+        workloads: vec![SpecWorkload::BwavesLike],
+        seeds: vec![7],
+        fault_seeds: vec![None, Some(42)],
+        instructions: 30_000,
+        intervals: 2,
+        interval_cycles: 5_000,
+        warmup_instructions: 5_000,
+        loop_repeats: 50,
+        // A small telemetry ring keeps journal rows compact enough for
+        // the every-byte-offset truncation sweep below.
+        event_capacity: 64,
+        ..SweepSpec::default()
+    }
+}
+
+fn chaotic_spec(schedule: &str) -> SweepSpec {
+    SweepSpec {
+        chaos_io: IoChaosConfig::parse(schedule).expect("test schedules parse"),
+        ..base_spec()
+    }
+}
+
+fn jpath(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "lpm-crash-oracle-{tag}-{}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn opts_for(path: &std::path::Path, resume: bool) -> SweepOptions {
+    SweepOptions {
+        checkpoint: Some(path.to_path_buf()),
+        resume,
+        ..SweepOptions::default()
+    }
+}
+
+/// The uninterrupted reference: report JSONL bytes, per-point rows, and
+/// the journal bytes a clean `jobs = 1` run writes.
+fn reference() -> (String, Vec<PointRow>, Vec<u8>) {
+    let spec = base_spec();
+    let path = jpath("reference");
+    let report = run_sweep_with(&spec, 1, &opts_for(&path, false)).expect("clean reference runs");
+    let journal = std::fs::read(&path).expect("reference journal readable");
+    std::fs::remove_file(&path).ok();
+    (report.to_jsonl(), report.rows, journal)
+}
+
+/// What the oracle demands of one schedule after the bounded
+/// crash-recover loop.
+#[derive(Clone, Copy, PartialEq)]
+enum Expect {
+    /// The loop must reach a byte-identical report.
+    Converge,
+    /// Every boot must refuse typed (the fault re-fires before any
+    /// progress can be journaled) — a valid terminal state, as long as
+    /// it is a *loud* one.
+    RefuseForever,
+    /// Schedule-dependent (`auto@` expansions): either terminal state
+    /// is legal, the invariants below still apply to every boot.
+    Either,
+}
+
+/// The tentpole oracle: for every schedule, run → crash → resume (≤ 8
+/// boots, a fresh fault state per boot, exactly like a process restart)
+/// and check the recover-or-refuse invariant at every crash point:
+///
+/// - a successful boot's report is byte-identical to the reference;
+/// - a failed boot returns a typed, non-empty error — never panics;
+/// - after every crash, the surviving journal loads under a clean Vfs
+///   to rows that are exactly reference rows (no partial-row
+///   acceptance), or is refused typed;
+/// - at `jobs = 1` every crash-point journal snapshot is a byte prefix
+///   of the converged journal (append-only recovery, no rewriting
+///   history).
+#[test]
+fn every_scheduled_fault_ends_in_byte_identical_resume_or_typed_refusal() {
+    let (ref_jsonl, ref_rows, ref_journal) = reference();
+    // ENOSPC sized to die partway through the reference journal.
+    let enospc = format!("enospc-after@{}", ref_journal.len() as u64 * 6 / 10);
+    let schedules: Vec<(String, Expect)> = vec![
+        ("fail-fsync@0".into(), Expect::Converge),
+        ("fail-fsync@1".into(), Expect::Converge),
+        ("fail-fsync@3".into(), Expect::Converge),
+        ("torn-write@1:7".into(), Expect::Converge),
+        ("torn-write@2:0".into(), Expect::Converge),
+        // The journal path performs no renames, so this schedule must
+        // complete untouched on the first boot (the rename fault kind
+        // is exercised by the serve manifest suite).
+        ("fail-rename@0".into(), Expect::Converge),
+        (enospc, Expect::Converge),
+        // Every resume starts with the journal read; failing read 0
+        // forever is a persistent — but typed — refusal.
+        ("torn-write@2:5,eio-read@0".into(), Expect::RefuseForever),
+        // The cut fires before the journal's directory entry is ever
+        // durable: each boot starts from nothing and dies again.
+        ("power-cut@0".into(), Expect::RefuseForever),
+        ("power-cut@2".into(), Expect::RefuseForever),
+        ("power-cut@6".into(), Expect::Converge),
+        ("power-cut@9".into(), Expect::Converge),
+        ("auto@7:3".into(), Expect::Either),
+        ("auto@19:4".into(), Expect::Either),
+    ];
+
+    for (schedule, expect) in schedules {
+        let spec = chaotic_spec(&schedule);
+        let fp = spec.fingerprint();
+        assert_ne!(
+            fp,
+            base_spec().fingerprint(),
+            "{schedule}: an io-chaos schedule must change the spec fingerprint"
+        );
+        let path = jpath(&format!("sched-{:016x}", fp));
+        std::fs::remove_file(&path).ok();
+
+        let mut snapshots: Vec<Vec<u8>> = Vec::new();
+        let mut converged = false;
+        for boot in 0..8 {
+            let resume = boot > 0 && path.exists();
+            let opts = opts_for(&path, resume);
+            let outcome = catch_unwind(AssertUnwindSafe(|| run_sweep_with(&spec, 1, &opts)))
+                .unwrap_or_else(|_| panic!("{schedule}: boot {boot} panicked"));
+            match outcome {
+                Ok(report) => {
+                    assert_eq!(
+                        report.to_jsonl(),
+                        ref_jsonl,
+                        "{schedule}: boot {boot} recovered to a DIVERGENT report"
+                    );
+                    converged = true;
+                    break;
+                }
+                Err(e) => {
+                    assert!(
+                        !e.trim().is_empty(),
+                        "{schedule}: boot {boot} failed without a typed error"
+                    );
+                    // The surviving bytes must load clean or refuse
+                    // typed — and an accepted row must be exactly the
+                    // reference row (no partial-row acceptance).
+                    if path.exists() {
+                        let snap = std::fs::read(&path).unwrap();
+                        let loaded = catch_unwind(AssertUnwindSafe(|| load_journal(&path, fp, 4)))
+                            .unwrap_or_else(|_| {
+                                panic!("{schedule}: loader panicked after boot {boot}")
+                            });
+                        match loaded {
+                            Ok(rows) => {
+                                for row in rows {
+                                    assert_eq!(
+                                        row, ref_rows[row.index],
+                                        "{schedule}: surviving journal row {} diverges",
+                                        row.index
+                                    );
+                                }
+                            }
+                            Err(e2) => assert!(!e2.trim().is_empty(), "{schedule}"),
+                        }
+                        snapshots.push(snap);
+                    }
+                }
+            }
+        }
+        match expect {
+            Expect::Converge => assert!(
+                converged,
+                "{schedule}: never recovered to a byte-identical report in 8 boots"
+            ),
+            Expect::RefuseForever => assert!(
+                !converged,
+                "{schedule}: expected a persistent typed refusal, but it converged"
+            ),
+            Expect::Either => {}
+        }
+        if converged {
+            // Append-only recovery: each crash snapshot is a byte
+            // prefix of the journal the converged run left behind.
+            let final_bytes = std::fs::read(&path).unwrap();
+            for (i, snap) in snapshots.iter().enumerate() {
+                assert!(
+                    final_bytes.starts_with(snap),
+                    "{schedule}: crash snapshot {i} is not a prefix of the final journal"
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Satellite-2 regression: `CheckpointJournal::create` fsyncs the
+/// journal's parent directory, so a power cut right after creation
+/// leaves a loadable (header-only) journal. A cut *before* that
+/// directory fsync still loses the file — which the Vfs models and this
+/// test pins, proving the fsync is what saves it.
+#[test]
+fn journal_create_survives_a_power_cut_only_because_the_directory_is_synced() {
+    let spec = base_spec();
+    let fp = spec.fingerprint();
+    let dir = std::env::temp_dir().join(format!("lpm-crash-dirsync-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+
+    // Ops in create_with: create(0) write-header(1) sync_data(2)
+    // sync_dir(3). Cut at op 3 = before the entry is durable: the whole
+    // file is lost even though its *contents* were fsynced.
+    let vfs = Vfs::with_faults(IoChaosConfig::parse("power-cut@3").unwrap());
+    let err = CheckpointJournal::create_with(&vfs, &path, fp, 4).unwrap_err();
+    assert!(err.contains("power-cut"), "{err}");
+    assert!(!path.exists(), "entry never fsynced: journal must be lost");
+
+    // Cut at op 4 = after the directory fsync: the header survives and
+    // a clean loader accepts it (zero rows, resume re-evaluates all).
+    let vfs = Vfs::with_faults(IoChaosConfig::parse("power-cut@4").unwrap());
+    let mut journal = CheckpointJournal::create_with(&vfs, &path, fp, 4).unwrap();
+    let row = evaluate_row(&spec.points()[0], &spec);
+    let err = journal.append(&row).unwrap_err();
+    assert!(err.contains("power-cut"), "{err}");
+    let rows = load_journal(&path, fp, 4).unwrap();
+    assert!(rows.is_empty(), "only the header was durable");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A `FaultVfs` with an empty schedule is bit-for-bit identical to the
+/// real passthrough at the journal level: same header, same row bytes.
+#[test]
+fn disabled_fault_vfs_writes_journal_bytes_identical_to_the_real_vfs() {
+    let spec = base_spec();
+    let fp = spec.fingerprint();
+    let row = evaluate_row(&spec.points()[0], &spec);
+    let mut bytes = Vec::new();
+    for (tag, vfs) in [
+        ("real", Vfs::real()),
+        ("fault-empty", Vfs::with_faults(IoChaosConfig::default())),
+    ] {
+        let path = jpath(&format!("bitident-{tag}"));
+        let mut j = CheckpointJournal::create_with(&vfs, &path, fp, 1).unwrap();
+        j.append(&row).unwrap();
+        drop(j);
+        bytes.push(std::fs::read(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+    assert_eq!(
+        bytes[0], bytes[1],
+        "disabled fault injection must not change one byte"
+    );
+}
+
+/// `--chaos-io auto@SEED:K` schedules are deterministic (same seed →
+/// same fault sequence → same fingerprint) and seed-sensitive.
+#[test]
+fn auto_schedules_are_deterministic_and_fold_into_the_fingerprint() {
+    let a = chaotic_spec("auto@7:4").fingerprint();
+    let b = chaotic_spec("auto@7:4").fingerprint();
+    let c = chaotic_spec("auto@8:4").fingerprint();
+    assert_eq!(a, b, "same seed must yield the same schedule");
+    assert_ne!(a, c, "different seeds must yield different schedules");
+    assert_ne!(a, base_spec().fingerprint());
+}
+
+/// Seeded-bug canary: the oracle can fail. Tamper one numeric payload
+/// of a journaled row (keeping the JSON valid), resume, and the resumed
+/// report must *diverge* from the reference — proving the byte compares
+/// above detect real corruption rather than passing vacuously.
+#[test]
+fn tampered_journal_row_diverges_the_resumed_report() {
+    let (ref_jsonl, _, _) = reference();
+    let spec = base_spec();
+    let path = jpath("canary");
+    // Journal rows 0 and 1, leave 2 and 3 for the resumed run.
+    let fp = spec.fingerprint();
+    let mut j = CheckpointJournal::create(&path, fp, 4).unwrap();
+    for p in &spec.points()[..2] {
+        j.append(&evaluate_row(p, &spec)).unwrap();
+    }
+    drop(j);
+    let intact = std::fs::read_to_string(&path).unwrap();
+    let needle = "\"total_cycles\":";
+    let at = intact.find(needle).expect("row has a total_cycles field");
+    let digits_at = at + needle.len();
+    let tampered = format!(
+        "{}9{}",
+        &intact[..digits_at],
+        &intact[digits_at..] // prepend a digit: valid JSON, wrong value
+    );
+    std::fs::write(&path, tampered).unwrap();
+    let resumed = run_sweep_with(&spec, 1, &opts_for(&path, true)).unwrap();
+    assert_ne!(
+        resumed.to_jsonl(),
+        ref_jsonl,
+        "a corrupted journal row must visibly diverge the resumed report"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// Satellite 3, exhaustive: truncate a valid journal at **every** byte
+/// offset. Loading the truncated file either returns exactly a prefix
+/// of the original rows (byte-identical resume material) or a typed
+/// refusal — never a panic, never a partially-decoded row.
+#[test]
+fn journal_truncated_at_every_byte_offset_loads_prefix_or_refuses() {
+    let spec = base_spec();
+    let fp = spec.fingerprint();
+    let full_path = jpath("truncate-full");
+    let mut j = CheckpointJournal::create(&full_path, fp, 4).unwrap();
+    let mut full_rows = Vec::new();
+    for p in &spec.points() {
+        let row = evaluate_row(p, &spec);
+        j.append(&row).unwrap();
+        full_rows.push(row);
+    }
+    drop(j);
+    let bytes = std::fs::read(&full_path).unwrap();
+    std::fs::remove_file(&full_path).ok();
+
+    let path = jpath("truncate-cut");
+    for len in 0..=bytes.len() {
+        std::fs::write(&path, &bytes[..len]).unwrap();
+        let loaded = catch_unwind(AssertUnwindSafe(|| load_journal(&path, fp, 4)))
+            .unwrap_or_else(|_| panic!("loader panicked at truncation offset {len}"));
+        match loaded {
+            Ok(rows) => {
+                assert!(
+                    rows.len() <= full_rows.len(),
+                    "offset {len}: more rows than were written"
+                );
+                assert_eq!(
+                    rows,
+                    full_rows[..rows.len()],
+                    "offset {len}: accepted rows are not an exact prefix"
+                );
+            }
+            Err(e) => assert!(!e.trim().is_empty(), "offset {len}: untyped refusal"),
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Satellite 3, randomized: corrupt a valid journal by overwriting
+    /// one byte at an arbitrary offset (on top of an arbitrary
+    /// truncation). The loader never panics and every refusal is typed.
+    /// (Row *fidelity* is not asserted here: a flip inside a numeric
+    /// field keeps the JSON valid, and detecting that is exactly what
+    /// the byte-identity oracle — not the loader — is for; see the
+    /// canary test.)
+    #[test]
+    fn corrupted_journal_bytes_never_panic_the_loader(
+        cut_num in 0u64..10_000,
+        flip_num in 0u64..10_000,
+        flip_byte in 0u8..=255,
+    ) {
+        let spec = base_spec();
+        let fp = spec.fingerprint();
+        let path = jpath(&format!("prop-{cut_num}-{flip_num}-{flip_byte}"));
+        let mut j = CheckpointJournal::create(&path, fp, 4).unwrap();
+        for p in &spec.points()[..2] {
+            j.append(&evaluate_row(p, &spec)).unwrap();
+        }
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let cut = (cut_num as usize) % (bytes.len() + 1);
+        bytes.truncate(cut);
+        if !bytes.is_empty() {
+            let flip = (flip_num as usize) % bytes.len();
+            bytes[flip] = flip_byte;
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let loaded = catch_unwind(AssertUnwindSafe(|| load_journal(&path, fp, 2)));
+        let loaded = match loaded {
+            Ok(l) => l,
+            Err(_) => {
+                std::fs::remove_file(&path).ok();
+                prop_assert!(false, "loader panicked (cut {cut})");
+                unreachable!()
+            }
+        };
+        if let Err(e) = loaded {
+            prop_assert!(!e.trim().is_empty(), "untyped refusal (cut {})", cut);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -55,3 +55,9 @@ mod tests {
 pub fn bounded() -> (std::sync::mpsc::SyncSender<u32>, std::sync::mpsc::Receiver<u32>) {
     std::sync::mpsc::sync_channel(4)
 }
+
+/// Decoy: reads are not durable mutation — D006 covers the write path;
+/// prose mentioning fs::write / File::create / OpenOptions stays quiet.
+pub fn read_ok(path: &std::path::Path) -> std::io::Result<String> {
+    std::fs::read_to_string(path)
+}

@@ -46,3 +46,19 @@ pub fn firehose() -> u64 {
     tx.send(1u64).ok();
     rx.recv().unwrap_or(0)
 }
+
+pub fn persist_raw(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    std::fs::write(path, text) // expect: D006
+}
+
+pub fn commit_raw(tmp: &std::path::Path, dest: &std::path::Path) -> std::io::Result<()> {
+    std::fs::rename(tmp, dest) // expect: D006
+}
+
+pub fn handle_raw(path: &std::path::Path) -> std::io::Result<std::fs::File> {
+    std::fs::File::create(path) // expect: D006
+}
+
+pub fn append_raw() {
+    let _ = std::fs::OpenOptions::new(); // expect: D006
+}

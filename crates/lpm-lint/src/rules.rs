@@ -70,6 +70,15 @@ pub fn catalog() -> &'static [Rule] {
             default_allow_fns: &[],
         },
         Rule {
+            id: "D006",
+            summary: "raw std::fs mutation outside the Vfs fault layer",
+            hint: "route durable writes through lpm_vfs::Vfs (create/append/rename/sync_dir) \
+                   so storage-fault schedules and the crash-consistency oracle cover the \
+                   path; a raw fs::write/rename or File handle bypasses every injected fault",
+            default_scope: Scope::Lib,
+            default_allow_fns: &[],
+        },
+        Rule {
             id: "P001",
             summary: "panicking call in non-test library code",
             hint: "return a typed error (SimError/LpmError/ParseError) instead; if the panic \
@@ -133,6 +142,27 @@ const PANICKY_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented
 const INT_TYPES: &[&str] = &[
     "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
 ];
+
+/// Raw filesystem mutators after `fs::` (D006). Reads (`read_to_string`,
+/// `read_dir`, `metadata`) stay legal — the Vfs contract covers durable
+/// mutation; `eio-read` coverage rides on the crate's own read helpers.
+const FS_MUTATORS: &[&str] = &[
+    "write",
+    "rename",
+    "create_dir_all",
+    "create_dir",
+    "remove_file",
+    "remove_dir_all",
+    "copy",
+    "hard_link",
+];
+
+/// Raw file-handle constructors after `File::` (D006). Any write or
+/// fsync on such a handle is invisible to fault schedules, so the
+/// handle's construction is the finding — there is no need to (and no
+/// token-level way to) flag `.sync_all()` on the handle itself, which
+/// would also hit the sanctioned `VfsFile` sync calls.
+const FILE_CONSTRUCTORS: &[&str] = &["create", "create_new", "open"];
 
 /// Date-like type names (D004).
 const DATE_TYPES: &[&str] = &["DateTime", "NaiveDate", "NaiveDateTime", "Utc", "Local"];
@@ -344,6 +374,41 @@ pub fn lint_source(rel: &str, src: &str, cfg: &LintConfig, in_tests_dir: bool) -
                         "D004",
                         t.line,
                         format!("env::{f} makes results environment-dependent"),
+                        in_test,
+                    );
+                }
+                "fs" if !in_use
+                    && punct_at(i + 1, ':')
+                    && punct_at(i + 2, ':')
+                    && ident_at(i + 3).is_some_and(|f| FS_MUTATORS.contains(&f)) =>
+                {
+                    let f = ident_at(i + 3).unwrap_or_default();
+                    emit(
+                        "D006",
+                        t.line,
+                        format!("raw fs::{f} bypasses the storage-fault layer"),
+                        in_test,
+                    );
+                }
+                "File"
+                    if !in_use
+                        && punct_at(i + 1, ':')
+                        && punct_at(i + 2, ':')
+                        && ident_at(i + 3).is_some_and(|f| FILE_CONSTRUCTORS.contains(&f)) =>
+                {
+                    let f = ident_at(i + 3).unwrap_or_default();
+                    emit(
+                        "D006",
+                        t.line,
+                        format!("raw File::{f} handle is invisible to fault schedules"),
+                        in_test,
+                    );
+                }
+                "OpenOptions" if !in_use => {
+                    emit(
+                        "D006",
+                        t.line,
+                        "raw OpenOptions handle is invisible to fault schedules".to_string(),
                         in_test,
                     );
                 }
@@ -630,6 +695,47 @@ fn channel(x: u32) -> u32 { x }
         let hit = lint_source("crates/lpm-serve/src/server.rs", src, &cfg, false);
         assert_eq!(hit.findings.len(), 1, "{:?}", hit.findings);
         let miss = lint_source("crates/lpm-cli/src/main.rs", src, &cfg, false);
+        assert!(miss.findings.is_empty(), "{:?}", miss.findings);
+    }
+
+    #[test]
+    fn d006_fires_on_raw_mutators_not_reads_uses_or_tests() {
+        let src = "\
+use std::fs::rename;
+fn persist(p: &Path, s: &str) { std::fs::write(p, s).ok(); }
+fn commit(a: &Path, b: &Path) { std::fs::rename(a, b).ok(); }
+fn open_raw(p: &Path) { let _ = std::fs::File::create(p); }
+fn append_raw() { let _ = std::fs::OpenOptions::new(); }
+fn read_ok(p: &Path) -> String { std::fs::read_to_string(p).unwrap_or_default() }
+#[cfg(test)]
+mod tests {
+    fn scratch(p: &Path) { std::fs::write(p, \"x\").ok(); }
+}
+";
+        // The `use` and the read stay quiet; the Lib scope skips the
+        // test module. `fs::File::create` counts once (as File::create).
+        assert_eq!(
+            rules_hit(src),
+            vec![
+                ("D006".to_string(), 2),
+                ("D006".to_string(), 3),
+                ("D006".to_string(), 4),
+                ("D006".to_string(), 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn d006_path_gating_follows_lint_toml() {
+        let cfg = LintConfig::parse(
+            "[rules.D006]\npaths = [\"crates/lpm-harness/src\", \"crates/lpm-serve/src\"]",
+        )
+        .unwrap();
+        let src = "fn f(p: &Path) { std::fs::write(p, \"x\").ok(); }\n";
+        let hit = lint_source("crates/lpm-serve/src/state.rs", src, &cfg, false);
+        assert_eq!(hit.findings.len(), 1, "{:?}", hit.findings);
+        // lpm-vfs is where the raw calls are *supposed* to live.
+        let miss = lint_source("crates/lpm-vfs/src/lib.rs", src, &cfg, false);
         assert!(miss.findings.is_empty(), "{:?}", miss.findings);
     }
 

@@ -55,7 +55,9 @@ fn violating_fixture_matches_expect_markers() {
     assert_eq!(got, want);
     // Every rule in the catalog except the allow meta-rule appears.
     let rules: BTreeSet<&str> = report.findings.iter().map(|f| f.rule.as_str()).collect();
-    for r in ["D001", "D002", "D003", "D004", "D005", "P001", "P002"] {
+    for r in [
+        "D001", "D002", "D003", "D004", "D005", "D006", "P001", "P002",
+    ] {
         assert!(rules.contains(r), "{r} missing from violating fixture");
     }
 }
@@ -109,7 +111,8 @@ fn config_can_disable_rules_and_narrow_paths() {
     let cfg = LintConfig::parse(
         "[rules.P001]\nenabled = false\n[rules.P002]\nenabled = false\n\
          [rules.D002]\nenabled = false\n[rules.D003]\nenabled = false\n\
-         [rules.D004]\nenabled = false\n[rules.D005]\nenabled = false",
+         [rules.D004]\nenabled = false\n[rules.D005]\nenabled = false\n\
+         [rules.D006]\nenabled = false",
     )
     .expect("valid config");
     let report = lint_fixture("violating.rs", &cfg);

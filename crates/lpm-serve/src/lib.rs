@@ -54,7 +54,8 @@ pub mod state;
 
 pub use admission::{Admitted, Rejection};
 pub use client::{read_endpoint, Client};
+pub use lpm_vfs::{IoChaosConfig, Vfs, VfsError, VfsErrorKind};
 pub use metrics::{MetricsReport, ServeMetrics};
 pub use proto::{MetricsFormat, Request};
-pub use server::{start, ServerConfig, ServerHandle};
-pub use state::{CancelCause, JobStatus, StateDir};
+pub use server::{start, ServerConfig, ServerHandle, MAX_REQUEST_BYTES};
+pub use state::{atomic_write_with, CancelCause, JobStatus, StateDir};

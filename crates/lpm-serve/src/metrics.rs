@@ -32,6 +32,10 @@ pub struct ServeMetrics {
     pub cache_hits: u64,
     /// Rejected submissions by rejection reason.
     pub rejected: BTreeMap<String, u64>,
+    /// Frames refused typed at the front door before dispatch: request
+    /// lines over [`crate::server::MAX_REQUEST_BYTES`] or unparsable
+    /// JSON.
+    pub bad_requests: u64,
     /// Jobs that reached `completed`.
     pub completed: u64,
     /// Jobs that reached `failed` (deadline failures included).
@@ -131,6 +135,7 @@ impl MetricsReport {
             ("admitted", Value::Uint(self.counters.admitted)),
             ("cache_hits", Value::Uint(self.counters.cache_hits)),
             ("rejected", Value::Obj(rejected)),
+            ("bad_requests", Value::Uint(self.counters.bad_requests)),
             ("completed", Value::Uint(self.counters.completed)),
             ("failed", Value::Uint(self.counters.failed)),
             ("cancelled", Value::Uint(self.counters.cancelled)),
@@ -197,6 +202,13 @@ impl MetricsReport {
                 "lpm_serve_rejected_total{{reason=\"{reason}\"}} {n}\n"
             ));
         }
+        scalar(
+            &mut out,
+            "lpm_serve_bad_requests_total",
+            "counter",
+            "Frames refused typed at the front door (overlong or unparsable).",
+            &c.bad_requests.to_string(),
+        );
         scalar(
             &mut out,
             "lpm_serve_completed_total",
@@ -303,6 +315,7 @@ mod tests {
             failed: 1,
             retries: 1,
             deadline_trips: 1,
+            bad_requests: 5,
             points_done: 8,
             busy_ns: 2_000_000_000,
             ..ServeMetrics::default()
@@ -330,6 +343,7 @@ mod tests {
         let text = v.to_json();
         let back = Value::parse(&text).unwrap();
         assert_eq!(back.get("admitted").and_then(Value::as_u64), Some(3));
+        assert_eq!(back.get("bad_requests").and_then(Value::as_u64), Some(5));
         assert_eq!(back.get("queue_depth").and_then(Value::as_u64), Some(1));
         assert_eq!(
             back.get("rejected")
@@ -356,6 +370,7 @@ mod tests {
         assert!(text.contains("lpm_serve_rejected_total{reason=\"queue-full\"} 2"));
         assert!(text.contains("# TYPE lpm_serve_admitted_total counter"));
         assert!(text.contains("lpm_serve_admitted_total 3"));
+        assert!(text.contains("lpm_serve_bad_requests_total 5"));
         assert!(text.contains("lpm_serve_points_per_second 4.000000"));
         assert!(text.contains("lpm_serve_busy_seconds_total 2.000000000"));
         // Every non-comment line is `name[{labels}] value`.

@@ -18,8 +18,7 @@
 //! uninterrupted one.
 
 use std::collections::VecDeque;
-use std::fs;
-use std::io::{BufRead as _, BufReader, Write as _};
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -28,22 +27,29 @@ use std::thread;
 use std::time::Duration;
 
 use lpm_harness::{
-    inspect_journal, run_sweep_with, PointOutcome, SweepOptions, SweepReport, SweepSpec,
+    inspect_journal_with, run_sweep_with, PointOutcome, SweepOptions, SweepReport, SweepSpec,
 };
 use lpm_telemetry::{Event, JobPhase, Value};
+use lpm_vfs::{IoChaosConfig, Vfs, VfsFile};
 
 use crate::admission::{admit, decode_spec};
 use crate::metrics::MetricsReport;
 use crate::proto::{self, obj, MetricsFormat, Request};
 use crate::signal;
 use crate::state::{
-    atomic_write, manifest_from_json, persist_manifest, CancelCause, Job, JobStatus, ServeState,
-    StateDir,
+    atomic_write_with, manifest_from_json, persist_manifest, CancelCause, Job, JobStatus,
+    ServeState, StateDir,
 };
 
 /// How many lifecycle events the in-memory ring keeps for the `events`
 /// request (the on-disk `events.jsonl` stream is unbounded).
 const RECENT_EVENTS: usize = 1024;
+
+/// Longest accepted request line in bytes (newline included). A submit
+/// request carries one sweep spec — well under 4 KiB — so 256 KiB is
+/// generous headroom while still bounding per-connection memory against
+/// a client streaming an endless line.
+pub const MAX_REQUEST_BYTES: u64 = 256 * 1024;
 
 /// Tunables of one server instance.
 #[derive(Debug, Clone)]
@@ -72,6 +78,12 @@ pub struct ServerConfig {
     /// default so in-process tests can run many servers; the CLI
     /// switches it on.
     pub handle_os_signals: bool,
+    /// Storage-fault schedule for *this daemon's* durable writes
+    /// (manifests, reports, endpoint file, events stream). Daemon-level
+    /// — unlike a spec's `chaos_io` it does not enter any fingerprint,
+    /// so a restarted clean server resumes the same journals and must
+    /// reproduce the same report bytes.
+    pub chaos_io: IoChaosConfig,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +98,7 @@ impl Default for ServerConfig {
             max_job_retries: 1,
             retry_backoff_ms: 50,
             handle_os_signals: false,
+            chaos_io: IoChaosConfig::default(),
         }
     }
 }
@@ -101,7 +114,7 @@ struct Shared {
 }
 
 struct EventSink {
-    file: fs::File,
+    file: VfsFile,
     recent: VecDeque<Value>,
     /// Stream position of the next event. Stamped into every emitted
     /// event as `seq` so subscribers (and `telemetry_check --strict`)
@@ -139,11 +152,7 @@ impl Shared {
         sink.next_seq = sink.next_seq.saturating_add(1);
         let mut line = v.to_json();
         line.push('\n');
-        if let Err(e) = sink
-            .file
-            .write_all(line.as_bytes())
-            .and_then(|()| sink.file.flush())
-        {
+        if let Err(e) = sink.file.write_all(line.as_bytes()) {
             eprintln!("lpm-serve: cannot append to events.jsonl: {e}");
         }
         if sink.recent.len() == RECENT_EVENTS {
@@ -190,12 +199,12 @@ impl ServerHandle {
 /// handle. The state dir's `endpoint` file holds the actual address
 /// once this returns.
 pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
-    let dir = StateDir::new(&config.state_dir);
+    let dir = StateDir::with_vfs(&config.state_dir, Vfs::for_schedule(&config.chaos_io));
     dir.create()?;
     // Resume the event stream's seq numbering where the last process
     // left it: one past the highest stamped seq, or (for pre-seq
     // streams) the line count, so seq keeps equalling stream position.
-    let next_seq = match fs::read_to_string(dir.events_path()) {
+    let next_seq = match dir.vfs().read_to_string(&dir.events_path()) {
         Ok(text) => text
             .lines()
             .filter(|l| !l.trim().is_empty())
@@ -212,10 +221,9 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
             }),
         Err(_) => 0,
     };
-    let events_file = fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(dir.events_path())
+    let events_file = dir
+        .vfs()
+        .append(&dir.events_path())
         .map_err(|e| format!("cannot open {}: {e}", dir.events_path().display()))?;
     if config.handle_os_signals {
         signal::install_term_handlers();
@@ -242,7 +250,7 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
         }),
     });
     recover(&shared)?;
-    atomic_write(&dir.endpoint_path(), &format!("{addr}\n"))?;
+    atomic_write_with(dir.vfs(), &dir.endpoint_path(), &format!("{addr}\n"))?;
 
     let mut threads = Vec::new();
     for i in 0..shared.config.runners {
@@ -281,7 +289,7 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
 /// re-enqueued in admission order, terminal jobs stay queryable.
 fn recover(shared: &Shared) -> Result<(), String> {
     let jobs_dir = shared.dir.jobs_dir();
-    let mut names: Vec<PathBuf> = fs::read_dir(&jobs_dir)
+    let mut names: Vec<PathBuf> = std::fs::read_dir(&jobs_dir)
         .map_err(|e| format!("cannot read {}: {e}", jobs_dir.display()))?
         .filter_map(|ent| ent.ok().map(|e| e.path()))
         .filter(|p| p.extension().is_some_and(|x| x == "json"))
@@ -291,7 +299,7 @@ fn recover(shared: &Shared) -> Result<(), String> {
     let mut requeue: Vec<(u64, String)> = Vec::new();
     let mut st = shared.locked();
     for path in names {
-        let text = match fs::read_to_string(&path) {
+        let text = match shared.dir.vfs().read_to_string(&path) {
             Ok(t) => t,
             Err(e) => {
                 eprintln!(
@@ -326,7 +334,7 @@ fn recover(shared: &Shared) -> Result<(), String> {
             _ => {
                 let mut job = job;
                 let journal = shared.dir.journal_path(job.fingerprint);
-                let progress = match inspect_journal(&journal) {
+                let progress = match inspect_journal_with(shared.dir.vfs(), &journal) {
                     Ok(info) => {
                         format!("{} of {} row(s) already journaled", info.rows, info.points)
                     }
@@ -449,7 +457,7 @@ fn finish_job(shared: &Shared, run: &JobRun, result: Result<SweepReport, String>
         Ok(report) => {
             let text = report.to_jsonl();
             let path = shared.dir.report_path(run.fingerprint);
-            if let Err(e) = atomic_write(&path, &text) {
+            if let Err(e) = atomic_write_with(shared.dir.vfs(), &path, &text) {
                 return fail_or_retry(shared, run, format!("cannot write report: {e}"));
             }
             let detail = format!("{} point(s), {} failed", report.len(), report.failed_len());
@@ -700,16 +708,42 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
     let mut line = String::new();
     loop {
         line.clear();
-        match reader.read_line(&mut line) {
+        // Bound the request line so a client streaming an endless frame
+        // cannot balloon server memory: read through a `take` window one
+        // byte wider than the limit, so a line that fills the whole
+        // window is provably overlong (a line exactly at the limit still
+        // fits together with its newline).
+        let mut limited = (&mut reader).take(MAX_REQUEST_BYTES + 1);
+        match limited.read_line(&mut line) {
             Ok(0) | Err(_) => return,
             Ok(_) => {}
+        }
+        if line.len() as u64 > MAX_REQUEST_BYTES {
+            shared.locked().metrics.bad_requests += 1;
+            let mut text = proto::err(
+                "bad-request",
+                &format!("request line exceeds {MAX_REQUEST_BYTES} bytes"),
+            )
+            .to_json();
+            text.push('\n');
+            let _ = writer.write_all(text.as_bytes());
+            let _ = writer.flush();
+            return;
+        }
+        if !line.ends_with('\n') {
+            // A bounded line without its newline means the peer hung up
+            // mid-frame: a disconnect, not a parsed bad request.
+            return;
         }
         if line.trim().is_empty() {
             continue;
         }
         let resp = match Value::parse(line.trim()) {
             Ok(v) => handle_request(shared, &v),
-            Err(e) => proto::err("bad-request", &format!("unparsable request: {e}")),
+            Err(e) => {
+                shared.locked().metrics.bad_requests += 1;
+                proto::err("bad-request", &format!("unparsable request: {e}"))
+            }
         };
         let mut text = resp.to_json();
         text.push('\n');
@@ -838,7 +872,11 @@ fn handle_request(shared: &Shared, v: &Value) -> Value {
                     &format!("job {id} is {}, not completed", status.label()),
                 );
             }
-            match fs::read_to_string(shared.dir.report_path(fingerprint)) {
+            match shared
+                .dir
+                .vfs()
+                .read_to_string(&shared.dir.report_path(fingerprint))
+            {
                 Ok(text) => proto::ok(vec![("report", Value::Str(text))]),
                 Err(e) => proto::err("not-ready", &format!("report unreadable: {e}")),
             }

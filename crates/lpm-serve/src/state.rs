@@ -20,8 +20,6 @@
 //! kill between any two instructions leaves a recoverable state.
 
 use std::collections::BTreeMap;
-use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -29,6 +27,7 @@ use std::time::Instant;
 
 use lpm_harness::{spec_from_json, spec_to_json, SweepSpec};
 use lpm_telemetry::Value;
+use lpm_vfs::Vfs;
 
 use crate::proto::obj;
 
@@ -159,17 +158,33 @@ pub struct ServeState {
     pub metrics: crate::metrics::ServeMetrics,
 }
 
-/// Paths of the service state directory.
+/// Paths of the service state directory, plus the [`Vfs`] every durable
+/// write under it goes through (the real filesystem in production; a
+/// fault-injecting one under `--chaos-io`).
 #[derive(Debug, Clone)]
 pub struct StateDir {
     root: PathBuf,
+    vfs: Vfs,
 }
 
 impl StateDir {
     /// Wrap a state directory root (not created yet; see
-    /// [`StateDir::create`]).
+    /// [`StateDir::create`]) on the real filesystem.
     pub fn new(root: impl Into<PathBuf>) -> StateDir {
-        StateDir { root: root.into() }
+        StateDir::with_vfs(root, Vfs::real())
+    }
+
+    /// Wrap a state directory root whose writes go through `vfs`.
+    pub fn with_vfs(root: impl Into<PathBuf>, vfs: Vfs) -> StateDir {
+        StateDir {
+            root: root.into(),
+            vfs,
+        }
+    }
+
+    /// The storage handle this state directory writes through.
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
     }
 
     /// Create the directory tree.
@@ -180,7 +195,8 @@ impl StateDir {
             self.journals_dir(),
             self.reports_dir(),
         ] {
-            fs::create_dir_all(&dir)
+            self.vfs
+                .create_dir_all(&dir)
                 .map_err(|e| format!("cannot create state dir {}: {e}", dir.display()))?;
         }
         Ok(())
@@ -238,31 +254,37 @@ impl StateDir {
 /// instruction leaves either the old bytes or the new bytes — never a
 /// torn file.
 pub fn atomic_write(path: &Path, text: &str) -> Result<(), String> {
+    atomic_write_with(&Vfs::real(), path, text)
+}
+
+/// [`atomic_write`] through an explicit [`Vfs`], so a fault schedule
+/// can interrupt the sequence at any instruction and the oracle can
+/// check the old-or-new invariant at every crash point.
+pub fn atomic_write_with(vfs: &Vfs, path: &Path, text: &str) -> Result<(), String> {
     let parent = path
         .parent()
         .ok_or_else(|| format!("{} has no parent directory", path.display()))?;
     let tmp = path.with_extension("tmp");
     {
-        let mut f =
-            fs::File::create(&tmp).map_err(|e| format!("cannot create {}: {e}", tmp.display()))?;
+        let mut f = vfs
+            .create(&tmp)
+            .map_err(|e| format!("cannot create {}: {e}", tmp.display()))?;
         f.write_all(text.as_bytes())
             .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
         f.sync_all()
             .map_err(|e| format!("cannot fsync {}: {e}", tmp.display()))?;
     }
-    fs::rename(&tmp, path).map_err(|e| {
+    vfs.rename(&tmp, path).map_err(|e| {
         format!(
             "cannot rename {} over {}: {e}",
             tmp.display(),
             path.display()
         )
     })?;
-    if let Ok(dir) = fs::File::open(parent) {
-        // Directory fsync is best-effort: some filesystems refuse it,
-        // and the rename itself is already atomic on every target we
-        // support — the dir sync only hardens the crash window.
-        let _ = dir.sync_all();
-    }
+    // Real directory fsync stays best-effort inside the Vfs (some
+    // filesystems refuse it); injected fsync faults still surface.
+    vfs.sync_dir(parent)
+        .map_err(|e| format!("cannot fsync directory {}: {e}", parent.display()))?;
     Ok(())
 }
 
@@ -341,10 +363,15 @@ pub fn manifest_from_json(v: &Value) -> Result<Job, String> {
     })
 }
 
-/// Persist a job's manifest with the atomic-replace discipline.
+/// Persist a job's manifest with the atomic-replace discipline, through
+/// the state directory's [`Vfs`].
 pub fn persist_manifest(dir: &StateDir, job: &Job) -> Result<(), String> {
     let v = manifest_to_json(job)?;
-    atomic_write(&dir.manifest_path(&job.id), &(v.to_json() + "\n"))
+    atomic_write_with(
+        dir.vfs(),
+        &dir.manifest_path(&job.id),
+        &(v.to_json() + "\n"),
+    )
 }
 
 /// Widen a `usize` to the `u64` wire type (saturating, like telemetry).
@@ -355,6 +382,7 @@ pub(crate) fn count_u64(n: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("lpm-serve-state-{tag}-{}", std::process::id()));

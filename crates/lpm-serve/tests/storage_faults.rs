@@ -1,0 +1,412 @@
+//! Storage-fault and front-door robustness tests for the serve daemon.
+//!
+//! The manifest/report/events write paths all route through
+//! [`lpm_vfs::Vfs`], so a deterministic fault schedule can interrupt
+//! the write-tmp → fsync → rename → fsync-dir sequence at every
+//! instruction. The oracle is the same recover-or-refuse invariant as
+//! the harness's crash-consistency suite: a reader sees the old
+//! complete bytes, the new complete bytes, or a typed refusal — never a
+//! torn file, never a silently divergent report.
+//!
+//! The daemon front door gets the same treatment: overlong request
+//! lines and mid-frame disconnects must end in typed refusals and a
+//! healthy server, not memory growth or a wedged accept loop.
+
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use lpm_harness::{run_sweep_with, IoChaosConfig, SweepOptions, SweepSpec};
+use lpm_serve::{atomic_write_with, start, Client, ServerConfig, StateDir, Vfs, MAX_REQUEST_BYTES};
+use lpm_telemetry::Value;
+
+fn state_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("lpm-serve-faults-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// A 4-point spec sized for debug-mode test runs.
+fn sweep_spec(seed_base: u64) -> SweepSpec {
+    SweepSpec {
+        seeds: vec![seed_base, seed_base + 1],
+        fault_seeds: vec![None, Some(42)],
+        instructions: 30_000,
+        intervals: 2,
+        interval_cycles: 5_000,
+        warmup_instructions: 5_000,
+        loop_repeats: 50,
+        ..SweepSpec::default()
+    }
+}
+
+fn reference_jsonl(spec: &SweepSpec) -> String {
+    run_sweep_with(spec, 1, &SweepOptions::default())
+        .expect("serial reference sweep succeeds")
+        .to_jsonl()
+}
+
+/// The manifest write path under a power cut at **every** operation
+/// index: after two successive `atomic_write_with` attempts the target
+/// holds nothing, exactly v1, or exactly v2 — and the crash point pins
+/// which. (Each attempt is 5 ops: create tmp, write, fsync, rename,
+/// fsync-dir.)
+#[test]
+fn atomic_write_power_cut_at_every_op_leaves_old_or_new_bytes() {
+    let v1 = "{\"version\":1}\n";
+    let v2 = "{\"version\":2}\n";
+    for cut in 0..12u64 {
+        let root = state_dir(&format!("cutscan-{cut}"));
+        std::fs::create_dir_all(&root).unwrap();
+        let dest = root.join("manifest.json");
+        let vfs = Vfs::with_faults(IoChaosConfig::parse(&format!("power-cut@{cut}")).unwrap());
+        let first = atomic_write_with(&vfs, &dest, v1);
+        let second = atomic_write_with(&vfs, &dest, v2);
+        for (tag, res) in [("v1", &first), ("v2", &second)] {
+            if let Err(e) = res {
+                assert!(!e.trim().is_empty(), "cut@{cut}: untyped {tag} failure");
+            }
+        }
+        let on_disk = std::fs::read_to_string(&dest).ok();
+        let expect = match cut {
+            0..=4 => None,     // cut during v1: nothing durable yet
+            5..=9 => Some(v1), // cut during v2: v1 survives intact
+            _ => Some(v2),     // cut never fired: the new bytes won
+        };
+        assert_eq!(
+            on_disk.as_deref(),
+            expect,
+            "cut@{cut}: target must hold old bytes, new bytes, or nothing"
+        );
+        // No torn JSON is ever visible: whatever survived parses.
+        if let Some(text) = on_disk {
+            Value::parse(text.trim()).expect("surviving manifest bytes parse");
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
+/// Each remaining fault kind against the manifest path: the write fails
+/// typed and the previously committed bytes are untouched.
+#[test]
+fn every_fault_kind_fails_atomic_write_typed_and_leaves_the_target_intact() {
+    for schedule in [
+        "fail-fsync@2",    // v1 uses fsyncs 0-1 (file + dir); fsync 2 = v2's tmp
+        "torn-write@1:2",  // write 0 is v1; write 1 = v2's tmp, torn
+        "fail-rename@1",   // rename 0 commits v1; rename 1 = v2's commit
+        "enospc-after@20", // v1 (14 bytes) fits; v2 runs out mid-write
+    ] {
+        let root = state_dir(&format!("kind-{}", schedule.split('@').next().unwrap()));
+        std::fs::create_dir_all(&root).unwrap();
+        let dest = root.join("manifest.json");
+        let vfs = Vfs::with_faults(IoChaosConfig::parse(schedule).unwrap());
+        let v1 = "{\"version\":1}\n";
+        atomic_write_with(&vfs, &dest, v1)
+            .unwrap_or_else(|e| panic!("{schedule}: the first write must commit cleanly: {e}"));
+        let err = atomic_write_with(&vfs, &dest, "{\"version\":2}\n").unwrap_err();
+        assert!(!err.trim().is_empty(), "{schedule}: untyped failure");
+        assert!(
+            err.contains("storage fault injected"),
+            "{schedule}: error must name the injected fault: {err}"
+        );
+        assert_eq!(
+            std::fs::read_to_string(&dest).unwrap(),
+            v1,
+            "{schedule}: a failed replace must leave the old bytes"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    // eio-read: the read side of the state dir refuses typed too.
+    let root = state_dir("kind-eio");
+    std::fs::create_dir_all(&root).unwrap();
+    let dest = root.join("report.jsonl");
+    std::fs::write(&dest, "rows\n").unwrap();
+    let dir = StateDir::with_vfs(
+        &root,
+        Vfs::with_faults(IoChaosConfig::parse("eio-read@0").unwrap()),
+    );
+    let err = dir.vfs().read_to_string(&dest).unwrap_err();
+    assert!(err.to_string().contains("eio-read"), "{err}");
+    assert_eq!(dir.vfs().read_to_string(&dest).unwrap(), "rows\n");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A transient rename fault on the daemon's state dir: the submission
+/// that hits it is refused typed (internal error, not a bogus-spec
+/// blame), the client retries, and the served report is byte-identical
+/// to the serial reference — the fault never reaches an export.
+#[test]
+fn transient_manifest_fault_refuses_typed_then_serves_identical_bytes() {
+    // rename 0 is the endpoint file at startup; rename 1 is the first
+    // admitted-manifest persist. Everything after is clean.
+    let cfg = ServerConfig {
+        state_dir: state_dir("transient"),
+        chaos_io: IoChaosConfig::parse("fail-rename@1").unwrap(),
+        ..ServerConfig::default()
+    };
+    let dir = cfg.state_dir.clone();
+    let handle = start(cfg).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let spec = sweep_spec(700);
+
+    let refused = client.submit("t1", &spec, Some(1), None).unwrap();
+    assert_eq!(refused.get("ok").and_then(Value::as_bool), Some(false));
+    let detail = refused
+        .get("detail")
+        .and_then(Value::as_str)
+        .unwrap_or_default();
+    assert!(
+        detail.contains("storage fault injected"),
+        "refusal must surface the injected fault: {refused:?}"
+    );
+
+    let resp = client.submit("t1", &spec, Some(1), None).unwrap();
+    assert_eq!(
+        resp.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{resp:?}"
+    );
+    let id = resp.get("id").and_then(Value::as_str).unwrap().to_string();
+    let fin = client.wait(&id, Duration::from_secs(120)).unwrap();
+    assert_eq!(fin.get("status").and_then(Value::as_str), Some("completed"));
+    assert_eq!(
+        client.report_text(&id).unwrap(),
+        reference_jsonl(&spec),
+        "report must be byte-identical despite the storage fault"
+    );
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Power cut mid-service: the daemon's storage dies while a job is in
+/// flight. The job ends terminal (completed with correct bytes, or
+/// failed with a typed detail — the runner interleaving picks the crash
+/// point, the invariant holds at all of them). A clean restart on the
+/// same state dir then converges to the byte-identical report.
+#[test]
+fn power_cut_mid_service_recovers_to_identical_bytes_after_clean_restart() {
+    let root = state_dir("powercut");
+    let spec = sweep_spec(800);
+    let reference = reference_jsonl(&spec);
+
+    // Startup consumes 11 ops (4 mkdir, events scan + open, 5-op
+    // endpoint write); op 24 lands mid job lifecycle.
+    let cfg = ServerConfig {
+        state_dir: root.clone(),
+        chaos_io: IoChaosConfig::parse("power-cut@24").unwrap(),
+        ..ServerConfig::default()
+    };
+    let handle = start(cfg).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let resp = client.submit("t1", &spec, Some(1), None).unwrap();
+    assert_eq!(
+        resp.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{resp:?}"
+    );
+    let id = resp.get("id").and_then(Value::as_str).unwrap().to_string();
+    let fin = client.wait(&id, Duration::from_secs(120)).unwrap();
+    let status = fin
+        .get("status")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+    match status.as_str() {
+        "completed" => {
+            // The cut fired late enough that the report committed; the
+            // bytes must be exact, not merely present.
+            assert_eq!(client.report_text(&id).unwrap(), reference);
+        }
+        "failed" => {
+            let detail = fin.get("detail").and_then(Value::as_str).unwrap_or("");
+            assert!(!detail.trim().is_empty(), "failure must be typed: {fin:?}");
+        }
+        other => panic!("job must end terminal, got {other:?}: {fin:?}"),
+    }
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // Clean restart on the surviving state: recovery re-enqueues the
+    // interrupted job (or serves the committed report), and the final
+    // bytes equal the uninterrupted reference either way.
+    let cfg = ServerConfig {
+        state_dir: root.clone(),
+        ..ServerConfig::default()
+    };
+    let handle = start(cfg).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let resp = client.submit("t1", &spec, Some(1), None).unwrap();
+    assert_eq!(
+        resp.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{resp:?}"
+    );
+    let id = resp.get("id").and_then(Value::as_str).unwrap().to_string();
+    let fin = client.wait(&id, Duration::from_secs(120)).unwrap();
+    assert_eq!(
+        fin.get("status").and_then(Value::as_str),
+        Some("completed"),
+        "{fin:?}"
+    );
+    assert_eq!(
+        client.report_text(&id).unwrap(),
+        reference,
+        "post-restart report must be byte-identical to the reference"
+    );
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Satellite 1: a request line longer than [`MAX_REQUEST_BYTES`] is
+/// answered with a typed `bad-request` refusal, the connection is
+/// closed, and the `bad_requests` counter ticks — the server never
+/// buffers an unbounded line.
+#[test]
+fn overlong_request_line_is_refused_typed_counted_and_closed() {
+    let cfg = ServerConfig {
+        state_dir: state_dir("overlong"),
+        ..ServerConfig::default()
+    };
+    let dir = cfg.state_dir.clone();
+    let handle = start(cfg).unwrap();
+
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // One frame, 64 KiB over the limit, newline-terminated — the
+    // refusal must arrive before the newline is ever seen.
+    let chunk = vec![b'x'; 64 * 1024];
+    let mut sent = 0u64;
+    while sent < MAX_REQUEST_BYTES + 64 * 1024 {
+        stream.write_all(&chunk).unwrap();
+        sent += chunk.len() as u64;
+    }
+    stream.write_all(b"\n").unwrap();
+    let mut reader = BufReader::new(&stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let resp = Value::parse(line.trim()).unwrap();
+    assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        resp.get("reason").and_then(Value::as_str),
+        Some("bad-request")
+    );
+    assert!(
+        resp.get("detail")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .contains("exceeds"),
+        "{resp:?}"
+    );
+    // The server hangs up after the refusal.
+    // A clean EOF or a reset (the server closed with our unread bytes
+    // still queued) both count as hung up; more data does not.
+    let mut rest = Vec::new();
+    let closed = reader.read_to_end(&mut rest);
+    assert!(
+        matches!(closed, Ok(0) | Err(_)),
+        "connection must be closed after an overlong frame: {closed:?} {rest:?}"
+    );
+    drop(stream);
+
+    // The refusal is visible in the metrics, and the server is healthy.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let m = client.metrics("json").unwrap();
+    assert_eq!(
+        m.get("metrics")
+            .and_then(|v| v.get("bad_requests"))
+            .and_then(Value::as_u64),
+        Some(1),
+        "{m:?}"
+    );
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite 1, disconnect half: a client that dies mid-frame (partial
+/// JSON, no newline, socket dropped) must not wedge the accept loop or
+/// leak a refusal into anyone else's connection.
+#[test]
+fn mid_frame_disconnect_leaves_the_server_healthy() {
+    let cfg = ServerConfig {
+        state_dir: state_dir("midframe"),
+        ..ServerConfig::default()
+    };
+    let dir = cfg.state_dir.clone();
+    let handle = start(cfg).unwrap();
+
+    for _ in 0..3 {
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .write_all(b"{\"type\":\"submit\",\"spec\":{\"wi")
+            .unwrap();
+        drop(stream); // mid-frame hangup
+    }
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let pong = client.ping().unwrap();
+    assert_eq!(pong.get("ok").and_then(Value::as_bool), Some(true));
+    // A dropped partial frame is not a *parsed* bad request; nothing
+    // was refused, nothing counted.
+    let m = client.metrics("json").unwrap();
+    assert_eq!(
+        m.get("metrics")
+            .and_then(|v| v.get("bad_requests"))
+            .and_then(Value::as_u64),
+        Some(0),
+        "{m:?}"
+    );
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An unparsable (but bounded) line gets a typed `bad-request` reply,
+/// increments the counter, and the connection stays usable.
+#[test]
+fn unparsable_request_line_is_refused_typed_and_the_connection_survives() {
+    let cfg = ServerConfig {
+        state_dir: state_dir("badjson"),
+        ..ServerConfig::default()
+    };
+    let dir = cfg.state_dir.clone();
+    let handle = start(cfg).unwrap();
+
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(b"this is not json\n").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let resp = Value::parse(line.trim()).unwrap();
+    assert_eq!(
+        resp.get("reason").and_then(Value::as_str),
+        Some("bad-request")
+    );
+    // Same connection, a well-formed frame: still served.
+    stream.write_all(b"{\"type\":\"ping\"}\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let pong = Value::parse(line.trim()).unwrap();
+    assert_eq!(pong.get("ok").and_then(Value::as_bool), Some(true));
+    drop(stream);
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let m = client.metrics("json").unwrap();
+    assert_eq!(
+        m.get("metrics")
+            .and_then(|v| v.get("bad_requests"))
+            .and_then(Value::as_u64),
+        Some(1),
+        "{m:?}"
+    );
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
