@@ -430,6 +430,58 @@ fn bench_model_evaluation(quick: bool, prof: &WallProfile) -> Result<BenchEntry,
     })
 }
 
+/// Locate the workspace root: the first ancestor of the current
+/// directory carrying the committed `lint.toml`. The bench suite runs
+/// from the repo (CI checkout or a developer shell inside it), so the
+/// walk-up always terminates within a few hops.
+fn workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err("lint-workspace: no lint.toml in any ancestor directory".to_string());
+        }
+    }
+}
+
+/// The static-analysis gate itself is on the PR-to-PR trajectory: it
+/// runs on every CI push, so a slowdown in the lexer, the item parser,
+/// or the call-graph dataflow pass is a real CI-latency regression.
+/// Scans the live workspace under the committed config (same work as
+/// `cargo run -p lpm-lint`), best-of-[`BENCH_REPS`].
+fn bench_lint_workspace(prof: &WallProfile) -> Result<BenchEntry, String> {
+    let _span = prof.span("lint-workspace");
+    let root = workspace_root()?;
+    let cfg = lpm_lint::LintConfig::load(&root.join("lint.toml"))?;
+    let mut best_wall = u64::MAX;
+    let mut files = 0u64;
+    let mut findings = 0u64;
+    let mut graph_fns = 0u64;
+    for _ in 0..BENCH_REPS {
+        let t0 = wall_now();
+        let analysis = lpm_lint::analyze_tree(&root, &cfg)?;
+        best_wall = best_wall.min(elapsed_ns(t0));
+        files = analysis.report.files_scanned as u64;
+        findings = analysis.report.findings.len() as u64;
+        graph_fns = analysis.graph.nodes.len() as u64;
+    }
+    Ok(BenchEntry {
+        name: "lint-workspace".to_string(),
+        krate: "lpm-lint".to_string(),
+        metric: "files_per_sec".to_string(),
+        value: rate(files, best_wall),
+        wall_ns: best_wall,
+        extra: vec![
+            ("files".to_string(), Value::Uint(files)),
+            ("findings".to_string(), Value::Uint(findings)),
+            ("graph_fns".to_string(), Value::Uint(graph_fns)),
+            ("reps".to_string(), Value::Uint(BENCH_REPS as u64)),
+        ],
+    })
+}
+
 /// Run the full suite. Returns the report plus human-readable
 /// side-channel text (span profile + attribution breakdown) the caller
 /// should route to stderr.
@@ -444,6 +496,7 @@ pub fn run_suite(tag: &str, quick: bool) -> Result<(BenchReport, String), String
     attribution.merge(&sim_attr);
     entries.push(sim_entry);
     entries.push(bench_model_evaluation(quick, &prof)?);
+    entries.push(bench_lint_workspace(&prof)?);
 
     // Macro benches: the sweep engine at jobs=1 (journaling, so the
     // replay bench below has a real journal) and at the parallel worker
@@ -698,6 +751,7 @@ mod tests {
             "trace-generation",
             "sim-step-loop",
             "model-evaluation",
+            "lint-workspace",
             "sweep-jobs1",
             "sweep-jobsN",
             "journal-replay",

@@ -56,6 +56,14 @@ pub fn bounded() -> (std::sync::mpsc::SyncSender<u32>, std::sync::mpsc::Receiver
     std::sync::mpsc::sync_channel(4)
 }
 
+use std::sync::mpsc::sync_channel as channel;
+
+/// Decoy: `channel` here *is* the bounded constructor under a hostile
+/// rename — alias resolution maps it back to sync_channel, no D005.
+pub fn bounded_renamed() -> (std::sync::mpsc::SyncSender<u32>, std::sync::mpsc::Receiver<u32>) {
+    channel(4)
+}
+
 /// Decoy: reads are not durable mutation — D006 covers the write path;
 /// prose mentioning fs::write / File::create / OpenOptions stays quiet.
 pub fn read_ok(path: &std::path::Path) -> std::io::Result<String> {

@@ -1,0 +1,89 @@
+// Fixture: the C001 hazard gallery. Each shape here is a reconstruction
+// of a deadlock the workspace either hit (the PR 6 engine shape: workers
+// blocked in a bounded send while the collector broke out of its drain
+// loop with the receiver alive, so the thread-scope join never returned)
+// or is one drop() away from hitting. Not compiled; the integration
+// tests feed it to the analyzer.
+
+use std::sync::{Mutex, MutexGuard};
+
+pub struct Shared {
+    state: Mutex<u64>,
+    journal: Mutex<u64>,
+}
+
+impl Shared {
+    pub fn locked_state(&self) -> MutexGuard<'_, u64> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+// Blocking send while a directly acquired guard is live.
+pub fn publish(shared: &Shared, tx: &SyncSender<u64>) {
+    let st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+    tx.send(*st).ok(); // expect: C001
+    drop(st);
+}
+
+// The receive loop blocks transitively: the guard came from a
+// MutexGuard-returning helper, the block from a callee two hops deep.
+fn drain_queue(rx: &Receiver<u64>) -> u64 {
+    let mut n = 0;
+    while let Ok(v) = rx.recv() {
+        n += v;
+    }
+    n
+}
+
+pub fn collect(shared: &Shared, rx: &Receiver<u64>) -> u64 {
+    let st = shared.locked_state();
+    let n = drain_queue(rx); // expect: C001
+    drop(st);
+    n
+}
+
+// Dropping the guard first is the fix — this one stays quiet.
+pub fn collect_fixed(shared: &Shared, rx: &Receiver<u64>) -> u64 {
+    let st = shared.locked_state();
+    drop(st);
+    drain_queue(rx)
+}
+
+// The PR 6 engine shape: bounded channel + thread::scope + spawned
+// senders. The original sender is never dropped and the early break
+// leaves the receiver alive, so the scope join can never complete.
+pub fn run_points(inputs: &[u64]) -> u64 {
+    let (tx, rx) = std::sync::mpsc::sync_channel::<u64>(2);
+    let mut total = 0;
+    std::thread::scope(|scope| {
+        for w in inputs {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                tx.send(*w).ok();
+            });
+        }
+        while let Ok(v) = rx.recv() { // expect: C001
+            total += v;
+            if v == 0 {
+                break; // expect: C001
+            }
+        }
+    });
+    total
+}
+
+// Inconsistent pairwise lock order: state→journal here, journal→state
+// below. Concurrent callers deadlock; both second acquisitions flag.
+pub fn checkpoint(shared: &Shared) {
+    let st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+    let jr = shared.journal.lock().unwrap_or_else(|p| p.into_inner()); // expect: C001
+    drop(jr);
+    drop(st);
+}
+
+pub fn audit(shared: &Shared) {
+    let jr = shared.journal.lock().unwrap_or_else(|p| p.into_inner());
+    let st = shared.state.lock().unwrap_or_else(|p| p.into_inner()); // expect: C001
+    drop(st);
+    drop(jr);
+}

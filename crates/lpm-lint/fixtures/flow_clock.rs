@@ -1,0 +1,21 @@
+// Fixture: the *source* side of the cross-crate laundering chain. A
+// helper wraps the raw clock read / RNG construction, a second helper
+// wraps the first — the taint has to survive two name-resolved hops
+// before it reaches the sinks in flow_export.rs. Not compiled; fed to
+// the analyzer together with flow_export.rs by the integration tests.
+
+pub fn grab_clock() -> std::time::Instant {
+    std::time::Instant::now() // expect: D002
+}
+
+pub fn stamp_ns() -> std::time::Instant {
+    grab_clock()
+}
+
+pub fn fresh_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed) // expect: D003
+}
+
+pub fn draw(seed: u64) -> SmallRng {
+    fresh_rng(seed)
+}

@@ -1,0 +1,27 @@
+// Fixture: the *sink* side — export writers two calls away from the raw
+// clock/RNG sources in flow_clock.rs. F001/F002 must anchor the finding
+// at the first hop inside the sink and carry the full why chain; the
+// allow-annotated sink proves the A001 machinery extends to the
+// interprocedural rules.
+
+pub fn to_csv(rows: &[u64]) -> String {
+    let _t = stamp_ns(); // expect: F001
+    format!("{rows:?}")
+}
+
+pub fn to_jsonl(rows: &[u64], seed: u64) -> String {
+    let _r = draw(seed); // expect: F002
+    format!("{rows:?}")
+}
+
+pub fn to_text(rows: &[u64]) -> String {
+    // lpm-lint: allow(F001) fixture: proves allows suppress taint findings too
+    let _t = stamp_ns();
+    format!("{rows:?}")
+}
+
+pub fn summarize(rows: &[u64]) -> usize {
+    // Not a sink name: taint passing through is not a finding here.
+    let _t = stamp_ns();
+    rows.len()
+}

@@ -5,6 +5,9 @@
 
 use std::collections::HashMap; // expect: D001
 use std::collections::HashSet; // expect: D001
+use std::time::Instant as Clock;
+use shim_rand::SmallRng as R;
+use std::sync::mpsc::channel as ch;
 
 pub fn measure() -> u128 {
     let t = std::time::Instant::now(); // expect: D002
@@ -61,4 +64,20 @@ pub fn handle_raw(path: &std::path::Path) -> std::io::Result<std::fs::File> {
 
 pub fn append_raw() {
     let _ = std::fs::OpenOptions::new(); // expect: D006
+}
+
+pub fn measure_renamed() -> Clock {
+    Clock::now() // expect: D002
+}
+
+pub fn shuffle_renamed(seed: u64) -> R {
+    R::seed_from_u64(seed) // expect: D003
+}
+
+pub fn firehose_renamed() {
+    let (_tx, _rx) = ch::<u64>(); // expect: D005
+}
+
+pub unsafe fn peek(p: *const u8) -> u8 { // expect: U001
+    *p
 }

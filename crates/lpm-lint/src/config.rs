@@ -31,8 +31,13 @@ pub struct RuleConfig {
     /// with one of these prefixes. Empty = everywhere.
     pub paths: Vec<String>,
     /// Function names inside which the rule does not fire (used by D003
-    /// for the sanctioned RNG-construction helpers).
+    /// for the sanctioned RNG-construction helpers; by F001/F002 for the
+    /// fns whose taint is sanctioned at the source).
     pub allow_fns: Vec<String>,
+    /// Result-path sink fn names for the interprocedural taint rules
+    /// (F001/F002): taint reaching a fn with one of these names is a
+    /// finding. Empty for every other rule.
+    pub sinks: Vec<String>,
 }
 
 /// The whole analyzer configuration.
@@ -60,6 +65,7 @@ impl Default for LintConfig {
                         .iter()
                         .map(|s| s.to_string())
                         .collect(),
+                    sinks: rule.default_sinks.iter().map(|s| s.to_string()).collect(),
                 },
             );
         }
@@ -100,9 +106,14 @@ impl TomlValue {
     }
 }
 
-/// Parse the supported TOML subset into `section -> key -> value`.
-fn parse_toml(src: &str) -> Result<BTreeMap<String, BTreeMap<String, TomlValue>>, String> {
-    let mut out: BTreeMap<String, BTreeMap<String, TomlValue>> = BTreeMap::new();
+/// One parsed section: the line of its `[header]` plus
+/// `key -> (line, value)`. Line numbers ride along so the merge step can
+/// point at the exact offending line, not just the section.
+type TomlSection = (usize, BTreeMap<String, (usize, TomlValue)>);
+
+/// Parse the supported TOML subset into `section -> (line, keys)`.
+fn parse_toml(src: &str) -> Result<BTreeMap<String, TomlSection>, String> {
+    let mut out: BTreeMap<String, TomlSection> = BTreeMap::new();
     let mut section = String::new();
     for (idx, raw) in src.lines().enumerate() {
         let lineno = idx + 1;
@@ -115,7 +126,8 @@ fn parse_toml(src: &str) -> Result<BTreeMap<String, BTreeMap<String, TomlValue>>
                 return Err(format!("line {lineno}: unterminated section header"));
             };
             section = name.trim().to_string();
-            out.entry(section.clone()).or_default();
+            out.entry(section.clone())
+                .or_insert((lineno, BTreeMap::new()));
             continue;
         }
         let Some((key, value)) = line.split_once('=') else {
@@ -123,7 +135,10 @@ fn parse_toml(src: &str) -> Result<BTreeMap<String, BTreeMap<String, TomlValue>>
         };
         let key = key.trim().to_string();
         let value = parse_value(value.trim()).map_err(|e| format!("line {lineno}: {e}"))?;
-        out.entry(section.clone()).or_default().insert(key, value);
+        out.entry(section.clone())
+            .or_insert((lineno, BTreeMap::new()))
+            .1
+            .insert(key, (lineno, value));
     }
     Ok(out)
 }
@@ -254,14 +269,17 @@ impl LintConfig {
     pub fn parse(src: &str) -> Result<LintConfig, String> {
         let tables = parse_toml(src)?;
         let mut cfg = LintConfig::default();
-        for (section, table) in &tables {
+        for (section, (section_line, table)) in &tables {
             if section == "lint" {
-                for (key, value) in table {
+                for (key, (line, value)) in table {
                     match (key.as_str(), value) {
                         ("exclude", TomlValue::StrArray(v)) => cfg.exclude = v.clone(),
                         ("scan", TomlValue::StrArray(v)) => cfg.scan = v.clone(),
                         (k, v) => {
-                            return Err(format!("[lint] has no {}-valued key {k:?}", v.type_name()))
+                            return Err(format!(
+                                "line {line}: [lint] has no {}-valued key {k:?}",
+                                v.type_name()
+                            ))
                         }
                     }
                 }
@@ -270,7 +288,7 @@ impl LintConfig {
             if let Some(id) = section.strip_prefix("rules.") {
                 let Some(rule) = cfg.rules.get_mut(id) else {
                     return Err(format!(
-                        "[rules.{id}]: unknown rule (catalog: {})",
+                        "line {section_line}: [rules.{id}] names an unknown rule (catalog: {})",
                         crate::rules::catalog()
                             .iter()
                             .map(|r| r.id)
@@ -278,7 +296,7 @@ impl LintConfig {
                             .join(", ")
                     ));
                 };
-                for (key, value) in table {
+                for (key, (line, value)) in table {
                     match (key.as_str(), value) {
                         ("enabled", TomlValue::Bool(b)) => rule.enabled = *b,
                         ("scope", TomlValue::Str(s)) => {
@@ -287,17 +305,18 @@ impl LintConfig {
                                 "all" => Scope::All,
                                 other => {
                                     return Err(format!(
-                                        "[rules.{id}] scope must be \"lib\" or \"all\", \
-                                         got {other:?}"
+                                        "line {line}: [rules.{id}] scope must be \"lib\" or \
+                                         \"all\", got {other:?}"
                                     ))
                                 }
                             }
                         }
                         ("paths", TomlValue::StrArray(v)) => rule.paths = v.clone(),
                         ("allow_fns", TomlValue::StrArray(v)) => rule.allow_fns = v.clone(),
+                        ("sinks", TomlValue::StrArray(v)) => rule.sinks = v.clone(),
                         (k, v) => {
                             return Err(format!(
-                                "[rules.{id}] has no {}-valued key {k:?}",
+                                "line {line}: [rules.{id}] has no {}-valued key {k:?}",
                                 v.type_name()
                             ))
                         }
@@ -305,7 +324,7 @@ impl LintConfig {
                 }
                 continue;
             }
-            return Err(format!("unknown section [{section}]"));
+            return Err(format!("line {section_line}: unknown section [{section}]"));
         }
         Ok(cfg)
     }
@@ -378,6 +397,40 @@ mod tests {
         assert!(LintConfig::parse("[rules.Z999]\nenabled = true").is_err());
         assert!(LintConfig::parse("[mystery]\nx = 1").is_err());
         assert!(LintConfig::parse("[rules.P001]\nscope = \"sometimes\"").is_err());
+    }
+
+    #[test]
+    fn config_errors_carry_line_numbers() {
+        let err = LintConfig::parse("# ok\n\n[rules.Z999]\nenabled = true").unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
+        assert!(err.contains("unknown rule"), "{err}");
+
+        let err =
+            LintConfig::parse("[rules.P001]\nenabled = true\nseverity = \"high\"").unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
+        assert!(err.contains("no string-valued key \"severity\""), "{err}");
+
+        let err = LintConfig::parse("[lint]\nthreads = 4").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+
+        let err = LintConfig::parse("# leading\n[mystery]\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+
+        let err = LintConfig::parse("[rules.P001]\n\nscope = \"sometimes\"").unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
+    }
+
+    #[test]
+    fn sinks_key_parses_for_taint_rules() {
+        let cfg = LintConfig::parse("[rules.F001]\nsinks = [\"to_csv\", \"append\"]").unwrap();
+        assert_eq!(
+            cfg.rules["F001"].sinks,
+            vec!["to_csv".to_string(), "append".to_string()]
+        );
+        // Defaults populate sinks from the catalog.
+        let def = LintConfig::default();
+        assert!(def.rules["F001"].sinks.contains(&"to_csv".to_string()));
+        assert!(def.rules["D001"].sinks.is_empty());
     }
 
     #[test]

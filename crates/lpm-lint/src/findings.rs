@@ -134,7 +134,8 @@ impl LintReport {
 }
 
 /// JSON-escape a string (the subset of escapes this report can need).
-fn json_str(s: &str) -> String {
+/// Shared with the call-graph artifact writer in [`crate::graph`].
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -1,0 +1,844 @@
+//! Interprocedural dataflow on the call graph: wall-clock / RNG taint
+//! reaching result-path sinks (F001/F002) and concurrency hazards in the
+//! service layer (C001).
+//!
+//! Every finding carries a *why chain* — the call path from the sink
+//! back to the offending source — so a reviewer never has to rebuild the
+//! reachability argument by hand. Traversal is a reverse BFS from the
+//! taint sources with deterministic next-hop selection (node order is
+//! `(file, line)`), so the same tree always reports the same chains.
+
+use crate::config::{LintConfig, Scope};
+use crate::findings::Finding;
+use crate::graph::CallGraph;
+use crate::lexer::{Token, TokenKind};
+use crate::parse::{resolve, FileModel, FnItem};
+use crate::rules::rule_by_id;
+use std::collections::BTreeMap;
+
+/// Per-node source facts the taint and blocking passes start from.
+#[derive(Debug, Default, Clone)]
+struct Facts {
+    /// Line of a raw wall-clock read (`Instant::now` / `SystemTime`).
+    clock: Option<usize>,
+    /// RNG constructor name and line.
+    rng: Option<(String, usize)>,
+    /// Directly blocking operation (description, line): a zero-arg
+    /// `.join()` / `.recv()`, a bounded-channel `.send(..)`, or
+    /// `thread::scope` (which joins every spawned thread on exit).
+    blocking: Option<(&'static str, usize)>,
+    /// The signature mentions `MutexGuard` — a guard-producing helper
+    /// (`Shared::locked()` style); calling it acquires a lock.
+    returns_guard: bool,
+}
+
+/// Run every interprocedural rule; returns unsorted findings (the caller
+/// merges them into the report and applies allow annotations).
+pub fn interprocedural_findings(
+    models: &[FileModel],
+    graph: &CallGraph,
+    cfg: &LintConfig,
+) -> Vec<Finding> {
+    let facts: Vec<Facts> = graph
+        .nodes
+        .iter()
+        .map(|n| {
+            let m = &models[n.owner.0];
+            compute_facts(m, &m.fns[n.owner.1])
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    taint_rule(graph, &facts, cfg, "F001", &mut out);
+    taint_rule(graph, &facts, cfg, "F002", &mut out);
+    concurrency_rule(models, graph, &facts, cfg, &mut out);
+    out
+}
+
+fn ident_of(code: &[Token], i: usize) -> Option<&str> {
+    code.get(i).and_then(|t| t.ident())
+}
+
+fn punct_of(code: &[Token], i: usize, c: char) -> bool {
+    code.get(i).is_some_and(|t| t.is_punct(c))
+}
+
+/// Whether the token at `i` (an identifier) is followed by a call
+/// argument list, skipping an optional `::<..>` turbofish. Returns the
+/// index of the `(` if so.
+fn call_paren(code: &[Token], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if punct_of(code, j, ':') && punct_of(code, j + 1, ':') && punct_of(code, j + 2, '<') {
+        let mut angle = 1usize;
+        j += 3;
+        while j < code.len() && angle > 0 {
+            if punct_of(code, j, '<') {
+                angle += 1;
+            } else if punct_of(code, j, '>') {
+                angle -= 1;
+            }
+            j += 1;
+        }
+    }
+    punct_of(code, j, '(').then_some(j)
+}
+
+/// Scan one fn body for the source facts.
+fn compute_facts(m: &FileModel, f: &FnItem) -> Facts {
+    let code = &m.code;
+    let mut facts = Facts::default();
+    for i in f.sig.0..=f.sig.1.min(code.len().saturating_sub(1)) {
+        if ident_of(code, i) == Some("MutexGuard") {
+            facts.returns_guard = true;
+        }
+    }
+    let mut in_use = false;
+    let (s, e) = f.body;
+    for i in s..=e.min(code.len().saturating_sub(1)) {
+        let t = &code[i];
+        match &t.kind {
+            TokenKind::Punct(';') => in_use = false,
+            TokenKind::Ident(w) => {
+                if w == "use" {
+                    in_use = true;
+                    continue;
+                }
+                let eff = if in_use {
+                    w.as_str()
+                } else {
+                    resolve(&m.aliases, w)
+                };
+                match eff {
+                    "Instant"
+                        if punct_of(code, i + 1, ':')
+                            && punct_of(code, i + 2, ':')
+                            && ident_of(code, i + 3) == Some("now") =>
+                    {
+                        facts.clock.get_or_insert(t.line);
+                    }
+                    "SystemTime" if !in_use => {
+                        facts.clock.get_or_insert(t.line);
+                    }
+                    w2 if crate::rules::RNG_CONSTRUCTORS.contains(&w2)
+                        && !in_use
+                        && (i == 0 || ident_of(code, i - 1) != Some("fn"))
+                        && facts.rng.is_none() =>
+                    {
+                        facts.rng = Some((w2.to_string(), t.line));
+                    }
+                    "join"
+                        if i > 0
+                            && punct_of(code, i - 1, '.')
+                            && punct_of(code, i + 1, '(')
+                            && punct_of(code, i + 2, ')') =>
+                    {
+                        facts.blocking.get_or_insert((".join()", t.line));
+                    }
+                    "recv"
+                        if i > 0
+                            && punct_of(code, i - 1, '.')
+                            && punct_of(code, i + 1, '(')
+                            && punct_of(code, i + 2, ')') =>
+                    {
+                        facts.blocking.get_or_insert((".recv()", t.line));
+                    }
+                    "send" if i > 0 && punct_of(code, i - 1, '.') && punct_of(code, i + 1, '(') => {
+                        facts.blocking.get_or_insert((".send(..)", t.line));
+                    }
+                    "scope"
+                        if i >= 3
+                            && punct_of(code, i - 1, ':')
+                            && punct_of(code, i - 2, ':')
+                            && ident_of(code, i - 3) == Some("thread")
+                            && call_paren(code, i).is_some() =>
+                    {
+                        facts.blocking.get_or_insert(("thread::scope join", t.line));
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    facts
+}
+
+/// F001/F002: reverse-reachability from raw clock reads / RNG
+/// constructions (outside the sanctioned `allow_fns`) to result-path
+/// sink fns, with the call chain in the finding.
+fn taint_rule(
+    graph: &CallGraph,
+    facts: &[Facts],
+    cfg: &LintConfig,
+    rule_id: &str,
+    out: &mut Vec<Finding>,
+) {
+    let Some(rc) = cfg.rules.get(rule_id) else {
+        return;
+    };
+    if !rc.enabled || rc.sinks.is_empty() {
+        return;
+    }
+    let n = graph.nodes.len();
+    let source_of = |i: usize| -> Option<(String, usize)> {
+        let node = &graph.nodes[i];
+        if node.in_test || rc.allow_fns.iter().any(|a| a == &node.name) {
+            return None;
+        }
+        match rule_id {
+            "F001" => facts[i]
+                .clock
+                .map(|l| ("raw wall-clock read".to_string(), l)),
+            _ => facts[i]
+                .rng
+                .as_ref()
+                .map(|(ctor, l)| (format!("RNG constructed via {ctor}"), *l)),
+        }
+    };
+
+    // Reverse BFS from the sources; `next[c]` is the hop from c toward a
+    // source plus the call line inside c.
+    let rev = graph.callers();
+    let mut reached = vec![false; n];
+    let mut next: Vec<Option<(usize, usize)>> = vec![None; n];
+    let mut queue: Vec<usize> = Vec::new();
+    for (i, r) in reached.iter_mut().enumerate() {
+        if source_of(i).is_some() {
+            *r = true;
+            queue.push(i);
+        }
+    }
+    let mut qi = 0usize;
+    while qi < queue.len() {
+        let t = queue[qi];
+        qi += 1;
+        for &(caller, line) in &rev[t] {
+            if !reached[caller] && !graph.nodes[caller].in_test {
+                reached[caller] = true;
+                next[caller] = Some((t, line));
+                queue.push(caller);
+            }
+        }
+    }
+
+    for i in 0..n {
+        let node = &graph.nodes[i];
+        if !reached[i] || source_of(i).is_some() {
+            continue; // direct use in the sink itself is D002/D003's job
+        }
+        if !rc.sinks.iter().any(|s| s == &node.name) {
+            continue;
+        }
+        let Some(rc_here) = cfg.rule_for(rule_id, &node.file) else {
+            continue;
+        };
+        if rc_here.scope == Scope::Lib && node.in_test {
+            continue;
+        }
+        let Some((_, anchor_line)) = next[i] else {
+            continue;
+        };
+        // Follow the hops to the source to build the why chain.
+        let mut chain: Vec<String> = vec![node.name.clone()];
+        let mut cur = i;
+        while let Some((t, _)) = next[cur] {
+            chain.push(graph.nodes[t].name.clone());
+            cur = t;
+        }
+        let Some((what, src_line)) = source_of(cur) else {
+            continue;
+        };
+        let src_node = &graph.nodes[cur];
+        out.push(Finding {
+            rule: rule_id.to_string(),
+            file: node.file.clone(),
+            line: anchor_line,
+            message: format!(
+                "{what} reaches result-path sink {}() [{}; source at {}:{}]",
+                node.name,
+                chain.join(" -> "),
+                src_node.file,
+                src_line
+            ),
+            hint: rule_by_id(rule_id)
+                .map(|r| r.hint)
+                .unwrap_or_default()
+                .to_string(),
+        });
+    }
+}
+
+/// One live, let-bound lock guard during the statement scan.
+#[derive(Debug, Clone)]
+struct Guard {
+    /// Binding name (`st`, `sink`, ...).
+    name: String,
+    /// Mutex identity label — the receiver the lock came from (`state`,
+    /// `events`, ...) — used for the pairwise lock-order check.
+    label: String,
+    /// Brace depth (relative to the fn body) the binding lives at.
+    depth: usize,
+    line: usize,
+}
+
+/// A recorded "acquired `second` while holding `first`" event.
+#[derive(Debug, Clone)]
+struct LockPair {
+    first: String,
+    second: String,
+    file: String,
+    func: String,
+    line: usize,
+}
+
+/// C001: blocking ops while a Mutex guard is held (directly or through
+/// any chain of workspace calls), the PR-6 scope/bounded-channel
+/// deadlock shape, and cross-fn lock-order inversions.
+fn concurrency_rule(
+    models: &[FileModel],
+    graph: &CallGraph,
+    facts: &[Facts],
+    cfg: &LintConfig,
+    out: &mut Vec<Finding>,
+) {
+    let Some(rc_global) = cfg.rules.get("C001") else {
+        return;
+    };
+    if !rc_global.enabled {
+        return;
+    }
+    let n = graph.nodes.len();
+
+    // may-block fixpoint: a fn blocks if it contains a direct blocking
+    // op or (transitively) calls one that does. Reverse BFS from the
+    // direct blockers; `how` records each fn's next hop for why chains.
+    // `.join(..)`/`.recv(..)` calls *with* arguments are path/slice/
+    // timeout variants, never thread-join or channel-recv — those edges
+    // are skipped so `dir.join("x")` cannot launder a false chain.
+    let mut rev: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for (ci, node) in graph.nodes.iter().enumerate() {
+        for call in &node.calls {
+            if (call.callee == "join" || call.callee == "recv") && !call.argless {
+                continue;
+            }
+            for &ti in graph.targets(&call.callee) {
+                rev[ti].push((ci, call.line));
+            }
+        }
+    }
+    let mut may_block = vec![false; n];
+    let mut how: Vec<Option<(usize, usize)>> = vec![None; n];
+    let mut queue: Vec<usize> = Vec::new();
+    for i in 0..n {
+        if facts[i].blocking.is_some() && !graph.nodes[i].in_test {
+            may_block[i] = true;
+            queue.push(i);
+        }
+    }
+    let mut qi = 0usize;
+    while qi < queue.len() {
+        let t = queue[qi];
+        qi += 1;
+        for &(caller, line) in &rev[t] {
+            if !may_block[caller] && !graph.nodes[caller].in_test {
+                may_block[caller] = true;
+                how[caller] = Some((t, line));
+                queue.push(caller);
+            }
+        }
+    }
+    let block_chain = |start: usize| -> String {
+        let mut chain = vec![graph.nodes[start].name.clone()];
+        let mut cur = start;
+        while let Some((t, _)) = how[cur] {
+            chain.push(graph.nodes[t].name.clone());
+            cur = t;
+        }
+        if let Some((desc, _)) = facts[cur].blocking {
+            chain.push(desc.to_string());
+        }
+        chain.join(" -> ")
+    };
+
+    // Guard-producing helpers: fn name -> mutex label of its `.lock()`.
+    // (`lock` itself is excluded: a `.lock(..)` call is always treated
+    // as the direct acquisition it is.)
+    let mut helpers: BTreeMap<String, String> = BTreeMap::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if !facts[i].returns_guard || node.name == "lock" {
+            continue;
+        }
+        let m = &models[node.owner.0];
+        let f = &m.fns[node.owner.1];
+        let label = first_lock_label(&m.code, f.body).unwrap_or_else(|| "guard".to_string());
+        helpers.entry(node.name.clone()).or_insert(label);
+    }
+
+    let hint = rule_by_id("C001").map(|r| r.hint).unwrap_or_default();
+    let mut pairs: Vec<LockPair> = Vec::new();
+    for node in &graph.nodes {
+        let Some(rc_here) = cfg.rule_for("C001", &node.file) else {
+            continue;
+        };
+        if rc_here.scope == Scope::Lib && node.in_test {
+            continue;
+        }
+        let m = &models[node.owner.0];
+        let f = &m.fns[node.owner.1];
+        scan_guarded_blocking(
+            m,
+            f,
+            node,
+            graph,
+            &may_block,
+            &helpers,
+            &block_chain,
+            hint,
+            &mut pairs,
+            out,
+        );
+        scan_scope_channel(m, f, node, hint, out);
+    }
+
+    // Lock-order inversion: the same pair of mutex labels acquired in
+    // opposite orders by different fns.
+    let mut by_order: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+    for (idx, p) in pairs.iter().enumerate() {
+        by_order
+            .entry((p.first.clone(), p.second.clone()))
+            .or_default()
+            .push(idx);
+    }
+    for ((a, b), sites) in &by_order {
+        if a == b {
+            continue;
+        }
+        let Some(opposite) = by_order.get(&(b.clone(), a.clone())) else {
+            continue;
+        };
+        let Some(&other_idx) = opposite.first() else {
+            continue;
+        };
+        let other = &pairs[other_idx];
+        for &si in sites {
+            let p = &pairs[si];
+            out.push(Finding {
+                rule: "C001".to_string(),
+                file: p.file.clone(),
+                line: p.line,
+                message: format!(
+                    "lock-order inversion: {}() acquires `{}` then `{}`, but {}() ({}:{}) \
+                     acquires them in the opposite order — concurrent callers can deadlock",
+                    p.func, p.first, p.second, other.func, other.file, other.line
+                ),
+                hint: hint.to_string(),
+            });
+        }
+    }
+}
+
+/// The receiver label of the first `.lock(` in a token range: the last
+/// identifier of the receiver chain (`self.state.lock()` -> `state`,
+/// `self.deques[shard].lock()` -> `deques`).
+fn first_lock_label(code: &[Token], range: (usize, usize)) -> Option<String> {
+    let (s, e) = range;
+    for i in s..=e.min(code.len().saturating_sub(1)) {
+        if ident_of(code, i) == Some("lock")
+            && i > 0
+            && punct_of(code, i - 1, '.')
+            && punct_of(code, i + 1, '(')
+        {
+            return Some(receiver_label(code, i - 1));
+        }
+    }
+    None
+}
+
+/// Walk backwards from the `.` before a method name to the receiver's
+/// last meaningful identifier, skipping one `[..]`/`(..)` group.
+fn receiver_label(code: &[Token], dot: usize) -> String {
+    let mut k = dot;
+    loop {
+        let Some(prev) = k.checked_sub(1) else {
+            return "guard".to_string();
+        };
+        k = prev;
+        if punct_of(code, k, ']') || punct_of(code, k, ')') {
+            let close = if punct_of(code, k, ']') { ']' } else { ')' };
+            let open = if close == ']' { '[' } else { '(' };
+            let mut depth2 = 1usize;
+            while depth2 > 0 {
+                let Some(prev2) = k.checked_sub(1) else {
+                    return "guard".to_string();
+                };
+                k = prev2;
+                if punct_of(code, k, close) {
+                    depth2 += 1;
+                } else if punct_of(code, k, open) {
+                    depth2 -= 1;
+                }
+            }
+            continue;
+        }
+        if let Some(w) = ident_of(code, k) {
+            return w.to_string();
+        }
+        if punct_of(code, k, '.') {
+            continue;
+        }
+        return "guard".to_string();
+    }
+}
+
+/// The binding a statement assigns its value to: `let [mut] name = ...`
+/// or a plain `name = ...` re-binding. Walks back from `at` to the
+/// nearest statement boundary.
+fn statement_binding(code: &[Token], body_start: usize, at: usize) -> Option<String> {
+    let mut k = at;
+    while k > body_start {
+        let t = &code[k - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        k -= 1;
+    }
+    let mut j = k;
+    if ident_of(code, j) == Some("let") {
+        j += 1;
+        if ident_of(code, j) == Some("mut") {
+            j += 1;
+        }
+        return ident_of(code, j).map(|s| s.to_string());
+    }
+    if let Some(name) = ident_of(code, j) {
+        if punct_of(code, j + 1, '=') && !punct_of(code, j + 2, '=') {
+            return Some(name.to_string());
+        }
+    }
+    None
+}
+
+/// C001 part 1: blocking operations (direct or via the may-block set)
+/// while a let-bound Mutex guard is live; records lock-order pairs as a
+/// side effect.
+#[allow(clippy::too_many_arguments)]
+fn scan_guarded_blocking(
+    m: &FileModel,
+    f: &FnItem,
+    node: &crate::graph::GraphNode,
+    graph: &CallGraph,
+    may_block: &[bool],
+    helpers: &BTreeMap<String, String>,
+    block_chain: &dyn Fn(usize) -> String,
+    hint: &str,
+    pairs: &mut Vec<LockPair>,
+    out: &mut Vec<Finding>,
+) {
+    let code = &m.code;
+    let (s, e) = f.body;
+    let mut depth = 0usize;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut in_use = false;
+    let mut i = s;
+    while i <= e.min(code.len().saturating_sub(1)) {
+        let t = &code[i];
+        match &t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            }
+            TokenKind::Punct(';') => in_use = false,
+            TokenKind::Ident(w) => {
+                if w == "use" {
+                    in_use = true;
+                    i += 1;
+                    continue;
+                }
+                let eff = if in_use {
+                    w.as_str()
+                } else {
+                    resolve(&m.aliases, w)
+                };
+                // Guard death: drop(name).
+                if eff == "drop" && punct_of(code, i + 1, '(') {
+                    if let Some(name) = ident_of(code, i + 2) {
+                        if punct_of(code, i + 3, ')') {
+                            guards.retain(|g| g.name != name);
+                        }
+                    }
+                }
+                // Acquisition: `.lock(` directly, or a guard-returning
+                // helper call (`shared.locked()`).
+                let acquisition = if eff == "lock"
+                    && i > 0
+                    && punct_of(code, i - 1, '.')
+                    && punct_of(code, i + 1, '(')
+                {
+                    Some(receiver_label(code, i - 1))
+                } else if call_paren(code, i).is_some() {
+                    helpers.get(eff).cloned()
+                } else {
+                    None
+                };
+                if let Some(label) = acquisition {
+                    for g in &guards {
+                        pairs.push(LockPair {
+                            first: g.label.clone(),
+                            second: label.clone(),
+                            file: node.file.clone(),
+                            func: node.name.clone(),
+                            line: t.line,
+                        });
+                    }
+                    if let Some(name) = statement_binding(code, s, i) {
+                        guards.retain(|g| g.name != name);
+                        guards.push(Guard {
+                            name,
+                            label,
+                            depth,
+                            line: t.line,
+                        });
+                    }
+                    i += 1;
+                    continue;
+                }
+                // Blocking events while a guard is live.
+                if !guards.is_empty() {
+                    let g = &guards[guards.len() - 1];
+                    let direct = if i > 0 && punct_of(code, i - 1, '.') {
+                        match eff {
+                            "join" if punct_of(code, i + 1, '(') && punct_of(code, i + 2, ')') => {
+                                Some(".join()")
+                            }
+                            "recv" if punct_of(code, i + 1, '(') && punct_of(code, i + 2, ')') => {
+                                Some(".recv()")
+                            }
+                            "send" if punct_of(code, i + 1, '(') => Some(".send(..)"),
+                            _ => None,
+                        }
+                    } else if eff == "scope"
+                        && i >= 3
+                        && punct_of(code, i - 1, ':')
+                        && punct_of(code, i - 2, ':')
+                        && ident_of(code, i - 3) == Some("thread")
+                        && call_paren(code, i).is_some()
+                    {
+                        Some("thread::scope join")
+                    } else {
+                        None
+                    };
+                    if let Some(desc) = direct {
+                        out.push(Finding {
+                            rule: "C001".to_string(),
+                            file: node.file.clone(),
+                            line: t.line,
+                            message: format!(
+                                "blocking {desc} while MutexGuard `{}` (acquired line {}) is \
+                                 held — a stalled peer leaves the lock unreleasable",
+                                g.name, g.line
+                            ),
+                            hint: hint.to_string(),
+                        });
+                    } else if let Some(paren) = call_paren(code, i) {
+                        // Transitive: a workspace call that may block.
+                        let argless = punct_of(code, paren + 1, ')');
+                        let skip = (eff == "join" || eff == "recv") && !argless;
+                        if !skip && !helpers.contains_key(eff) {
+                            let target =
+                                graph.targets(eff).iter().copied().find(|&ti| may_block[ti]);
+                            if let Some(ti) = target {
+                                out.push(Finding {
+                                    rule: "C001".to_string(),
+                                    file: node.file.clone(),
+                                    line: t.line,
+                                    message: format!(
+                                        "call to {eff}() may block [{}] while MutexGuard `{}` \
+                                         (acquired line {}) is held",
+                                        block_chain(ti),
+                                        g.name,
+                                        g.line
+                                    ),
+                                    hint: hint.to_string(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// C001 part 2: the PR-6 deadlock shape. Inside `thread::scope` with
+/// spawned workers feeding a bounded channel: (a) the original sender
+/// must be dropped before the collector drains, and (b) an early `break`
+/// out of the drain loop must drop the receiver first — otherwise
+/// workers block in `send` and the scope join never completes.
+fn scan_scope_channel(
+    m: &FileModel,
+    f: &FnItem,
+    node: &crate::graph::GraphNode,
+    hint: &str,
+    out: &mut Vec<Finding>,
+) {
+    let code = &m.code;
+    let (s, e) = f.body;
+    let end = e.min(code.len().saturating_sub(1));
+
+    // The bounded-channel binding: `let (tx, rx) = ..sync_channel..(..)`.
+    let mut sender: Option<String> = None;
+    let mut receiver: Option<String> = None;
+    for i in s..=end {
+        let Some(w) = ident_of(code, i) else { continue };
+        if resolve(&m.aliases, w) != "sync_channel" || call_paren(code, i).is_none() {
+            continue;
+        }
+        let mut k = i;
+        while k > s && !punct_of(code, k - 1, ';') && !punct_of(code, k - 1, '{') {
+            k -= 1;
+        }
+        if ident_of(code, k) == Some("let") && punct_of(code, k + 1, '(') {
+            let a = ident_of(code, k + 2);
+            let b = punct_of(code, k + 3, ',')
+                .then(|| ident_of(code, k + 4))
+                .flatten();
+            if let (Some(a), Some(b)) = (a, b) {
+                sender = Some(a.to_string());
+                receiver = Some(b.to_string());
+            }
+        }
+        break;
+    }
+    let (Some(tx), Some(rx)) = (sender, receiver) else {
+        return;
+    };
+
+    // The thread::scope call and its closure extent.
+    let mut scope_range: Option<(usize, usize)> = None;
+    for i in s..=end {
+        if ident_of(code, i) == Some("scope")
+            && i >= 3
+            && punct_of(code, i - 1, ':')
+            && punct_of(code, i - 2, ':')
+            && ident_of(code, i - 3) == Some("thread")
+        {
+            if let Some(open) = call_paren(code, i) {
+                let mut depth2 = 1usize;
+                let mut j = open + 1;
+                while j <= end && depth2 > 0 {
+                    if punct_of(code, j, '(') {
+                        depth2 += 1;
+                    } else if punct_of(code, j, ')') {
+                        depth2 -= 1;
+                    }
+                    j += 1;
+                }
+                scope_range = Some((open, j.saturating_sub(1)));
+            }
+            break;
+        }
+    }
+    let Some((ss, se)) = scope_range else { return };
+
+    let has_spawn = (ss..=se).any(|i| {
+        ident_of(code, i) == Some("spawn")
+            && i > 0
+            && punct_of(code, i - 1, '.')
+            && punct_of(code, i + 1, '(')
+    });
+    if !has_spawn {
+        return;
+    }
+    let recv_at = (ss..=se).find(|&i| {
+        ident_of(code, i) == Some(rx.as_str())
+            && punct_of(code, i + 1, '.')
+            && ident_of(code, i + 2) == Some("recv")
+            && punct_of(code, i + 3, '(')
+    });
+    let Some(r) = recv_at else { return };
+
+    let drop_of = |name: &str, lo: usize, hi: usize| -> bool {
+        (lo..=hi).any(|i| {
+            ident_of(code, i) == Some("drop")
+                && punct_of(code, i + 1, '(')
+                && ident_of(code, i + 2) == Some(name)
+                && punct_of(code, i + 3, ')')
+        })
+    };
+
+    // (a) sender still live when the drain starts.
+    if !drop_of(&tx, ss, r) {
+        out.push(Finding {
+            rule: "C001".to_string(),
+            file: node.file.clone(),
+            line: code[r].line,
+            message: format!(
+                "{}() drains `{rx}` inside thread::scope with the original sender `{tx}` never \
+                 dropped — the drain loop cannot end, so the scope join never completes",
+                node.name
+            ),
+            hint: hint.to_string(),
+        });
+    }
+
+    // (b) early `break` out of the drain loop with the receiver live.
+    let mut lb = r;
+    while lb <= se && !punct_of(code, lb, '{') {
+        lb += 1;
+    }
+    if lb > se {
+        return;
+    }
+    let mut depth2 = 1usize;
+    let mut le = lb + 1;
+    while le <= se && depth2 > 0 {
+        if punct_of(code, le, '{') {
+            depth2 += 1;
+        } else if punct_of(code, le, '}') {
+            depth2 -= 1;
+        }
+        le += 1;
+    }
+    let le = le.saturating_sub(1);
+    if drop_of(&rx, lb, le) {
+        return;
+    }
+    // Count breaks that belong to the drain loop itself, not a nested one.
+    let mut nested: Vec<usize> = Vec::new();
+    let mut pending_loop = false;
+    let mut d = 0usize;
+    for i in lb + 1..le {
+        if punct_of(code, i, '{') {
+            d += 1;
+            if pending_loop {
+                nested.push(d);
+                pending_loop = false;
+            }
+        } else if punct_of(code, i, '}') {
+            if nested.last() == Some(&d) {
+                nested.pop();
+            }
+            d = d.saturating_sub(1);
+        } else if matches!(
+            ident_of(code, i),
+            Some("while") | Some("loop") | Some("for")
+        ) {
+            pending_loop = true;
+        } else if ident_of(code, i) == Some("break") && nested.is_empty() {
+            out.push(Finding {
+                rule: "C001".to_string(),
+                file: node.file.clone(),
+                line: code[i].line,
+                message: format!(
+                    "`break` exits the `{rx}` drain loop with the receiver still live — workers \
+                     blocked in the bounded `{tx}.send(..)` keep the thread::scope join from \
+                     ever completing (drop({rx}) before breaking)",
+                ),
+                hint: hint.to_string(),
+            });
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The workspace-wide call graph and its deterministic JSON artifact.
+//!
+//! Nodes are `fn` items from [`crate::parse`]; edges are name-resolved
+//! call sites. Resolution is purely textual (every workspace fn with the
+//! callee's name is a target), so the graph over-approximates real
+//! reachability — see DESIGN.md §9 for why that is the safe direction
+//! for the taint rules built on top of it.
+
+use std::collections::BTreeMap;
+
+use crate::parse::{CallSite, FileModel};
+
+/// One fn in the graph.
+#[derive(Debug, Clone)]
+pub struct GraphNode {
+    pub file: String,
+    pub name: String,
+    pub line: usize,
+    pub in_test: bool,
+    pub calls: Vec<CallSite>,
+    /// Index of the owning `(FileModel, FnItem)` pair, for passes that
+    /// need the body tokens back.
+    pub owner: (usize, usize),
+}
+
+/// The assembled graph. Node order is `(file, line)` — models arrive
+/// sorted by path and fns are in source order, so the layout (and the
+/// JSON artifact) is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    pub nodes: Vec<GraphNode>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build the graph from per-file models (callers pass them sorted by
+    /// workspace-relative path).
+    pub fn build(models: &[FileModel]) -> CallGraph {
+        let mut nodes = Vec::new();
+        for (mi, m) in models.iter().enumerate() {
+            for (fi, f) in m.fns.iter().enumerate() {
+                nodes.push(GraphNode {
+                    file: m.rel.clone(),
+                    name: f.name.clone(),
+                    line: f.line,
+                    in_test: f.in_test,
+                    calls: f.calls.clone(),
+                    owner: (mi, fi),
+                });
+            }
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            by_name.entry(n.name.clone()).or_default().push(i);
+        }
+        CallGraph { nodes, by_name }
+    }
+
+    /// All node indices whose fn is named `name`.
+    pub fn targets(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Reverse adjacency: for each node, the `(caller, call line in the
+    /// caller)` pairs that resolve to it.
+    pub fn callers(&self) -> Vec<Vec<(usize, usize)>> {
+        let mut rev: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.nodes.len()];
+        for (ci, n) in self.nodes.iter().enumerate() {
+            for call in &n.calls {
+                for &ti in self.targets(&call.callee) {
+                    rev[ti].push((ci, call.line));
+                }
+            }
+        }
+        rev
+    }
+
+    /// The sorted, machine-readable artifact: every fn with its resolved
+    /// call edges. Byte-identical across runs for the same tree.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"tool\":\"lpm-lint\",\"kind\":\"call-graph\",\"version\":1,");
+        out.push_str(&format!("\"functions\":{},", self.nodes.len()));
+        out.push_str("\"nodes\":[");
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"file\":{},\"name\":{},\"line\":{},\"test\":{},\"calls\":[",
+                crate::findings::json_str(&n.file),
+                crate::findings::json_str(&n.name),
+                n.line,
+                n.in_test
+            ));
+            for (j, c) in n.calls.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let resolved: Vec<String> = self
+                    .targets(&c.callee)
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect();
+                out.push_str(&format!(
+                    "{{\"name\":{},\"line\":{},\"resolves\":[{}]}}",
+                    crate::findings::json_str(&c.callee),
+                    c.line,
+                    resolved.join(",")
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_file;
+
+    fn graph_of(files: &[(&str, &str)]) -> CallGraph {
+        let models: Vec<FileModel> = files
+            .iter()
+            .map(|(rel, src)| parse_file(rel, &lex(src), false))
+            .collect();
+        CallGraph::build(&models)
+    }
+
+    #[test]
+    fn cross_file_edges_resolve_by_name() {
+        let g = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn leaf() {}\npub fn mid() { leaf(); }\n",
+            ),
+            ("crates/b/src/lib.rs", "pub fn top() { mid(); }\n"),
+        ]);
+        assert_eq!(g.nodes.len(), 3);
+        let top = g.targets("top")[0];
+        let mid = g.targets("mid")[0];
+        assert!(g.nodes[top].calls.iter().any(|c| c.callee == "mid"));
+        let rev = g.callers();
+        assert_eq!(rev[mid], vec![(top, 1)]);
+    }
+
+    #[test]
+    fn json_artifact_is_deterministic_and_parseable_shape() {
+        let g = graph_of(&[("crates/a/src/lib.rs", "fn a() { b(); }\nfn b() {}\n")]);
+        let j1 = g.to_json();
+        let j2 = g.to_json();
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\"kind\":\"call-graph\""));
+        assert!(j1.contains("\"resolves\":[1]"));
+        assert!(j1.ends_with("]}\n"));
+    }
+}

@@ -123,6 +123,28 @@ pub fn lex(src: &str) -> Vec<Token> {
                 j += 1;
             }
             let word: String = chars[start..j].iter().collect();
+            // Raw identifier `r#name` (e.g. `r#fn`): one `#` followed by
+            // an identifier start. Distinct from a raw string `r#"..."#`,
+            // whose `#` run ends in a quote. The token keeps its `r#`
+            // prefix so `r#fn` never masquerades as the `fn` keyword.
+            if word == "r"
+                && chars.get(j) == Some(&'#')
+                && chars
+                    .get(j + 1)
+                    .is_some_and(|n| n.is_alphabetic() || *n == '_')
+            {
+                let mut k = j + 1;
+                while k < chars.len() && (chars[k].is_alphanumeric() || chars[k] == '_') {
+                    k += 1;
+                }
+                let name: String = chars[j + 1..k].iter().collect();
+                toks.push(Token {
+                    kind: TokenKind::Ident(format!("r#{name}")),
+                    line,
+                });
+                i = k;
+                continue;
+            }
             // `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`.
             let is_str_prefix = matches!(word.as_str(), "r" | "b" | "br" | "rb");
             if is_str_prefix && matches!(chars.get(j), Some('"') | Some('#')) {
@@ -353,6 +375,58 @@ mod tests {
         let toks = lex("for i in 0..10 { a[i] = 2.5; }");
         let dots = toks.iter().filter(|t| t.is_punct('.')).count();
         assert_eq!(dots, 2); // the `..`, not the float's decimal point
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents_not_strings() {
+        let toks = lex("fn r#fn(r#type: u32) -> u32 { r#type }");
+        assert!(
+            !toks.iter().any(|t| t.kind == TokenKind::Str),
+            "raw identifiers must not be mistaken for raw strings: {toks:?}"
+        );
+        let names: Vec<&str> = toks.iter().filter_map(|t| t.ident()).collect();
+        assert_eq!(names, vec!["fn", "r#fn", "r#type", "u32", "u32", "r#type"]);
+    }
+
+    #[test]
+    fn raw_identifier_keeps_following_tokens_intact() {
+        // The old lexer consumed one extra char after `r#fn`, swallowing
+        // the `(` — prove the full token stream stays aligned.
+        let toks = lex("r#match(x)");
+        assert!(toks.iter().any(|t| t.is_punct('(')));
+        assert!(toks.iter().any(|t| t.is_punct(')')));
+        assert!(toks.iter().any(|t| t.ident() == Some("x")));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_close_on_matching_hash_count() {
+        // The `"#` inside the body must not close a `r##"..."##` string.
+        let src = "let a = r##\"inner \"# quote\"##; let live = 1;";
+        let toks = lex(src);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+        assert!(!toks.iter().any(|t| t.ident() == Some("inner")));
+        assert!(toks.iter().any(|t| t.ident() == Some("live")));
+    }
+
+    #[test]
+    fn doc_comments_with_code_fences_stay_comments() {
+        let src = "\
+/// Example:
+/// ```
+/// let m = HashMap::new();
+/// m.get(&1).unwrap();
+/// ```
+fn documented() {}
+";
+        let toks = lex(src);
+        assert!(!toks.iter().any(|t| t.ident() == Some("HashMap")));
+        assert!(!toks.iter().any(|t| t.ident() == Some("unwrap")));
+        let comments = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Comment(_)))
+            .count();
+        assert_eq!(comments, 5);
+        assert!(toks.iter().any(|t| t.ident() == Some("documented")));
     }
 
     #[test]

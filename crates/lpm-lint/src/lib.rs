@@ -19,21 +19,42 @@
 //! - **P002** — bare `as` numeric casts on counter/cycle types, which
 //!   silently truncate.
 //!
+//! On top of the token rules sits an interprocedural layer: a
+//! lightweight item parser ([`parse`]) builds per-file fn models with
+//! alias-resolved call sites, [`graph`] assembles the workspace call
+//! graph (with a deterministic JSON artifact), and [`flow`] runs the
+//! dataflow rules over it, each finding carrying a *why chain* — the
+//! call path from sink to source:
+//!
+//! - **F001** — wall-clock reads reaching result-path sinks through any
+//!   number of helper fns (`wall_now` is the one sanctioned source).
+//! - **F002** — RNG construction reaching result paths outside the
+//!   `derive_stream`/`rng_for`/`salted_rng` family.
+//! - **C001** — service-layer concurrency hazards: blocking sends,
+//!   receives or joins while a `MutexGuard` is held, the bounded-channel
+//!   / thread-scope deadlock shape from PR 6, and pairwise lock-order
+//!   inversions across fns.
+//! - **U001** — `unsafe` outside the audited, allow-annotated inventory.
+//!
 //! The analyzer is dependency-free: a hand-rolled lexer ([`lexer`]), a
 //! token-pattern rule engine ([`rules`]), a minimal TOML-subset config
 //! loader ([`config`]), and a deterministic report/JSON writer
-//! ([`findings`]). See `DESIGN.md` §9 for the rule catalog and the
-//! allow-annotation policy.
+//! ([`findings`]). See `DESIGN.md` §9 for the rule catalog, the
+//! why-chain format and the allow-annotation policy.
 
 pub mod config;
 pub mod findings;
+pub mod flow;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod scan;
 
 pub use config::{LintConfig, RuleConfig, Scope};
 pub use findings::{AllowSite, Finding, LintReport};
-pub use scan::{enumerate_files, lint_files, lint_tree};
+pub use graph::CallGraph;
+pub use scan::{analyze_files, analyze_tree, enumerate_files, lint_files, lint_tree, Analysis};
 
 use std::path::Path;
 

@@ -4,6 +4,7 @@
 //! cargo run -p lpm-lint                       # lint the workspace, text output
 //! cargo run -p lpm-lint -- --format json      # machine-readable findings
 //! cargo run -p lpm-lint -- --list-allows      # audit every escape hatch in force
+//! cargo run -p lpm-lint -- --graph-out g.json # dump the call-graph artifact
 //! cargo run -p lpm-lint -- path/to/file.rs    # lint specific files only
 //! ```
 //!
@@ -13,13 +14,14 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use lpm_lint::{lint_files, lint_tree, LintConfig};
+use lpm_lint::{analyze_files, analyze_tree, LintConfig};
 
 struct Args {
     root: PathBuf,
     config: Option<PathBuf>,
     format: Format,
     out: Option<PathBuf>,
+    graph_out: Option<PathBuf>,
     list_allows: bool,
     paths: Vec<PathBuf>,
 }
@@ -31,7 +33,7 @@ enum Format {
 }
 
 const USAGE: &str = "usage: lpm-lint [--root DIR] [--config FILE] [--format text|json] \
-[--out FILE] [--list-allows] [PATH ...]";
+[--out FILE] [--graph-out FILE] [--list-allows] [PATH ...]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -39,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         config: None,
         format: Format::Text,
         out: None,
+        graph_out: None,
         list_allows: false,
         paths: Vec::new(),
     };
@@ -58,6 +61,9 @@ fn parse_args() -> Result<Args, String> {
             },
             "--out" => {
                 args.out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?));
+            }
+            "--graph-out" => {
+                args.graph_out = Some(PathBuf::from(it.next().ok_or("--graph-out needs a value")?));
             }
             "--list-allows" => args.list_allows = true,
             "--help" | "-h" => return Err(USAGE.into()),
@@ -103,8 +109,8 @@ fn run() -> Result<ExitCode, String> {
         }
     };
 
-    let report = if args.paths.is_empty() {
-        lint_tree(&root, &cfg)?
+    let analysis = if args.paths.is_empty() {
+        analyze_tree(&root, &cfg)?
     } else {
         let mut files = Vec::new();
         for p in &args.paths {
@@ -121,8 +127,14 @@ fn run() -> Result<ExitCode, String> {
             files.push((abs, rel));
         }
         files.sort_by(|a, b| a.1.cmp(&b.1));
-        lint_files(&root, &files, &cfg)?
+        analyze_files(&root, &files, &cfg)?
     };
+    let report = analysis.report;
+
+    if let Some(path) = &args.graph_out {
+        std::fs::write(path, analysis.graph.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
 
     if args.list_allows {
         print!("{}", report.allows_text());

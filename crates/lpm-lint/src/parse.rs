@@ -1,0 +1,341 @@
+//! A lightweight item parser on top of the lexer: `use`-alias maps, `fn`
+//! items with body extents, and call-expression extraction.
+//!
+//! This is the minimum syntactic structure the interprocedural rules
+//! (F001/F002/C001) need — emphatically *not* a full Rust parser. Names
+//! are resolved textually: a call site `helper(..)` or `.helper(..)`
+//! links to every workspace `fn helper`, with no type or trait
+//! resolution. That over-approximates reachability (a `Vec::push` never
+//! links anywhere, a method name shared with a workspace fn links to
+//! it), which is the safe direction for taint rules and is documented in
+//! DESIGN.md §9 as the call-graph soundness caveat.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Token, TokenKind};
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee name after `use`-alias resolution.
+    pub callee: String,
+    /// Line of the call expression.
+    pub line: usize,
+    /// Whether the argument list is empty (`f()`): the concurrency rule
+    /// uses this to tell `handle.join()` from `path.join(seg)`.
+    pub argless: bool,
+}
+
+/// One `fn` item with a body.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The declared name (raw identifiers keep their `r#` prefix).
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: usize,
+    /// Inside a `#[test]` fn, a `#[cfg(test)]` region, or a tests/
+    /// benches file — excluded from result-path taint traversal.
+    pub in_test: bool,
+    /// Token-index range `[start, end]` of the signature: the `fn`
+    /// keyword up to (excluding) the body's `{`.
+    pub sig: (usize, usize),
+    /// Token-index range `[start, end]` of the body including both
+    /// braces. Indices refer to [`FileModel::code`].
+    pub body: (usize, usize),
+    /// Deduplicated outgoing calls (first occurrence per callee).
+    pub calls: Vec<CallSite>,
+}
+
+/// Everything the interprocedural passes need from one file.
+#[derive(Debug, Clone)]
+pub struct FileModel {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// `use` alias map: local name -> original (last path segment).
+    pub aliases: BTreeMap<String, String>,
+    /// Function items in source order.
+    pub fns: Vec<FnItem>,
+    /// Comment-free token stream the `sig`/`body` ranges index into.
+    pub code: Vec<Token>,
+}
+
+/// Keywords that look like callees when followed by `(` but are not.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern",
+    "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true", "type",
+    "unsafe", "use", "where", "while",
+];
+
+/// Extract `X as Y` pairs from the `use` statements in a comment-free
+/// token stream. Grouped imports (`use a::{B as C, D as E}`) yield one
+/// pair per `as`; the original is the path segment just before the `as`.
+pub fn alias_map(code: &[Token]) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].ident() != Some("use") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < code.len() && !code[j].is_punct(';') {
+            if code[j].ident() == Some("as") {
+                let orig = j.checked_sub(1).and_then(|k| code[k].ident());
+                let alias = code.get(j + 1).and_then(|t| t.ident());
+                if let (Some(orig), Some(alias)) = (orig, alias) {
+                    if alias != "_" && alias != orig {
+                        map.insert(alias.to_string(), orig.to_string());
+                    }
+                }
+            }
+            j += 1;
+        }
+        i = j;
+    }
+    map
+}
+
+/// Resolve one identifier through the alias map (one step, no chains —
+/// `use` aliases cannot alias each other within a file in practice).
+pub fn resolve<'a>(aliases: &'a BTreeMap<String, String>, word: &'a str) -> &'a str {
+    aliases.get(word).map(String::as_str).unwrap_or(word)
+}
+
+/// Parse one file's token stream into a [`FileModel`].
+///
+/// `in_tests_dir` marks every fn in the file as test code (integration
+/// tests and benches are never result paths).
+pub fn parse_file(rel: &str, tokens: &[Token], in_tests_dir: bool) -> FileModel {
+    let code: Vec<Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::Comment(_)))
+        .cloned()
+        .collect();
+    let aliases = alias_map(&code);
+
+    let ident_at = |i: usize| -> Option<&str> { code.get(i).and_then(|t| t.ident()) };
+    let punct_at = |i: usize, c: char| -> bool { code.get(i).is_some_and(|t| t.is_punct(c)) };
+
+    // Pass 1: locate fn items and their body extents, mirroring the rule
+    // engine's depth / test-region tracking so both layers agree on what
+    // counts as test code.
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut open: Vec<(usize, usize)> = Vec::new(); // (depth, fns index)
+    let mut depth = 0usize;
+    let mut test_stack: Vec<usize> = Vec::new();
+    let mut pending_test = false;
+    let mut pending_fn: Option<(String, usize, usize)> = None; // (name, line, sig start)
+
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = &code[i];
+        // Attributes are skipped as a unit (their contents are not code).
+        if t.is_punct('#') && punct_at(i + 1, '[') {
+            let mut j = i + 2;
+            let mut brackets = 1usize;
+            let mut has_test = false;
+            while j < code.len() && brackets > 0 {
+                if punct_at(j, '[') {
+                    brackets += 1;
+                } else if punct_at(j, ']') {
+                    brackets -= 1;
+                } else if ident_at(j) == Some("test") {
+                    has_test = true;
+                }
+                j += 1;
+            }
+            if has_test {
+                pending_test = true;
+            }
+            i = j;
+            continue;
+        }
+        match &t.kind {
+            TokenKind::Punct('{') => {
+                depth += 1;
+                if pending_test {
+                    test_stack.push(depth);
+                    pending_test = false;
+                }
+                if let Some((name, line, sig_start)) = pending_fn.take() {
+                    let in_test = in_tests_dir || !test_stack.is_empty();
+                    fns.push(FnItem {
+                        name,
+                        line,
+                        in_test,
+                        sig: (sig_start, i.saturating_sub(1)),
+                        body: (i, i), // end patched when the brace closes
+                        calls: Vec::new(),
+                    });
+                    open.push((depth, fns.len() - 1));
+                }
+            }
+            TokenKind::Punct('}') => {
+                if test_stack.last() == Some(&depth) {
+                    test_stack.pop();
+                }
+                if open.last().map(|(d, _)| *d) == Some(depth) {
+                    if let Some((_, idx)) = open.pop() {
+                        fns[idx].body.1 = i;
+                    }
+                }
+                depth = depth.saturating_sub(1);
+            }
+            TokenKind::Punct(';') => {
+                // Bodiless signature (trait method, extern decl).
+                pending_fn = None;
+                pending_test = false;
+            }
+            TokenKind::Ident(w) if w == "fn" => {
+                if let Some(name) = ident_at(i + 1) {
+                    pending_fn = Some((name.to_string(), t.line, i));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Unclosed bodies (truncated input): extend to the end of the file.
+    for (_, idx) in open {
+        fns[idx].body.1 = code.len().saturating_sub(1);
+    }
+
+    // Pass 2: extract calls per body. Nested fns own their tokens too
+    // (the outer body range includes them); the resulting duplicate
+    // edges only ever over-approximate reachability.
+    for f in &mut fns {
+        f.calls = extract_calls(&code, f.body, &aliases);
+    }
+
+    FileModel {
+        rel: rel.to_string(),
+        aliases,
+        fns,
+        code,
+    }
+}
+
+/// Scan `[range.0, range.1]` of `code` for call expressions: an
+/// identifier (not a keyword, not a macro bang, not a `fn` name in a
+/// definition) followed by `(`, optionally with a `::<...>` turbofish in
+/// between. Covers free calls, `Path::assoc(..)` (via the final
+/// segment), and `.method(..)` alike.
+fn extract_calls(
+    code: &[Token],
+    range: (usize, usize),
+    aliases: &BTreeMap<String, String>,
+) -> Vec<CallSite> {
+    let ident_at = |i: usize| -> Option<&str> { code.get(i).and_then(|t| t.ident()) };
+    let punct_at = |i: usize, c: char| -> bool { code.get(i).is_some_and(|t| t.is_punct(c)) };
+    let mut calls: Vec<CallSite> = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut i = range.0;
+    while i <= range.1 && i < code.len() {
+        let Some(w) = ident_at(i) else {
+            i += 1;
+            continue;
+        };
+        if KEYWORDS.contains(&w) || punct_at(i + 1, '!') {
+            i += 1;
+            continue;
+        }
+        if i > 0 && ident_at(i - 1) == Some("fn") {
+            i += 1; // a definition, not a call
+            continue;
+        }
+        // Optional turbofish between the name and the argument list.
+        let mut j = i + 1;
+        if punct_at(j, ':') && punct_at(j + 1, ':') && punct_at(j + 2, '<') {
+            let mut angle = 1usize;
+            j += 3;
+            while j < code.len() && angle > 0 {
+                if punct_at(j, '<') {
+                    angle += 1;
+                } else if punct_at(j, '>') {
+                    angle -= 1;
+                }
+                j += 1;
+            }
+        }
+        if punct_at(j, '(') {
+            let callee = resolve(aliases, w).to_string();
+            if seen.insert(callee.clone()) {
+                calls.push(CallSite {
+                    callee,
+                    line: code[i].line,
+                    argless: punct_at(j + 1, ')'),
+                });
+            }
+        }
+        i += 1;
+    }
+    calls
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn model(src: &str) -> FileModel {
+        parse_file("crates/x/src/lib.rs", &lex(src), false)
+    }
+
+    #[test]
+    fn fn_items_and_bodies_are_found() {
+        let m = model("fn a() { b(); }\nfn b() {}\n#[cfg(test)]\nmod t { fn c() { a(); } }\n");
+        let names: Vec<(&str, bool)> = m.fns.iter().map(|f| (f.name.as_str(), f.in_test)).collect();
+        assert_eq!(names, vec![("a", false), ("b", false), ("c", true)]);
+        assert_eq!(m.fns[0].calls.len(), 1);
+        assert_eq!(m.fns[0].calls[0].callee, "b");
+        assert!(m.fns[0].calls[0].argless);
+    }
+
+    #[test]
+    fn aliases_resolve_in_calls() {
+        let m = model(
+            "use std::sync::mpsc::sync_channel as channel;\n\
+             use helpers::{stamp as tick, other};\n\
+             fn f() { let _ = channel(4); tick(); }\n",
+        );
+        assert_eq!(
+            m.aliases.get("channel").map(String::as_str),
+            Some("sync_channel")
+        );
+        assert_eq!(m.aliases.get("tick").map(String::as_str), Some("stamp"));
+        let callees: Vec<&str> = m.fns[0].calls.iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(callees, vec!["sync_channel", "stamp"]);
+    }
+
+    #[test]
+    fn methods_turbofish_and_macros() {
+        let m = model("fn f(v: Vec<u64>) { v.iter().collect::<Vec<_>>(); format!(\"x\"); g(1); }");
+        let callees: Vec<&str> = m.fns[0].calls.iter().map(|c| c.callee.as_str()).collect();
+        assert!(callees.contains(&"iter"));
+        assert!(callees.contains(&"collect"));
+        assert!(callees.contains(&"g"));
+        assert!(!callees.contains(&"format"), "macros are not calls");
+        let g = m.fns[0].calls.iter().find(|c| c.callee == "g");
+        assert_eq!(g.map(|c| c.argless), Some(false));
+    }
+
+    #[test]
+    fn test_fns_and_tests_dirs_are_marked() {
+        let m = model("#[test]\nfn t() { x(); }\n");
+        assert!(m.fns[0].in_test);
+        let m = parse_file("crates/x/tests/t.rs", &lex("fn helper() {}"), true);
+        assert!(m.fns[0].in_test);
+    }
+
+    #[test]
+    fn nested_fns_get_their_own_items() {
+        let m = model("fn outer() { fn inner() { leaf(); } inner(); }");
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+        // `inner` is called (once, deduped), and its own `leaf` call is
+        // attributed to both (outer's range includes inner's body).
+        assert!(m.fns[0].calls.iter().any(|c| c.callee == "inner"));
+        assert!(m.fns[1].calls.iter().any(|c| c.callee == "leaf"));
+    }
+}

@@ -21,6 +21,8 @@ pub struct Rule {
     pub hint: &'static str,
     pub default_scope: Scope,
     pub default_allow_fns: &'static [&'static str],
+    /// Result-path sink fn names for the interprocedural taint rules.
+    pub default_sinks: &'static [&'static str],
 }
 
 /// The compiled-in catalog. `lint.toml` can disable rules, change their
@@ -34,6 +36,7 @@ pub fn catalog() -> &'static [Rule] {
                    checkpoint bytes cannot depend on hash iteration order",
             default_scope: Scope::All,
             default_allow_fns: &[],
+            default_sinks: &[],
         },
         Rule {
             id: "D002",
@@ -43,6 +46,7 @@ pub fn catalog() -> &'static [Rule] {
                    profiling side channels and the zeroed-on-export cycles/sec field",
             default_scope: Scope::Lib,
             default_allow_fns: &["wall_now"],
+            default_sinks: &[],
         },
         Rule {
             id: "D003",
@@ -51,6 +55,7 @@ pub fn catalog() -> &'static [Rule] {
                    random stream is a pure function of the point seed, never of call order",
             default_scope: Scope::Lib,
             default_allow_fns: &["derive_stream", "rng_for", "salted_rng"],
+            default_sinks: &[],
         },
         Rule {
             id: "D004",
@@ -59,6 +64,7 @@ pub fn catalog() -> &'static [Rule] {
                    must not embed dates, hostnames or environment state",
             default_scope: Scope::Lib,
             default_allow_fns: &[],
+            default_sinks: &[],
         },
         Rule {
             id: "D005",
@@ -68,6 +74,7 @@ pub fn catalog() -> &'static [Rule] {
                    surfaces overload as backpressure the admission layer can reject typed",
             default_scope: Scope::All,
             default_allow_fns: &[],
+            default_sinks: &[],
         },
         Rule {
             id: "D006",
@@ -77,6 +84,7 @@ pub fn catalog() -> &'static [Rule] {
                    path; a raw fs::write/rename or File handle bypasses every injected fault",
             default_scope: Scope::Lib,
             default_allow_fns: &[],
+            default_sinks: &[],
         },
         Rule {
             id: "P001",
@@ -86,6 +94,7 @@ pub fn catalog() -> &'static [Rule] {
                    `// lpm-lint: allow(P001) <reason>`",
             default_scope: Scope::Lib,
             default_allow_fns: &[],
+            default_sinks: &[],
         },
         Rule {
             id: "P002",
@@ -95,6 +104,69 @@ pub fn catalog() -> &'static [Rule] {
                    exactly when runs get interesting",
             default_scope: Scope::Lib,
             default_allow_fns: &[],
+            default_sinks: &[],
+        },
+        Rule {
+            id: "F001",
+            summary: "wall-clock taint reaching a result-path sink through helper calls",
+            hint: "a fn that reads the wall clock (however indirectly) must not be reachable \
+                   from export/report/fingerprint/journal writers; route the read through \
+                   wall_now and keep it off the result path — the why chain in the finding \
+                   is the call path to sever",
+            default_scope: Scope::Lib,
+            default_allow_fns: &["wall_now"],
+            default_sinks: &[
+                "to_csv",
+                "to_jsonl",
+                "to_json",
+                "to_text",
+                "fingerprint",
+                "append",
+                "atomic_write",
+                "persist_manifest",
+            ],
+        },
+        Rule {
+            id: "F002",
+            summary: "RNG construction reaching a result-path sink outside sanctioned helpers",
+            hint: "every random stream on a result path must be derived via \
+                   derive_stream/rng_for/salted_rng from the point seed; an RNG constructed \
+                   anywhere else and laundered through helpers makes exports depend on call \
+                   order — follow the why chain and reseed at the source",
+            default_scope: Scope::Lib,
+            default_allow_fns: &["derive_stream", "rng_for", "salted_rng"],
+            default_sinks: &[
+                "to_csv",
+                "to_jsonl",
+                "to_json",
+                "to_text",
+                "fingerprint",
+                "append",
+                "atomic_write",
+                "persist_manifest",
+            ],
+        },
+        Rule {
+            id: "C001",
+            summary: "concurrency hazard: blocking while a lock/scope is live, or lock-order \
+                      inversion",
+            hint: "drop the MutexGuard before any bounded send/recv/join (or drop the channel \
+                   endpoint before breaking out of a scope's drain loop), and acquire locks \
+                   in one global order — DESIGN.md §9 documents the PR 6 deadlock this rule \
+                   reconstructs",
+            default_scope: Scope::Lib,
+            default_allow_fns: &[],
+            default_sinks: &[],
+        },
+        Rule {
+            id: "U001",
+            summary: "unsafe code outside the audited inventory",
+            hint: "every `unsafe` must carry `// lpm-lint: allow(U001) <reason>` naming the \
+                   invariant that makes it sound; today the only audited site is the serve \
+                   signal FFI module",
+            default_scope: Scope::All,
+            default_allow_fns: &[],
+            default_sinks: &[],
         },
         Rule {
             id: "A001",
@@ -103,6 +175,7 @@ pub fn catalog() -> &'static [Rule] {
                    the rule ID must exist",
             default_scope: Scope::All,
             default_allow_fns: &[],
+            default_sinks: &[],
         },
     ];
     CATALOG
@@ -123,8 +196,8 @@ const HASH_COLLECTIONS: &[&str] = &[
     "AHashSet",
 ];
 
-/// RNG constructor names (D003).
-const RNG_CONSTRUCTORS: &[&str] = &[
+/// RNG constructor names (D003; shared with the F002 taint pass).
+pub(crate) const RNG_CONSTRUCTORS: &[&str] = &[
     "seed_from_u64",
     "from_seed",
     "from_entropy",
@@ -183,12 +256,17 @@ pub struct FileLint {
 /// `Scope::Lib` rules skip wholesale.
 pub fn lint_source(rel: &str, src: &str, cfg: &LintConfig, in_tests_dir: bool) -> FileLint {
     let tokens = crate::lexer::lex(src);
+    lint_tokens(rel, &tokens, cfg, in_tests_dir)
+}
 
+/// Lint one file's token stream. The scanner lexes each file once and
+/// shares the tokens between this pass and the parse/call-graph passes.
+pub fn lint_tokens(rel: &str, tokens: &[Token], cfg: &LintConfig, in_tests_dir: bool) -> FileLint {
     // Pass 1: allow annotations and the set of lines that carry code.
     let mut allows: Vec<AllowSite> = Vec::new();
     let mut bad_allows: Vec<Finding> = Vec::new();
     let mut code_lines: Vec<usize> = Vec::new();
-    for t in &tokens {
+    for t in tokens {
         match &t.kind {
             TokenKind::Comment(text) => {
                 parse_allow_comment(rel, t.line, text, &mut allows, &mut bad_allows);
@@ -209,6 +287,9 @@ pub fn lint_source(rel: &str, src: &str, cfg: &LintConfig, in_tests_dir: bool) -
     }
 
     // Pass 2: pattern matching over code tokens with region tracking.
+    // `use X as Y` renames resolve back to X outside of use statements,
+    // so an aliased constructor cannot launder past a matcher.
+    let aliases = crate::parse::alias_map(tokens);
     let code: Vec<&Token> = tokens
         .iter()
         .filter(|t| !matches!(t.kind, TokenKind::Comment(_)))
@@ -296,7 +377,11 @@ pub fn lint_source(rel: &str, src: &str, cfg: &LintConfig, in_tests_dir: bool) -
                 pending_test = false;
                 pending_fn = None;
             }
-            TokenKind::Ident(word) => match word.as_str() {
+            TokenKind::Ident(word) => match if in_use {
+                word.as_str()
+            } else {
+                crate::parse::resolve(&aliases, word)
+            } {
                 "use" => in_use = true,
                 "fn" => {
                     if let Some(name) = ident_at(i + 1) {
@@ -477,6 +562,14 @@ pub fn lint_source(rel: &str, src: &str, cfg: &LintConfig, in_tests_dir: bool) -
                         "P002",
                         t.line,
                         format!("`as {ty}` silently truncates/wraps"),
+                        in_test,
+                    );
+                }
+                "unsafe" => {
+                    emit(
+                        "U001",
+                        t.line,
+                        "`unsafe` outside the audited inventory".to_string(),
                         in_test,
                     );
                 }
@@ -686,6 +779,52 @@ fn channel(x: u32) -> u32 { x }
         // `channel()` fires; `sync_channel`, the `use`, and the local fn
         // definition do not.
         assert_eq!(rules_hit(src), vec![("D005".to_string(), 2)]);
+    }
+
+    #[test]
+    fn d002_d003_d005_fire_through_use_renames() {
+        let src = "\
+use std::time::Instant as Clock;
+use shim_rand::SmallRng as R;
+use std::sync::mpsc::channel as ch;
+fn a() -> Clock { Clock::now() }
+fn b(s: u64) -> R { R::seed_from_u64(s) }
+fn c() { let (_tx, _rx) = ch::<u64>(); }
+";
+        assert_eq!(
+            rules_hit(src),
+            vec![
+                ("D002".to_string(), 4),
+                ("D003".to_string(), 5),
+                ("D005".to_string(), 6),
+            ]
+        );
+    }
+
+    #[test]
+    fn renamed_constructor_ident_resolves_too() {
+        let src = "use shim_rand::SmallRng::seed_from_u64 as mk;\nfn f() -> SmallRng { mk(7) }\n";
+        assert_eq!(rules_hit(src), vec![("D003".to_string(), 2)]);
+    }
+
+    #[test]
+    fn rename_to_a_trigger_word_stays_quiet() {
+        // `channel` here *is* the bounded constructor under a hostile
+        // name — resolution maps it back to sync_channel, no finding.
+        let src = "use std::sync::mpsc::sync_channel as channel;\nfn f() { let (_tx, _rx) = channel::<u64>(4); }\n";
+        assert!(rules_hit(src).is_empty(), "{:?}", rules_hit(src));
+    }
+
+    #[test]
+    fn u001_fires_on_unsafe_without_allow() {
+        let src = "\
+fn f(p: *const u8) -> u8 { unsafe { *p } }
+fn g(p: *const u8) -> u8 {
+    // lpm-lint: allow(U001) audited: p is non-null by construction
+    unsafe { *p }
+}
+";
+        assert_eq!(rules_hit(src), vec![("U001".to_string(), 1)]);
     }
 
     #[test]

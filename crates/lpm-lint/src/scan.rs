@@ -10,7 +10,9 @@ use std::path::{Path, PathBuf};
 
 use crate::config::LintConfig;
 use crate::findings::LintReport;
-use crate::rules::lint_source;
+use crate::graph::CallGraph;
+use crate::parse::{parse_file, FileModel};
+use crate::rules::lint_tokens;
 
 /// Resolve one scan pattern (path segments, where a segment may be `*`)
 /// against `root`, collecting matching directories.
@@ -94,10 +96,58 @@ pub fn is_test_path(rel: &str) -> bool {
     rel.split('/').any(|seg| seg == "tests" || seg == "benches")
 }
 
+/// A full analysis: the lint report plus the call graph the
+/// interprocedural rules ran against (for the `--graph-out` artifact).
+pub struct Analysis {
+    pub report: LintReport,
+    pub graph: CallGraph,
+}
+
+/// Analyze every configured file under `root`.
+pub fn analyze_tree(root: &Path, cfg: &LintConfig) -> Result<Analysis, String> {
+    let files = enumerate_files(root, cfg);
+    analyze_files(root, &files, cfg)
+}
+
+/// Analyze an explicit file list (paths must be under `root`).
+///
+/// Each file is lexed once; the tokens feed both the intraprocedural
+/// pattern pass and the item parser, then the assembled call graph runs
+/// the interprocedural rules (F001/F002/C001). Allow annotations apply
+/// to interprocedural findings exactly as to local ones — by the code
+/// line they cover.
+pub fn analyze_files(
+    root: &Path,
+    files: &[(PathBuf, String)],
+    cfg: &LintConfig,
+) -> Result<Analysis, String> {
+    let _ = root;
+    let mut report = LintReport::default();
+    let mut models: Vec<FileModel> = Vec::new();
+    for (path, rel) in files {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let tokens = crate::lexer::lex(&src);
+        let out = lint_tokens(rel, &tokens, cfg, is_test_path(rel));
+        report.findings.extend(out.findings);
+        report.allows.extend(out.allows);
+        report.files_scanned += 1;
+        models.push(parse_file(rel, &tokens, is_test_path(rel)));
+    }
+    let graph = CallGraph::build(&models);
+    let flow = crate::flow::interprocedural_findings(&models, &graph, cfg);
+    report.findings.extend(flow.into_iter().filter(|f| {
+        !report.allows.iter().any(|a| {
+            a.file == f.file && a.target_line == f.line && a.rules.iter().any(|r| r == &f.rule)
+        })
+    }));
+    report.sort();
+    Ok(Analysis { report, graph })
+}
+
 /// Lint every configured file under `root`.
 pub fn lint_tree(root: &Path, cfg: &LintConfig) -> Result<LintReport, String> {
-    let files = enumerate_files(root, cfg);
-    lint_files(root, &files, cfg)
+    analyze_tree(root, cfg).map(|a| a.report)
 }
 
 /// Lint an explicit file list (paths must be under `root`).
@@ -106,18 +156,7 @@ pub fn lint_files(
     files: &[(PathBuf, String)],
     cfg: &LintConfig,
 ) -> Result<LintReport, String> {
-    let _ = root;
-    let mut report = LintReport::default();
-    for (path, rel) in files {
-        let src = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let out = lint_source(rel, &src, cfg, is_test_path(rel));
-        report.findings.extend(out.findings);
-        report.allows.extend(out.allows);
-        report.files_scanned += 1;
-    }
-    report.sort();
-    Ok(report)
+    analyze_files(root, files, cfg).map(|a| a.report)
 }
 
 #[cfg(test)]

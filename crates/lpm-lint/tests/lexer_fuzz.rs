@@ -1,0 +1,59 @@
+//! Property tests: the lexer — and the parse/lint pipeline built on its
+//! tokens — must never panic, whatever bytes arrive. The analyzer runs
+//! over every file in the workspace on every CI push; a panic on one
+//! weird literal would take the whole static-analysis gate down.
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn lexing_never_panics_on_byte_soup(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let toks = lpm_lint::lexer::lex(&src);
+        // Line numbers are 1-based and monotone non-decreasing.
+        let mut last = 1usize;
+        for t in &toks {
+            prop_assert!(t.line >= last, "line numbers went backwards");
+            last = t.line;
+        }
+    }
+
+    #[test]
+    fn full_analysis_never_panics_on_byte_soup(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let cfg = lpm_lint::LintConfig::default();
+        // The rule engine and the item parser both consume the raw
+        // token stream — drive both to completion.
+        let toks = lpm_lint::lexer::lex(&src);
+        let lint = lpm_lint::rules::lint_tokens("crates/x/src/lib.rs", &toks, &cfg, false);
+        let model = lpm_lint::parse::parse_file("crates/x/src/lib.rs", &toks, false);
+        // Findings and fn items both point at real lines.
+        for f in &lint.findings {
+            prop_assert!(f.line >= 1);
+        }
+        for f in &model.fns {
+            prop_assert!(f.body.1 >= f.body.0);
+        }
+    }
+
+    #[test]
+    fn unbalanced_rust_fragments_never_panic(picks in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Token soup from Rust-ish fragments — unbalanced braces, raw
+        // strings cut short, attributes with no item, half a use tree.
+        const FRAGMENTS: &[&str] = &[
+            "fn f(", "{", "}", "unsafe", "r#\"", "r#fn", "#[cfg(test)]",
+            "use a::b as", ";", "let (tx, rx) =", "sync_channel::<u64>(",
+            "// lpm-lint: allow(", "\"str", "'a", "b'", "0x", "..=",
+            "thread::scope(|s|", ".lock()", "drop(", "match", "=>",
+        ];
+        let src: String = picks
+            .iter()
+            .map(|p| FRAGMENTS[*p as usize % FRAGMENTS.len()])
+            .collect::<Vec<_>>()
+            .join(" ");
+        let toks = lpm_lint::lexer::lex(&src);
+        let cfg = lpm_lint::LintConfig::default();
+        let _ = lpm_lint::rules::lint_tokens("crates/x/src/lib.rs", &toks, &cfg, false);
+        let _ = lpm_lint::parse::parse_file("crates/x/src/lib.rs", &toks, false);
+    }
+}

@@ -53,13 +53,138 @@ fn violating_fixture_matches_expect_markers() {
     let want = expected_markers("violating.rs");
     assert!(!want.is_empty(), "fixture must carry expect markers");
     assert_eq!(got, want);
-    // Every rule in the catalog except the allow meta-rule appears.
+    // Every intraprocedural rule except the allow meta-rule appears
+    // (the interprocedural F/C rules have their own fixtures below).
     let rules: BTreeSet<&str> = report.findings.iter().map(|f| f.rule.as_str()).collect();
     for r in [
-        "D001", "D002", "D003", "D004", "D005", "D006", "P001", "P002",
+        "D001", "D002", "D003", "D004", "D005", "D006", "P001", "P002", "U001",
     ] {
         assert!(rules.contains(r), "{r} missing from violating fixture");
     }
+}
+
+/// Lint several fixtures together (cross-file dataflow needs the whole
+/// set in one analysis).
+fn lint_fixtures(names: &[&str], cfg: &LintConfig) -> LintReport {
+    let files: Vec<(PathBuf, String)> = names
+        .iter()
+        .map(|n| {
+            (
+                fixture_dir().join(n),
+                format!("crates/lpm-lint/fixtures/{n}"),
+            )
+        })
+        .collect();
+    lint_files(&workspace_root(), &files, cfg).expect("fixtures readable")
+}
+
+/// `(file, line, rule)` triples for multi-file marker comparison.
+fn expected_markers_for(names: &[&str]) -> BTreeSet<(String, usize, String)> {
+    let mut out = BTreeSet::new();
+    for n in names {
+        let rel = format!("crates/lpm-lint/fixtures/{n}");
+        for (line, rule) in expected_markers(n) {
+            out.insert((rel.clone(), line, rule));
+        }
+    }
+    out
+}
+
+#[test]
+fn taint_rules_catch_cross_file_laundering() {
+    let names = ["flow_clock.rs", "flow_export.rs"];
+    let report = lint_fixtures(&names, &LintConfig::default());
+    let got: BTreeSet<(String, usize, String)> = report
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.rule.clone()))
+        .collect();
+    assert_eq!(got, expected_markers_for(&names));
+
+    // The why chain names every hop and points at the source line.
+    let f001 = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "F001")
+        .expect("F001 finding");
+    assert!(
+        f001.message.contains("to_csv -> stamp_ns -> grab_clock"),
+        "{}",
+        f001.message
+    );
+    assert!(
+        f001.message
+            .contains("crates/lpm-lint/fixtures/flow_clock.rs:"),
+        "{}",
+        f001.message
+    );
+    let f002 = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "F002")
+        .expect("F002 finding");
+    assert!(
+        f002.message.contains("to_jsonl -> draw -> fresh_rng"),
+        "{}",
+        f002.message
+    );
+    assert!(f002.message.contains("seed_from_u64"), "{}", f002.message);
+
+    // The allow-annotated sink (to_text) is suppressed but recorded —
+    // the A001 machinery covers interprocedural findings too.
+    assert!(report
+        .allows
+        .iter()
+        .any(|a| a.rules == vec!["F001".to_string()]));
+}
+
+#[test]
+fn c001_flags_the_reconstructed_engine_deadlock() {
+    let report = lint_fixture("concurrency.rs", &LintConfig::default());
+    let got: BTreeSet<(usize, String)> = report
+        .findings
+        .iter()
+        .map(|f| (f.line, f.rule.clone()))
+        .collect();
+    assert_eq!(got, expected_markers("concurrency.rs"));
+
+    let messages: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    // Direct blocking send under a live guard.
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("blocking .send(..)") && m.contains("MutexGuard `st`")),
+        "{messages:#?}"
+    );
+    // Transitive blocking through a callee, with the chain.
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("drain_queue") && m.contains("may block")),
+        "{messages:#?}"
+    );
+    // Both halves of the PR 6 scope shape.
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("never dropped") && m.contains("scope join never completes")),
+        "{messages:#?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("`break` exits") && m.contains("drop(rx) before breaking")),
+        "{messages:#?}"
+    );
+    // The lock-order inversion fires on both orders.
+    assert_eq!(
+        messages
+            .iter()
+            .filter(|m| m.contains("lock-order inversion"))
+            .count(),
+        2,
+        "{messages:#?}"
+    );
 }
 
 #[test]
@@ -112,7 +237,7 @@ fn config_can_disable_rules_and_narrow_paths() {
         "[rules.P001]\nenabled = false\n[rules.P002]\nenabled = false\n\
          [rules.D002]\nenabled = false\n[rules.D003]\nenabled = false\n\
          [rules.D004]\nenabled = false\n[rules.D005]\nenabled = false\n\
-         [rules.D006]\nenabled = false",
+         [rules.D006]\nenabled = false\n[rules.U001]\nenabled = false",
     )
     .expect("valid config");
     let report = lint_fixture("violating.rs", &cfg);
@@ -138,11 +263,12 @@ fn lib_scoped_rules_skip_tests_directories() {
     let files = vec![(path, "crates/lpm-x/tests/violating.rs".to_string())];
     let report = lint_files(&tmp, &files, &LintConfig::default()).expect("lintable");
     assert!(!report.findings.is_empty());
-    // D001 and D005 are scope = "all"; everything lib-scoped vanishes.
+    // D001, D005 and U001 are scope = "all"; everything lib-scoped
+    // vanishes.
     assert!(report
         .findings
         .iter()
-        .all(|f| f.rule == "D001" || f.rule == "D005"));
+        .all(|f| f.rule == "D001" || f.rule == "D005" || f.rule == "U001"));
 }
 
 #[test]
@@ -174,6 +300,51 @@ fn json_report_round_trips_through_telemetry_parser() {
     }
     // Determinism: rendering twice is byte-identical.
     assert_eq!(json, report.to_json());
+}
+
+#[test]
+fn graph_artifact_is_deterministic_and_parses() {
+    let bin = env!("CARGO_BIN_EXE_lpm-lint");
+    let root = workspace_root();
+    let tmp = std::env::temp_dir().join("lpm_lint_graph_out");
+    std::fs::create_dir_all(&tmp).expect("mkdir");
+    let g1 = tmp.join("g1.json");
+    let g2 = tmp.join("g2.json");
+    for g in [&g1, &g2] {
+        let out = std::process::Command::new(bin)
+            .arg("--root")
+            .arg(&root)
+            .arg("--graph-out")
+            .arg(g)
+            .output()
+            .expect("lpm-lint runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+    let b1 = std::fs::read_to_string(&g1).expect("artifact written");
+    let b2 = std::fs::read_to_string(&g2).expect("artifact written");
+    assert_eq!(b1, b2, "call-graph artifact must be byte-identical");
+
+    let value = lpm_telemetry::json::Value::parse(&b1).expect("valid JSON");
+    assert_eq!(
+        value.get("kind").and_then(|v| v.as_str()),
+        Some("call-graph")
+    );
+    let n = value
+        .get("functions")
+        .and_then(|v| v.as_u64())
+        .expect("functions count");
+    assert!(n > 200, "suspiciously small graph ({n} fns)");
+    let nodes = value
+        .get("nodes")
+        .and_then(|v| v.as_arr())
+        .expect("nodes array");
+    assert_eq!(nodes.len() as u64, n);
+    // A known cross-crate fn is present with resolved edges.
+    assert!(b1.contains("\"name\":\"run_sweep_with\""));
 }
 
 #[test]
@@ -246,6 +417,24 @@ fn cli_exit_codes_and_json_output() {
         .output()
         .expect("lpm-lint runs");
     assert_eq!(out.status.code(), Some(2));
+
+    // A config naming an unknown rule: exit 2 with a line-numbered
+    // message on stderr.
+    let tmp = std::env::temp_dir().join("lpm_lint_bad_config");
+    std::fs::create_dir_all(&tmp).expect("mkdir");
+    let cfg_path = tmp.join("bad.toml");
+    std::fs::write(&cfg_path, "# comment\n[rules.Q999]\nenabled = true\n").expect("write");
+    let out = std::process::Command::new(bin)
+        .arg("--root")
+        .arg(&root)
+        .arg("--config")
+        .arg(&cfg_path)
+        .output()
+        .expect("lpm-lint runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "{stderr}");
+    assert!(stderr.contains("unknown rule"), "{stderr}");
 
     // --list-allows exits 0 even though the fixture has violations.
     let allowed = fixture_dir().join("allowed.rs");

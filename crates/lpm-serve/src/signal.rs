@@ -31,6 +31,7 @@ mod ffi {
         // SAFETY: `signal` with a plain function pointer is the
         // async-signal-safe minimum; the handler only stores to an
         // AtomicBool, which is signal-safe.
+        // lpm-lint: allow(U001) audited FFI: signal(2) install with a signal-safe handler
         unsafe {
             signal(signum, handler as usize);
         }
@@ -40,6 +41,7 @@ mod ffi {
     pub fn send(pid: i32, signum: i32) -> i32 {
         // SAFETY: kill() with a valid pid/signal pair has no memory
         // safety preconditions; a bad pid simply returns -1.
+        // lpm-lint: allow(U001) audited FFI: kill(2) has no memory-safety preconditions
         unsafe { kill(pid, signum) }
     }
 }
